@@ -1,0 +1,156 @@
+// Capx is the command-line field solver: it builds one of the benchmark
+// structures (or a parameterized variant), runs capacitance extraction
+// with the selected backend, and prints the Maxwell capacitance matrix and
+// the timing breakdown.
+//
+// Usage examples:
+//
+//	capx -structure crossing
+//	capx -structure bus -m 24 -n 24 -backend shared -workers 4
+//	capx -structure interconnect -backend mpi -workers 10 -accel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"parbem"
+)
+
+func main() {
+	var (
+		structure = flag.String("structure", "crossing", "crossing | bus | interconnect | plates")
+		input     = flag.String("input", "", "read structure from a geometry file instead")
+		m         = flag.Int("m", 8, "bus: lower-layer wire count")
+		n         = flag.Int("n", 8, "bus: upper-layer wire count")
+		backend   = flag.String("backend", "serial", "serial | shared | mpi")
+		workers   = flag.Int("workers", 4, "parallel nodes D")
+		accel     = flag.Bool("accel", false, "enable tabulated elementary functions (Section 4.2.3)")
+		units     = flag.Float64("unit", 1e15, "output scale (1e15 = fF)")
+		maxPrint  = flag.Int("maxprint", 12, "largest matrix printed in full")
+		spice     = flag.String("spice", "", "also write a SPICE netlist to this file")
+		check     = flag.Bool("check", true, "validate the Maxwell matrix structure")
+	)
+	flag.Parse()
+
+	var st *parbem.Structure
+	var err error
+	if *input != "" {
+		f, ferr := os.Open(*input)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		st, err = parbem.ReadStructure(f)
+		f.Close()
+	} else {
+		st, err = buildStructure(*structure, *m, *n)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opt := parbem.Options{Workers: *workers}
+	switch *backend {
+	case "serial":
+		opt.Backend = parbem.Serial
+	case "shared":
+		opt.Backend = parbem.SharedMem
+	case "mpi":
+		opt.Backend = parbem.Distributed
+	default:
+		log.Fatalf("unknown backend %q", *backend)
+	}
+	if *accel {
+		opt.Kernel = parbem.FastKernelConfig()
+	}
+
+	res, err := parbem.Extract(st, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("structure : %s (%d conductors)\n", st.Name, st.NumConductors())
+	fmt.Printf("backend   : %v, D = %d, accel = %v\n", opt.Backend, *workers, *accel)
+	fmt.Printf("basis     : N = %d functions, M = %d templates (M/N = %.2f)\n",
+		res.N, res.M, float64(res.M)/float64(res.N))
+	fmt.Printf("memory    : %.1f KB system matrix\n", float64(res.MatrixBytes)/1024)
+	fmt.Printf("timing    : basis %v | setup %v | solve %v | total %v\n",
+		res.Timing.BasisGen, res.Timing.Setup, res.Timing.Solve, res.Timing.Total)
+	fmt.Printf("setup %%   : %.1f%%\n\n",
+		100*float64(res.Timing.Setup)/float64(res.Timing.Total))
+
+	names := make([]string, st.NumConductors())
+	for i, c := range st.Conductors {
+		names[i] = c.Name
+	}
+
+	if *check {
+		if violations := parbem.CheckMaxwell(res.C, 0); len(violations) > 0 {
+			fmt.Println("Maxwell-matrix warnings:")
+			for _, v := range violations {
+				fmt.Printf("  %s\n", v)
+			}
+			fmt.Println()
+		}
+	}
+
+	if *spice != "" {
+		f, err := os.Create(*spice)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := parbem.WriteSpice(f, res.C, names, 1e-20); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("netlist   : %s\n\n", *spice)
+	}
+
+	nc := res.C.Rows
+	if nc <= *maxPrint {
+		fmt.Println("capacitance matrix (scaled):")
+		fmt.Print(parbem.FormatMatrix(res.C, *units, names))
+	} else {
+		fmt.Printf("capacitance matrix is %dx%d; printing diagonal and strongest coupling per row\n", nc, nc)
+		for i := 0; i < nc; i++ {
+			best, bj := 0.0, -1
+			for j := 0; j < nc; j++ {
+				if j != i && -res.C.At(i, j) > best {
+					best, bj = -res.C.At(i, j), j
+				}
+			}
+			fmt.Printf("C[%3d][%3d] = %10.4f   strongest coupling -> %3d: %10.4f\n",
+				i, i, res.C.At(i, i)**units, bj, best**units)
+		}
+	}
+}
+
+func buildStructure(kind string, m, n int) (*parbem.Structure, error) {
+	switch kind {
+	case "crossing":
+		return parbem.NewCrossingPair().Build(), nil
+	case "bus":
+		return parbem.NewBus(m, n).Build(), nil
+	case "interconnect":
+		return parbem.NewInterconnect().Build(), nil
+	case "plates":
+		side, gap, thick := 20e-6, 0.5e-6, 0.2e-6
+		return &parbem.Structure{
+			Name: "plates",
+			Conductors: []*parbem.Conductor{
+				{Name: "bot", Boxes: []parbem.Box{parbem.NewBox(
+					parbem.Vec3{X: 0, Y: 0, Z: 0},
+					parbem.Vec3{X: side, Y: side, Z: thick})}},
+				{Name: "top", Boxes: []parbem.Box{parbem.NewBox(
+					parbem.Vec3{X: 0, Y: 0, Z: thick + gap},
+					parbem.Vec3{X: side, Y: side, Z: 2*thick + gap})}},
+			},
+		}, nil
+	}
+	fmt.Fprintf(os.Stderr, "unknown structure %q\n", kind)
+	return nil, fmt.Errorf("unknown structure %q", kind)
+}

@@ -1,0 +1,38 @@
+// Quickstart: extract the capacitance matrix of a pair of crossing wires
+// (paper Figure 1) and print it in femtofarads.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parbem"
+)
+
+func main() {
+	// The elementary problem: a 1 um-wide source wire crossing 0.5 um
+	// above a target wire.
+	spec := parbem.NewCrossingPair()
+	st := spec.Build()
+
+	res, err := parbem.Extract(st, parbem.Options{Backend: parbem.SharedMem})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("structure: %s (%d conductors)\n", st.Name, st.NumConductors())
+	fmt.Printf("basis functions N = %d, templates M = %d (M/N = %.2f)\n",
+		res.N, res.M, float64(res.M)/float64(res.N))
+	fmt.Printf("timing: basis %v, setup %v, solve %v\n",
+		res.Timing.BasisGen, res.Timing.Setup, res.Timing.Solve)
+
+	fmt.Println("\ncapacitance matrix (fF):")
+	for i := 0; i < res.C.Rows; i++ {
+		for j := 0; j < res.C.Cols; j++ {
+			fmt.Printf("%12.4f", res.C.At(i, j)*1e15)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\ncoupling C12 = %.4f fF at separation h = %.2f um\n",
+		-res.C.At(0, 1)*1e15, spec.H*1e6)
+}

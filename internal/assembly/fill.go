@@ -1,0 +1,250 @@
+package assembly
+
+import (
+	"math"
+
+	"parbem/internal/basis"
+	"parbem/internal/linalg"
+)
+
+// NumPairs returns K = M*(M+1)/2, the number of upper-triangular template
+// pairs iterated by Algorithm 1.
+func NumPairs(m int) int64 {
+	return int64(m) * int64(m+1) / 2
+}
+
+// KToIJ converts the flat work index k (0 <= k < M(M+1)/2) to template
+// indices (i, j) with i <= j, iterating the upper triangle of P~ column by
+// column as in Algorithm 1:
+//
+//	j = floor((-1 + sqrt(1+8k)) / 2),  i = k - j(j+1)/2
+func KToIJ(k int64) (i, j int) {
+	jj := int64((math.Sqrt(float64(8*k+1)) - 1) / 2)
+	// Guard against floating-point boundary errors.
+	for (jj+1)*(jj+2)/2 <= k {
+		jj++
+	}
+	for jj*(jj+1)/2 > k {
+		jj--
+	}
+	return int(k - jj*(jj+1)/2), int(jj)
+}
+
+// IJToK is the inverse mapping (i <= j required).
+func IJToK(i, j int) int64 {
+	return int64(j)*int64(j+1)/2 + int64(i)
+}
+
+// Partial is the contribution of one contiguous k-range to the condensed
+// matrix P: a dense slab covering columns [ColLo, ColHi] of P's upper
+// triangle (paper Figure 5). Because the template owner array is
+// non-decreasing, the columns touched by a contiguous k-range are
+// contiguous.
+type Partial struct {
+	N            int
+	ColLo, ColHi int           // inclusive column range of P
+	Data         *linalg.Dense // N x (ColHi-ColLo+1)
+}
+
+// Add accumulates v into partial entry (row, col) of P coordinates.
+func (p *Partial) Add(row, col int, v float64) {
+	p.Data.Add(row, col-p.ColLo, v)
+}
+
+// ColRange returns the P-column range [lo, hi] touched by the k-range
+// [kLo, kHi) for the given basis set.
+func ColRange(set *basis.Set, kLo, kHi int64) (int, int) {
+	_, jFirst := KToIJ(kLo)
+	_, jLast := KToIJ(kHi - 1)
+	return set.Owner[jFirst], set.Owner[jLast]
+}
+
+// FillPartial computes all P~ entries for k in [kLo, kHi) and condenses
+// them into a Partial slab following the accumulation rule of Algorithm 1:
+// an off-diagonal template pair whose templates share a basis function
+// lands on P's diagonal twice.
+//
+// (The paper's printed Algorithm 1 guards the doubling with "i = j and
+// l_i = l_j"; as Figure 3's text explains, the doubling applies to
+// *off-diagonal* P~ entries condensing onto P's diagonal, so the condition
+// is implemented here as i != j with l_i = l_j.)
+func FillPartial(set *basis.Set, in *Integrator, kLo, kHi int64) *Partial {
+	if kHi <= kLo {
+		return &Partial{N: set.N(), ColLo: 0, ColHi: -1, Data: linalg.NewDense(set.N(), 0)}
+	}
+	colLo, colHi := ColRange(set, kLo, kHi)
+	p := &Partial{
+		N:     set.N(),
+		ColLo: colLo,
+		ColHi: colHi,
+		Data:  linalg.NewDense(set.N(), colHi-colLo+1),
+	}
+	for k := kLo; k < kHi; k++ {
+		i, j := KToIJ(k)
+		v := in.TemplatePair(&set.Templates[i], &set.Templates[j])
+		li, lj := set.Owner[i], set.Owner[j]
+		if i != j && li == lj {
+			p.Add(li, lj, 2*v)
+		} else {
+			p.Add(li, lj, v)
+		}
+	}
+	return p
+}
+
+// MergeInto adds the partial slab into the full upper-triangular matrix P.
+func (p *Partial) MergeInto(P *linalg.Dense) {
+	for i := 0; i < p.N; i++ {
+		row := p.Data.Row(i)
+		dst := P.Row(i)
+		for c, v := range row {
+			if v != 0 {
+				dst[p.ColLo+c] += v
+			}
+		}
+	}
+}
+
+// Symmetrize copies the upper triangle of P onto the lower triangle.
+func Symmetrize(P *linalg.Dense) {
+	for i := 0; i < P.Rows; i++ {
+		for j := i + 1; j < P.Cols; j++ {
+			P.Set(j, i, P.At(i, j))
+		}
+	}
+}
+
+// FillSerial runs Algorithm 1 on a single node: the full k-range, merged
+// and symmetrized. The returned matrix is the unscaled P (multiply by
+// 1/(4*pi*eps) for physical units).
+func FillSerial(set *basis.Set, in *Integrator) *linalg.Dense {
+	P := linalg.NewDense(set.N(), set.N())
+	part := FillPartial(set, in, 0, NumPairs(set.M()))
+	part.MergeInto(P)
+	Symmetrize(P)
+	return P
+}
+
+// PartitionK splits the k-range [0, K) into d near-equal contiguous
+// partitions (the paper's equal division; the last partition absorbs the
+// remainder). It returns the d+1 boundaries.
+func PartitionK(K int64, d int) []int64 {
+	if d < 1 {
+		d = 1
+	}
+	bounds := make([]int64, d+1)
+	per := K / int64(d)
+	for i := 0; i <= d; i++ {
+		bounds[i] = int64(i) * per
+	}
+	bounds[d] = K
+	return bounds
+}
+
+// pairCostEstimate is a relative cost model for one template-pair
+// integration, used only for load balancing. The constants are measured
+// average costs per dispatch class (relative to a far-field pair = 1),
+// indexed by the proximity bucket that controls quadrature-order elevation
+// (see Integrator.order).
+func pairCostEstimate(set *basis.Set, cfg costConfig, i, j int) float64 {
+	ti, tj := &set.Templates[i], &set.Templates[j]
+	d := ti.Support.Dist(tj.Support)
+	diam := 0.5 * (ti.Support.Diameter() + tj.Support.Diameter())
+	if d > cfg.farFactor*diam {
+		return 1
+	}
+	if d > cfg.midFactor*diam {
+		return 4
+	}
+	b := 0
+	if d < 0.05*diam {
+		b = 2
+	} else if d < diam {
+		b = 1
+	}
+	par := ti.Support.ParallelTo(tj.Support)
+	si, sj := !ti.IsFlat(), !tj.IsFlat()
+	switch {
+	case !si && !sj:
+		if par {
+			return 12 // analytic 16-corner form, distance-independent
+		}
+		return [3]float64{40, 85, 136}[b]
+	case si != sj:
+		if par {
+			return [3]float64{22, 46, 51}[b]
+		}
+		return [3]float64{64, 241, 1009}[b]
+	default:
+		if par && ti.Dir == tj.Dir {
+			return [3]float64{48, 153, 523}[b]
+		}
+		if par {
+			return [3]float64{84, 353, 1400}[b]
+		}
+		return [3]float64{64, 241, 1009}[b]
+	}
+}
+
+type costConfig struct{ farFactor, midFactor float64 }
+
+// PartitionKCost splits [0, K) into d contiguous partitions whose
+// *estimated costs* are equal, by sampling a few pair costs per column of
+// P~ (the exact per-pair cost depends on template kinds and distances, so
+// the paper's equal-count division can be imbalanced when basis richness
+// varies; see Section 3's balance discussion). Boundaries remain
+// contiguous in k, preserving the column-contiguity that the
+// distributed-memory partial matrices rely on (Figure 5).
+func PartitionKCost(set *basis.Set, in *Integrator, d int) []int64 {
+	m := set.M()
+	K := NumPairs(m)
+	if d <= 1 || m < 2*d {
+		return PartitionK(K, d)
+	}
+	cfg := costConfig{farFactor: in.Cfg.FarFactor, midFactor: in.Cfg.MidFactor}
+	if in.Cfg.DisableApprox {
+		cfg.farFactor = math.Inf(1)
+		cfg.midFactor = math.Inf(1)
+	}
+	// Column costs from a deterministic sample of rows.
+	colCost := make([]float64, m)
+	var total float64
+	const samples = 9
+	for j := 0; j < m; j++ {
+		var s float64
+		n := 0
+		for p := 0; p < samples && p <= j; p++ {
+			i := j * p / (samples - 1)
+			s += pairCostEstimate(set, cfg, i, j)
+			n++
+		}
+		colCost[j] = s / float64(n) * float64(j+1)
+		total += colCost[j]
+	}
+	// Cut at equal cumulative cost, interpolating within columns.
+	bounds := make([]int64, d+1)
+	bounds[d] = K
+	cum := 0.0
+	next := 1
+	for j := 0; j < m && next < d; j++ {
+		target := total * float64(next) / float64(d)
+		for next < d && cum+colCost[j] >= target {
+			frac := (target - cum) / colCost[j]
+			k := IJToK(0, j) + int64(frac*float64(j+1))
+			if k > K {
+				k = K
+			}
+			if k < bounds[next-1] {
+				k = bounds[next-1]
+			}
+			bounds[next] = k
+			next++
+			target = total * float64(next) / float64(d)
+		}
+		cum += colCost[j]
+	}
+	for ; next < d; next++ {
+		bounds[next] = K
+	}
+	return bounds
+}

@@ -1,0 +1,324 @@
+// Package assembly computes the entries of the template interaction matrix
+// P~ (paper Eq. 5) and assembles them into the condensed system matrix P
+// (paper Figure 3 / Algorithm 1). It contains the template-pair Galerkin
+// integration engine implementing the dispatch of paper Section 4: closed
+// forms for the non-varying directions, Gaussian quadrature for directions
+// with 1-D shape variation (split at shape kinks), and distance-based
+// dimension reduction.
+package assembly
+
+import (
+	"math"
+
+	"parbem/internal/basis"
+	"parbem/internal/geom"
+	"parbem/internal/kernel"
+	"parbem/internal/quad"
+)
+
+// Integrator evaluates template-pair Galerkin integrals under a kernel
+// configuration. It is stateless apart from the configuration and safe for
+// concurrent use.
+type Integrator struct {
+	Cfg *kernel.Config
+}
+
+// NewIntegrator returns an integrator with the default configuration.
+func NewIntegrator() *Integrator { return &Integrator{Cfg: kernel.DefaultConfig()} }
+
+// maxNodes bounds the per-direction quadrature nodes: up to 3 kink-split
+// segments of up to 32 points.
+const maxNodes = 96
+
+// nodeBuf is a stack-allocated quadrature node/weight set.
+type nodeBuf struct {
+	x, w [maxNodes]float64
+	n    int
+}
+
+// fill populates the buffer with Gauss nodes over iv, split at the shape's
+// breakpoints, with the weights pre-multiplied by the shape values.
+func (nb *nodeBuf) fill(sh basis.Shape, iv geom.Interval, order int) {
+	if order > 32 {
+		order = 32
+	}
+	var brk [4]float64
+	nseg := 0
+	brk[nseg] = iv.Lo
+	nseg++
+	if bp, ok := sh.(basis.Breakpointer); ok {
+		if t, has := bp.Breakpoint(); has {
+			u := iv.Lo + t*iv.Len()
+			if u > brk[nseg-1]+1e-12*iv.Len() && u < iv.Hi-1e-12*iv.Len() {
+				brk[nseg] = u
+				nseg++
+			}
+		}
+	}
+	brk[nseg] = iv.Hi
+	nseg++
+	cnt := 0
+	for s := 0; s+1 < nseg; s++ {
+		quad.FillMapped(order, brk[s], brk[s+1], nb.x[cnt:], nb.w[cnt:])
+		cnt += order
+	}
+	nb.n = cnt
+	inv := 1 / iv.Len()
+	for i := 0; i < cnt; i++ {
+		nb.w[i] *= sh.Eval((nb.x[i] - iv.Lo) * inv)
+	}
+}
+
+// fillFlat populates plain Gauss nodes over iv (weight only).
+func (nb *nodeBuf) fillFlat(iv geom.Interval, order int) {
+	if order > 32 {
+		order = 32
+	}
+	quad.FillMapped(order, iv.Lo, iv.Hi, nb.x[:], nb.w[:])
+	nb.n = order
+}
+
+// TemplatePair computes the unscaled Galerkin integral (paper Eq. 5)
+//
+//	P~_ij = int int T_i(r) T_j(r') / |r - r'| ds' ds
+//
+// (the 1/(4*pi*eps) prefactor is applied once at the system level).
+func (in *Integrator) TemplatePair(ti, tj *basis.Template) float64 {
+	cfg := in.Cfg
+	d := ti.Support.Dist(tj.Support)
+	diam := 0.5 * (ti.Support.Diameter() + tj.Support.Diameter())
+
+	if !cfg.DisableApprox && d > cfg.FarFactor*diam {
+		// Far field: both templates collapse to point charges carrying
+		// their zeroth moments, placed at their charge centroids
+		// (support centers are wrong for asymmetric arch shapes).
+		return ti.Moment() * tj.Moment() / ti.Centroid().Dist(tj.Centroid())
+	}
+
+	if ti.IsFlat() && tj.IsFlat() {
+		return ti.Amplitude * tj.Amplitude * kernel.RectGalerkin(cfg, ti.Support, tj.Support)
+	}
+
+	if !cfg.DisableApprox && d > cfg.MidFactor*diam {
+		// Intermediate: collocate the target at its charge centroid.
+		return ti.Moment() * in.potentialAt(tj, ti.Centroid())
+	}
+
+	if ti.Support.ParallelTo(tj.Support) {
+		switch {
+		case tj.IsFlat():
+			return in.stripPair(ti, tj)
+		case ti.IsFlat():
+			return in.stripPair(tj, ti)
+		default:
+			if ti.Dir == tj.Dir {
+				return in.pairSameAxis(ti, tj)
+			}
+			return in.pairCrossAxis(ti, tj)
+		}
+	}
+	return in.genericPair(ti, tj)
+}
+
+// order picks the per-dimension Gauss order, elevated for close pairs where
+// the (integrable) kernel singularity slows quadrature convergence.
+func (in *Integrator) order(ti, tj *basis.Template) int {
+	q := in.Cfg.QuadOrder
+	d := ti.Support.Dist(tj.Support)
+	diam := 0.5 * (ti.Support.Diameter() + tj.Support.Diameter())
+	switch {
+	case d < 0.05*diam:
+		q *= 4
+	case d < diam:
+		q *= 2
+	}
+	if q > 32 {
+		q = 32
+	}
+	return q
+}
+
+// stripPair integrates a shaped template against a flat template in a
+// parallel plane: 1-D shape-weighted quadrature along the varying
+// direction, closed-form 3-D strip integral for the rest (paper Eq. 7).
+func (in *Integrator) stripPair(shaped, flat *basis.Template) float64 {
+	ops := in.Cfg.Ops
+	Z := shaped.Support.Offset - flat.Support.Offset
+	q := in.order(shaped, flat)
+	var vary, tv, sv, su geom.Interval
+	if shaped.Dir == basis.VaryU {
+		vary, tv = shaped.Support.U, shaped.Support.V
+		sv, su = flat.Support.V, flat.Support.U
+	} else {
+		vary, tv = shaped.Support.V, shaped.Support.U
+		sv, su = flat.Support.U, flat.Support.V
+	}
+	var nb nodeBuf
+	nb.fill(shaped.Shape, vary, q)
+	var sum float64
+	for i := 0; i < nb.n; i++ {
+		sum += nb.w[i] *
+			kernel.GalerkinStrip(ops, tv.Lo, tv.Hi, sv.Lo, sv.Hi, su.Lo, su.Hi, nb.x[i], Z)
+	}
+	return shaped.Amplitude * flat.Amplitude * sum
+}
+
+// pairSameAxis integrates two shaped templates in parallel planes whose
+// shapes vary along the same world axis: tensor quadrature over the two
+// varying coordinates, closed-form Galerkin pairing of the flat direction.
+// Mismatched Gauss orders (q, q+1) guarantee the quadrature nodes never
+// collide on the (integrably log-singular) diagonal X = 0 for coincident
+// supports.
+func (in *Integrator) pairSameAxis(ti, tj *basis.Template) float64 {
+	ops := in.Cfg.Ops
+	Z := ti.Support.Offset - tj.Support.Offset
+	q := in.order(ti, tj)
+	var vi, vj, fi, fj geom.Interval
+	if ti.Dir == basis.VaryU {
+		vi, fi = ti.Support.U, ti.Support.V
+		vj, fj = tj.Support.U, tj.Support.V
+	} else {
+		vi, fi = ti.Support.V, ti.Support.U
+		vj, fj = tj.Support.V, tj.Support.U
+	}
+	var na, nbuf nodeBuf
+	na.fill(ti.Shape, vi, q)
+	qj := q + 1
+	if qj > 32 {
+		qj = 31 // keep the orders distinct
+	}
+	nbuf.fill(tj.Shape, vj, qj)
+	tiny := 1e-12 * (vi.Len() + vj.Len())
+	var sum float64
+	for a := 0; a < na.n; a++ {
+		wa := na.w[a]
+		if wa == 0 {
+			continue
+		}
+		ua := na.x[a]
+		var inner float64
+		for b := 0; b < nbuf.n; b++ {
+			X := ua - nbuf.x[b]
+			if math.Abs(X) < tiny {
+				X = tiny
+			}
+			inner += nbuf.w[b] * kernel.GalerkinPair1D(ops, fi.Lo, fi.Hi, fj.Lo, fj.Hi, X, Z)
+		}
+		sum += wa * inner
+	}
+	return ti.Amplitude * tj.Amplitude * sum
+}
+
+// pairCrossAxis integrates two shaped templates in parallel planes whose
+// shapes vary along different in-plane axes (e.g. an arch along the lower
+// wire against an arch along the upper wire at a crossing): tensor
+// quadrature over the two varying coordinates, and for the two flat
+// directions the closed-form mixed second antiderivative F2 differenced at
+// the four interval-end combinations.
+func (in *Integrator) pairCrossAxis(ti, tj *basis.Template) float64 {
+	ops := in.Cfg.Ops
+	Z := ti.Support.Offset - tj.Support.Offset
+	q := in.order(ti, tj)
+	// Varying interval of ti and its flat complement; same for tj. The
+	// two flat directions are paired: ti's flat axis is tj's varying
+	// axis and vice versa.
+	var vi, fi, vj, fj geom.Interval
+	if ti.Dir == basis.VaryU {
+		vi, fi = ti.Support.U, ti.Support.V
+	} else {
+		vi, fi = ti.Support.V, ti.Support.U
+	}
+	if tj.Dir == basis.VaryU {
+		vj, fj = tj.Support.U, tj.Support.V
+	} else {
+		vj, fj = tj.Support.V, tj.Support.U
+	}
+	var na, nb nodeBuf
+	na.fill(ti.Shape, vi, q)
+	nb.fill(tj.Shape, vj, q)
+	var sum float64
+	for a := 0; a < na.n; a++ {
+		wa := na.w[a]
+		if wa == 0 {
+			continue
+		}
+		u := na.x[a] // ti's varying coordinate == tj's flat axis coordinate
+		// The two flat directions integrate in closed form: a 2-D
+		// rectangle integral of 1/r over [fj] x [fi] evaluated at the
+		// in-plane point (u, vp) with plane separation Z.
+		var inner float64
+		for b := 0; b < nb.n; b++ {
+			inner += nb.w[b] * kernel.RectPotential(ops,
+				fj.Lo, fj.Hi, fi.Lo, fi.Hi, u, nb.x[b], Z)
+		}
+		sum += wa * inner
+	}
+	return ti.Amplitude * tj.Amplitude * sum
+}
+
+// genericPair is the robust fallback (perpendicular planes, or parallel
+// shaped pairs varying along different axes): shape-weighted tensor
+// quadrature over the target support, with the source potential evaluated
+// in closed form (flat) or by 1-D quadrature over its varying direction.
+func (in *Integrator) genericPair(ti, tj *basis.Template) float64 {
+	q := in.order(ti, tj)
+	sup := ti.Support
+	var nu, nv nodeBuf
+	switch ti.Dir {
+	case basis.VaryU:
+		nu.fill(ti.Shape, sup.U, q)
+		nv.fillFlat(sup.V, q)
+	case basis.VaryV:
+		nu.fillFlat(sup.U, q)
+		nv.fill(ti.Shape, sup.V, q)
+	default:
+		nu.fillFlat(sup.U, q)
+		nv.fillFlat(sup.V, q)
+	}
+	var sum float64
+	for a := 0; a < nu.n; a++ {
+		wu := nu.w[a]
+		if wu == 0 {
+			continue
+		}
+		for b := 0; b < nv.n; b++ {
+			sum += wu * nv.w[b] * in.potentialAt(tj, sup.Point(nu.x[a], nv.x[b]))
+		}
+	}
+	return ti.Amplitude * sum
+}
+
+// potentialAt evaluates the single-layer potential of template tj at point
+// p (including tj's amplitude, excluding 1/(4*pi*eps)).
+func (in *Integrator) potentialAt(tj *basis.Template, p geom.Vec3) float64 {
+	if tj.IsFlat() {
+		return tj.Amplitude * kernel.RectCollocation(in.Cfg, tj.Support, p)
+	}
+	ops := in.Cfg.Ops
+	sup := tj.Support
+	q := in.Cfg.QuadOrder * 2
+	if q > 32 {
+		q = 32
+	}
+	var vary, flat geom.Interval
+	var pVary, pFlat float64
+	if tj.Dir == basis.VaryU {
+		vary, flat = sup.U, sup.V
+		pVary = p.Component(sup.UAxis())
+		pFlat = p.Component(sup.VAxis())
+	} else {
+		vary, flat = sup.V, sup.U
+		pVary = p.Component(sup.VAxis())
+		pFlat = p.Component(sup.UAxis())
+	}
+	pn := p.Component(sup.Normal) - sup.Offset
+	var nb nodeBuf
+	nb.fill(tj.Shape, vary, q)
+	var sum float64
+	for i := 0; i < nb.n; i++ {
+		du := pVary - nb.x[i]
+		d2 := du*du + pn*pn
+		sum += nb.w[i] * kernel.SegPotential(ops, flat.Lo, flat.Hi, pFlat, d2)
+	}
+	return tj.Amplitude * sum
+}

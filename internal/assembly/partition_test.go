@@ -1,0 +1,76 @@
+package assembly
+
+import (
+	"testing"
+
+	"parbem/internal/basis"
+	"parbem/internal/geom"
+)
+
+func TestPartitionKCostBoundaries(t *testing.T) {
+	st := geom.DefaultBus(4, 4).Build()
+	set := basis.Build(st, basis.DefaultBuilderOptions())
+	in := NewIntegrator()
+	K := NumPairs(set.M())
+	for _, d := range []int{1, 2, 5, 10, 16} {
+		b := PartitionKCost(set, in, d)
+		if len(b) != d+1 {
+			t.Fatalf("d=%d: %d boundaries", d, len(b))
+		}
+		if b[0] != 0 || b[d] != K {
+			t.Fatalf("d=%d: range [%d, %d] != [0, %d]", d, b[0], b[d], K)
+		}
+		for i := 0; i < d; i++ {
+			if b[i+1] < b[i] {
+				t.Fatalf("d=%d: boundaries not monotone: %v", d, b)
+			}
+		}
+	}
+}
+
+func TestPartitionKCostSmallSetFallsBack(t *testing.T) {
+	// With fewer templates than 2*d, the cost partition falls back to
+	// the equal-count division.
+	st := geom.DefaultCrossingPair().Build()
+	set := basis.Build(st, basis.DefaultBuilderOptions())
+	in := NewIntegrator()
+	K := NumPairs(set.M())
+	b := PartitionKCost(set, in, set.M())
+	want := PartitionK(K, set.M())
+	for i := range b {
+		if b[i] != want[i] {
+			t.Fatalf("fallback mismatch at %d: %v vs %v", i, b, want)
+		}
+	}
+}
+
+func TestPartitionKCostBalancesEstimatedCost(t *testing.T) {
+	st := geom.DefaultBus(5, 5).Build()
+	set := basis.Build(st, basis.DefaultBuilderOptions())
+	in := NewIntegrator()
+	d := 8
+	b := PartitionKCost(set, in, d)
+	cfg := costConfig{farFactor: in.Cfg.FarFactor, midFactor: in.Cfg.MidFactor}
+	// Exact per-partition estimated cost.
+	costs := make([]float64, d)
+	for p := 0; p < d; p++ {
+		for k := b[p]; k < b[p+1]; k++ {
+			i, j := KToIJ(k)
+			costs[p] += pairCostEstimate(set, cfg, i, j)
+		}
+	}
+	var min, max float64 = 1e300, 0
+	for _, c := range costs {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	// The sampled column model interpolates within columns, so allow a
+	// generous imbalance bound; equal-count division is far worse.
+	if max > 2.5*min {
+		t.Errorf("estimated-cost imbalance too high: min %g max %g", min, max)
+	}
+}

@@ -1,0 +1,483 @@
+package basis
+
+import (
+	"math"
+	"sort"
+
+	"parbem/internal/geom"
+)
+
+// BuilderOptions tunes instantiable-basis generation.
+type BuilderOptions struct {
+	// MaxCoupleGap limits which facing face pairs receive induced basis
+	// functions. Zero means automatic: 3x the median facing gap found in
+	// the structure (nearer pairs dominate the induced charge; farther
+	// pairs are represented well enough by face basis functions).
+	MaxCoupleGap float64
+
+	// ExtFactor and InFactor size the arch templates relative to the
+	// facing gap h: the extension length is ExtFactor*h beyond the shadow
+	// edge and the ingrowing length is InFactor*h inside it (clipped to
+	// the available face). Defaults (2.0, 1.5) were calibrated against
+	// the fine piecewise-constant solution of the elementary crossing
+	// problem (see internal/extract and EXPERIMENTS.md).
+	ExtFactor float64
+	InFactor  float64
+
+	// DecayFactor sets the arch profile decay length to DecayFactor*h.
+	// Default 0.6.
+	DecayFactor float64
+
+	// MinShadowFrac skips induced bases whose shadow would cover less
+	// than this fraction of the face's shorter edge (negligible overlap).
+	MinShadowFrac float64
+
+	// SeparateInduced splits each induced basis into independent shadow
+	// and arch-pair functions (more degrees of freedom, larger N and a
+	// correspondingly larger direct solve). The default (false) follows
+	// the paper: one induced basis function per facing surface,
+	// assembling the flat shadow template and its arch templates with
+	// relative amplitudes fixed by the template library.
+	SeparateInduced bool
+
+	// ArchAmpFactor calibrates the library's arch-to-flat amplitude
+	// ratio: R(h) = ArchAmpFactor * min(shadow edge)/h - 1. The default
+	// 3.5 comes from the b(h)/a(h) fits of the extraction pipeline
+	// (internal/extract; see EXPERIMENTS.md). Pairs whose ratio falls
+	// outside the calibration's validity range ([0.5, 4]) automatically
+	// use independent shadow/arch functions instead.
+	ArchAmpFactor float64
+}
+
+// DefaultBuilderOptions returns the calibrated defaults.
+func DefaultBuilderOptions() BuilderOptions {
+	return BuilderOptions{
+		ExtFactor:     2.0,
+		InFactor:      1.5,
+		DecayFactor:   0.6,
+		MinShadowFrac: 0.02,
+		ArchAmpFactor: 3.5,
+	}
+}
+
+// facing is a detected facing-face pair: two parallel planes of different
+// conductors looking at each other across gap H with a positive-area
+// plan-view overlap.
+type facing struct {
+	loFace, hiFace geom.Rect // loFace.Offset < hiFace.Offset along Normal
+	loCond, hiCond int
+	overU, overV   geom.Interval // overlap in the faces' U/V axes
+	h              float64
+}
+
+// Build generates the instantiable basis set for a Manhattan structure.
+func Build(st *geom.Structure, opt BuilderOptions) *Set {
+	if opt.ExtFactor == 0 {
+		opt.ExtFactor = 2.0
+	}
+	if opt.InFactor == 0 {
+		opt.InFactor = 1.5
+	}
+	if opt.DecayFactor == 0 {
+		opt.DecayFactor = 0.6
+	}
+	if opt.MinShadowFrac == 0 {
+		opt.MinShadowFrac = 0.02
+	}
+	if opt.ArchAmpFactor == 0 {
+		opt.ArchAmpFactor = 3.5
+	}
+
+	s := &Set{NumConductors: st.NumConductors()}
+	b := &builder{set: s, opt: opt}
+
+	// Face basis functions, one per conductor face.
+	for ci, c := range st.Conductors {
+		for _, f := range c.Faces() {
+			b.collect(ci, KindFace, Template{
+				Support: f, Dir: VaryNone, Shape: FlatShape{}, Amplitude: 1,
+			})
+		}
+	}
+
+	// Facing-pair detection across conductor pairs.
+	pairs := detectFacing(st)
+	gap := opt.MaxCoupleGap
+	if gap == 0 && len(pairs) > 0 {
+		// Automatic coupling radius: 3x the median facing gap. The
+		// median is robust to a few very tight gaps (e.g. via landing
+		// clearances) that would otherwise shrink the radius and drop
+		// the real crossings.
+		var hs []float64
+		for _, p := range pairs {
+			if p.h > 0 {
+				hs = append(hs, p.h)
+			}
+		}
+		if len(hs) > 0 {
+			sort.Float64s(hs)
+			gap = 3 * hs[len(hs)/2]
+		}
+	}
+	// Collect the shadows that land on each physical face, so that arch
+	// extents can be clipped at the midpoint toward neighboring shadows:
+	// adjacent crossings on a dense bus otherwise grow overlapping
+	// arches whose sum is nearly dependent with the face basis function
+	// (ill-conditioning the Gram matrix).
+	type placement struct {
+		face geom.Rect
+		cond int
+		p    facing
+	}
+	var placements []placement
+	shadowsByFace := map[faceKey][]geom.Rect{}
+	for _, p := range pairs {
+		// h == 0 means touching (shorted) conductors: no gap to induce
+		// charge across, and degenerate arch geometry; skip.
+		if p.h <= 0 || p.h > gap {
+			continue
+		}
+		for _, side := range [2]placement{
+			{face: p.loFace, cond: p.loCond, p: p},
+			{face: p.hiFace, cond: p.hiCond, p: p},
+		} {
+			placements = append(placements, side)
+			sh := side.face
+			sh.U = p.overU
+			sh.V = p.overV
+			shadowsByFace[keyOf(side.face, side.cond)] = append(
+				shadowsByFace[keyOf(side.face, side.cond)], sh)
+		}
+	}
+	for _, pl := range placements {
+		b.addInduced(pl.face, pl.cond, pl.p, shadowsByFace[keyOf(pl.face, pl.cond)])
+	}
+	b.emitInterleaved()
+	return s
+}
+
+// faceKey identifies a physical conductor face.
+type faceKey struct {
+	cond   int
+	normal geom.Axis
+	offset float64
+	u0, u1 float64
+	v0, v1 float64
+}
+
+func keyOf(f geom.Rect, cond int) faceKey {
+	return faceKey{cond: cond, normal: f.Normal, offset: f.Offset,
+		u0: f.U.Lo, u1: f.U.Hi, v0: f.V.Lo, v1: f.V.Hi}
+}
+
+// clipWindow returns the allowed arch window around shadow interval sh
+// along one direction, limited by the face interval and by the midpoint of
+// the gap toward the nearest neighboring shadow on the same face (in that
+// direction, considering only neighbors whose cross-direction interval
+// overlaps).
+func clipWindow(sh, face geom.Interval, neighbors []geom.Interval) geom.Interval {
+	lo := face.Lo
+	hi := face.Hi
+	for _, nb := range neighbors {
+		if nb.Lo >= sh.Hi { // neighbor to the right
+			mid := 0.5 * (sh.Hi + nb.Lo)
+			if mid < hi {
+				hi = mid
+			}
+		}
+		if nb.Hi <= sh.Lo { // neighbor to the left
+			mid := 0.5 * (nb.Hi + sh.Lo)
+			if mid > lo {
+				lo = mid
+			}
+		}
+	}
+	return geom.Interval{Lo: lo, Hi: hi}
+}
+
+type pendingFunc struct {
+	cond int
+	kind Kind
+	tpls []Template
+}
+
+type builder struct {
+	set     *Set
+	opt     BuilderOptions
+	pending [3][]pendingFunc // indexed by Kind
+}
+
+// collect queues a basis function for emission.
+func (b *builder) collect(cond int, kind Kind, tpls ...Template) {
+	b.pending[kind] = append(b.pending[kind], pendingFunc{cond: cond, kind: kind, tpls: tpls})
+}
+
+// emitInterleaved appends the pending functions to the set, riffling the
+// three kinds proportionally. Basis-function order is free (only the
+// template grouping per function matters for the owner array), and
+// interleaving cheap flat-template functions with expensive shaped ones
+// flattens the per-column cost profile of P~, which is what makes the
+// paper's equal-count k-partition "sufficiently balanced" (Section 3).
+func (b *builder) emitInterleaved() {
+	var total, emitted [3]int
+	remaining := 0
+	for k := range b.pending {
+		total[k] = len(b.pending[k])
+		remaining += total[k]
+	}
+	for ; remaining > 0; remaining-- {
+		// Pick the kind that is most behind its proportional pace.
+		best, bestLag := -1, -1.0
+		for k := range b.pending {
+			if emitted[k] >= total[k] {
+				continue
+			}
+			lag := float64(total[k]-emitted[k]) / float64(total[k])
+			if lag > bestLag {
+				best, bestLag = k, lag
+			}
+		}
+		pf := b.pending[best][emitted[best]]
+		emitted[best]++
+		b.appendFunction(pf)
+	}
+}
+
+// appendFunction appends one basis function and its templates to the set.
+func (b *builder) appendFunction(pf pendingFunc) {
+	lo := len(b.set.Templates)
+	fi := len(b.set.Functions)
+	b.set.Templates = append(b.set.Templates, pf.tpls...)
+	for range pf.tpls {
+		b.set.Owner = append(b.set.Owner, fi)
+	}
+	b.set.Functions = append(b.set.Functions, Function{
+		Conductor: pf.cond, TplLo: lo, TplHi: len(b.set.Templates), Kind: pf.kind,
+	})
+}
+
+// detectFacing finds all facing face pairs between boxes of different
+// conductors: along each axis, the upper face of the lower box and the
+// lower face of the upper box, if their plan extents overlap with positive
+// area.
+func detectFacing(st *geom.Structure) []facing {
+	var out []facing
+	for ci := 0; ci < len(st.Conductors); ci++ {
+		for cj := ci + 1; cj < len(st.Conductors); cj++ {
+			for _, bi := range st.Conductors[ci].Boxes {
+				for _, bj := range st.Conductors[cj].Boxes {
+					for ax := geom.X; ax <= geom.Z; ax++ {
+						if f, ok := facingAlong(bi, bj, ci, cj, ax); ok {
+							out = append(out, f)
+						} else if f, ok := facingAlong(bj, bi, cj, ci, ax); ok {
+							out = append(out, f)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Deterministic order regardless of detection order.
+	sort.Slice(out, func(a, b int) bool {
+		fa, fb := out[a], out[b]
+		if fa.h != fb.h {
+			return fa.h < fb.h
+		}
+		if fa.loCond != fb.loCond {
+			return fa.loCond < fb.loCond
+		}
+		return fa.hiCond < fb.hiCond
+	})
+	return out
+}
+
+// facingAlong tests whether lower box lo sits below upper box hi along ax
+// with overlapping plan extents, returning the facing pair.
+func facingAlong(lo, hi geom.Box, loCond, hiCond int, ax geom.Axis) (facing, bool) {
+	top := lo.Extent(ax).Hi
+	bot := hi.Extent(ax).Lo
+	if top > bot {
+		return facing{}, false
+	}
+	// Build the two face rectangles.
+	var loFace, hiFace geom.Rect
+	for _, f := range lo.Faces() {
+		if f.Normal == ax && f.Offset == top {
+			loFace = f
+		}
+	}
+	for _, f := range hi.Faces() {
+		if f.Normal == ax && f.Offset == bot {
+			hiFace = f
+		}
+	}
+	ou, okU := loFace.U.Intersect(hiFace.U)
+	ov, okV := loFace.V.Intersect(hiFace.V)
+	if !okU || !okV || ou.Len() <= 0 || ov.Len() <= 0 {
+		return facing{}, false
+	}
+	return facing{
+		loFace: loFace, hiFace: hiFace,
+		loCond: loCond, hiCond: hiCond,
+		overU: ou, overV: ov,
+		h: bot - top,
+	}, true
+}
+
+// addInduced instantiates the induced basis function(s) on one face of a
+// facing pair: a flat template over the shadow (unless the shadow covers
+// the whole face, which would duplicate the face basis function) plus
+// reflected arch templates along each direction in which the face extends
+// beyond the shadow (paper Figure 2).
+//
+// In the default merged mode, the flat and arch templates are assembled
+// into a single basis function with the arch-to-flat amplitude ratio fixed
+// by the template library's calibration (paper Section 2.2: templates are
+// assembled "with proper parameter vectors p"); in SeparateInduced mode,
+// the shadow and each direction's arch pair become independent functions.
+func (b *builder) addInduced(face geom.Rect, cond int, p facing, faceShadows []geom.Rect) {
+	shadow := face
+	shadow.U = p.overU
+	shadow.V = p.overV
+
+	minEdge := math.Min(face.U.Len(), face.V.Len())
+	if math.Min(shadow.U.Len(), shadow.V.Len()) < b.opt.MinShadowFrac*minEdge {
+		return
+	}
+
+	covers := shadow.U.Len() >= face.U.Len()-1e-15*minEdge &&
+		shadow.V.Len() >= face.V.Len()-1e-15*minEdge
+
+	// Arch windows: clipped at midpoints toward neighboring shadows.
+	var nbU, nbV []geom.Interval
+	for _, other := range faceShadows {
+		if other == shadow {
+			continue
+		}
+		if other.V.Overlaps(shadow.V) {
+			nbU = append(nbU, other.U)
+		}
+		if other.U.Overlaps(shadow.U) {
+			nbV = append(nbV, other.V)
+		}
+	}
+	winU := clipWindow(shadow.U, face.U, nbU)
+	winV := clipWindow(shadow.V, face.V, nbV)
+
+	archU := b.archTemplates(winU, shadow, p.h, true)
+	archV := b.archTemplates(winV, shadow, p.h, false)
+
+	if b.opt.SeparateInduced {
+		if !covers {
+			b.collect(cond, KindShadow, Template{
+				Support: shadow, Dir: VaryNone, Shape: FlatShape{}, Amplitude: 1,
+			})
+		}
+		if len(archU) > 0 {
+			b.collect(cond, KindArchPair, archU...)
+		}
+		if len(archV) > 0 {
+			b.collect(cond, KindArchPair, archV...)
+		}
+		return
+	}
+
+	arches := append(archU, archV...)
+	if covers {
+		// No shadow template: the arch amplitudes are relative to each
+		// other only (equal, as instantiated).
+		if len(arches) > 0 {
+			b.collect(cond, KindArchPair, arches...)
+		}
+		return
+	}
+	// Merged: shadow flat at amplitude 1, arches at the library ratio
+	// R(h) = ArchAmpFactor * min(shadow edge)/h - 1 (from the b(h)/a(h)
+	// fits of the extraction pipeline). The calibration only covers
+	// ordinary crossing geometries (R in roughly [0.5, 4]); outside that
+	// range — extreme aspect ratios such as via landing gaps — the pair
+	// falls back to independent shadow/arch functions so the solver
+	// determines the amplitudes itself.
+	ratio := b.opt.ArchAmpFactor*math.Min(shadow.U.Len(), shadow.V.Len())/p.h - 1
+	if len(arches) == 0 || ratio < 0.5 || ratio > 4 {
+		b.collect(cond, KindShadow, Template{
+			Support: shadow, Dir: VaryNone, Shape: FlatShape{}, Amplitude: 1,
+		})
+		if len(archU) > 0 {
+			b.collect(cond, KindArchPair, archU...)
+		}
+		if len(archV) > 0 {
+			b.collect(cond, KindArchPair, archV...)
+		}
+		return
+	}
+	tpls := make([]Template, 0, 1+len(arches))
+	tpls = append(tpls, Template{
+		Support: shadow, Dir: VaryNone, Shape: FlatShape{}, Amplitude: 1,
+	})
+	for _, a := range arches {
+		a.Amplitude = ratio
+		tpls = append(tpls, a)
+	}
+	b.collect(cond, KindShadow, tpls...)
+}
+
+// archTemplates creates the reflected arch templates flanking the shadow
+// along the chosen direction (alongU selects the U axis), within the
+// allowed window win (the face clipped at midpoints toward neighboring
+// shadows). Each side with available extension contributes one arch
+// template (the reflected pair of Figure 2), at unit amplitude.
+func (b *builder) archTemplates(win geom.Interval, shadow geom.Rect, h float64, alongU bool) []Template {
+	shadowIv := shadow.V
+	if alongU {
+		shadowIv = shadow.U
+	}
+	le := b.opt.ExtFactor * h
+	li := math.Min(b.opt.InFactor*h, shadowIv.Len()/2)
+	decay := b.opt.DecayFactor * h
+
+	minExt := 0.05 * h
+	var tpls []Template
+	// Left arch: extension toward decreasing coordinate.
+	if ext := shadowIv.Lo - win.Lo; ext > minExt {
+		lo := math.Max(win.Lo, shadowIv.Lo-le)
+		hi := shadowIv.Lo + li
+		tpls = append(tpls, archTemplate(shadow, alongU, lo, hi, shadowIv.Lo, decay))
+	}
+	// Right arch: extension toward increasing coordinate.
+	if ext := win.Hi - shadowIv.Hi; ext > minExt {
+		lo := shadowIv.Hi - li
+		hi := math.Min(win.Hi, shadowIv.Hi+le)
+		tpls = append(tpls, archTemplate(shadow, alongU, lo, hi, shadowIv.Hi, decay))
+	}
+	return tpls
+}
+
+// archTemplate builds one arch template spanning [lo, hi] along the varying
+// direction (peak at edge, decay length decay in physical units), covering
+// the shadow extent in the perpendicular direction.
+func archTemplate(shadow geom.Rect, alongU bool, lo, hi, edge, decay float64) Template {
+	sup := shadow
+	if alongU {
+		sup.U = geom.Interval{Lo: lo, Hi: hi}
+		sup.V = shadow.V
+	} else {
+		sup.V = geom.Interval{Lo: lo, Hi: hi}
+		sup.U = shadow.U
+	}
+	ln := hi - lo
+	lambda := decay / ln
+	if lambda < 1e-3 {
+		lambda = 1e-3
+	}
+	shape := ArchShape{
+		EdgePos:   (edge - lo) / ln,
+		LambdaIn:  lambda,
+		LambdaOut: lambda,
+	}
+	dir := VaryV
+	if alongU {
+		dir = VaryU
+	}
+	return Template{Support: sup, Dir: dir, Shape: shape, Amplitude: 1}
+}

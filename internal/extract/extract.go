@@ -1,0 +1,221 @@
+// Package extract implements the template-extraction pipeline that
+// instantiable basis functions are built from (paper Section 2.2 and
+// Figure 2, following reference [3]): the elementary crossing-wire problem
+// is solved with a finely discretized piecewise-constant solver, the
+// induced charge profile on the target wire's facing surface is measured,
+// and the profile is decomposed into a constant flat shape plus reflected
+// arch shapes whose amplitudes a(h), b(h) and decay lengths parameterize
+// the template library.
+package extract
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"parbem/internal/basis"
+	"parbem/internal/geom"
+	"parbem/internal/pcbem"
+)
+
+// Profile is the width-averaged charge density on the target wire's top
+// face as a function of the coordinate along the wire.
+type Profile struct {
+	U   []float64 // bin centers along the wire (m), sorted
+	Rho []float64 // width-averaged charge density (C/m^2) per bin
+}
+
+// CrossingProfile solves the elementary problem of a crossing pair with the
+// source (upper) wire at 1 V and the target (lower) wire grounded, and
+// returns the induced charge profile on the target's top face.
+func CrossingProfile(sp geom.CrossingPairSpec, maxEdge float64) (*Profile, error) {
+	st := sp.Build()
+	prob, err := pcbem.NewProblem(st, maxEdge)
+	if err != nil {
+		return nil, err
+	}
+	res, err := prob.SolveDense()
+	if err != nil {
+		return nil, err
+	}
+	// Excitation column 1: source conductor at 1 V.
+	topZ := sp.Thickness / 2 // top face of the bottom wire
+	type bin struct {
+		area, charge float64
+	}
+	bins := map[float64]*bin{}
+	for i, pan := range prob.Panels {
+		if pan.Conductor != 0 || pan.Normal != geom.Z || pan.Offset != topZ {
+			continue
+		}
+		// Top face of the bottom wire: U axis is X (along the wire).
+		u := pan.U.Mid()
+		b := bins[u]
+		if b == nil {
+			b = &bin{}
+			bins[u] = b
+		}
+		a := pan.Area()
+		b.area += a
+		b.charge += res.Rho.At(i, 1) * a
+	}
+	if len(bins) == 0 {
+		return nil, errors.New("extract: no panels found on the target top face")
+	}
+	p := &Profile{}
+	for u := range bins {
+		p.U = append(p.U, u)
+	}
+	sort.Float64s(p.U)
+	p.Rho = make([]float64, len(p.U))
+	for i, u := range p.U {
+		b := bins[u]
+		p.Rho[i] = b.charge / b.area
+	}
+	return p, nil
+}
+
+// ArchFit summarizes the flat + arch decomposition of a crossing profile
+// (paper Figure 2's annotations).
+type ArchFit struct {
+	Flat    float64 // a(h): plateau density magnitude far from the crossing
+	Peak    float64 // b(h): peak density magnitude in the crossing region
+	PeakPos float64 // position of the peak along the wire
+	// Decay is the 1/e length of the induced bump beyond the shadow
+	// edge (the "extension length" scale).
+	Decay float64
+}
+
+// FitArch decomposes a profile measured for crossing spec sp. The flat
+// level is the median density over the outer thirds of the wire; the arch
+// peak is the extremal density within the crossing region; the decay
+// length is fitted from the residual's fall-off beyond the shadow edge.
+func FitArch(p *Profile, sp geom.CrossingPairSpec) (*ArchFit, error) {
+	n := len(p.U)
+	if n < 8 {
+		return nil, errors.New("extract: profile too coarse to fit")
+	}
+	span := p.U[n-1] - p.U[0]
+	// Outer-third plateau.
+	var outer []float64
+	for i, u := range p.U {
+		if math.Abs(u) > span/3 {
+			outer = append(outer, p.Rho[i])
+		}
+	}
+	if len(outer) == 0 {
+		return nil, errors.New("extract: wire too short relative to crossing")
+	}
+	sort.Float64s(outer)
+	flat := outer[len(outer)/2]
+
+	// Peak within the shadow (|u| <= w/2) plus one gap length.
+	half := sp.Width/2 + sp.H
+	peak, peakPos := flat, 0.0
+	for i, u := range p.U {
+		if math.Abs(u) <= half && math.Abs(p.Rho[i]) > math.Abs(peak) {
+			peak, peakPos = p.Rho[i], u
+		}
+	}
+
+	// Decay fit: residual |rho - flat| from the shadow edge outward,
+	// least-squares on log residual.
+	edge := sp.Width / 2
+	var xs, ys []float64
+	for i, u := range p.U {
+		d := math.Abs(u) - edge
+		if d <= 0 || d > 6*sp.H {
+			continue
+		}
+		r := math.Abs(p.Rho[i] - flat)
+		if r <= 0 {
+			continue
+		}
+		xs = append(xs, d)
+		ys = append(ys, math.Log(r))
+	}
+	decay := sp.H // fallback: the physical scale
+	if len(xs) >= 3 {
+		// Linear fit ys = c0 - x/lambda.
+		var sx, sy, sxx, sxy float64
+		for i := range xs {
+			sx += xs[i]
+			sy += ys[i]
+			sxx += xs[i] * xs[i]
+			sxy += xs[i] * ys[i]
+		}
+		nf := float64(len(xs))
+		slope := (nf*sxy - sx*sy) / (nf*sxx - sx*sx)
+		if slope < 0 {
+			decay = -1 / slope
+		}
+	}
+	return &ArchFit{Flat: flat, Peak: peak, PeakPos: peakPos, Decay: decay}, nil
+}
+
+// ShapeFromProfile tabulates the residual arch shape over [edge-li,
+// edge+le] (one side of the crossing), normalized to peak 1, for use as a
+// basis.TabulatedShape.
+func ShapeFromProfile(p *Profile, fit *ArchFit, sp geom.CrossingPairSpec, samples int) basis.TabulatedShape {
+	if samples < 2 {
+		samples = 32
+	}
+	edge := sp.Width / 2
+	li := math.Min(1.5*sp.H, sp.Width/2)
+	le := 2 * sp.H
+	lo, hi := edge-li, edge+le
+	out := make([]float64, samples)
+	maxAbs := 0.0
+	for i := 0; i < samples; i++ {
+		u := lo + (hi-lo)*float64(i)/float64(samples-1)
+		r := interp(p, u) - fit.Flat
+		out[i] = r
+		if a := math.Abs(r); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs > 0 {
+		for i := range out {
+			out[i] = math.Abs(out[i]) / maxAbs
+		}
+	}
+	return basis.TabulatedShape{Samples: out}
+}
+
+// interp linearly interpolates the profile at u.
+func interp(p *Profile, u float64) float64 {
+	n := len(p.U)
+	if u <= p.U[0] {
+		return p.Rho[0]
+	}
+	if u >= p.U[n-1] {
+		return p.Rho[n-1]
+	}
+	i := sort.SearchFloat64s(p.U, u)
+	if i == 0 {
+		return p.Rho[0]
+	}
+	t := (u - p.U[i-1]) / (p.U[i] - p.U[i-1])
+	return p.Rho[i-1]*(1-t) + p.Rho[i]*t
+}
+
+// SweepH runs the extraction over a set of separations h and returns the
+// fitted a(h), b(h) magnitudes — the parameter vectors p of the
+// instantiable template library.
+func SweepH(base geom.CrossingPairSpec, hs []float64, maxEdge float64) ([]*ArchFit, error) {
+	fits := make([]*ArchFit, len(hs))
+	for i, h := range hs {
+		sp := base
+		sp.H = h
+		prof, err := CrossingProfile(sp, maxEdge)
+		if err != nil {
+			return nil, err
+		}
+		fit, err := FitArch(prof, sp)
+		if err != nil {
+			return nil, err
+		}
+		fits[i] = fit
+	}
+	return fits, nil
+}

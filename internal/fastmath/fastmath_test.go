@@ -1,0 +1,161 @@
+package fastmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	maxRel := 0.0
+	for i := 0; i < 100000; i++ {
+		// Log-uniform over many decades.
+		x := math.Exp(rng.Float64()*60 - 30)
+		got := Log(x)
+		want := math.Log(x)
+		rel := math.Abs(got - want)
+		if math.Abs(want) > 1 {
+			rel /= math.Abs(want)
+		}
+		if rel > maxRel {
+			maxRel = rel
+		}
+	}
+	// Midpoint ZOH over 2^14 bins: absolute error on ln(m) < ln(2)/2^14.
+	if bound := ln2 / logTableSize; maxRel > bound {
+		t.Fatalf("max log error %g exceeds bound %g", maxRel, bound)
+	}
+}
+
+func TestLogSpecialValues(t *testing.T) {
+	if !math.IsInf(Log(0), -1) {
+		t.Error("Log(0) != -Inf")
+	}
+	if !math.IsNaN(Log(-1)) {
+		t.Error("Log(-1) != NaN")
+	}
+	if !math.IsInf(Log(math.Inf(1)), 1) {
+		t.Error("Log(+Inf) != +Inf")
+	}
+	if !math.IsNaN(Log(math.NaN())) {
+		t.Error("Log(NaN) != NaN")
+	}
+	// Subnormal falls back to math.Log.
+	sub := math.Float64frombits(1)
+	if got, want := Log(sub), math.Log(sub); got != want {
+		t.Errorf("Log(subnormal) = %g want %g", got, want)
+	}
+}
+
+func TestAtanAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	bound := 1.0 / atanTableSize // ZOH with midpoint sampling, |d atan| <= 1
+	for i := 0; i < 100000; i++ {
+		x := math.Tan((rng.Float64() - 0.5) * 3.0)
+		got := Atan(x)
+		want := math.Atan(x)
+		if e := math.Abs(got - want); e > bound {
+			t.Fatalf("atan(%g): error %g > %g", x, e, bound)
+		}
+	}
+}
+
+func TestAtanOddProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		return Atan(-x) == -Atan(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAtanLargeArgs(t *testing.T) {
+	for _, x := range []float64{1e6, 1e12, math.MaxFloat64} {
+		got := Atan(x)
+		if math.Abs(got-math.Pi/2) > 1e-4 {
+			t.Errorf("Atan(%g) = %g, want ~pi/2", x, got)
+		}
+		if Atan(-x) != -got {
+			t.Errorf("Atan(-%g) not odd", x)
+		}
+	}
+}
+
+func TestAtan2Quadrants(t *testing.T) {
+	cases := []struct{ y, x float64 }{
+		{1, 1}, {1, -1}, {-1, 1}, {-1, -1},
+		{0, 1}, {0, -1}, {1, 0}, {-1, 0},
+		{0.3, 2}, {-5, 0.01}, {2, -0.5},
+	}
+	for _, c := range cases {
+		got := Atan2(c.y, c.x)
+		want := math.Atan2(c.y, c.x)
+		if math.Abs(got-want) > 2e-4 {
+			t.Errorf("Atan2(%g,%g) = %g want %g", c.y, c.x, got, want)
+		}
+	}
+	if Atan2(0, 0) != 0 {
+		t.Error("Atan2(0,0) != 0")
+	}
+	if !math.IsNaN(Atan2(math.NaN(), 1)) {
+		t.Error("Atan2(NaN,1) != NaN")
+	}
+}
+
+func TestAtan2ContinuityAcrossDenominatorZero(t *testing.T) {
+	// The kernel relies on atan2 continuity as the denominator crosses
+	// zero with nonzero numerator.
+	prev := Atan2(0.5, 0.01)
+	for x := 0.01; x > -0.01; x -= 1e-4 {
+		cur := Atan2(0.5, x)
+		if math.Abs(cur-prev) > 0.05 {
+			t.Fatalf("jump at x=%g: %g -> %g", x, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestTableBytes(t *testing.T) {
+	if TableBytes() < 8*(1<<14) {
+		t.Errorf("TableBytes = %d implausibly small", TableBytes())
+	}
+}
+
+func BenchmarkStdLog(b *testing.B) {
+	x := 1.2345
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += math.Log(x + float64(i&15))
+	}
+	_ = s
+}
+
+func BenchmarkFastLog(b *testing.B) {
+	x := 1.2345
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += Log(x + float64(i&15))
+	}
+	_ = s
+}
+
+func BenchmarkStdAtan(b *testing.B) {
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += math.Atan(0.1 + float64(i&15))
+	}
+	_ = s
+}
+
+func BenchmarkFastAtan(b *testing.B) {
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += Atan(0.1 + float64(i&15))
+	}
+	_ = s
+}

@@ -1,0 +1,139 @@
+// Package fft provides an iterative radix-2 complex FFT and 3-D transforms
+// over complex128 grids. It is the convolution engine of the
+// precorrected-FFT baseline (internal/pfft); the standard library has no
+// FFT, so this is built from scratch.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// NextPow2 returns the smallest power of two >= n.
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Forward computes the in-place forward DFT of x (len must be a power of
+// two): X[k] = sum_j x[j] exp(-2 pi i j k / n).
+func Forward(x []complex128) { transform(x, -1) }
+
+// Inverse computes the in-place inverse DFT including the 1/n scaling.
+func Inverse(x []complex128) {
+	transform(x, +1)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+// transform is the iterative Cooley-Tukey radix-2 kernel; sign is the
+// exponent sign.
+func transform(x []complex128, sign float64) {
+	n := len(x)
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wStep := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// Grid3 is a dense complex grid of dimensions Nx x Ny x Nz (all powers of
+// two), stored x-major: index = (ix*Ny + iy)*Nz + iz.
+type Grid3 struct {
+	Nx, Ny, Nz int
+	Data       []complex128
+}
+
+// NewGrid3 allocates a zeroed grid.
+func NewGrid3(nx, ny, nz int) *Grid3 {
+	if !IsPow2(nx) || !IsPow2(ny) || !IsPow2(nz) {
+		panic("fft: grid dimensions must be powers of two")
+	}
+	return &Grid3{Nx: nx, Ny: ny, Nz: nz, Data: make([]complex128, nx*ny*nz)}
+}
+
+// Idx returns the linear index of (ix, iy, iz).
+func (g *Grid3) Idx(ix, iy, iz int) int { return (ix*g.Ny+iy)*g.Nz + iz }
+
+// Forward3 transforms the grid in place along all three axes.
+func (g *Grid3) Forward3() { g.transformAll(Forward) }
+
+// Inverse3 inverse-transforms the grid in place (scaled).
+func (g *Grid3) Inverse3() { g.transformAll(Inverse) }
+
+// transformAll applies a 1-D transform along z, then y, then x.
+func (g *Grid3) transformAll(f func([]complex128)) {
+	// Along z: contiguous slices.
+	for ix := 0; ix < g.Nx; ix++ {
+		for iy := 0; iy < g.Ny; iy++ {
+			base := g.Idx(ix, iy, 0)
+			f(g.Data[base : base+g.Nz])
+		}
+	}
+	// Along y: strided, gather/scatter.
+	buf := make([]complex128, g.Ny)
+	for ix := 0; ix < g.Nx; ix++ {
+		for iz := 0; iz < g.Nz; iz++ {
+			for iy := 0; iy < g.Ny; iy++ {
+				buf[iy] = g.Data[g.Idx(ix, iy, iz)]
+			}
+			f(buf)
+			for iy := 0; iy < g.Ny; iy++ {
+				g.Data[g.Idx(ix, iy, iz)] = buf[iy]
+			}
+		}
+	}
+	// Along x.
+	bufX := make([]complex128, g.Nx)
+	for iy := 0; iy < g.Ny; iy++ {
+		for iz := 0; iz < g.Nz; iz++ {
+			for ix := 0; ix < g.Nx; ix++ {
+				bufX[ix] = g.Data[g.Idx(ix, iy, iz)]
+			}
+			f(bufX)
+			for ix := 0; ix < g.Nx; ix++ {
+				g.Data[g.Idx(ix, iy, iz)] = bufX[ix]
+			}
+		}
+	}
+}
+
+// MulPointwise multiplies g by h element-wise (same dimensions).
+func (g *Grid3) MulPointwise(h *Grid3) {
+	if g.Nx != h.Nx || g.Ny != h.Ny || g.Nz != h.Nz {
+		panic("fft: grid dimension mismatch")
+	}
+	for i, v := range h.Data {
+		g.Data[i] *= v
+	}
+}

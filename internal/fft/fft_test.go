@@ -1,0 +1,162 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// naiveDFT is the O(n^2) reference.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(j) * float64(k) / float64(n)
+			s += x[j] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func TestForwardMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := naiveDFT(x)
+		got := make([]complex128, n)
+		copy(got, x)
+		Forward(got)
+		for i := range got {
+			if cmplx.Abs(got[i]-want[i]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d: X[%d] = %v want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForwardInverseRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([]complex128, 128)
+	orig := make([]complex128, 128)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		orig[i] = x[i]
+	}
+	Forward(x)
+	Inverse(x)
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-12 {
+			t.Fatalf("roundtrip[%d] = %v want %v", i, x[i], orig[i])
+		}
+	}
+}
+
+func TestNonPow2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two")
+		}
+	}()
+	Forward(make([]complex128, 12))
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 100: 128, 128: 128}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d want %d", in, got, want)
+		}
+	}
+	if !IsPow2(64) || IsPow2(0) || IsPow2(12) {
+		t.Error("IsPow2 wrong")
+	}
+}
+
+func TestGrid3RoundtripAndParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := NewGrid3(8, 4, 16)
+	orig := make([]complex128, len(g.Data))
+	var energy float64
+	for i := range g.Data {
+		g.Data[i] = complex(rng.NormFloat64(), 0)
+		orig[i] = g.Data[i]
+		energy += real(g.Data[i]) * real(g.Data[i])
+	}
+	g.Forward3()
+	// Parseval: sum |X|^2 = N * sum |x|^2.
+	var fenergy float64
+	for _, v := range g.Data {
+		fenergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	n := float64(8 * 4 * 16)
+	if math.Abs(fenergy-n*energy)/math.Abs(n*energy) > 1e-10 {
+		t.Errorf("Parseval violated: %g vs %g", fenergy, n*energy)
+	}
+	g.Inverse3()
+	for i := range g.Data {
+		if cmplx.Abs(g.Data[i]-orig[i]) > 1e-10 {
+			t.Fatalf("3D roundtrip failed at %d", i)
+		}
+	}
+}
+
+func TestGrid3ConvolutionTheorem(t *testing.T) {
+	// Circular convolution of a delta at origin with any kernel returns
+	// the kernel.
+	k := NewGrid3(4, 4, 4)
+	rng := rand.New(rand.NewSource(4))
+	for i := range k.Data {
+		k.Data[i] = complex(rng.NormFloat64(), 0)
+	}
+	orig := make([]complex128, len(k.Data))
+	copy(orig, k.Data)
+
+	q := NewGrid3(4, 4, 4)
+	q.Data[q.Idx(0, 0, 0)] = 1
+
+	k.Forward3()
+	q.Forward3()
+	q.MulPointwise(k)
+	q.Inverse3()
+	for i := range q.Data {
+		if cmplx.Abs(q.Data[i]-orig[i]) > 1e-10 {
+			t.Fatalf("delta convolution failed at %d: %v vs %v", i, q.Data[i], orig[i])
+		}
+	}
+}
+
+func TestGrid3ShiftedDeltaConvolution(t *testing.T) {
+	// Convolving with a shifted delta circularly shifts the kernel.
+	k := NewGrid3(4, 4, 4)
+	for i := range k.Data {
+		k.Data[i] = complex(float64(i), 0)
+	}
+	orig := make([]complex128, len(k.Data))
+	copy(orig, k.Data)
+
+	q := NewGrid3(4, 4, 4)
+	q.Data[q.Idx(1, 0, 0)] = 1
+
+	k.Forward3()
+	q.Forward3()
+	q.MulPointwise(k)
+	q.Inverse3()
+	for ix := 0; ix < 4; ix++ {
+		for iy := 0; iy < 4; iy++ {
+			for iz := 0; iz < 4; iz++ {
+				want := orig[k.Idx((ix+3)%4, iy, iz)]
+				got := q.Data[q.Idx(ix, iy, iz)]
+				if cmplx.Abs(got-want) > 1e-10 {
+					t.Fatalf("shifted conv (%d,%d,%d): %v want %v", ix, iy, iz, got, want)
+				}
+			}
+		}
+	}
+}

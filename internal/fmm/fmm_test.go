@@ -1,0 +1,170 @@
+package fmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"parbem/internal/geom"
+	"parbem/internal/pcbem"
+)
+
+func busProblem(t *testing.T, m, n int, edge float64) *pcbem.Problem {
+	t.Helper()
+	st := geom.DefaultBus(m, n).Build()
+	p, err := pcbem.NewProblem(st, edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTreeCoversAllPanels(t *testing.T) {
+	p := busProblem(t, 4, 4, 2e-6)
+	tr := buildTree(p.Panels, 8)
+	seen := make([]bool, len(p.Panels))
+	for _, lf := range tr.leaves() {
+		nd := tr.nodes[lf]
+		for _, pi := range tr.perm[nd.lo:nd.hi] {
+			if seen[pi] {
+				t.Fatalf("panel %d in two leaves", pi)
+			}
+			seen[pi] = true
+			if tr.leafOf[pi] != lf {
+				t.Fatalf("leafOf[%d] inconsistent", pi)
+			}
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("panel %d not covered", i)
+		}
+	}
+}
+
+func TestLeafSizeRespected(t *testing.T) {
+	p := busProblem(t, 4, 4, 1e-6)
+	for _, ls := range []int{4, 16, 64} {
+		tr := buildTree(p.Panels, ls)
+		for _, lf := range tr.leaves() {
+			nd := tr.nodes[lf]
+			if int(nd.hi-nd.lo) > ls {
+				t.Errorf("leafSize %d violated: %d panels", ls, nd.hi-nd.lo)
+			}
+		}
+	}
+}
+
+func TestAdjacencyIncludesSelf(t *testing.T) {
+	p := busProblem(t, 3, 3, 2e-6)
+	tr := buildTree(p.Panels, 8)
+	tr.computeAdjacency(1.5)
+	for _, lf := range tr.leaves() {
+		if !tr.isAdjacent(lf, lf) {
+			t.Fatalf("leaf %d not adjacent to itself", lf)
+		}
+	}
+}
+
+func TestOperatorMatchesDenseMatvec(t *testing.T) {
+	p := busProblem(t, 3, 3, 1.5e-6)
+	dense := p.AssembleDense()
+	op := NewOperator(p.Panels, Options{Theta: 0.4})
+	n := p.N()
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, n)
+	dense.MulVec(want, x)
+	got := make([]float64, n)
+	op.Apply(got, x)
+	// Relative error in the 2-norm: multipole truncation ~ theta^3.
+	var num, den float64
+	for i := range got {
+		d := got[i] - want[i]
+		num += d * d
+		den += want[i] * want[i]
+	}
+	rel := math.Sqrt(num / den)
+	if rel > 0.02 {
+		t.Fatalf("matvec relative error %g > 2%%", rel)
+	}
+	if op.NearEntries() >= n*n {
+		t.Errorf("near entries %d not sparse vs N^2 = %d", op.NearEntries(), n*n)
+	}
+}
+
+func TestOperatorAccuracyImprovesWithSmallerTheta(t *testing.T) {
+	p := busProblem(t, 3, 3, 1.5e-6)
+	dense := p.AssembleDense()
+	n := p.N()
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	want := make([]float64, n)
+	dense.MulVec(want, x)
+	err := func(theta float64) float64 {
+		op := NewOperator(p.Panels, Options{Theta: theta})
+		got := make([]float64, n)
+		op.Apply(got, x)
+		var num, den float64
+		for i := range got {
+			d := got[i] - want[i]
+			num += d * d
+			den += want[i] * want[i]
+		}
+		return math.Sqrt(num / den)
+	}
+	loose := err(0.8)
+	tight := err(0.3)
+	if tight > loose {
+		t.Errorf("theta=0.3 error %g not better than theta=0.8 error %g", tight, loose)
+	}
+}
+
+func TestFMMSolveMatchesDense(t *testing.T) {
+	p := busProblem(t, 2, 2, 1e-6)
+	direct, err := p.SolveDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := NewOperator(p.Panels, Options{Theta: 0.35})
+	iter, err := p.SolveIterative(op, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := direct.C.Rows
+	for i := 0; i < nc; i++ {
+		for j := 0; j < nc; j++ {
+			a, b := direct.C.At(i, j), iter.C.At(i, j)
+			if rel := math.Abs(a-b) / math.Abs(direct.C.At(i, i)); rel > 0.02 {
+				t.Errorf("C[%d][%d]: dense %g fmm %g", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestOperatorWorkerCountInvariance(t *testing.T) {
+	p := busProblem(t, 3, 3, 1.5e-6)
+	n := p.N()
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	op1 := NewOperator(p.Panels, Options{Workers: 1})
+	op8 := NewOperator(p.Panels, Options{Workers: 8})
+	a := make([]float64, n)
+	b := make([]float64, n)
+	op1.Apply(a, x)
+	op8.Apply(b, x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("worker-count dependent result at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package fmm is a from-scratch multipole-accelerated piecewise-constant
+// BEM solver in the mold of FASTCAP [4]: an octree over the panels, a
+// Cartesian multipole expansion (monopole, dipole, quadrupole) computed in
+// an upward pass, direct near-field interactions with exact Galerkin
+// entries, and a Barnes–Hut opening criterion for the far field. Combined
+// with GMRES (internal/pcbem.SolveIterative) it gives the O(N log N)
+// matvec whose limited parallel scalability the paper contrasts against
+// (references [1] and [7], Figure 8).
+package fmm
+
+import (
+	"math"
+	"sort"
+
+	"parbem/internal/geom"
+)
+
+// node is one octree box.
+type node struct {
+	center   geom.Vec3
+	halfSize float64 // half edge length of the cube
+	children [8]int32
+	// Panels covered: [lo, hi) into the permuted index array.
+	lo, hi int32
+	leaf   bool
+	// adj lists leaf ids whose panels interact directly with this
+	// leaf's panels (filled for leaves only).
+	adj []int32
+}
+
+// tree is an octree over panel centroids.
+type tree struct {
+	nodes  []node
+	perm   []int32 // permuted panel indices; leaves own contiguous ranges
+	leafOf []int32 // panel -> containing leaf node id
+}
+
+// buildTree constructs the octree with at most leafSize panels per leaf.
+func buildTree(panels []geom.Panel, leafSize int) *tree {
+	n := len(panels)
+	centers := make([]geom.Vec3, n)
+	lo := geom.Vec3{X: math.Inf(1), Y: math.Inf(1), Z: math.Inf(1)}
+	hi := geom.Vec3{X: math.Inf(-1), Y: math.Inf(-1), Z: math.Inf(-1)}
+	for i, p := range panels {
+		c := p.Center()
+		centers[i] = c
+		lo = geom.Vec3{X: math.Min(lo.X, c.X), Y: math.Min(lo.Y, c.Y), Z: math.Min(lo.Z, c.Z)}
+		hi = geom.Vec3{X: math.Max(hi.X, c.X), Y: math.Max(hi.Y, c.Y), Z: math.Max(hi.Z, c.Z)}
+	}
+	center := lo.Add(hi).Scale(0.5)
+	size := hi.Sub(lo)
+	half := 0.5 * math.Max(size.X, math.Max(size.Y, size.Z))
+	if half == 0 {
+		half = 1e-12
+	}
+	half *= 1.0000001 // keep boundary centroids strictly inside
+
+	t := &tree{
+		perm:   make([]int32, n),
+		leafOf: make([]int32, n),
+	}
+	for i := range t.perm {
+		t.perm[i] = int32(i)
+	}
+	t.split(centers, center, half, 0, int32(n), leafSize)
+	return t
+}
+
+// split recursively partitions perm[lo:hi]; returns the node id.
+func (t *tree) split(centers []geom.Vec3, center geom.Vec3, half float64, lo, hi int32, leafSize int) int32 {
+	id := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{center: center, halfSize: half, lo: lo, hi: hi})
+	for i := range t.nodes[id].children {
+		t.nodes[id].children[i] = -1
+	}
+	if int(hi-lo) <= leafSize || half < 1e-15 {
+		t.nodes[id].leaf = true
+		for _, pi := range t.perm[lo:hi] {
+			t.leafOf[pi] = id
+		}
+		return id
+	}
+	// Bucket by octant.
+	oct := func(pi int32) int {
+		c := centers[pi]
+		o := 0
+		if c.X >= center.X {
+			o |= 1
+		}
+		if c.Y >= center.Y {
+			o |= 2
+		}
+		if c.Z >= center.Z {
+			o |= 4
+		}
+		return o
+	}
+	seg := t.perm[lo:hi]
+	sort.Slice(seg, func(a, b int) bool { return oct(seg[a]) < oct(seg[b]) })
+	// Find octant boundaries.
+	var bounds [9]int32
+	bounds[0] = lo
+	idx := lo
+	for o := 0; o < 8; o++ {
+		for idx < hi && oct(t.perm[idx]) == o {
+			idx++
+		}
+		bounds[o+1] = idx
+	}
+	qh := half / 2
+	for o := 0; o < 8; o++ {
+		cl, ch := bounds[o], bounds[o+1]
+		if ch == cl {
+			continue
+		}
+		cc := center
+		if o&1 != 0 {
+			cc.X += qh
+		} else {
+			cc.X -= qh
+		}
+		if o&2 != 0 {
+			cc.Y += qh
+		} else {
+			cc.Y -= qh
+		}
+		if o&4 != 0 {
+			cc.Z += qh
+		} else {
+			cc.Z -= qh
+		}
+		child := t.split(centers, cc, qh, cl, ch, leafSize)
+		t.nodes[id].children[o] = child
+	}
+	return id
+}
+
+// leaves returns the ids of all leaf nodes.
+func (t *tree) leaves() []int32 {
+	var out []int32
+	for id := range t.nodes {
+		if t.nodes[id].leaf {
+			out = append(out, int32(id))
+		}
+	}
+	return out
+}
+
+// boxDist returns the distance between the cubes of nodes a and b
+// (0 when they touch or overlap).
+func (t *tree) boxDist(a, b int32) float64 {
+	na, nb := &t.nodes[a], &t.nodes[b]
+	var d2 float64
+	for ax := geom.X; ax <= geom.Z; ax++ {
+		ca := na.center.Component(ax)
+		cb := nb.center.Component(ax)
+		g := math.Abs(ca-cb) - na.halfSize - nb.halfSize
+		if g > 0 {
+			d2 += g * g
+		}
+	}
+	return math.Sqrt(d2)
+}
+
+// computeAdjacency fills each leaf's adj list: leaves closer than
+// nearDist(leafA, leafB) interact directly.
+func (t *tree) computeAdjacency(factor float64) {
+	ls := t.leaves()
+	for _, a := range ls {
+		for _, b := range ls {
+			limit := factor * math.Max(t.nodes[a].halfSize, t.nodes[b].halfSize) * 2
+			if t.boxDist(a, b) <= limit {
+				t.nodes[a].adj = append(t.nodes[a].adj, b)
+			}
+		}
+	}
+}
+
+// isAdjacent reports whether leaf b is in leaf a's near list.
+func (t *tree) isAdjacent(a, b int32) bool {
+	for _, x := range t.nodes[a].adj {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,101 @@
+package geom
+
+import "fmt"
+
+// Conductor is a named conductor built from one or more axis-aligned boxes
+// (e.g. a routed wire with vias). All boxes of a conductor are held at the
+// same potential during extraction.
+type Conductor struct {
+	Name  string
+	Boxes []Box
+}
+
+// Faces returns all exterior rectangular faces of the conductor's boxes.
+// Faces of distinct boxes are not merged; interior (abutting) faces are kept
+// since they carry negligible charge and simplify the generators. Use
+// Structure.Panelize for discretization.
+func (c *Conductor) Faces() []Rect {
+	out := make([]Rect, 0, 6*len(c.Boxes))
+	for _, b := range c.Boxes {
+		fs := b.Faces()
+		out = append(out, fs[:]...)
+	}
+	return out
+}
+
+// Structure is a complete n-conductor extraction problem.
+type Structure struct {
+	Name       string
+	Conductors []*Conductor
+}
+
+// NumConductors returns the number of conductors.
+func (s *Structure) NumConductors() int { return len(s.Conductors) }
+
+// TotalFaces returns the total face count over all conductors.
+func (s *Structure) TotalFaces() int {
+	n := 0
+	for _, c := range s.Conductors {
+		n += 6 * len(c.Boxes)
+	}
+	return n
+}
+
+// Panel is a discretization unit: a rectangle tagged with the conductor it
+// belongs to.
+type Panel struct {
+	Rect
+	Conductor int // index into Structure.Conductors
+}
+
+// Panelize discretizes every conductor face into panels whose edge length
+// does not exceed maxEdge (each face is split into a uniform grid). It is
+// the discretization used by the piecewise-constant baselines.
+func (s *Structure) Panelize(maxEdge float64) []Panel {
+	var out []Panel
+	var scratch []Rect
+	for ci, c := range s.Conductors {
+		for _, f := range c.Faces() {
+			nu := gridCount(f.U.Len(), maxEdge)
+			nv := gridCount(f.V.Len(), maxEdge)
+			scratch = f.SplitGrid(nu, nv, scratch[:0])
+			for _, r := range scratch {
+				out = append(out, Panel{Rect: r, Conductor: ci})
+			}
+		}
+	}
+	return out
+}
+
+// gridCount returns how many segments of length <= maxEdge cover length.
+func gridCount(length, maxEdge float64) int {
+	if length <= 0 || maxEdge <= 0 {
+		return 1
+	}
+	n := int(length/maxEdge + 0.999999)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Validate checks basic well-formedness: non-empty conductors and
+// positive-volume boxes. It returns the first problem found.
+func (s *Structure) Validate() error {
+	if len(s.Conductors) == 0 {
+		return fmt.Errorf("geom: structure %q has no conductors", s.Name)
+	}
+	for ci, c := range s.Conductors {
+		if len(c.Boxes) == 0 {
+			return fmt.Errorf("geom: conductor %d (%q) has no boxes", ci, c.Name)
+		}
+		for bi, b := range c.Boxes {
+			sz := b.Size()
+			if sz.X <= 0 || sz.Y <= 0 || sz.Z <= 0 {
+				return fmt.Errorf("geom: conductor %d (%q) box %d has non-positive size %v",
+					ci, c.Name, bi, sz)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package geom
+
+import "fmt"
+
+// Wire returns a box for a straight wire routed along axis dir, centered at
+// center in the two perpendicular axes, with the given length, width
+// (horizontal cross-section) and thickness (vertical cross-section).
+// For dir == X or Y, width spans the other horizontal axis and thickness
+// spans Z. For dir == Z (a via), width spans X and thickness spans Y.
+func Wire(dir Axis, center Vec3, length, width, thickness float64) Box {
+	var half Vec3
+	switch dir {
+	case X:
+		half = Vec3{length / 2, width / 2, thickness / 2}
+	case Y:
+		half = Vec3{width / 2, length / 2, thickness / 2}
+	default:
+		half = Vec3{width / 2, thickness / 2, length / 2}
+	}
+	return Box{Min: center.Sub(half), Max: center.Add(half)}
+}
+
+// CrossingPairSpec parameterizes the elementary two-wire crossing problem of
+// paper Figure 1: a source wire routed along Y above a target wire routed
+// along X, separated vertically by H (surface to surface).
+type CrossingPairSpec struct {
+	Width     float64 // wire width (both wires)
+	Thickness float64 // wire thickness (both wires)
+	Length    float64 // wire length (both wires)
+	H         float64 // vertical separation between facing surfaces
+}
+
+// DefaultCrossingPair mirrors the scale of paper Figure 1: micron-scale
+// wires with sub-micron separation.
+func DefaultCrossingPair() CrossingPairSpec {
+	return CrossingPairSpec{
+		Width:     1e-6,
+		Thickness: 0.5e-6,
+		Length:    10e-6,
+		H:         0.5e-6,
+	}
+}
+
+// Build constructs the two-conductor crossing structure. Conductor 0 is the
+// bottom (target) wire along X; conductor 1 is the top (source) wire along Y.
+func (sp CrossingPairSpec) Build() *Structure {
+	bottom := Wire(X, Vec3{0, 0, 0}, sp.Length, sp.Width, sp.Thickness)
+	topZ := sp.Thickness/2 + sp.H + sp.Thickness/2
+	top := Wire(Y, Vec3{0, 0, topZ}, sp.Length, sp.Width, sp.Thickness)
+	return &Structure{
+		Name: "crossing-pair",
+		Conductors: []*Conductor{
+			{Name: "target", Boxes: []Box{bottom}},
+			{Name: "source", Boxes: []Box{top}},
+		},
+	}
+}
+
+// BusSpec parameterizes the m x n bus crossbar of paper Figure 7: m parallel
+// wires routed along X on a lower layer crossing n parallel wires routed
+// along Y on an upper layer.
+type BusSpec struct {
+	M, N      int     // wire counts on the lower (X-routed) and upper (Y-routed) layers
+	Width     float64 // wire width
+	Thickness float64 // wire thickness
+	Pitch     float64 // center-to-center spacing within a layer
+	H         float64 // vertical separation between the layers' facing surfaces
+	Margin    float64 // extra wire length beyond the crossed region on each side
+}
+
+// DefaultBus returns the 24 x 24 bus used for the scalability experiments
+// (Table 3, Figure 8), at a typical interconnect scale.
+func DefaultBus(m, n int) BusSpec {
+	return BusSpec{
+		M: m, N: n,
+		Width:     1e-6,
+		Thickness: 0.5e-6,
+		Pitch:     2e-6,
+		H:         1e-6,
+		Margin:    2e-6,
+	}
+}
+
+// Build constructs the bus structure. Conductors 0..M-1 are the lower
+// X-routed wires (south to north); conductors M..M+N-1 are the upper
+// Y-routed wires (west to east).
+func (sp BusSpec) Build() *Structure {
+	if sp.M < 1 || sp.N < 1 {
+		panic(fmt.Sprintf("geom: invalid bus %dx%d", sp.M, sp.N))
+	}
+	spanX := float64(sp.N-1)*sp.Pitch + sp.Width + 2*sp.Margin
+	spanY := float64(sp.M-1)*sp.Pitch + sp.Width + 2*sp.Margin
+	lowerZ := 0.0
+	upperZ := sp.Thickness + sp.H
+	st := &Structure{Name: fmt.Sprintf("bus-%dx%d", sp.M, sp.N)}
+	for i := 0; i < sp.M; i++ {
+		y := (float64(i) - float64(sp.M-1)/2) * sp.Pitch
+		c := &Conductor{
+			Name:  fmt.Sprintf("mx%d", i),
+			Boxes: []Box{Wire(X, Vec3{0, y, lowerZ}, spanX, sp.Width, sp.Thickness)},
+		}
+		st.Conductors = append(st.Conductors, c)
+	}
+	for j := 0; j < sp.N; j++ {
+		x := (float64(j) - float64(sp.N-1)/2) * sp.Pitch
+		c := &Conductor{
+			Name:  fmt.Sprintf("my%d", j),
+			Boxes: []Box{Wire(Y, Vec3{x, 0, upperZ}, spanY, sp.Width, sp.Thickness)},
+		}
+		st.Conductors = append(st.Conductors, c)
+	}
+	return st
+}
+
+// InterconnectSpec parameterizes the synthetic transistor-interconnect
+// structure standing in for the paper's proprietary industry example
+// (Figure 7, left): a row of transistor contact stubs on a bottom layer,
+// local metal-1 routing above them, and two metal-2 straps crossing the
+// whole cell, connected by vias.
+type InterconnectSpec struct {
+	Contacts  int     // number of transistor contact stubs
+	Width     float64 // metal-1 wire width
+	Thickness float64 // metal thickness (all layers)
+	Pitch     float64 // contact pitch
+	H1        float64 // contact-to-metal1 vertical gap
+	H2        float64 // metal1-to-metal2 vertical gap
+}
+
+// DefaultInterconnect returns the configuration used for Table 2.
+func DefaultInterconnect() InterconnectSpec {
+	return InterconnectSpec{
+		Contacts:  6,
+		Width:     0.8e-6,
+		Thickness: 0.4e-6,
+		Pitch:     2.4e-6,
+		H1:        0.4e-6,
+		H2:        0.6e-6,
+	}
+}
+
+// Build constructs the interconnect structure. Conductor 0 aggregates the
+// even contacts plus a metal-2 strap with its via (a "signal net"); conductor
+// 1 aggregates the odd contacts and the second strap ("ground net"); the
+// remaining conductors are individual metal-1 fingers.
+func (sp InterconnectSpec) Build() *Structure {
+	t := sp.Thickness
+	z0 := 0.0            // contact layer center
+	z1 := t + sp.H1      // metal-1 layer center offset from contact center
+	z2 := z1 + t + sp.H2 // metal-2 layer center offset
+
+	span := float64(sp.Contacts-1) * sp.Pitch
+	sig := &Conductor{Name: "signal"}
+	gnd := &Conductor{Name: "ground"}
+	st := &Structure{Name: "transistor-interconnect"}
+
+	// Contact stubs along X at the contact layer, alternating nets.
+	for i := 0; i < sp.Contacts; i++ {
+		x := (float64(i) - float64(sp.Contacts-1)/2) * sp.Pitch
+		stub := Wire(Y, Vec3{x, 0, z0}, 3*sp.Width, sp.Width, t)
+		if i%2 == 0 {
+			sig.Boxes = append(sig.Boxes, stub)
+		} else {
+			gnd.Boxes = append(gnd.Boxes, stub)
+		}
+	}
+
+	// Metal-1 fingers routed along Y above every contact: independent nets.
+	for i := 0; i < sp.Contacts; i++ {
+		x := (float64(i) - float64(sp.Contacts-1)/2) * sp.Pitch
+		f := &Conductor{
+			Name:  fmt.Sprintf("m1f%d", i),
+			Boxes: []Box{Wire(Y, Vec3{x, 0, z1}, span*0.8, sp.Width, t)},
+		}
+		st.Conductors = append(st.Conductors, f)
+	}
+
+	// Two metal-2 straps routed along X crossing all fingers, each with a
+	// via pillar dropping toward a finger. The pillar is kept a small gap
+	// clear of both metal layers: boxes of one conductor must not overlap
+	// or abut (buried faces would make the surface formulation
+	// mesh-sensitive), and electrically the pillar is already at the net
+	// potential.
+	strapLen := span + 4*sp.Width
+	ys := sp.Pitch * 0.75
+	viaGap := 0.1 * t
+	viaLo := z1 + t/2 + viaGap
+	viaHi := z2 - t/2 - viaGap
+	sig.Boxes = append(sig.Boxes,
+		Wire(X, Vec3{0, ys, z2}, strapLen, sp.Width, t),
+		Wire(Z, Vec3{-span / 2, ys, (viaLo + viaHi) / 2}, viaHi-viaLo, 0.8*sp.Width, 0.8*sp.Width))
+	gnd.Boxes = append(gnd.Boxes,
+		Wire(X, Vec3{0, -ys, z2}, strapLen, sp.Width, t),
+		Wire(Z, Vec3{span / 2, -ys, (viaLo + viaHi) / 2}, viaHi-viaLo, 0.8*sp.Width, 0.8*sp.Width))
+
+	st.Conductors = append(st.Conductors, sig, gnd)
+	return st
+}

@@ -1,0 +1,153 @@
+// Package geomio reads and writes extraction structures in a simple
+// line-oriented text format (the "input file" of the paper's Figures 4
+// and 6):
+//
+//	# comment
+//	structure <name>
+//	unit <meters-per-unit>          # optional, default 1e-6 (microns)
+//	conductor <name>
+//	  box  x0 y0 z0  x1 y1 z1      # axis-aligned block, two corners
+//	  wire x|y|z  cx cy cz  length width thickness
+//
+// All coordinates are multiplied by the unit scale. Conductors own every
+// box/wire line until the next conductor (or end of file).
+package geomio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"parbem/internal/geom"
+)
+
+// DefaultUnit is meters per coordinate unit when no "unit" line is given.
+const DefaultUnit = 1e-6
+
+// Read parses a structure from r.
+func Read(r io.Reader) (*geom.Structure, error) {
+	st := &geom.Structure{Name: "unnamed"}
+	unit := DefaultUnit
+	var cur *geom.Conductor
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "structure":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("geomio: line %d: structure needs a name", lineNo)
+			}
+			st.Name = fields[1]
+		case "unit":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("geomio: line %d: unit needs a value", lineNo)
+			}
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("geomio: line %d: bad unit %q", lineNo, fields[1])
+			}
+			unit = v
+		case "conductor":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("geomio: line %d: conductor needs a name", lineNo)
+			}
+			cur = &geom.Conductor{Name: fields[1]}
+			st.Conductors = append(st.Conductors, cur)
+		case "box":
+			if cur == nil {
+				return nil, fmt.Errorf("geomio: line %d: box before any conductor", lineNo)
+			}
+			vs, err := parseFloats(fields[1:], 6)
+			if err != nil {
+				return nil, fmt.Errorf("geomio: line %d: %v", lineNo, err)
+			}
+			a := geom.Vec3{X: vs[0] * unit, Y: vs[1] * unit, Z: vs[2] * unit}
+			b := geom.Vec3{X: vs[3] * unit, Y: vs[4] * unit, Z: vs[5] * unit}
+			cur.Boxes = append(cur.Boxes, geom.NewBox(a, b))
+		case "wire":
+			if cur == nil {
+				return nil, fmt.Errorf("geomio: line %d: wire before any conductor", lineNo)
+			}
+			if len(fields) != 8 {
+				return nil, fmt.Errorf("geomio: line %d: wire needs dir + 6 numbers", lineNo)
+			}
+			var dir geom.Axis
+			switch strings.ToLower(fields[1]) {
+			case "x":
+				dir = geom.X
+			case "y":
+				dir = geom.Y
+			case "z":
+				dir = geom.Z
+			default:
+				return nil, fmt.Errorf("geomio: line %d: bad wire direction %q", lineNo, fields[1])
+			}
+			vs, err := parseFloats(fields[2:], 6)
+			if err != nil {
+				return nil, fmt.Errorf("geomio: line %d: %v", lineNo, err)
+			}
+			center := geom.Vec3{X: vs[0] * unit, Y: vs[1] * unit, Z: vs[2] * unit}
+			cur.Boxes = append(cur.Boxes,
+				geom.Wire(dir, center, vs[3]*unit, vs[4]*unit, vs[5]*unit))
+		default:
+			return nil, fmt.Errorf("geomio: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := st.Validate(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Write serializes a structure (coordinates divided by unit).
+func Write(w io.Writer, st *geom.Structure, unit float64) error {
+	if unit <= 0 {
+		unit = DefaultUnit
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "structure %s\n", sanitize(st.Name))
+	fmt.Fprintf(bw, "unit %g\n", unit)
+	for _, c := range st.Conductors {
+		fmt.Fprintf(bw, "conductor %s\n", sanitize(c.Name))
+		for _, b := range c.Boxes {
+			fmt.Fprintf(bw, "box %g %g %g %g %g %g\n",
+				b.Min.X/unit, b.Min.Y/unit, b.Min.Z/unit,
+				b.Max.X/unit, b.Max.Y/unit, b.Max.Z/unit)
+		}
+	}
+	return bw.Flush()
+}
+
+func parseFloats(fields []string, n int) ([]float64, error) {
+	if len(fields) != n {
+		return nil, fmt.Errorf("want %d numbers, got %d", n, len(fields))
+	}
+	out := make([]float64, n)
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", f)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func sanitize(s string) string {
+	s = strings.ReplaceAll(s, " ", "_")
+	if s == "" {
+		return "unnamed"
+	}
+	return s
+}

@@ -1,0 +1,123 @@
+package geomio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"parbem/internal/geom"
+)
+
+const sample = `
+# two crossing wires
+structure crossing
+unit 1e-6
+conductor bottom
+wire x  0 0 0   10 1 0.5
+conductor top
+wire y  0 0 1.0 10 1 0.5
+`
+
+func TestReadSample(t *testing.T) {
+	st, err := Read(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Name != "crossing" || st.NumConductors() != 2 {
+		t.Fatalf("parsed %q with %d conductors", st.Name, st.NumConductors())
+	}
+	b := st.Conductors[0].Boxes[0]
+	if got := b.Size(); math.Abs(got.X-10e-6) > 1e-18 || math.Abs(got.Y-1e-6) > 1e-18 {
+		t.Errorf("bottom wire size = %v", got)
+	}
+}
+
+func TestReadBoxes(t *testing.T) {
+	src := `structure s
+conductor c
+box 0 0 0 1 2 3
+box 5 5 5 4 4 4
+`
+	st, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Conductors[0].Boxes) != 2 {
+		t.Fatal("want 2 boxes")
+	}
+	// Second box must be normalized (corners given in reverse).
+	b := st.Conductors[0].Boxes[1]
+	if math.Abs(b.Min.X-4e-6) > 1e-20 || math.Abs(b.Max.X-5e-6) > 1e-20 {
+		t.Errorf("box not normalized: %+v", b)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"box 0 0 0 1 1 1\n",                       // box before conductor
+		"conductor c\nbox 1 2 3\n",                // too few numbers
+		"conductor c\nwire q 0 0 0 1 1 1\n",       // bad direction
+		"frobnicate\n",                            // unknown directive
+		"unit -5\nconductor c\nbox 0 0 0 1 1 1\n", // bad unit
+		"structure\n",                             // missing name
+		"conductor c\nbox 0 0 0 0 1 1\n",          // degenerate box fails Validate
+		"conductor c\nbox a b c d e f\n",          // non-numeric
+	}
+	for _, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestRoundtrip(t *testing.T) {
+	orig := geom.DefaultBus(3, 2).Build()
+	var buf bytes.Buffer
+	if err := Write(&buf, orig, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumConductors() != orig.NumConductors() {
+		t.Fatalf("conductor count %d != %d", back.NumConductors(), orig.NumConductors())
+	}
+	for ci, c := range orig.Conductors {
+		bc := back.Conductors[ci]
+		if len(bc.Boxes) != len(c.Boxes) {
+			t.Fatalf("conductor %d box count differs", ci)
+		}
+		for bi, b := range c.Boxes {
+			bb := bc.Boxes[bi]
+			if b.Min.Sub(bb.Min).Norm() > 1e-15 || b.Max.Sub(bb.Max).Norm() > 1e-15 {
+				t.Errorf("conductor %d box %d differs: %v vs %v", ci, bi, b, bb)
+			}
+		}
+	}
+}
+
+func TestWriteSanitizesNames(t *testing.T) {
+	st := &geom.Structure{
+		Name: "has spaces",
+		Conductors: []*geom.Conductor{{
+			Name:  "",
+			Boxes: []geom.Box{geom.NewBox(geom.Vec3{}, geom.Vec3{X: 1e-6, Y: 1e-6, Z: 1e-6})},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, st, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "structure has_spaces") {
+		t.Errorf("name not sanitized: %s", out)
+	}
+	if !strings.Contains(out, "conductor unnamed") {
+		t.Errorf("empty name not defaulted: %s", out)
+	}
+	if _, err := Read(&buf); err != nil {
+		t.Fatalf("written file unreadable: %v", err)
+	}
+}

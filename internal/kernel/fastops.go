@@ -1,0 +1,21 @@
+package kernel
+
+import "parbem/internal/fastmath"
+
+// FastOps evaluates the closed-form integrals with the tabulated
+// elementary functions of paper Section 4.2.3 (IEEE-754 mantissa-indexed
+// log, tabulated atan). This is the acceleration technique the paper's
+// implementation selects.
+var FastOps = &MathOps{
+	Log:   fastmath.Log,
+	Atan:  fastmath.Atan,
+	Atan2: fastmath.Atan2,
+}
+
+// FastConfig returns the default configuration with tabulated elementary
+// functions.
+func FastConfig() *Config {
+	c := DefaultConfig()
+	c.Ops = FastOps
+	return c
+}

@@ -1,0 +1,136 @@
+package kernel
+
+import (
+	"parbem/internal/geom"
+	"parbem/internal/quad"
+)
+
+// Config controls how rectangle-pair Galerkin integrals are evaluated.
+type Config struct {
+	Ops *MathOps // elementary-function provider (StdOps or fastmath-backed)
+
+	// FarFactor is the approximation distance multiplier (paper Section
+	// 4.1): when the separation exceeds FarFactor times the mean rectangle
+	// diameter, the 4-D integral is collapsed to a point-to-point
+	// interaction. MidFactor gates the intermediate level (collocation at
+	// the target centroid, a 4-D -> 2-D reduction).
+	FarFactor float64
+	MidFactor float64
+
+	// QuadOrder is the Gauss order per dimension for the outer numerical
+	// integration over the target rectangle (perpendicular orientations
+	// and template-weighted integrals).
+	QuadOrder int
+
+	// DisableApprox forces full-accuracy evaluation everywhere (used by
+	// the ablation benchmarks).
+	DisableApprox bool
+}
+
+// DefaultConfig returns the production configuration: standard math,
+// approximation distances tuned for ~1% integral accuracy, and a 4-point
+// outer rule.
+func DefaultConfig() *Config {
+	return &Config{
+		Ops:       StdOps,
+		FarFactor: 12,
+		MidFactor: 4,
+		QuadOrder: 4,
+	}
+}
+
+// RectGalerkin computes int_t int_s 1/|r-r'| ds' ds for two axis-aligned
+// rectangles in any Manhattan orientation, applying the approximation-
+// distance dispatch unless disabled.
+func RectGalerkin(cfg *Config, t, s geom.Rect) float64 {
+	if !cfg.DisableApprox {
+		d := t.Dist(s)
+		diam := 0.5 * (t.Diameter() + s.Diameter())
+		if d > cfg.FarFactor*diam {
+			// Far field: both rectangles act as point charges.
+			return t.Area() * s.Area() / t.Center().Dist(s.Center())
+		}
+		if d > cfg.MidFactor*diam {
+			// Intermediate: collocate the target at its centroid
+			// (2-D closed form), keep the source exact.
+			return t.Area() * rectPotentialAt(cfg.Ops, s, t.Center())
+		}
+	}
+	if t.ParallelTo(s) {
+		return rectGalerkinParallel(cfg.Ops, t, s)
+	}
+	return rectGalerkinPerp(cfg, t, s)
+}
+
+// rectGalerkinParallel evaluates the analytic 4-D expression for rectangles
+// in parallel planes (including coplanar, overlapping and identical).
+func rectGalerkinParallel(ops *MathOps, t, s geom.Rect) float64 {
+	Z := t.Offset - s.Offset
+	return GalerkinParallel(ops,
+		t.U.Lo, t.U.Hi, t.V.Lo, t.V.Hi,
+		s.U.Lo, s.U.Hi, s.V.Lo, s.V.Hi, Z)
+}
+
+// rectPotentialAt evaluates the collocation closed form of source rectangle
+// s at an arbitrary 3-D point p.
+func rectPotentialAt(ops *MathOps, s geom.Rect, p geom.Vec3) float64 {
+	pu := p.Component(s.UAxis())
+	pv := p.Component(s.VAxis())
+	pz := p.Component(s.Normal) - s.Offset
+	return RectPotential(ops, s.U.Lo, s.U.Hi, s.V.Lo, s.V.Hi, pu, pv, pz)
+}
+
+// rectGalerkinPerp evaluates the Galerkin integral for perpendicular
+// rectangles: outer tensor Gauss quadrature over the target, inner 2-D
+// closed form over the source (paper Eq. 7 structure). Perpendicular
+// Manhattan rectangles can touch along an edge but never overlap, so the
+// integrand is at worst weakly singular along the target boundary; the
+// order is bumped when the pair is close.
+func rectGalerkinPerp(cfg *Config, t, s geom.Rect) float64 {
+	order := cfg.QuadOrder
+	d := t.Dist(s)
+	diam := 0.5 * (t.Diameter() + s.Diameter())
+	if d < 0.1*diam {
+		order = min(order*4, quad.MaxOrder)
+	} else if d < diam {
+		order = min(order*2, quad.MaxOrder)
+	}
+	ops := cfg.Ops
+	return quad.Integrate2D(func(u, v float64) float64 {
+		return rectPotentialAt(ops, s, t.Point(u, v))
+	}, t.U.Lo, t.U.Hi, t.V.Lo, t.V.Hi, order, order)
+}
+
+// RectCollocation computes the potential integral of source rectangle s at
+// point p: int_s 1/|p-r'| ds'. The 1/(4*pi*eps) prefactor is omitted.
+func RectCollocation(cfg *Config, s geom.Rect, p geom.Vec3) float64 {
+	if !cfg.DisableApprox {
+		d := s.DistToPoint(p)
+		if d > cfg.FarFactor*s.Diameter() {
+			return s.Area() / s.Center().Dist(p)
+		}
+	}
+	return rectPotentialAt(cfg.Ops, s, p)
+}
+
+// SelfGalerkin computes the Galerkin self-term of a rectangle: the 4-D
+// integral of 1/|r-r'| over the rectangle paired with itself. The analytic
+// F4 expression remains finite here; for a unit square the value is
+// 8/3*(ln(1+sqrt2) + (1-sqrt2)/... ) ~= 3.5255 (verified in tests against a
+// Duffy-transformed numerical reference).
+func SelfGalerkin(ops *MathOps, r geom.Rect) float64 {
+	return GalerkinParallel(ops,
+		r.U.Lo, r.U.Hi, r.V.Lo, r.V.Hi,
+		r.U.Lo, r.U.Hi, r.V.Lo, r.V.Hi, 0)
+}
+
+// PointKernel is the bare Green's function without prefactor: 1/|a-b|.
+func PointKernel(a, b geom.Vec3) float64 {
+	return 1 / a.Dist(b)
+}
+
+// Scale converts an unscaled integral (in units of m^3 for 4-D Galerkin) to
+// the physical coefficient by applying 1/(4*pi*eps).
+func Scale(integral, eps float64) float64 {
+	return integral / (FourPi * eps)
+}

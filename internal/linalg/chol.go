@@ -1,0 +1,229 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// ErrNotSPD is returned when Cholesky factorization encounters a
+// non-positive pivot, i.e. the matrix is not (numerically) symmetric
+// positive definite.
+var ErrNotSPD = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L with A = L * L^T.
+type Cholesky struct {
+	L *Dense
+}
+
+// cholBlock is the panel width of the blocked factorization. 48 keeps the
+// working set of the trailing update within L1/L2 on typical hardware.
+const cholBlock = 48
+
+// NewCholesky factorizes the symmetric positive definite matrix A (only the
+// lower triangle is read). The input is not modified.
+func NewCholesky(a *Dense) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: Cholesky of non-square matrix")
+	}
+	n := a.Rows
+	l := NewDense(n, n)
+	// Copy lower triangle.
+	for i := 0; i < n; i++ {
+		copy(l.Row(i)[:i+1], a.Row(i)[:i+1])
+	}
+	if err := cholFactor(l, cholBlock); err != nil {
+		return nil, err
+	}
+	// Zero strict upper triangle for cleanliness.
+	for i := 0; i < n; i++ {
+		row := l.Row(i)
+		for j := i + 1; j < n; j++ {
+			row[j] = 0
+		}
+	}
+	return &Cholesky{L: l}, nil
+}
+
+// cholFactor performs a blocked right-looking Cholesky on the lower
+// triangle of l in place. The O(N^3) triangular-solve and trailing-update
+// phases are parallelized across row chunks — the paper's solve step
+// "resorts to the standard direct method implemented in multithreaded
+// linear algebra libraries" (Section 3), and this is that library.
+func cholFactor(l *Dense, nb int) error {
+	n := l.Rows
+	workers := runtime.GOMAXPROCS(0)
+	for k := 0; k < n; k += nb {
+		kb := nb
+		if k+kb > n {
+			kb = n - k
+		}
+		// Factor the diagonal block (unblocked, serial).
+		if err := cholUnblocked(l, k, kb); err != nil {
+			return err
+		}
+		if k+kb == n {
+			break
+		}
+		parallelRows(k+kb, n, workers, func(lo, hi int) {
+			// Triangular solve: L21 = A21 * L11^{-T}.
+			for i := lo; i < hi; i++ {
+				ri := l.Row(i)
+				for j := k; j < k+kb; j++ {
+					rj := l.Row(j)
+					s := ri[j]
+					for p := k; p < j; p++ {
+						s -= ri[p] * rj[p]
+					}
+					ri[j] = s / rj[j]
+				}
+			}
+		})
+		parallelRows(k+kb, n, workers, func(lo, hi int) {
+			// Trailing update: A22 -= L21 * L21^T (lower triangle).
+			for i := lo; i < hi; i++ {
+				ri := l.Row(i)
+				for j := k + kb; j <= i; j++ {
+					rj := l.Row(j)
+					var s float64
+					for p := k; p < k+kb; p++ {
+						s += ri[p] * rj[p]
+					}
+					ri[j] -= s
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// parallelRows runs fn over [lo, hi) in block-cyclic row chunks: per-row
+// work in the trailing update grows with the row index (triangular), so
+// round-robin blocks keep the workers balanced. Serial when the range is
+// small and goroutine overhead would dominate.
+func parallelRows(lo, hi, workers int, fn func(lo, hi int)) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 128 {
+		fn(lo, hi)
+		return
+	}
+	const block = 32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := w * block; ; b += workers * block {
+				a := lo + b
+				if a >= hi {
+					return
+				}
+				e := a + block
+				if e > hi {
+					e = hi
+				}
+				fn(a, e)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// cholUnblocked factors the kb x kb diagonal block starting at (k, k).
+func cholUnblocked(l *Dense, k, kb int) error {
+	for j := k; j < k+kb; j++ {
+		rj := l.Row(j)
+		d := rj[j]
+		for p := k; p < j; p++ {
+			d -= rj[p] * rj[p]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return ErrNotSPD
+		}
+		d = math.Sqrt(d)
+		rj[j] = d
+		for i := j + 1; i < k+kb; i++ {
+			ri := l.Row(i)
+			s := ri[j]
+			for p := k; p < j; p++ {
+				s -= ri[p] * rj[p]
+			}
+			ri[j] = s / d
+		}
+	}
+	return nil
+}
+
+// Solve solves A x = b for a single right-hand side, writing into dst
+// (dst and b may alias).
+func (c *Cholesky) Solve(dst, b []float64) {
+	n := c.L.Rows
+	if len(b) != n || len(dst) != n {
+		panic("linalg: Cholesky.Solve dimension mismatch")
+	}
+	if &dst[0] != &b[0] {
+		copy(dst, b)
+	}
+	// Forward: L y = b.
+	for i := 0; i < n; i++ {
+		ri := c.L.Row(i)
+		s := dst[i]
+		for j := 0; j < i; j++ {
+			s -= ri[j] * dst[j]
+		}
+		dst[i] = s / ri[i]
+	}
+	// Backward: L^T x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := dst[i]
+		for j := i + 1; j < n; j++ {
+			s -= c.L.At(j, i) * dst[j]
+		}
+		dst[i] = s / c.L.At(i, i)
+	}
+}
+
+// SolveMatrix solves A X = B, returning X with B's shape. Right-hand-side
+// columns are independent and solved in parallel.
+func (c *Cholesky) SolveMatrix(b *Dense) *Dense {
+	n := c.L.Rows
+	if b.Rows != n {
+		panic("linalg: SolveMatrix dimension mismatch")
+	}
+	x := NewDense(b.Rows, b.Cols)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > b.Cols {
+		workers = b.Cols
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			col := make([]float64, n)
+			for j := range next {
+				for i := 0; i < n; i++ {
+					col[i] = b.At(i, j)
+				}
+				c.Solve(col, col)
+				for i := 0; i < n; i++ {
+					x.Set(i, j, col[i])
+				}
+			}
+		}()
+	}
+	for j := 0; j < b.Cols; j++ {
+		next <- j
+	}
+	close(next)
+	wg.Wait()
+	return x
+}

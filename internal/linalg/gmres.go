@@ -1,0 +1,186 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// Matvec abstracts y = A*x for iterative solvers; implementations include
+// dense matrices, the multipole-accelerated operator, and the
+// precorrected-FFT operator.
+type Matvec interface {
+	// Apply computes dst = A * x; dst and x never alias.
+	Apply(dst, x []float64)
+	// Dim returns the operator's (square) dimension.
+	Dim() int
+}
+
+// DenseOp adapts a Dense matrix to the Matvec interface.
+type DenseOp struct{ M *Dense }
+
+// Apply implements Matvec.
+func (d DenseOp) Apply(dst, x []float64) { d.M.MulVec(dst, x) }
+
+// Dim implements Matvec.
+func (d DenseOp) Dim() int { return d.M.Rows }
+
+// GMRESOptions configures the restarted GMRES solver.
+type GMRESOptions struct {
+	Tol     float64                // relative residual tolerance (default 1e-6)
+	Restart int                    // Krylov subspace size before restart (default 50)
+	MaxIter int                    // total iteration cap (default 10 * Dim)
+	Precond func(dst, r []float64) // optional right preconditioner M^{-1}
+}
+
+// GMRESResult reports convergence statistics.
+type GMRESResult struct {
+	Iterations int
+	Residual   float64 // final relative residual
+	Converged  bool
+}
+
+// ErrGMRESBreakdown indicates an unexpected zero in the Arnoldi process.
+var ErrGMRESBreakdown = errors.New("linalg: GMRES breakdown")
+
+// GMRES solves A x = b with restarted GMRES(m), writing the solution into
+// x (which also provides the initial guess).
+func GMRES(a Matvec, x, b []float64, opt GMRESOptions) (GMRESResult, error) {
+	n := a.Dim()
+	if len(x) != n || len(b) != n {
+		return GMRESResult{}, errors.New("linalg: GMRES dimension mismatch")
+	}
+	if opt.Tol == 0 {
+		opt.Tol = 1e-6
+	}
+	if opt.Restart == 0 {
+		opt.Restart = 50
+	}
+	if opt.Restart > n {
+		opt.Restart = n
+	}
+	if opt.MaxIter == 0 {
+		opt.MaxIter = 10 * n
+	}
+	bnorm := Norm2(b)
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return GMRESResult{Converged: true}, nil
+	}
+
+	m := opt.Restart
+	// Arnoldi basis (m+1 vectors) and Hessenberg in Givens-reduced form.
+	v := make([][]float64, m+1)
+	for i := range v {
+		v[i] = make([]float64, n)
+	}
+	h := NewDense(m+1, m)
+	cs := make([]float64, m)
+	sn := make([]float64, m)
+	g := make([]float64, m+1)
+	r := make([]float64, n)
+	w := make([]float64, n)
+	z := make([]float64, n)
+
+	total := 0
+	for {
+		// r = b - A x.
+		a.Apply(r, x)
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		beta := Norm2(r)
+		rel := beta / bnorm
+		if rel <= opt.Tol {
+			return GMRESResult{Iterations: total, Residual: rel, Converged: true}, nil
+		}
+		if total >= opt.MaxIter {
+			return GMRESResult{Iterations: total, Residual: rel, Converged: false}, nil
+		}
+		copy(v[0], r)
+		Scal(1/beta, v[0])
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+
+		k := 0
+		for ; k < m && total < opt.MaxIter; k++ {
+			total++
+			// w = A M^{-1} v_k.
+			src := v[k]
+			if opt.Precond != nil {
+				opt.Precond(z, v[k])
+				src = z
+			}
+			a.Apply(w, src)
+			// Modified Gram-Schmidt.
+			for i := 0; i <= k; i++ {
+				hik := Dot(w, v[i])
+				h.Set(i, k, hik)
+				Axpy(-hik, v[i], w)
+			}
+			wn := Norm2(w)
+			h.Set(k+1, k, wn)
+			if wn > 0 {
+				copy(v[k+1], w)
+				Scal(1/wn, v[k+1])
+			}
+			// Apply previous Givens rotations to the new column.
+			for i := 0; i < k; i++ {
+				t := cs[i]*h.At(i, k) + sn[i]*h.At(i+1, k)
+				h.Set(i+1, k, -sn[i]*h.At(i, k)+cs[i]*h.At(i+1, k))
+				h.Set(i, k, t)
+			}
+			// New rotation to annihilate h(k+1, k).
+			hk, hk1 := h.At(k, k), h.At(k+1, k)
+			d := math.Hypot(hk, hk1)
+			if d == 0 {
+				return GMRESResult{Iterations: total}, ErrGMRESBreakdown
+			}
+			cs[k], sn[k] = hk/d, hk1/d
+			h.Set(k, k, d)
+			h.Set(k+1, k, 0)
+			g[k+1] = -sn[k] * g[k]
+			g[k] *= cs[k]
+			rel = math.Abs(g[k+1]) / bnorm
+			if rel <= opt.Tol {
+				k++
+				break
+			}
+		}
+		// Solve the k x k triangular system and update x.
+		yk := make([]float64, k)
+		for i := k - 1; i >= 0; i-- {
+			s := g[i]
+			for j := i + 1; j < k; j++ {
+				s -= h.At(i, j) * yk[j]
+			}
+			yk[i] = s / h.At(i, i)
+		}
+		// x += M^{-1} V y.
+		for i := range w {
+			w[i] = 0
+		}
+		for j := 0; j < k; j++ {
+			Axpy(yk[j], v[j], w)
+		}
+		if opt.Precond != nil {
+			opt.Precond(z, w)
+			copy(w, z)
+		}
+		for i := range x {
+			x[i] += w[i]
+		}
+		if rel <= opt.Tol {
+			// Recompute the true residual for the report.
+			a.Apply(r, x)
+			for i := range r {
+				r[i] = b[i] - r[i]
+			}
+			rel = Norm2(r) / bnorm
+			return GMRESResult{Iterations: total, Residual: rel, Converged: rel <= opt.Tol*10}, nil
+		}
+	}
+}

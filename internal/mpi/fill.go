@@ -1,0 +1,75 @@
+package mpi
+
+import (
+	"parbem/internal/assembly"
+	"parbem/internal/basis"
+	"parbem/internal/linalg"
+)
+
+// Message tags of the distributed fill protocol.
+const (
+	tagPartHeader = 1
+	tagPartData   = 2
+)
+
+// FillDistributed runs the distributed-memory system setup of paper
+// Section 5.2 / Figures 5 and 6 on the given network: every rank holds a
+// private copy of the template definitions and computes the entries of P~
+// in its k-partition into a partial matrix P_Kd; ranks d != 0 serialize
+// their partials and send them to the main rank, which shifts each slab to
+// its column offset and accumulates into P. The returned matrix (rank 0's
+// result) is symmetrized and unscaled.
+func FillDistributed(set *basis.Set, in *assembly.Integrator, net *Network) *linalg.Dense {
+	size := net.size
+	// One contiguous k-partition per rank (Figure 5/6); boundaries are
+	// placed at equal *estimated cost* rather than equal count, since a
+	// rank stuck with the expensive shaped-template block would bound
+	// the whole setup (every rank computes the same partition
+	// deterministically, so no coordination is needed).
+	bounds := assembly.PartitionKCost(set, in, size)
+
+	var result *linalg.Dense
+	RunOn(net, func(c *Comm) {
+		// Each process holds its own copy of the template definitions
+		// (paper: "the process d holds its own copy of template
+		// definitions"); this also guarantees no shared mutable state.
+		local := set.Clone()
+		lo, hi := bounds[c.Rank()], bounds[c.Rank()+1]
+
+		if c.Rank() != 0 {
+			if hi <= lo {
+				c.SendInts(0, tagPartHeader, []int{0, -1})
+				return
+			}
+			part := assembly.FillPartial(local, in, lo, hi)
+			c.SendInts(0, tagPartHeader, []int{part.ColLo, part.ColHi})
+			c.SendFloat64s(0, tagPartData, part.Data.Data)
+			return
+		}
+
+		// Main process: own partition directly into P, then merge the
+		// incoming partial matrices.
+		n := local.N()
+		P := linalg.NewDense(n, n)
+		if hi > lo {
+			part := assembly.FillPartial(local, in, lo, hi)
+			part.MergeInto(P)
+		}
+		for r := 1; r < size; r++ {
+			hdr := c.RecvInts(r, tagPartHeader)
+			colLo, colHi := hdr[0], hdr[1]
+			if colHi < colLo {
+				continue
+			}
+			data := c.RecvFloat64s(r, tagPartData)
+			part := &assembly.Partial{
+				N: n, ColLo: colLo, ColHi: colHi,
+				Data: linalg.NewDenseFrom(n, colHi-colLo+1, data),
+			}
+			part.MergeInto(P)
+		}
+		assembly.Symmetrize(P)
+		result = P
+	})
+	return result
+}

@@ -1,0 +1,60 @@
+package mpi
+
+import (
+	"testing"
+
+	"parbem/internal/assembly"
+	"parbem/internal/basis"
+	"parbem/internal/geom"
+	"parbem/internal/linalg"
+)
+
+func TestFillDistributedMatchesSerial(t *testing.T) {
+	st := geom.DefaultCrossingPair().Build()
+	set := basis.Build(st, basis.DefaultBuilderOptions())
+	in := assembly.NewIntegrator()
+	want := assembly.FillSerial(set, in)
+
+	for _, size := range []int{1, 2, 3, 5, 10} {
+		got := FillDistributed(set, in, NewNetwork(size))
+		if got == nil {
+			t.Fatalf("size=%d: nil result", size)
+		}
+		if d := linalg.MaxAbsDiff(got, want); d > tol(want) {
+			t.Errorf("size=%d: distributed result differs from serial by %g", size, d)
+		}
+	}
+}
+
+func TestFillDistributedMoreRanksThanWork(t *testing.T) {
+	// A tiny set with fewer k-pairs than ranks: some ranks get empty
+	// partitions and must still participate in the protocol.
+	st := &geom.Structure{
+		Name: "plate",
+		Conductors: []*geom.Conductor{
+			{Name: "a", Boxes: []geom.Box{geom.NewBox(
+				geom.Vec3{X: 0, Y: 0, Z: 0}, geom.Vec3{X: 1e-6, Y: 1e-6, Z: 1e-7})}},
+		},
+	}
+	set := basis.Build(st, basis.DefaultBuilderOptions())
+	in := assembly.NewIntegrator()
+	want := assembly.FillSerial(set, in)
+	got := FillDistributed(set, in, NewNetwork(10))
+	if d := linalg.MaxAbsDiff(got, want); d > tol(want) {
+		t.Errorf("differs from serial by %g", d)
+	}
+}
+
+// tol returns the rounding tolerance for comparing fills (accumulation
+// order differs across partition boundaries).
+func tol(m *linalg.Dense) float64 {
+	var scale float64
+	for _, v := range m.Data {
+		if v > scale {
+			scale = v
+		} else if -v > scale {
+			scale = -v
+		}
+	}
+	return 1e-12 * scale
+}

@@ -1,0 +1,157 @@
+package mpi
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSendRecvRoundtrip(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.SendFloat64s(1, 7, []float64{1, 2.5, -3})
+			got := c.RecvInts(1, 8)
+			if len(got) != 2 || got[0] != 42 || got[1] != -1 {
+				t.Errorf("ints = %v", got)
+			}
+		} else {
+			got := c.RecvFloat64s(0, 7)
+			if len(got) != 3 || got[1] != 2.5 {
+				t.Errorf("floats = %v", got)
+			}
+			c.SendInts(0, 8, []int{42, -1})
+		}
+	})
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := []float64{1, 2, 3}
+			c.SendFloat64s(1, 1, buf)
+			buf[0] = 99 // must not affect the receiver
+			c.Send(1, 2, nil)
+		} else {
+			got := c.RecvFloat64s(0, 1)
+			c.Recv(0, 2)
+			if got[0] != 1 {
+				t.Errorf("payload aliased: %v", got)
+			}
+		}
+	})
+}
+
+func TestMessageOrderingPerPair(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < 100; i++ {
+				c.SendFloat64s(1, 5, []float64{float64(i)})
+			}
+		} else {
+			for i := 0; i < 100; i++ {
+				got := c.RecvFloat64s(0, 5)
+				if got[0] != float64(i) {
+					t.Fatalf("out of order: got %v at %d", got, i)
+				}
+			}
+		}
+	})
+}
+
+func TestBarrier(t *testing.T) {
+	var phase atomic.Int32
+	Run(4, func(c *Comm) {
+		if c.Rank() == 2 {
+			time.Sleep(10 * time.Millisecond)
+			phase.Store(1)
+		}
+		c.Barrier()
+		if phase.Load() != 1 {
+			t.Errorf("rank %d passed barrier before rank 2 arrived", c.Rank())
+		}
+	})
+}
+
+func TestBcast(t *testing.T) {
+	Run(5, func(c *Comm) {
+		var xs []float64
+		if c.Rank() == 2 {
+			xs = []float64{3.14, 2.71}
+		}
+		got := c.BcastFloat64s(2, xs)
+		if len(got) != 2 || got[0] != 3.14 || got[1] != 2.71 {
+			t.Errorf("rank %d bcast = %v", c.Rank(), got)
+		}
+	})
+}
+
+func TestReduceSum(t *testing.T) {
+	Run(4, func(c *Comm) {
+		xs := []float64{float64(c.Rank()), 1}
+		got := c.ReduceSumFloat64s(0, xs)
+		if c.Rank() == 0 {
+			if got[0] != 6 || got[1] != 4 { // 0+1+2+3, 1*4
+				t.Errorf("reduce = %v", got)
+			}
+		} else if got != nil {
+			t.Errorf("non-root got %v", got)
+		}
+	})
+}
+
+func TestEncodeDecodeFloat64s(t *testing.T) {
+	xs := []float64{0, 1, -1, math.Pi, math.Inf(1), math.SmallestNonzeroFloat64}
+	got := DecodeFloat64s(EncodeFloat64s(xs))
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Fatalf("roundtrip[%d] = %v want %v", i, got[i], xs[i])
+		}
+	}
+	// NaN roundtrip (bit pattern preserved, compare via IsNaN).
+	n := DecodeFloat64s(EncodeFloat64s([]float64{math.NaN()}))
+	if !math.IsNaN(n[0]) {
+		t.Fatal("NaN lost")
+	}
+}
+
+func TestNetworkCostModelSlowsTransfer(t *testing.T) {
+	fast := NewNetwork(2)
+	slow := NewNetwork(2)
+	slow.Latency = 2 * time.Millisecond
+
+	elapsed := func(n *Network) time.Duration {
+		start := time.Now()
+		RunOn(n, func(c *Comm) {
+			if c.Rank() == 0 {
+				for i := 0; i < 10; i++ {
+					c.Send(1, 1, make([]byte, 8))
+				}
+			} else {
+				for i := 0; i < 10; i++ {
+					c.Recv(0, 1)
+				}
+			}
+		})
+		return time.Since(start)
+	}
+	tf, ts := elapsed(fast), elapsed(slow)
+	if ts < 15*time.Millisecond {
+		t.Errorf("slow network too fast: %v", ts)
+	}
+	if tf > ts {
+		t.Errorf("fast network slower than slow one: %v vs %v", tf, ts)
+	}
+}
+
+func TestTagMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on tag mismatch")
+		}
+	}()
+	n := NewNetwork(1)
+	c := n.Comm(0)
+	c.Send(0, 1, nil)
+	c.Recv(0, 2)
+}

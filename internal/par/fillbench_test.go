@@ -1,0 +1,27 @@
+package par
+
+// Fill benchmarks: the shared-memory system setup at fixed worker counts,
+// used for allocation tracking (the integration hot path must stay
+// allocation-free) and for profiling the parallel fill.
+
+import (
+	"testing"
+
+	"parbem/internal/assembly"
+	"parbem/internal/basis"
+	"parbem/internal/geom"
+)
+
+func benchFillWorkers(b *testing.B, workers int) {
+	b.Helper()
+	st := geom.DefaultBus(8, 8).Build()
+	set := basis.Build(st, basis.DefaultBuilderOptions())
+	in := assembly.NewIntegrator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Fill(set, in, Options{Workers: workers})
+	}
+}
+
+func BenchmarkFill1(b *testing.B)  { benchFillWorkers(b, 1) }
+func BenchmarkFill10(b *testing.B) { benchFillWorkers(b, 10) }

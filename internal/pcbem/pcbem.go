@@ -1,0 +1,201 @@
+// Package pcbem is the classical piecewise-constant boundary element method
+// that the paper positions as the baseline representation: conductor
+// surfaces are discretized into rectangular panels, each carrying an
+// unknown constant charge density, with Galerkin interactions assembled
+// from the closed-form integrals of internal/kernel.
+//
+// It provides the dense direct solve (the accuracy reference used for
+// Table 2's error figures), and the generic Krylov plumbing shared by the
+// multipole (internal/fmm) and precorrected-FFT (internal/pfft)
+// acceleration baselines.
+package pcbem
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"parbem/internal/geom"
+	"parbem/internal/kernel"
+	"parbem/internal/linalg"
+)
+
+// Problem is a panelized extraction problem.
+type Problem struct {
+	Panels        []geom.Panel
+	NumConductors int
+	Eps           float64
+	Cfg           *kernel.Config
+}
+
+// NewProblem panelizes a structure with the given maximum panel edge.
+func NewProblem(st *geom.Structure, maxEdge float64) (*Problem, error) {
+	if err := st.Validate(); err != nil {
+		return nil, err
+	}
+	panels := st.Panelize(maxEdge)
+	if len(panels) == 0 {
+		return nil, errors.New("pcbem: no panels generated")
+	}
+	return &Problem{
+		Panels:        panels,
+		NumConductors: st.NumConductors(),
+		Eps:           kernel.Eps0,
+		Cfg:           kernel.DefaultConfig(),
+	}, nil
+}
+
+// N returns the number of unknowns (panels).
+func (p *Problem) N() int { return len(p.Panels) }
+
+// Entry computes one scaled Galerkin matrix entry P_ij.
+func (p *Problem) Entry(i, j int) float64 {
+	v := kernel.RectGalerkin(p.Cfg, p.Panels[i].Rect, p.Panels[j].Rect)
+	return kernel.Scale(v, p.Eps)
+}
+
+// AssembleDense builds the full N x N Galerkin matrix.
+func (p *Problem) AssembleDense() *linalg.Dense {
+	n := p.N()
+	m := linalg.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := p.Entry(i, j)
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+// RHS builds the N x n right-hand-side matrix Phi: row i has the panel
+// area in the column of its conductor (Galerkin testing of the unit
+// potential).
+func (p *Problem) RHS() *linalg.Dense {
+	phi := linalg.NewDense(p.N(), p.NumConductors)
+	for i, pan := range p.Panels {
+		phi.Set(i, pan.Conductor, pan.Area())
+	}
+	return phi
+}
+
+// Result is a completed piecewise-constant extraction.
+type Result struct {
+	C          *linalg.Dense // n x n capacitance matrix (F)
+	Rho        *linalg.Dense // N x n panel charge densities per excitation
+	NumPanels  int
+	Iterations int // total Krylov iterations (0 for direct)
+	SetupTime  time.Duration
+	SolveTime  time.Duration
+}
+
+// SolveDense assembles the dense system and solves it directly (Cholesky
+// with LU fallback). It is O(N^2) memory and O(N^3) time: the "system
+// solving bottleneck" the paper's introduction describes.
+func (p *Problem) SolveDense() (*Result, error) {
+	t0 := time.Now()
+	P := p.AssembleDense()
+	phi := p.RHS()
+	setup := time.Since(t0)
+
+	t1 := time.Now()
+	var rho *linalg.Dense
+	if ch, err := linalg.NewCholesky(P); err == nil {
+		rho = ch.SolveMatrix(phi)
+	} else {
+		lu, luErr := linalg.NewLU(P)
+		if luErr != nil {
+			return nil, fmt.Errorf("pcbem: dense solve failed: %w", luErr)
+		}
+		rho = linalg.NewDense(p.N(), p.NumConductors)
+		col := make([]float64, p.N())
+		for j := 0; j < p.NumConductors; j++ {
+			for i := 0; i < p.N(); i++ {
+				col[i] = phi.At(i, j)
+			}
+			lu.Solve(col, col)
+			for i := 0; i < p.N(); i++ {
+				rho.Set(i, j, col[i])
+			}
+		}
+	}
+	c := capFromRho(phi, rho)
+	return &Result{
+		C: c, Rho: rho, NumPanels: p.N(),
+		SetupTime: setup, SolveTime: time.Since(t1),
+	}, nil
+}
+
+// SolveIterative solves the system with GMRES through an arbitrary matvec
+// operator (dense, multipole-accelerated, or precorrected-FFT), with a
+// Jacobi preconditioner built from the exact diagonal.
+func (p *Problem) SolveIterative(op linalg.Matvec, tol float64) (*Result, error) {
+	if op.Dim() != p.N() {
+		return nil, errors.New("pcbem: operator dimension mismatch")
+	}
+	if tol == 0 {
+		tol = 1e-4
+	}
+	n := p.N()
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		diag[i] = p.Entry(i, i)
+	}
+	phi := p.RHS()
+	rho := linalg.NewDense(n, p.NumConductors)
+	t1 := time.Now()
+	iters := 0
+	b := make([]float64, n)
+	x := make([]float64, n)
+	for j := 0; j < p.NumConductors; j++ {
+		for i := 0; i < n; i++ {
+			b[i] = phi.At(i, j)
+			x[i] = 0
+		}
+		res, err := linalg.GMRES(op, x, b, linalg.GMRESOptions{
+			Tol:     tol,
+			Restart: 60,
+			Precond: func(dst, r []float64) {
+				for i := range dst {
+					dst[i] = r[i] / diag[i]
+				}
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("pcbem: GMRES failed on conductor %d: %w", j, err)
+		}
+		if !res.Converged {
+			return nil, fmt.Errorf("pcbem: GMRES stalled on conductor %d (res %g)", j, res.Residual)
+		}
+		iters += res.Iterations
+		for i := 0; i < n; i++ {
+			rho.Set(i, j, x[i])
+		}
+	}
+	c := capFromRho(phi, rho)
+	return &Result{
+		C: c, Rho: rho, NumPanels: n,
+		Iterations: iters, SolveTime: time.Since(t1),
+	}, nil
+}
+
+// capFromRho computes C = Phi^T rho, symmetrized.
+func capFromRho(phi, rho *linalg.Dense) *linalg.Dense {
+	n := phi.Cols
+	c := linalg.NewDense(n, n)
+	linalg.Mul(c, phi.Transpose(), rho)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := 0.5 * (c.At(i, j) + c.At(j, i))
+			c.Set(i, j, v)
+			c.Set(j, i, v)
+		}
+	}
+	return c
+}
+
+// DenseOp exposes the dense assembled matrix as a Matvec for testing the
+// iterative path independently of the accelerated operators.
+func (p *Problem) DenseOp() linalg.Matvec {
+	return linalg.DenseOp{M: p.AssembleDense()}
+}

@@ -1,0 +1,131 @@
+package pcbem
+
+import (
+	"math"
+	"testing"
+
+	"parbem/internal/geom"
+	"parbem/internal/kernel"
+	"parbem/internal/linalg"
+)
+
+func plateStructure(side, gap, thick float64) *geom.Structure {
+	return &geom.Structure{
+		Name: "plates",
+		Conductors: []*geom.Conductor{
+			{Name: "bot", Boxes: []geom.Box{geom.NewBox(
+				geom.Vec3{X: 0, Y: 0, Z: 0}, geom.Vec3{X: side, Y: side, Z: thick})}},
+			{Name: "top", Boxes: []geom.Box{geom.NewBox(
+				geom.Vec3{X: 0, Y: 0, Z: thick + gap}, geom.Vec3{X: side, Y: side, Z: 2*thick + gap})}},
+		},
+	}
+}
+
+func TestParallelPlateConvergence(t *testing.T) {
+	side, gap := 10e-6, 1e-6
+	ideal := kernel.Eps0 * side * side / gap
+	var prev float64
+	for i, maxEdge := range []float64{5e-6, 2.5e-6} {
+		p, err := NewProblem(plateStructure(side, gap, 0.5e-6), maxEdge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.SolveDense()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := -res.C.At(0, 1)
+		ratio := c / ideal
+		if ratio < 1.0 || ratio > 2.0 {
+			t.Errorf("edge %g: C/ideal = %.3f outside [1, 2]", maxEdge, ratio)
+		}
+		if i > 0 {
+			// Refinement must increase extracted coupling (better edge
+			// resolution captures charge crowding).
+			if c < prev*0.98 {
+				t.Errorf("refinement reduced C: %g -> %g", prev, c)
+			}
+		}
+		prev = c
+	}
+}
+
+func TestDenseMatrixSPDAndSymmetric(t *testing.T) {
+	p, err := NewProblem(geom.DefaultCrossingPair().Build(), 2e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	P := p.AssembleDense()
+	if e := P.SymmetryError(); e > 0 {
+		t.Errorf("symmetry error %g", e)
+	}
+	if _, err := linalg.NewCholesky(P); err != nil {
+		t.Errorf("panel Galerkin matrix not SPD: %v", err)
+	}
+}
+
+func TestIterativeMatchesDense(t *testing.T) {
+	p, err := NewProblem(geom.DefaultCrossingPair().Build(), 2e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := p.SolveDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iter, err := p.SolveIterative(p.DenseOp(), 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			a, b := direct.C.At(i, j), iter.C.At(i, j)
+			if rel := math.Abs(a-b) / math.Abs(a); rel > 1e-5 {
+				t.Errorf("C[%d][%d]: direct %g iterative %g", i, j, a, b)
+			}
+		}
+	}
+	if iter.Iterations <= 0 {
+		t.Error("no iterations recorded")
+	}
+}
+
+func TestChargeConservationSign(t *testing.T) {
+	// With conductor 0 at 1V and conductor 1 grounded, panels on
+	// conductor 0 carry net positive charge, conductor 1 net negative.
+	p, err := NewProblem(geom.DefaultCrossingPair().Build(), 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.SolveDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q0, q1 float64
+	for i, pan := range p.Panels {
+		q := res.Rho.At(i, 0) * pan.Area()
+		if pan.Conductor == 0 {
+			q0 += q
+		} else {
+			q1 += q
+		}
+	}
+	if q0 <= 0 {
+		t.Errorf("driven conductor net charge %g <= 0", q0)
+	}
+	if q1 >= 0 {
+		t.Errorf("grounded conductor net charge %g >= 0", q1)
+	}
+	if math.Abs(q1) >= q0 {
+		t.Errorf("induced |charge| %g exceeds source %g", q1, q0)
+	}
+}
+
+func TestPanelCountGrowsWithRefinement(t *testing.T) {
+	st := geom.DefaultCrossingPair().Build()
+	p1, _ := NewProblem(st, 2e-6)
+	p2, _ := NewProblem(st, 0.5e-6)
+	if p2.N() <= p1.N() {
+		t.Errorf("refinement did not grow panels: %d vs %d", p1.N(), p2.N())
+	}
+}

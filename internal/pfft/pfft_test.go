@@ -1,0 +1,102 @@
+package pfft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"parbem/internal/geom"
+	"parbem/internal/pcbem"
+)
+
+func busProblem(t *testing.T, m, n int, edge float64) *pcbem.Problem {
+	t.Helper()
+	st := geom.DefaultBus(m, n).Build()
+	p, err := pcbem.NewProblem(st, edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestOperatorMatchesDenseMatvec(t *testing.T) {
+	p := busProblem(t, 2, 2, 1e-6)
+	dense := p.AssembleDense()
+	op := NewOperator(p.Panels, Options{})
+	n := p.N()
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, n)
+	dense.MulVec(want, x)
+	got := make([]float64, n)
+	op.Apply(got, x)
+	var num, den float64
+	for i := range got {
+		d := got[i] - want[i]
+		num += d * d
+		den += want[i] * want[i]
+	}
+	rel := math.Sqrt(num / den)
+	if rel > 0.05 {
+		t.Fatalf("pFFT matvec relative error %g > 5%%", rel)
+	}
+}
+
+func TestSolveMatchesDense(t *testing.T) {
+	p := busProblem(t, 2, 2, 1e-6)
+	direct, err := p.SolveDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := NewOperator(p.Panels, Options{NearRadius: 4})
+	iter, err := p.SolveIterative(op, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := direct.C.Rows
+	for i := 0; i < nc; i++ {
+		for j := 0; j < nc; j++ {
+			a, b := direct.C.At(i, j), iter.C.At(i, j)
+			if rel := math.Abs(a-b) / math.Abs(direct.C.At(i, i)); rel > 0.05 {
+				t.Errorf("C[%d][%d]: dense %g pfft %g", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestNearEntriesSparse(t *testing.T) {
+	p := busProblem(t, 3, 3, 1e-6)
+	op := NewOperator(p.Panels, Options{})
+	n := p.N()
+	if op.NearEntries() >= n*n/2 {
+		t.Errorf("precorrection not sparse: %d of %d", op.NearEntries(), n*n)
+	}
+	nx, ny, nz := op.GridNodes()
+	if nx < 2 || ny < 2 || nz < 2 {
+		t.Errorf("degenerate grid %dx%dx%d", nx, ny, nz)
+	}
+}
+
+func TestWorkerInvariance(t *testing.T) {
+	p := busProblem(t, 2, 2, 1.5e-6)
+	n := p.N()
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	op1 := NewOperator(p.Panels, Options{Workers: 1})
+	op8 := NewOperator(p.Panels, Options{Workers: 8})
+	a := make([]float64, n)
+	b := make([]float64, n)
+	op1.Apply(a, x)
+	op8.Apply(b, x)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-18 {
+			t.Fatalf("worker-dependent result at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}

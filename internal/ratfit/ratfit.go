@@ -1,0 +1,246 @@
+// Package ratfit implements the rational-fitting integration acceleration
+// of paper Section 4.2.4: a multivariable rational function
+//
+//	f(w) = fN(w) / fD(w)
+//
+// of degree (n, m) is fitted to training samples of an integral expression
+// by the linearized constrained least-squares problem of paper Eq. (12):
+//
+//	minimize   sum_i | f~(w_i) fD(w_i) - fN(w_i) |^2
+//	subject to sum_{|a'|<=m} beta_D,a' = 1
+//
+// The constraint removes the scaling degree of freedom; it is eliminated by
+// substitution, leaving an ordinary linear least-squares problem solved by
+// Householder QR (the paper uses the STINS solver of [2]; the linearized
+// problem is the same first step).
+package ratfit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"parbem/internal/linalg"
+)
+
+// MultiIndices enumerates all k-dimensional multi-indices with total degree
+// |alpha| <= deg, in graded lexicographic order. The zero index comes first.
+func MultiIndices(k, deg int) [][]int {
+	if k <= 0 {
+		panic("ratfit: non-positive dimension")
+	}
+	var out [][]int
+	idx := make([]int, k)
+	for d := 0; d <= deg; d++ {
+		enumFixedDegree(idx, 0, d, &out)
+	}
+	return out
+}
+
+// enumFixedDegree appends all completions of idx[:pos] with remaining
+// degree rem distributed over idx[pos:].
+func enumFixedDegree(idx []int, pos, rem int, out *[][]int) {
+	if pos == len(idx)-1 {
+		idx[pos] = rem
+		c := make([]int, len(idx))
+		copy(c, idx)
+		*out = append(*out, c)
+		return
+	}
+	for v := rem; v >= 0; v-- {
+		idx[pos] = v
+		enumFixedDegree(idx, pos+1, rem-v, out)
+	}
+}
+
+// monomial evaluates w^alpha.
+func monomial(w []float64, alpha []int) float64 {
+	p := 1.0
+	for i, a := range alpha {
+		for j := 0; j < a; j++ {
+			p *= w[i]
+		}
+	}
+	return p
+}
+
+// Rational is a fitted multivariable rational function.
+type Rational struct {
+	Dim          int
+	NumIdx       [][]int // numerator multi-indices
+	DenIdx       [][]int // denominator multi-indices (zero index first)
+	NumCoef      []float64
+	DenCoef      []float64 // same order as DenIdx; sums to 1
+	TrainMaxRel  float64   // max relative error over the training set
+	TrainSamples int
+}
+
+// Eval evaluates the rational function at w (len == Dim).
+func (r *Rational) Eval(w ...float64) float64 {
+	if len(w) != r.Dim {
+		panic("ratfit: Eval arity mismatch")
+	}
+	var num, den float64
+	for i, a := range r.NumIdx {
+		num += r.NumCoef[i] * monomial(w, a)
+	}
+	for i, a := range r.DenIdx {
+		den += r.DenCoef[i] * monomial(w, a)
+	}
+	return num / den
+}
+
+// Eval2 is an allocation-free fast path for 2-input rationals with dense
+// graded coefficients; it falls back to Eval semantics.
+func (r *Rational) Eval2(w0, w1 float64) float64 {
+	var num, den float64
+	for i, a := range r.NumIdx {
+		num += r.NumCoef[i] * pow2(w0, w1, a[0], a[1])
+	}
+	for i, a := range r.DenIdx {
+		den += r.DenCoef[i] * pow2(w0, w1, a[0], a[1])
+	}
+	return num / den
+}
+
+func pow2(w0, w1 float64, a0, a1 int) float64 {
+	p := 1.0
+	for j := 0; j < a0; j++ {
+		p *= w0
+	}
+	for j := 0; j < a1; j++ {
+		p *= w1
+	}
+	return p
+}
+
+// ErrUnderdetermined is returned when there are fewer samples than unknowns.
+var ErrUnderdetermined = errors.New("ratfit: fewer samples than coefficients")
+
+// Fit solves the linearized constrained problem for training samples
+// (points[i], values[i]) with numerator degree degN and denominator degree
+// degM over dim variables.
+func Fit(points [][]float64, values []float64, dim, degN, degM int) (*Rational, error) {
+	if len(points) != len(values) {
+		return nil, errors.New("ratfit: points/values length mismatch")
+	}
+	numIdx := MultiIndices(dim, degN)
+	denIdx := MultiIndices(dim, degM)
+	nNum := len(numIdx)
+	nDen := len(denIdx) // includes the zero index eliminated by constraint
+	unknowns := nNum + nDen - 1
+	ns := len(points)
+	if ns < unknowns {
+		return nil, fmt.Errorf("%w: %d samples, %d unknowns", ErrUnderdetermined, ns, unknowns)
+	}
+
+	// Residual_i = f~_i * [1 + sum_{a'!=0} bD_a' (w^a' - 1)] - sum_a bN_a w^a.
+	// Unknown ordering: [bD_{a'!=0} ..., bN_a ...]; rhs b_i = -f~_i.
+	// Rows are scaled by 1/|f~_i| so the linearized objective controls
+	// *relative* error: for decaying Green's-function integrals the small
+	// far-field values matter as much as the near-field ones.
+	a := linalg.NewDense(ns, unknowns)
+	b := make([]float64, ns)
+	var scaleFloor float64
+	for _, v := range values {
+		if av := math.Abs(v); av > scaleFloor {
+			scaleFloor = av
+		}
+	}
+	scaleFloor *= 1e-9
+	for i, w := range points {
+		fi := values[i]
+		inv := 1.0
+		if av := math.Abs(fi); av > scaleFloor {
+			inv = 1 / av
+		} else if scaleFloor > 0 {
+			inv = 1 / scaleFloor
+		}
+		col := 0
+		for j := 1; j < nDen; j++ {
+			a.Set(i, col, inv*fi*(monomial(w, denIdx[j])-1))
+			col++
+		}
+		for j := 0; j < nNum; j++ {
+			a.Set(i, col, -inv*monomial(w, numIdx[j]))
+			col++
+		}
+		b[i] = -inv * fi
+	}
+	qr, err := linalg.NewQR(a)
+	if err != nil {
+		return nil, err
+	}
+	theta, err := qr.LeastSquares(b)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Rational{
+		Dim:          dim,
+		NumIdx:       numIdx,
+		DenIdx:       denIdx,
+		NumCoef:      make([]float64, nNum),
+		DenCoef:      make([]float64, nDen),
+		TrainSamples: ns,
+	}
+	sumD := 0.0
+	for j := 1; j < nDen; j++ {
+		r.DenCoef[j] = theta[j-1]
+		sumD += theta[j-1]
+	}
+	r.DenCoef[0] = 1 - sumD
+	copy(r.NumCoef, theta[nDen-1:])
+
+	// Record training error for the caller's error control.
+	for i, w := range points {
+		got := r.Eval(w...)
+		den := math.Abs(values[i])
+		if den < 1e-12 {
+			den = 1e-12
+		}
+		if rel := math.Abs(got-values[i]) / den; rel > r.TrainMaxRel {
+			r.TrainMaxRel = rel
+		}
+	}
+	return r, nil
+}
+
+// weylAlphas are square roots of distinct square-free integers: pairwise
+// rationally independent, so the Weyl lattice they generate equidistributes
+// in every dimension count (square roots of arbitrary integers can be
+// rationally dependent — e.g. sqrt(8) = 2*sqrt(2) — which collapses the
+// lattice onto a lower-dimensional manifold and ruins sampling).
+var weylAlphas = [...]float64{
+	math.Sqrt2, 1.7320508075688772, 2.23606797749979, 2.6457513110645907,
+	3.3166247903554, 3.605551275463989, 4.123105625617661, 4.358898943540674,
+}
+
+// WeylPoint fills w with the p-th point of the Weyl lattice over [0,1)^dim.
+func WeylPoint(w []float64, p int) {
+	for i := range w {
+		w[i] = math.Mod(weylAlphas[i%len(weylAlphas)]*float64(p+1), 1)
+	}
+}
+
+// FitFunc samples f on a low-discrepancy lattice over the box [lo, hi]^dim
+// (per-dimension bounds) and fits a rational of degree (degN, degM).
+func FitFunc(f func(w []float64) float64, lo, hi []float64, nSamples, degN, degM int) (*Rational, error) {
+	if len(lo) != len(hi) {
+		return nil, errors.New("ratfit: bounds length mismatch")
+	}
+	dim := len(lo)
+	pts := make([][]float64, nSamples)
+	vals := make([]float64, nSamples)
+	u := make([]float64, dim)
+	for p := 0; p < nSamples; p++ {
+		WeylPoint(u, p)
+		w := make([]float64, dim)
+		for i := 0; i < dim; i++ {
+			w[i] = lo[i] + u[i]*(hi[i]-lo[i])
+		}
+		pts[p] = w
+		vals[p] = f(w)
+	}
+	return Fit(pts, vals, dim, degN, degM)
+}

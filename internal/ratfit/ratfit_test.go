@@ -1,0 +1,118 @@
+package ratfit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMultiIndices(t *testing.T) {
+	// k=2, deg=2: indices with |a| <= 2 -> 6 of them.
+	idx := MultiIndices(2, 2)
+	if len(idx) != 6 {
+		t.Fatalf("count = %d, want 6", len(idx))
+	}
+	if idx[0][0] != 0 || idx[0][1] != 0 {
+		t.Fatalf("first index %v, want [0 0]", idx[0])
+	}
+	// Degrees must be graded non-decreasing.
+	last := 0
+	for _, a := range idx {
+		d := a[0] + a[1]
+		if d < last {
+			t.Fatalf("indices not graded: %v", idx)
+		}
+		last = d
+	}
+	// k=3, deg=3: C(3+3,3) = 20.
+	if n := len(MultiIndices(3, 3)); n != 20 {
+		t.Fatalf("k=3 deg=3 count = %d, want 20", n)
+	}
+}
+
+func TestFitRecoversExactRational(t *testing.T) {
+	// f(x, y) = (1 + 2x + 3y) / (1 + 0.5x) over [0,1]^2.
+	target := func(w []float64) float64 {
+		return (1 + 2*w[0] + 3*w[1]) / (1 + 0.5*w[0])
+	}
+	r, err := FitFunc(target, []float64{0, 0}, []float64{1, 1}, 120, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TrainMaxRel > 1e-8 {
+		t.Fatalf("training error %g on exactly representable target", r.TrainMaxRel)
+	}
+	// Check off-sample points.
+	for _, w := range [][]float64{{0.31, 0.77}, {0.9, 0.05}, {0.5, 0.5}} {
+		got := r.Eval(w...)
+		want := target(w)
+		if rel := math.Abs(got-want) / want; rel > 1e-8 {
+			t.Errorf("f(%v) = %g want %g", w, got, want)
+		}
+	}
+}
+
+func TestFitDecayingKernel(t *testing.T) {
+	// A 1/r-like decaying function is the paper's motivating target.
+	target := func(w []float64) float64 {
+		return 1 / math.Sqrt(1+w[0]*w[0]+w[1]*w[1])
+	}
+	r, err := FitFunc(target, []float64{0.5, 0.5}, []float64{4, 4}, 400, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TrainMaxRel > 0.01 {
+		t.Fatalf("training error %g > 1%% tolerance", r.TrainMaxRel)
+	}
+	// Validation points off the training lattice.
+	for x := 0.6; x < 4; x += 0.37 {
+		for y := 0.6; y < 4; y += 0.41 {
+			got := r.Eval(x, y)
+			want := target([]float64{x, y})
+			if rel := math.Abs(got-want) / want; rel > 0.02 {
+				t.Fatalf("f(%g,%g): rel error %g", x, y, rel)
+			}
+		}
+	}
+}
+
+func TestFitDenominatorNormalization(t *testing.T) {
+	target := func(w []float64) float64 { return 2 + w[0] }
+	r, err := FitFunc(target, []float64{0}, []float64{1}, 50, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, c := range r.DenCoef {
+		sum += c
+	}
+	if math.Abs(sum-1) > 1e-10 {
+		t.Fatalf("denominator coefficients sum to %g, want 1", sum)
+	}
+}
+
+func TestFitUnderdetermined(t *testing.T) {
+	pts := [][]float64{{0.1}, {0.2}}
+	vals := []float64{1, 2}
+	if _, err := Fit(pts, vals, 1, 3, 3); err == nil {
+		t.Fatal("expected ErrUnderdetermined")
+	}
+}
+
+func TestEval2MatchesEval(t *testing.T) {
+	target := func(w []float64) float64 {
+		return (1 + w[0]) / (1 + 0.3*w[0] + 0.2*w[1])
+	}
+	r, err := FitFunc(target, []float64{0, 0}, []float64{2, 2}, 200, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.0; x <= 2; x += 0.5 {
+		for y := 0.0; y <= 2; y += 0.5 {
+			a := r.Eval(x, y)
+			b := r.Eval2(x, y)
+			if math.Abs(a-b) > 1e-14*math.Max(1, math.Abs(a)) {
+				t.Fatalf("Eval/Eval2 mismatch at (%g,%g): %g vs %g", x, y, a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package report post-processes extracted capacitance matrices: physical
+// sanity checks on the Maxwell matrix, pretty-printing, and SPICE netlist
+// emission for circuit back-annotation.
+package report
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"parbem/internal/linalg"
+)
+
+// CheckMaxwell validates the structural properties of a Maxwell
+// capacitance matrix: symmetry, positive diagonal, non-positive
+// off-diagonal (up to tol relative slack for shielded near-zero couplings),
+// and non-negative row sums (capacitance to infinity). It returns a list
+// of violations (empty = clean).
+func CheckMaxwell(c *linalg.Dense, tol float64) []string {
+	var out []string
+	if c.Rows != c.Cols {
+		return []string{fmt.Sprintf("matrix is %dx%d, not square", c.Rows, c.Cols)}
+	}
+	if tol == 0 {
+		tol = 0.02
+	}
+	// Scale for slack: largest diagonal entry.
+	var scale float64
+	for i := 0; i < c.Rows; i++ {
+		if v := math.Abs(c.At(i, i)); v > scale {
+			scale = v
+		}
+	}
+	slack := tol * scale
+	for i := 0; i < c.Rows; i++ {
+		if c.At(i, i) <= 0 {
+			out = append(out, fmt.Sprintf("C[%d][%d] = %g: diagonal not positive", i, i, c.At(i, i)))
+		}
+		var row float64
+		for j := 0; j < c.Cols; j++ {
+			row += c.At(i, j)
+			if i == j {
+				continue
+			}
+			if d := math.Abs(c.At(i, j) - c.At(j, i)); d > slack {
+				out = append(out, fmt.Sprintf("C[%d][%d] asymmetric by %g", i, j, d))
+			}
+			if c.At(i, j) > slack {
+				out = append(out, fmt.Sprintf("C[%d][%d] = %g: positive coupling", i, j, c.At(i, j)))
+			}
+		}
+		if row < -slack {
+			out = append(out, fmt.Sprintf("row %d sums to %g: negative capacitance to infinity", i, row))
+		}
+	}
+	return out
+}
+
+// WriteSpice emits the capacitance matrix as a SPICE subcircuit: one
+// grounded capacitor per conductor (its row sum) and one coupling
+// capacitor per conductor pair (-C_ij), skipping elements below minCap
+// farads. Node names default to n0, n1, ... when names is nil.
+func WriteSpice(w io.Writer, c *linalg.Dense, names []string, minCap float64) error {
+	bw := bufio.NewWriter(w)
+	name := func(i int) string {
+		if names != nil && i < len(names) && names[i] != "" {
+			return sanitizeNode(names[i])
+		}
+		return fmt.Sprintf("n%d", i)
+	}
+	fmt.Fprintf(bw, "* capacitance netlist extracted by parbem\n")
+	fmt.Fprintf(bw, ".subckt extracted")
+	for i := 0; i < c.Rows; i++ {
+		fmt.Fprintf(bw, " %s", name(i))
+	}
+	fmt.Fprintf(bw, "\n")
+	idx := 1
+	for i := 0; i < c.Rows; i++ {
+		var row float64
+		for j := 0; j < c.Cols; j++ {
+			row += c.At(i, j)
+		}
+		if row > minCap {
+			fmt.Fprintf(bw, "C%d %s 0 %.6g\n", idx, name(i), row)
+			idx++
+		}
+	}
+	for i := 0; i < c.Rows; i++ {
+		for j := i + 1; j < c.Cols; j++ {
+			cc := -c.At(i, j)
+			if cc > minCap {
+				fmt.Fprintf(bw, "C%d %s %s %.6g\n", idx, name(i), name(j), cc)
+				idx++
+			}
+		}
+	}
+	fmt.Fprintf(bw, ".ends\n")
+	return bw.Flush()
+}
+
+// FormatMatrix renders the matrix as aligned text with the given scale
+// factor (e.g. 1e15 for femtofarads).
+func FormatMatrix(c *linalg.Dense, scale float64, names []string) string {
+	var sb strings.Builder
+	name := func(i int) string {
+		if names != nil && i < len(names) {
+			return names[i]
+		}
+		return fmt.Sprintf("c%d", i)
+	}
+	sb.WriteString(fmt.Sprintf("%-10s", ""))
+	for j := 0; j < c.Cols; j++ {
+		sb.WriteString(fmt.Sprintf("%12s", trunc(name(j), 11)))
+	}
+	sb.WriteString("\n")
+	for i := 0; i < c.Rows; i++ {
+		sb.WriteString(fmt.Sprintf("%-10s", trunc(name(i), 9)))
+		for j := 0; j < c.Cols; j++ {
+			sb.WriteString(fmt.Sprintf("%12.4f", c.At(i, j)*scale))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// CapToInfinity returns the per-conductor row sums (capacitance to the
+// environment).
+func CapToInfinity(c *linalg.Dense) []float64 {
+	out := make([]float64, c.Rows)
+	for i := 0; i < c.Rows; i++ {
+		var row float64
+		for j := 0; j < c.Cols; j++ {
+			row += c.At(i, j)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func sanitizeNode(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+func trunc(s string, n int) string {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}

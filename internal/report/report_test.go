@@ -1,0 +1,103 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"parbem/internal/linalg"
+)
+
+func goodMatrix() *linalg.Dense {
+	return linalg.NewDenseFrom(2, 2, []float64{
+		3e-15, -1e-15,
+		-1e-15, 2.5e-15,
+	})
+}
+
+func TestCheckMaxwellClean(t *testing.T) {
+	if v := CheckMaxwell(goodMatrix(), 0); len(v) != 0 {
+		t.Errorf("violations on clean matrix: %v", v)
+	}
+}
+
+func TestCheckMaxwellCatchesProblems(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *linalg.Dense
+		want string
+	}{
+		{"negative diagonal", linalg.NewDenseFrom(2, 2, []float64{
+			-1e-15, 0, 0, 1e-15}), "diagonal"},
+		{"positive coupling", linalg.NewDenseFrom(2, 2, []float64{
+			3e-15, 1e-15, 1e-15, 3e-15}), "positive coupling"},
+		{"asymmetric", linalg.NewDenseFrom(2, 2, []float64{
+			3e-15, -2e-15, -0.5e-15, 3e-15}), "asymmetric"},
+		{"negative row sum", linalg.NewDenseFrom(2, 2, []float64{
+			1e-15, -2e-15, -2e-15, 1e-15}), "negative capacitance"},
+		{"non-square", linalg.NewDense(2, 3), "not square"},
+	}
+	for _, c := range cases {
+		v := CheckMaxwell(c.m, 0.01)
+		found := false
+		for _, msg := range v {
+			if strings.Contains(msg, c.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: violations %v missing %q", c.name, v, c.want)
+		}
+	}
+}
+
+func TestWriteSpice(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSpice(&buf, goodMatrix(), []string{"vdd", "out!"}, 1e-18); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		".subckt extracted vdd out_",
+		"C1 vdd 0 2e-15",    // row sum 3-1
+		"C2 out_ 0 1.5e-15", // row sum 2.5-1
+		"C3 vdd out_ 1e-15", // coupling
+		".ends",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("netlist missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteSpiceThreshold(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSpice(&buf, goodMatrix(), nil, 1.9e-15); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "C") && strings.Contains(line, "n0 n1") {
+			t.Errorf("coupling below threshold not skipped: %s", line)
+		}
+	}
+	if !strings.Contains(out, "n0 0 2e-15") {
+		t.Errorf("grounded cap above threshold missing:\n%s", out)
+	}
+}
+
+func TestFormatMatrixAndCapToInfinity(t *testing.T) {
+	s := FormatMatrix(goodMatrix(), 1e15, []string{"a", "b"})
+	if !strings.Contains(s, "a") || !strings.Contains(s, "3.0000") {
+		t.Errorf("format output wrong:\n%s", s)
+	}
+	sums := CapToInfinity(goodMatrix())
+	if len(sums) != 2 {
+		t.Fatalf("CapToInfinity = %v", sums)
+	}
+	for i, want := range []float64{2e-15, 1.5e-15} {
+		if d := sums[i] - want; d > 1e-30 || d < -1e-30 {
+			t.Errorf("CapToInfinity[%d] = %g want %g", i, sums[i], want)
+		}
+	}
+}

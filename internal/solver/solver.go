@@ -1,0 +1,278 @@
+// Package solver drives end-to-end capacitance extraction with
+// instantiable basis functions: basis generation, (optionally parallel)
+// system setup, direct solve, and capacitance recovery C = Phi^T rho
+// (paper Section 2.1).
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"parbem/internal/assembly"
+	"parbem/internal/basis"
+	"parbem/internal/geom"
+	"parbem/internal/kernel"
+	"parbem/internal/linalg"
+	"parbem/internal/mpi"
+	"parbem/internal/par"
+)
+
+// Backend selects how the system setup step is executed.
+type Backend int
+
+// Available execution backends.
+const (
+	Serial      Backend = iota // single node (Algorithm 1 on the full k-range)
+	SharedMem                  // goroutine worker pool (OpenMP analog, Fig. 4)
+	Distributed                // simulated message passing (MPI analog, Fig. 6)
+)
+
+// String implements fmt.Stringer.
+func (b Backend) String() string {
+	switch b {
+	case Serial:
+		return "serial"
+	case SharedMem:
+		return "shared-memory"
+	case Distributed:
+		return "distributed-memory"
+	}
+	return fmt.Sprintf("Backend(%d)", int(b))
+}
+
+// Options configures extraction.
+type Options struct {
+	Backend Backend
+	Workers int // parallel nodes D (0 = GOMAXPROCS for SharedMem, 1 for others)
+
+	// Basis tunes instantiable-basis generation; zero value = defaults.
+	Basis basis.BuilderOptions
+
+	// Kernel overrides the integration configuration (nil = defaults).
+	Kernel *kernel.Config
+
+	// Eps is the dielectric permittivity (0 = vacuum).
+	Eps float64
+
+	// Network supplies the simulated interconnect for the Distributed
+	// backend (nil = ideal network of Workers ranks).
+	Network *mpi.Network
+}
+
+// Timing is the phase breakdown of one extraction.
+type Timing struct {
+	BasisGen time.Duration
+	Setup    time.Duration // system matrix fill (the dominant phase)
+	Solve    time.Duration // factorization + triangular solves + C recovery
+	Total    time.Duration
+}
+
+// Result is a completed extraction.
+type Result struct {
+	// C is the n x n Maxwell capacitance matrix in farads.
+	C *linalg.Dense
+	// N and M are the basis-function and template counts.
+	N, M int
+	// MatrixBytes is the memory held by the dense system matrix.
+	MatrixBytes int
+	Timing      Timing
+	// Set is the generated basis (exposed for diagnostics and examples).
+	Set *basis.Set
+	// P is the scaled system matrix (retained for diagnostics; may be
+	// nil if ReleaseP was requested).
+	P *linalg.Dense
+}
+
+// Extract runs the full pipeline on a structure.
+func Extract(st *geom.Structure, opt Options) (*Result, error) {
+	if err := st.Validate(); err != nil {
+		return nil, err
+	}
+	eps := opt.Eps
+	if eps == 0 {
+		eps = kernel.Eps0
+	}
+	cfg := opt.Kernel
+	if cfg == nil {
+		cfg = kernel.DefaultConfig()
+	}
+	in := &assembly.Integrator{Cfg: cfg}
+
+	t0 := time.Now()
+	bopt := opt.Basis
+	if bopt == (basis.BuilderOptions{}) {
+		bopt = basis.DefaultBuilderOptions()
+	}
+	set := basis.Build(st, bopt)
+	if err := set.Validate(); err != nil {
+		return nil, fmt.Errorf("solver: generated basis invalid: %w", err)
+	}
+	tBasis := time.Since(t0)
+
+	t1 := time.Now()
+	P, err := fill(set, in, opt)
+	if err != nil {
+		return nil, err
+	}
+	// Physical scaling 1/(4*pi*eps).
+	linalg.Scal(1/(kernel.FourPi*eps), P.Data)
+	tSetup := time.Since(t1)
+
+	t2 := time.Now()
+	C, err := solveSystem(set, P)
+	if err != nil {
+		return nil, err
+	}
+	tSolve := time.Since(t2)
+
+	return &Result{
+		C:           C,
+		N:           set.N(),
+		M:           set.M(),
+		MatrixBytes: 8 * len(P.Data),
+		Set:         set,
+		P:           P,
+		Timing: Timing{
+			BasisGen: tBasis,
+			Setup:    tSetup,
+			Solve:    tSolve,
+			Total:    tBasis + tSetup + tSolve,
+		},
+	}, nil
+}
+
+// fill dispatches the system setup to the selected backend.
+func fill(set *basis.Set, in *assembly.Integrator, opt Options) (*linalg.Dense, error) {
+	switch opt.Backend {
+	case Serial:
+		return assembly.FillSerial(set, in), nil
+	case SharedMem:
+		return par.Fill(set, in, par.Options{Workers: opt.Workers}), nil
+	case Distributed:
+		net := opt.Network
+		if net == nil {
+			d := opt.Workers
+			if d <= 0 {
+				d = 1
+			}
+			net = mpi.NewNetwork(d)
+		}
+		return mpi.FillDistributed(set, in, net), nil
+	}
+	return nil, errors.New("solver: unknown backend")
+}
+
+// solveSystem factorizes P and recovers C = Phi^T rho with Phi the
+// conductor-indicator right-hand sides weighted by basis moments.
+func solveSystem(set *basis.Set, P *linalg.Dense) (*linalg.Dense, error) {
+	n := set.NumConductors
+	N := set.N()
+	moments := set.Moments()
+	phi := linalg.NewDense(N, n)
+	for i, f := range set.Functions {
+		phi.Set(i, f.Conductor, moments[i])
+	}
+
+	rho, err := solveSPD(P, phi)
+	if err != nil {
+		return nil, err
+	}
+
+	c := linalg.NewDense(n, n)
+	linalg.Mul(c, phi.Transpose(), rho)
+	// Enforce exact symmetry (P is symmetric, so C is up to roundoff).
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := 0.5 * (c.At(i, j) + c.At(j, i))
+			c.Set(i, j, v)
+			c.Set(j, i, v)
+		}
+	}
+	return c, nil
+}
+
+// solveSPD solves P X = Phi by Cholesky with symmetric Jacobi
+// equilibration: the Gram matrix's diagonal spans several orders of
+// magnitude (face basis moments vs small arch templates), so P is first
+// scaled to unit diagonal, S P S y = S Phi with S = diag(P_ii^-1/2). P is
+// SPD in exact arithmetic, but quadrature error on nearly dependent basis
+// functions can push a tiny eigenvalue below zero on large problems; an
+// escalating uniform shift on the equilibrated matrix (starting at 1e-12,
+// far below the integration accuracy) restores positive definiteness. LU
+// remains the last-resort fallback.
+func solveSPD(P, phi *linalg.Dense) (*linalg.Dense, error) {
+	nr := P.Rows
+	s := make([]float64, nr)
+	ok := true
+	for i := 0; i < nr; i++ {
+		d := P.At(i, i)
+		if d <= 0 {
+			ok = false
+			break
+		}
+		s[i] = 1 / mathSqrt(d)
+	}
+	if ok {
+		eq := linalg.NewDense(nr, nr)
+		for i := 0; i < nr; i++ {
+			prow := P.Row(i)
+			erow := eq.Row(i)
+			si := s[i]
+			for j, v := range prow {
+				erow[j] = si * v * s[j]
+			}
+		}
+		ephi := linalg.NewDense(nr, phi.Cols)
+		for i := 0; i < nr; i++ {
+			for j := 0; j < phi.Cols; j++ {
+				ephi.Set(i, j, s[i]*phi.At(i, j))
+			}
+		}
+		if ch, err := linalg.NewCholesky(eq); err == nil {
+			y := ch.SolveMatrix(ephi)
+			// Undo the scaling: x = S y.
+			for i := 0; i < nr; i++ {
+				for j := 0; j < y.Cols; j++ {
+					y.Set(i, j, s[i]*y.At(i, j))
+				}
+			}
+			return y, nil
+		}
+	}
+	lu, err := linalg.NewLU(P)
+	if err != nil {
+		return nil, fmt.Errorf("solver: system matrix unsolvable: %w", err)
+	}
+	rho := linalg.NewDense(nr, phi.Cols)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			col := make([]float64, nr)
+			for j := range next {
+				for i := 0; i < nr; i++ {
+					col[i] = phi.At(i, j)
+				}
+				lu.Solve(col, col)
+				for i := 0; i < nr; i++ {
+					rho.Set(i, j, col[i])
+				}
+			}
+		}()
+	}
+	for j := 0; j < phi.Cols; j++ {
+		next <- j
+	}
+	close(next)
+	wg.Wait()
+	return rho, nil
+}
+
+// mathSqrt is split out for clarity at the call site.
+func mathSqrt(x float64) float64 { return math.Sqrt(x) }

@@ -1,0 +1,183 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"parbem/internal/geom"
+	"parbem/internal/kernel"
+	"parbem/internal/linalg"
+	"parbem/internal/mpi"
+)
+
+func TestExtractCrossingPair(t *testing.T) {
+	st := geom.DefaultCrossingPair().Build()
+	res, err := Extract(st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	C := res.C
+	if C.Rows != 2 || C.Cols != 2 {
+		t.Fatalf("C is %dx%d", C.Rows, C.Cols)
+	}
+	// Maxwell capacitance matrix structure.
+	if C.At(0, 0) <= 0 || C.At(1, 1) <= 0 {
+		t.Errorf("diagonal not positive: %g %g", C.At(0, 0), C.At(1, 1))
+	}
+	if C.At(0, 1) >= 0 {
+		t.Errorf("coupling not negative: %g", C.At(0, 1))
+	}
+	if C.At(0, 1) != C.At(1, 0) {
+		t.Error("C not symmetric")
+	}
+	// Row sums (capacitance to infinity) must be positive.
+	for i := 0; i < 2; i++ {
+		if C.At(i, 0)+C.At(i, 1) <= 0 {
+			t.Errorf("row %d sum non-positive", i)
+		}
+	}
+	// Scale sanity: crossing micron wires couple at O(0.01..1 fF).
+	c12 := -C.At(0, 1)
+	if c12 < 1e-18 || c12 > 1e-14 {
+		t.Errorf("coupling %g F outside physical window", c12)
+	}
+	if res.N <= 0 || res.M < res.N {
+		t.Errorf("bad sizes N=%d M=%d", res.N, res.M)
+	}
+}
+
+func TestExtractParallelPlates(t *testing.T) {
+	// Two 20x20 um plates 0.5 um apart: C ~ eps*A/d plus fringing.
+	side := 20e-6
+	d := 0.5e-6
+	thick := 0.2e-6
+	st := &geom.Structure{
+		Name: "plates",
+		Conductors: []*geom.Conductor{
+			{Name: "bot", Boxes: []geom.Box{geom.NewBox(
+				geom.Vec3{X: 0, Y: 0, Z: 0}, geom.Vec3{X: side, Y: side, Z: thick})}},
+			{Name: "top", Boxes: []geom.Box{geom.NewBox(
+				geom.Vec3{X: 0, Y: 0, Z: thick + d}, geom.Vec3{X: side, Y: side, Z: 2*thick + d})}},
+		},
+	}
+	res, err := Extract(st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := kernel.Eps0 * side * side / d
+	got := -res.C.At(0, 1)
+	ratio := got / ideal
+	if ratio < 0.9 || ratio > 1.6 {
+		t.Errorf("plate capacitance %g F, ideal %g F (ratio %.2f) outside [0.9, 1.6]",
+			got, ideal, ratio)
+	}
+}
+
+func TestBackendsAgree(t *testing.T) {
+	st := geom.DefaultCrossingPair().Build()
+	serial, err := Extract(st, Options{Backend: Serial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := Extract(st, Options{Backend: SharedMem, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := Extract(st, Options{Backend: Distributed, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := linalg.MaxAbsDiff(serial.C, shared.C); d > ctol(serial.C) {
+		t.Errorf("shared differs from serial by %g", d)
+	}
+	if d := linalg.MaxAbsDiff(serial.C, dist.C); d > ctol(serial.C) {
+		t.Errorf("distributed differs from serial by %g", d)
+	}
+}
+
+func TestExtractWithCustomNetwork(t *testing.T) {
+	st := geom.DefaultCrossingPair().Build()
+	net := mpi.NewNetwork(4)
+	res, err := Extract(st, Options{Backend: Distributed, Network: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, _ := Extract(st, Options{})
+	if d := linalg.MaxAbsDiff(serial.C, res.C); d > ctol(serial.C) {
+		t.Errorf("networked result differs by %g", d)
+	}
+}
+
+func TestExtractBusCouplingStructure(t *testing.T) {
+	st := geom.DefaultBus(3, 3).Build()
+	res, err := Extract(st, Options{Backend: SharedMem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	C := res.C
+	if C.Rows != 6 {
+		t.Fatalf("C rows = %d", C.Rows)
+	}
+	// Cross-layer couplings: negative for the unshielded pairs; the
+	// center-center crossing is almost completely shielded by its four
+	// neighbors, so it may only be required to be negligible relative to
+	// the strongest coupling.
+	var maxCouple float64
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if i != j && -C.At(i, j) > maxCouple {
+				maxCouple = -C.At(i, j)
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		for j := 3; j < 6; j++ {
+			if C.At(i, j) > 0.02*maxCouple {
+				t.Errorf("C[%d][%d] = %g, want negative (or negligibly shielded) coupling", i, j, C.At(i, j))
+			}
+		}
+	}
+	// Mirror symmetry on the strong entries (self terms and adjacent
+	// lateral couplings), within the ~1-2% template integration
+	// tolerance; small shielded couplings have larger relative error.
+	if rel := relDiff(C.At(0, 0), C.At(2, 2)); rel > 2e-2 {
+		t.Errorf("self-cap mirror symmetry broken: %g vs %g", C.At(0, 0), C.At(2, 2))
+	}
+	if rel := relDiff(C.At(0, 1), C.At(1, 2)); rel > 2e-2 {
+		t.Errorf("lateral mirror symmetry broken: %g vs %g", C.At(0, 1), C.At(1, 2))
+	}
+	// Setup must dominate the runtime (the paper's premise: > 95% in
+	// their implementation; we assert a softer bound to stay robust on
+	// tiny problems).
+	if res.Timing.Setup < res.Timing.Solve {
+		t.Errorf("setup (%v) should dominate solve (%v)", res.Timing.Setup, res.Timing.Solve)
+	}
+}
+
+func TestExtractValidation(t *testing.T) {
+	if _, err := Extract(&geom.Structure{Name: "empty"}, Options{}); err == nil {
+		t.Error("empty structure must fail")
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}
+
+// ctol returns the rounding tolerance for comparing capacitance matrices
+// produced by different backends (accumulation order differs).
+func ctol(m *linalg.Dense) float64 {
+	var scale float64
+	for _, v := range m.Data {
+		if v > scale {
+			scale = v
+		} else if -v > scale {
+			scale = -v
+		}
+	}
+	return 1e-9 * scale
+}

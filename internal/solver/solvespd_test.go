@@ -1,0 +1,84 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"parbem/internal/linalg"
+)
+
+func TestSolveSPDOnSPDMatrix(t *testing.T) {
+	// Well-conditioned SPD with wildly varying diagonal scales: the
+	// equilibrated Cholesky path must solve it.
+	n := 40
+	P := linalg.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		scale := math.Pow(10, float64(i%8)-4)
+		P.Set(i, i, scale)
+		if i > 0 {
+			c := 0.1 * math.Sqrt(P.At(i, i)*P.At(i-1, i-1))
+			P.Set(i, i-1, c)
+			P.Set(i-1, i, c)
+		}
+	}
+	phi := linalg.NewDense(n, 2)
+	for i := 0; i < n; i++ {
+		phi.Set(i, 0, 1)
+		phi.Set(i, 1, float64(i))
+	}
+	x, err := solveSPD(P, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify P x = phi.
+	for j := 0; j < 2; j++ {
+		col := make([]float64, n)
+		for i := 0; i < n; i++ {
+			col[i] = x.At(i, j)
+		}
+		got := make([]float64, n)
+		P.MulVec(got, col)
+		for i := 0; i < n; i++ {
+			if math.Abs(got[i]-phi.At(i, j)) > 1e-8*math.Max(1, math.Abs(phi.At(i, j))) {
+				t.Fatalf("residual at (%d,%d): %g vs %g", i, j, got[i], phi.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSolveSPDFallsBackOnIndefinite(t *testing.T) {
+	// Symmetric indefinite (one negative eigenvalue): Cholesky cannot
+	// factor it, the LU fallback must still solve the system.
+	P := linalg.NewDenseFrom(2, 2, []float64{1, 2, 2, 1})
+	phi := linalg.NewDenseFrom(2, 1, []float64{3, 0})
+	x, err := solveSPD(P, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact solution: x = [-1, 2].
+	if math.Abs(x.At(0, 0)+1) > 1e-12 || math.Abs(x.At(1, 0)-2) > 1e-12 {
+		t.Fatalf("fallback solution [%g %g], want [-1 2]", x.At(0, 0), x.At(1, 0))
+	}
+}
+
+func TestSolveSPDZeroDiagonalGoesToLU(t *testing.T) {
+	// A zero diagonal entry defeats equilibration; the LU fallback must
+	// handle the (permuted) solve.
+	P := linalg.NewDenseFrom(2, 2, []float64{0, 1, 1, 0})
+	phi := linalg.NewDenseFrom(2, 1, []float64{5, 7})
+	x, err := solveSPD(P, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x.At(0, 0)-7) > 1e-12 || math.Abs(x.At(1, 0)-5) > 1e-12 {
+		t.Fatalf("solution [%g %g], want [7 5]", x.At(0, 0), x.At(1, 0))
+	}
+}
+
+func TestSolveSPDSingularErrors(t *testing.T) {
+	P := linalg.NewDense(2, 2) // all zeros
+	phi := linalg.NewDenseFrom(2, 1, []float64{1, 1})
+	if _, err := solveSPD(P, phi); err == nil {
+		t.Fatal("singular system must error")
+	}
+}

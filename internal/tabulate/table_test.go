@@ -1,0 +1,136 @@
+package tabulate
+
+import (
+	"math"
+	"testing"
+
+	"parbem/internal/kernel"
+)
+
+func TestTableExactOnLinearFunctions(t *testing.T) {
+	// Multilinear interpolation reproduces multilinear functions exactly.
+	dims := []Dim{{0, 1, 5}, {0, 2, 7}, {-1, 1, 4}}
+	f := func(x []float64) float64 {
+		return 2 + 3*x[0] - x[1] + 0.5*x[2] + x[0]*x[1] - 2*x[1]*x[2] + x[0]*x[1]*x[2]
+	}
+	tab := Build(dims, f)
+	probe := [][]float64{
+		{0.13, 1.7, -0.4},
+		{0.5, 1, 0},
+		{0.99, 0.01, 0.99},
+		{0, 0, -1},
+		{1, 2, 1},
+	}
+	for _, p := range probe {
+		got := tab.Eval(p...)
+		want := f(p)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("Eval(%v) = %g want %g", p, got, want)
+		}
+	}
+}
+
+func TestTableClamping(t *testing.T) {
+	tab := Build([]Dim{{0, 1, 3}}, func(x []float64) float64 { return x[0] })
+	if got := tab.Eval(-5); got != 0 {
+		t.Errorf("clamp below = %g", got)
+	}
+	if got := tab.Eval(99); got != 1 {
+		t.Errorf("clamp above = %g", got)
+	}
+}
+
+func TestEval2AndEval4FastPaths(t *testing.T) {
+	f2 := func(x []float64) float64 { return math.Sin(x[0]) * math.Cos(x[1]) }
+	t2 := Build([]Dim{{0, 2, 30}, {0, 2, 30}}, f2)
+	for x := 0.05; x < 2; x += 0.3 {
+		for y := 0.05; y < 2; y += 0.3 {
+			a := t2.Eval(x, y)
+			b := t2.Eval2(x, y)
+			if math.Abs(a-b) > 1e-14 {
+				t.Fatalf("Eval2 mismatch at (%g,%g)", x, y)
+			}
+		}
+	}
+	f4 := func(x []float64) float64 { return x[0] + 2*x[1] + x[2]*x[3] }
+	t4 := Build([]Dim{{0, 1, 4}, {0, 1, 4}, {0, 1, 4}, {0, 1, 4}}, f4)
+	probe := [][4]float64{{0.1, 0.9, 0.3, 0.5}, {0, 1, 0.5, 0.25}}
+	for _, p := range probe {
+		a := t4.Eval(p[0], p[1], p[2], p[3])
+		b := t4.Eval4(p[0], p[1], p[2], p[3])
+		if math.Abs(a-b) > 1e-14 {
+			t.Fatalf("Eval4 mismatch at %v: %g vs %g", p, a, b)
+		}
+	}
+}
+
+func TestDefinite2DAccuracy(t *testing.T) {
+	dom := DefaultDomain2D()
+	tab := NewDefinite2D(dom, 10, 10, 48, 48)
+	// Probe away from the rectangle edges where the integrand kinks.
+	maxRel := 0.0
+	for _, p := range [][4]float64{
+		{1, 1, 3, 3}, {0.5, 1.5, -2, 4}, {2, 2, 4.5, -2.5}, {1.2, 0.8, 3.5, 0.5},
+	} {
+		got := tab.Eval(p[0], p[1], p[2], p[3])
+		want := kernel.RectPotential(kernel.StdOps, 0, p[0], 0, p[1], p[2], p[3], 0)
+		rel := math.Abs(got-want) / math.Abs(want)
+		if rel > maxRel {
+			maxRel = rel
+		}
+	}
+	if maxRel > 0.02 {
+		t.Fatalf("direct tabulation error %g > 2%%", maxRel)
+	}
+	if tab.Bytes() < 1000 {
+		t.Fatal("implausibly small table")
+	}
+}
+
+func TestIndefinite2DMatchesClosedForm(t *testing.T) {
+	dom := DefaultDomain2D()
+	tab := NewIndefinite2D(dom, 600)
+	maxRel := 0.0
+	for _, p := range [][4]float64{
+		{1, 1, 3, 3}, {0.5, 1.5, -2, 4}, {2, 2, 4.5, -2.5}, {1.2, 0.8, 3.5, 0.5},
+	} {
+		got := tab.Eval(p[0], p[1], p[2], p[3])
+		want := kernel.RectPotential(kernel.StdOps, 0, p[0], 0, p[1], p[2], p[3], 0)
+		rel := math.Abs(got-want) / math.Abs(want)
+		if rel > maxRel {
+			maxRel = rel
+		}
+	}
+	if maxRel > 0.02 {
+		t.Fatalf("indefinite tabulation error %g > 2%%", maxRel)
+	}
+}
+
+func TestMaxInterpError(t *testing.T) {
+	tab := Build([]Dim{{0, 1, 200}, {0, 1, 200}}, func(x []float64) float64 {
+		return math.Exp(x[0] + x[1])
+	})
+	e := tab.MaxInterpError(func(x []float64) float64 {
+		return math.Exp(x[0] + x[1])
+	}, 500)
+	if e > 1e-3 {
+		t.Fatalf("interp error %g too large for smooth function", e)
+	}
+}
+
+func TestBuildPanics(t *testing.T) {
+	for _, dims := range [][]Dim{
+		nil,
+		{{0, 1, 1}},
+		{{1, 1, 4}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Build(%v) did not panic", dims)
+				}
+			}()
+			Build(dims, func([]float64) float64 { return 0 })
+		}()
+	}
+}

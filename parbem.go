@@ -1,0 +1,256 @@
+// Package parbem is a highly scalable parallel boundary element method for
+// capacitance extraction, reproducing Hsiao & Daniel, DAC 2011.
+//
+// The solver represents surface charge with instantiable basis functions —
+// a small number of rich, template-built functions instantiated near wire
+// crossings — instead of thousands of piecewise-constant panels. The
+// resulting dense system is tiny, so nearly all work is in the
+// embarrassingly parallel matrix-fill step, which scales at ~90% parallel
+// efficiency on both shared-memory and (simulated) distributed-memory
+// backends.
+//
+// Quick start:
+//
+//	st := parbem.NewCrossingPair().Build()
+//	res, err := parbem.Extract(st, parbem.Options{Backend: parbem.SharedMem})
+//	// res.C is the Maxwell capacitance matrix in farads.
+//
+// Baselines in the style of FASTCAP (multipole-accelerated) and the
+// parallel precorrected-FFT method are provided for comparison via
+// ExtractFastCapLike and ExtractPFFT; a fine piecewise-constant direct
+// solve (ExtractReference) serves as the accuracy reference.
+package parbem
+
+import (
+	"io"
+
+	"parbem/internal/basis"
+	"parbem/internal/extract"
+	"parbem/internal/fmm"
+	"parbem/internal/geom"
+	"parbem/internal/geomio"
+	"parbem/internal/kernel"
+	"parbem/internal/linalg"
+	"parbem/internal/mpi"
+	"parbem/internal/pcbem"
+	"parbem/internal/pfft"
+	"parbem/internal/report"
+	"parbem/internal/solver"
+)
+
+// Geometry types (see internal/geom for details).
+type (
+	// Vec3 is a 3-D point or displacement in meters.
+	Vec3 = geom.Vec3
+	// Box is an axis-aligned conductor block.
+	Box = geom.Box
+	// Conductor is a named group of boxes at one potential.
+	Conductor = geom.Conductor
+	// Structure is a complete n-conductor extraction problem.
+	Structure = geom.Structure
+	// CrossingPairSpec parameterizes the elementary two-wire crossing.
+	CrossingPairSpec = geom.CrossingPairSpec
+	// BusSpec parameterizes an m x n two-layer bus crossbar.
+	BusSpec = geom.BusSpec
+	// InterconnectSpec parameterizes the synthetic transistor
+	// interconnect structure.
+	InterconnectSpec = geom.InterconnectSpec
+	// Axis selects X, Y or Z.
+	Axis = geom.Axis
+)
+
+// Axis constants.
+const (
+	X = geom.X
+	Y = geom.Y
+	Z = geom.Z
+)
+
+// NewBox constructs a box from two corners. Wire routes a wire along an
+// axis.
+var (
+	NewBox = geom.NewBox
+	Wire   = geom.Wire
+)
+
+// NewCrossingPair returns the default elementary crossing problem of paper
+// Figure 1.
+func NewCrossingPair() CrossingPairSpec { return geom.DefaultCrossingPair() }
+
+// NewBus returns the default m x n bus crossbar of paper Figure 7.
+func NewBus(m, n int) BusSpec { return geom.DefaultBus(m, n) }
+
+// NewInterconnect returns the synthetic transistor-interconnect structure
+// standing in for the paper's industry example.
+func NewInterconnect() InterconnectSpec { return geom.DefaultInterconnect() }
+
+// Solver types.
+type (
+	// Options configures extraction (backend, worker count, basis and
+	// kernel tuning).
+	Options = solver.Options
+	// Result is a completed extraction with the capacitance matrix,
+	// sizes and per-phase timing.
+	Result = solver.Result
+	// Backend selects serial, shared-memory or distributed execution.
+	Backend = solver.Backend
+	// BuilderOptions tunes instantiable-basis generation.
+	BuilderOptions = basis.BuilderOptions
+	// KernelConfig tunes the integration engine.
+	KernelConfig = kernel.Config
+	// Network is the simulated distributed-memory interconnect.
+	Network = mpi.Network
+	// Matrix is the dense matrix type used for capacitance results.
+	Matrix = linalg.Dense
+)
+
+// Execution backends.
+const (
+	Serial      = solver.Serial
+	SharedMem   = solver.SharedMem
+	Distributed = solver.Distributed
+)
+
+// Eps0 is the vacuum permittivity (F/m).
+const Eps0 = kernel.Eps0
+
+// DefaultKernelConfig returns the standard integration configuration.
+func DefaultKernelConfig() *KernelConfig { return kernel.DefaultConfig() }
+
+// FastKernelConfig returns the integration configuration with the
+// tabulated elementary functions of paper Section 4.2.3 enabled.
+func FastKernelConfig() *KernelConfig { return kernel.FastConfig() }
+
+// Extract runs instantiable-basis capacitance extraction on a structure.
+func Extract(st *Structure, opt Options) (*Result, error) {
+	return solver.Extract(st, opt)
+}
+
+// NewNetwork creates a simulated message-passing network of the given
+// size for the Distributed backend (fields Latency/InvBandwidth add an
+// interconnect cost model).
+func NewNetwork(size int) *Network { return mpi.NewNetwork(size) }
+
+// ReferenceResult is a piecewise-constant baseline extraction.
+type ReferenceResult = pcbem.Result
+
+// ExtractReference solves the structure with a finely discretized
+// piecewise-constant Galerkin BEM and a dense direct solve. It is O(N^3)
+// but gives the accuracy reference for the instantiable-basis solver.
+// maxEdge is the maximum panel edge length in meters.
+func ExtractReference(st *Structure, maxEdge float64) (*ReferenceResult, error) {
+	p, err := pcbem.NewProblem(st, maxEdge)
+	if err != nil {
+		return nil, err
+	}
+	return p.SolveDense()
+}
+
+// FastCapOptions tunes the multipole baseline.
+type FastCapOptions = fmm.Options
+
+// ExtractFastCapLike solves the structure with the multipole-accelerated
+// piecewise-constant solver (FASTCAP-style: octree + Cartesian multipole
+// matvec + GMRES).
+func ExtractFastCapLike(st *Structure, maxEdge float64, opt FastCapOptions) (*ReferenceResult, error) {
+	p, err := pcbem.NewProblem(st, maxEdge)
+	if err != nil {
+		return nil, err
+	}
+	op := fmm.NewOperator(p.Panels, opt)
+	return p.SolveIterative(op, 1e-4)
+}
+
+// PFFTOptions tunes the precorrected-FFT baseline.
+type PFFTOptions = pfft.Options
+
+// ExtractPFFT solves the structure with the precorrected-FFT accelerated
+// piecewise-constant solver.
+func ExtractPFFT(st *Structure, maxEdge float64, opt PFFTOptions) (*ReferenceResult, error) {
+	p, err := pcbem.NewProblem(st, maxEdge)
+	if err != nil {
+		return nil, err
+	}
+	op := pfft.NewOperator(p.Panels, opt)
+	return p.SolveIterative(op, 1e-4)
+}
+
+// ReadStructure parses a structure from the line-oriented text format of
+// internal/geomio (see that package's documentation for the grammar).
+func ReadStructure(r io.Reader) (*Structure, error) { return geomio.Read(r) }
+
+// WriteStructure serializes a structure in the text format with the given
+// unit scale (0 = microns).
+func WriteStructure(w io.Writer, st *Structure, unit float64) error {
+	return geomio.Write(w, st, unit)
+}
+
+// WriteSpice emits the capacitance matrix as a SPICE subcircuit, skipping
+// elements below minCap farads.
+func WriteSpice(w io.Writer, c *Matrix, names []string, minCap float64) error {
+	return report.WriteSpice(w, c, names, minCap)
+}
+
+// CheckMaxwell validates the structural properties of a Maxwell
+// capacitance matrix, returning a list of violations (empty = clean).
+func CheckMaxwell(c *Matrix, tol float64) []string { return report.CheckMaxwell(c, tol) }
+
+// FormatMatrix renders a capacitance matrix as aligned text at the given
+// scale (e.g. 1e15 for femtofarads).
+func FormatMatrix(c *Matrix, scale float64, names []string) string {
+	return report.FormatMatrix(c, scale, names)
+}
+
+// CapToInfinity returns per-conductor total capacitance (row sums).
+func CapToInfinity(c *Matrix) []float64 { return report.CapToInfinity(c) }
+
+// Template-extraction pipeline (paper Figure 2): solve the elementary
+// crossing problem with the fine reference solver and decompose the
+// induced charge profile into flat + arch shapes.
+type (
+	// Profile is the induced charge profile along the target wire.
+	Profile = extract.Profile
+	// ArchFit is the fitted flat/arch decomposition a(h), b(h).
+	ArchFit = extract.ArchFit
+)
+
+// CrossingProfile measures the induced charge profile of a crossing pair.
+func CrossingProfile(sp CrossingPairSpec, maxEdge float64) (*Profile, error) {
+	return extract.CrossingProfile(sp, maxEdge)
+}
+
+// FitArch decomposes a measured profile into the Figure 2 shapes.
+func FitArch(p *Profile, sp CrossingPairSpec) (*ArchFit, error) {
+	return extract.FitArch(p, sp)
+}
+
+// SweepH extracts a(h), b(h) over a range of separations.
+func SweepH(base CrossingPairSpec, hs []float64, maxEdge float64) ([]*ArchFit, error) {
+	return extract.SweepH(base, hs, maxEdge)
+}
+
+// CapError returns the maximum relative difference between two capacitance
+// matrices, normalized per-row by the diagonal (the conventional accuracy
+// metric for extraction).
+func CapError(got, ref *Matrix) float64 {
+	var maxRel float64
+	for i := 0; i < ref.Rows; i++ {
+		den := ref.At(i, i)
+		if den < 0 {
+			den = -den
+		}
+		for j := 0; j < ref.Cols; j++ {
+			d := got.At(i, j) - ref.At(i, j)
+			if d < 0 {
+				d = -d
+			}
+			if rel := d / den; rel > maxRel {
+				maxRel = rel
+			}
+		}
+	}
+	return maxRel
+}
+
+// DefaultBuilderOptionsPub exposes the calibrated basis-builder defaults.
+func DefaultBuilderOptionsPub() BuilderOptions { return basis.DefaultBuilderOptions() }

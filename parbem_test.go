@@ -1,0 +1,101 @@
+package parbem
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPublicQuickstart(t *testing.T) {
+	st := NewCrossingPair().Build()
+	res, err := Extract(st, Options{Backend: SharedMem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.C.Rows != 2 {
+		t.Fatalf("C rows = %d", res.C.Rows)
+	}
+	if res.C.At(0, 1) >= 0 {
+		t.Error("coupling must be negative")
+	}
+}
+
+func TestInstantiableVsReferenceAccuracy(t *testing.T) {
+	// The headline accuracy claim: the instantiable-basis solution stays
+	// within a few percent of a finely discretized piecewise-constant
+	// reference (paper reports 2.8% on the industry example).
+	st := NewCrossingPair().Build()
+	fast, err := Extract(st, Options{Backend: SharedMem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ExtractReference(st, 0.35e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errRel := CapError(fast.C, ref.C)
+	t.Logf("instantiable vs reference: %.2f%% (N=%d vs %d panels)",
+		100*errRel, fast.N, ref.NumPanels)
+	if errRel > 0.10 {
+		t.Errorf("accuracy %.1f%% worse than 10%%", 100*errRel)
+	}
+	// Compactness claim: far fewer unknowns than the panel reference.
+	if fast.N >= ref.NumPanels/4 {
+		t.Errorf("basis not compact: N=%d vs %d panels", fast.N, ref.NumPanels)
+	}
+}
+
+func TestFastCapLikeBaseline(t *testing.T) {
+	st := NewCrossingPair().Build()
+	ref, err := ExtractReference(st, 0.5e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := ExtractFastCapLike(st, 0.5e-6, FastCapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := CapError(fc.C, ref.C); e > 0.03 {
+		t.Errorf("FastCap-like error %.2f%% vs dense on same mesh", 100*e)
+	}
+	if fc.Iterations == 0 {
+		t.Error("expected Krylov iterations")
+	}
+}
+
+func TestPFFTBaseline(t *testing.T) {
+	st := NewCrossingPair().Build()
+	ref, err := ExtractReference(st, 0.5e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := ExtractPFFT(st, 0.5e-6, PFFTOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := CapError(pf.C, ref.C); e > 0.05 {
+		t.Errorf("pFFT error %.2f%% vs dense on same mesh", 100*e)
+	}
+}
+
+func TestCapError(t *testing.T) {
+	a := &Matrix{Rows: 2, Cols: 2, Data: []float64{10, -2, -2, 10}}
+	b := &Matrix{Rows: 2, Cols: 2, Data: []float64{11, -2, -2, 10}}
+	if e := CapError(b, a); math.Abs(e-0.1) > 1e-12 {
+		t.Errorf("CapError = %g want 0.1", e)
+	}
+}
+
+func TestSetupDominatesTotal(t *testing.T) {
+	// The paper's core premise: >95% of runtime in system setup. On a
+	// small example we assert a softer 80%.
+	st := NewBus(4, 4).Build()
+	res, err := Extract(st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(res.Timing.Setup) / float64(res.Timing.Total)
+	t.Logf("setup fraction: %.1f%% (N=%d, M=%d)", 100*frac, res.N, res.M)
+	if frac < 0.80 {
+		t.Errorf("setup fraction %.1f%% below 80%%", 100*frac)
+	}
+}
