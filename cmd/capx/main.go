@@ -8,6 +8,12 @@
 //	capx -structure crossing
 //	capx -structure bus -m 24 -n 24 -backend shared -workers 4
 //	capx -structure interconnect -backend mpi -workers 10 -accel
+//
+// Batch mode extracts many geometry files through one shared engine
+// (persistent worker pool, basis/table/pair-integral caches), which is
+// several times faster than separate runs when structures repeat:
+//
+//	capx -batch -workers 8 bus1.geo bus2.geo bus3.geo
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"parbem"
 )
@@ -32,8 +39,18 @@ func main() {
 		maxPrint  = flag.Int("maxprint", 12, "largest matrix printed in full")
 		spice     = flag.String("spice", "", "also write a SPICE netlist to this file")
 		check     = flag.Bool("check", true, "validate the Maxwell matrix structure")
+		batchMode = flag.Bool("batch", false, "batch mode: extract the geometry files given as arguments through one shared engine")
+		tables    = flag.Bool("tables", false, "enable the tabulated collocation kernel (Section 4.2.1)")
 	)
 	flag.Parse()
+
+	if *batchMode {
+		if *spice != "" {
+			log.Fatal("-spice is not supported in batch mode")
+		}
+		runBatch(flag.Args(), *backend, *workers, *tables, *accel, *check, *units, *maxPrint)
+		return
+	}
 
 	var st *parbem.Structure
 	var err error
@@ -51,17 +68,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opt := parbem.Options{Workers: *workers}
-	switch *backend {
-	case "serial":
-		opt.Backend = parbem.Serial
-	case "shared":
-		opt.Backend = parbem.SharedMem
-	case "mpi":
-		opt.Backend = parbem.Distributed
-	default:
-		log.Fatalf("unknown backend %q", *backend)
+	opt := parbem.Options{Workers: *workers, Tables: *tables}
+	be, err := parseBackend(*backend)
+	if err != nil {
+		log.Fatal(err)
 	}
+	opt.Backend = be
 	if *accel {
 		opt.Kernel = parbem.FastKernelConfig()
 	}
@@ -76,8 +88,13 @@ func main() {
 	fmt.Printf("basis     : N = %d functions, M = %d templates (M/N = %.2f)\n",
 		res.N, res.M, float64(res.M)/float64(res.N))
 	fmt.Printf("memory    : %.1f KB system matrix\n", float64(res.MatrixBytes)/1024)
-	fmt.Printf("timing    : basis %v | setup %v | solve %v | total %v\n",
-		res.Timing.BasisGen, res.Timing.Setup, res.Timing.Solve, res.Timing.Total)
+	if res.Timing.TableGen > 0 {
+		fmt.Printf("timing    : basis %v | tables %v | setup %v | solve %v | total %v\n",
+			res.Timing.BasisGen, res.Timing.TableGen, res.Timing.Setup, res.Timing.Solve, res.Timing.Total)
+	} else {
+		fmt.Printf("timing    : basis %v | setup %v | solve %v | total %v\n",
+			res.Timing.BasisGen, res.Timing.Setup, res.Timing.Solve, res.Timing.Total)
+	}
 	fmt.Printf("setup %%   : %.1f%%\n\n",
 		100*float64(res.Timing.Setup)/float64(res.Timing.Total))
 
@@ -110,23 +127,105 @@ func main() {
 		fmt.Printf("netlist   : %s\n\n", *spice)
 	}
 
-	nc := res.C.Rows
-	if nc <= *maxPrint {
-		fmt.Println("capacitance matrix (scaled):")
-		fmt.Print(parbem.FormatMatrix(res.C, *units, names))
-	} else {
-		fmt.Printf("capacitance matrix is %dx%d; printing diagonal and strongest coupling per row\n", nc, nc)
-		for i := 0; i < nc; i++ {
-			best, bj := 0.0, -1
-			for j := 0; j < nc; j++ {
-				if j != i && -res.C.At(i, j) > best {
-					best, bj = -res.C.At(i, j), j
-				}
-			}
-			fmt.Printf("C[%3d][%3d] = %10.4f   strongest coupling -> %3d: %10.4f\n",
-				i, i, res.C.At(i, i)**units, bj, best**units)
-		}
+	fmt.Println("capacitance matrix (scaled):")
+	printMatrix(res.C, *units, names, *maxPrint)
+}
+
+// printMatrix prints the full matrix up to maxPrint conductors, else the
+// diagonal with each row's strongest coupling.
+func printMatrix(c *parbem.Matrix, units float64, names []string, maxPrint int) {
+	nc := c.Rows
+	if nc <= maxPrint {
+		fmt.Print(parbem.FormatMatrix(c, units, names))
+		return
 	}
+	fmt.Printf("matrix is %dx%d; printing diagonal and strongest coupling per row\n", nc, nc)
+	for i := 0; i < nc; i++ {
+		best, bj := 0.0, -1
+		for j := 0; j < nc; j++ {
+			if j != i && -c.At(i, j) > best {
+				best, bj = -c.At(i, j), j
+			}
+		}
+		fmt.Printf("C[%3d][%3d] = %10.4f   strongest coupling -> %3d: %10.4f\n",
+			i, i, c.At(i, i)*units, bj, best*units)
+	}
+}
+
+func parseBackend(name string) (parbem.Backend, error) {
+	switch name {
+	case "serial":
+		return parbem.Serial, nil
+	case "shared":
+		return parbem.SharedMem, nil
+	case "mpi":
+		return parbem.Distributed, nil
+	}
+	return 0, fmt.Errorf("unknown backend %q", name)
+}
+
+// runBatch extracts every geometry file through one shared engine and
+// prints a per-structure summary plus aggregate cache statistics.
+func runBatch(files []string, backend string, workers int, tables, accel, check bool, units float64, maxPrint int) {
+	if len(files) == 0 {
+		log.Fatal("batch mode needs geometry files as arguments")
+	}
+	be, err := parseBackend(backend)
+	if err != nil {
+		log.Fatal(err)
+	}
+	structures := make([]*parbem.Structure, len(files))
+	for i, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := parbem.ReadStructure(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		structures[i] = st
+	}
+
+	engOpt := parbem.EngineOptions{
+		Backend: be,
+		Workers: workers,
+		Tables:  tables,
+	}
+	if accel {
+		engOpt.Kernel = parbem.FastKernelConfig()
+	}
+	eng := parbem.NewEngine(engOpt)
+	defer eng.Close()
+
+	t0 := time.Now()
+	results, err := eng.ExtractAll(structures)
+	elapsed := time.Since(t0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for i, res := range results {
+		fmt.Printf("%-24s %3d conductors  N=%4d  M=%4d  setup %v\n",
+			files[i], structures[i].NumConductors(), res.N, res.M, res.Timing.Setup)
+		if check {
+			for _, v := range parbem.CheckMaxwell(res.C, 0) {
+				fmt.Printf("  warning: %s\n", v)
+			}
+		}
+		names := make([]string, structures[i].NumConductors())
+		for j, c := range structures[i].Conductors {
+			names[j] = c.Name
+		}
+		printMatrix(res.C, units, names, maxPrint)
+		fmt.Println()
+	}
+	s := eng.Stats()
+	fmt.Printf("batch     : %d structures in %v (%.1f/s)\n",
+		len(files), elapsed, float64(len(files))/elapsed.Seconds())
+	fmt.Printf("caches    : state %d hits / %d misses, pair integrals %d hits / %d misses (%d entries)\n",
+		s.StateHits, s.StateMisses, s.PairHits, s.PairMisses, s.PairEntries)
 }
 
 func buildStructure(kind string, m, n int) (*parbem.Structure, error) {

@@ -1,0 +1,94 @@
+package parbem
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// consistencyTol is the cross-backend agreement bound. The backends run
+// the same integration code over the same k-range; they differ only in
+// partitioning, which perturbs floating-point accumulation order by at
+// most a few ulps — far below 1e-10 relative.
+const consistencyTol = 1e-10
+
+// randomStructures builds a deterministic set of seeded-random bus and
+// crossing structures exercising different template mixes.
+func randomStructures(seed int64, n int) []*Structure {
+	rng := rand.New(rand.NewSource(seed))
+	jit := func(base float64) float64 { return base * (0.8 + 0.4*rng.Float64()) }
+	var out []*Structure
+	for i := 0; len(out) < n; i++ {
+		if i%2 == 0 {
+			sp := NewBus(2+rng.Intn(2), 2+rng.Intn(2))
+			sp.Width = jit(sp.Width)
+			sp.Thickness = jit(sp.Thickness)
+			sp.Pitch = jit(sp.Pitch)
+			sp.H = jit(sp.H)
+			sp.Margin = jit(sp.Margin)
+			out = append(out, sp.Build())
+		} else {
+			sp := NewCrossingPair()
+			sp.Width = jit(sp.Width)
+			sp.Thickness = jit(sp.Thickness)
+			sp.Length = jit(sp.Length)
+			sp.H = jit(sp.H)
+			out = append(out, sp.Build())
+		}
+	}
+	return out
+}
+
+// TestBackendConsistency asserts that the Serial, SharedMem and
+// Distributed backends and the batch Engine produce capacitance matrices
+// agreeing within 1e-10 relative error on seeded-random structures.
+func TestBackendConsistency(t *testing.T) {
+	structures := randomStructures(20260727, 4)
+
+	eng := NewEngine(EngineOptions{Workers: 3})
+	defer eng.Close()
+
+	for si, st := range structures {
+		st := st
+		t.Run(fmt.Sprintf("structure%d_%s", si, st.Name), func(t *testing.T) {
+			ref, err := Extract(st, Options{Backend: Serial})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			backends := []struct {
+				name string
+				run  func() (*Result, error)
+			}{
+				{"shared-4", func() (*Result, error) {
+					return Extract(st, Options{Backend: SharedMem, Workers: 4})
+				}},
+				{"distributed-3", func() (*Result, error) {
+					return Extract(st, Options{Backend: Distributed, Workers: 3})
+				}},
+				{"distributed-3x2threads", func() (*Result, error) {
+					return Extract(st, Options{Backend: Distributed, Workers: 3, ThreadsPerRank: 2})
+				}},
+				// Twice through the engine: the second run is served
+				// from the basis and pair-integral caches and must not
+				// drift either.
+				{"engine-cold", func() (*Result, error) { return eng.Extract(st) }},
+				{"engine-cached", func() (*Result, error) { return eng.Extract(st) }},
+			}
+			for _, be := range backends {
+				res, err := be.run()
+				if err != nil {
+					t.Fatalf("%s: %v", be.name, err)
+				}
+				if res.C.Rows != st.NumConductors() {
+					t.Fatalf("%s: C is %dx%d for %d conductors",
+						be.name, res.C.Rows, res.C.Cols, st.NumConductors())
+				}
+				if e := CapError(res.C, ref.C); e > consistencyTol {
+					t.Errorf("%s deviates from serial by %.3g (tol %g)",
+						be.name, e, consistencyTol)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module parbem
+
+go 1.22

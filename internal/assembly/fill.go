@@ -92,6 +92,22 @@ func FillPartial(set *basis.Set, in *Integrator, kLo, kHi int64) *Partial {
 	return p
 }
 
+// MergeIntoSlab adds the partial into a wider partial slab. dst's column
+// range must contain p's (callers size dst from ColRange of the enclosing
+// k-range).
+func (p *Partial) MergeIntoSlab(dst *Partial) {
+	off := p.ColLo - dst.ColLo
+	for i := 0; i < p.N; i++ {
+		row := p.Data.Row(i)
+		drow := dst.Data.Row(i)
+		for c, v := range row {
+			if v != 0 {
+				drow[off+c] += v
+			}
+		}
+	}
+}
+
 // MergeInto adds the partial slab into the full upper-triangular matrix P.
 func (p *Partial) MergeInto(P *linalg.Dense) {
 	for i := 0; i < p.N; i++ {
@@ -129,15 +145,26 @@ func FillSerial(set *basis.Set, in *Integrator) *linalg.Dense {
 // partitions (the paper's equal division; the last partition absorbs the
 // remainder). It returns the d+1 boundaries.
 func PartitionK(K int64, d int) []int64 {
+	return PartitionRange(0, K, d)
+}
+
+// PartitionRange splits [lo, hi) into d near-equal contiguous partitions,
+// returning the d+1 boundaries. It generalizes PartitionK to sub-ranges so
+// a distributed-memory rank can re-chunk its own partition for its local
+// scheduler.
+func PartitionRange(lo, hi int64, d int) []int64 {
 	if d < 1 {
 		d = 1
 	}
-	bounds := make([]int64, d+1)
-	per := K / int64(d)
-	for i := 0; i <= d; i++ {
-		bounds[i] = int64(i) * per
+	if hi < lo {
+		hi = lo
 	}
-	bounds[d] = K
+	bounds := make([]int64, d+1)
+	per := (hi - lo) / int64(d)
+	for i := 0; i <= d; i++ {
+		bounds[i] = lo + int64(i)*per
+	}
+	bounds[d] = hi
 	return bounds
 }
 

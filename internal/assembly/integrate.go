@@ -9,18 +9,47 @@ package assembly
 
 import (
 	"math"
+	"sync"
 
 	"parbem/internal/basis"
 	"parbem/internal/geom"
 	"parbem/internal/kernel"
 	"parbem/internal/quad"
+	"parbem/internal/tabulate"
 )
 
 // Integrator evaluates template-pair Galerkin integrals under a kernel
-// configuration. It is stateless apart from the configuration and safe for
+// configuration. It is stateless apart from the configuration and the
+// optional (concurrency-safe) acceleration structures, and safe for
 // concurrent use.
 type Integrator struct {
 	Cfg *kernel.Config
+
+	// Tab, when non-nil, serves in-domain rectangle collocation
+	// potentials from the tabulated kernel (paper Section 4.2.1)
+	// instead of the closed form; out-of-domain queries fall back. It
+	// changes integral values within the table's interpolation error,
+	// so it is opt-in (solver.Options.Tables / the batch engine).
+	Tab *tabulate.Collocation
+
+	// Pairs, when non-nil, memoizes whole template-pair integrals by
+	// relative geometry (see PairCache). Cached values are bitwise
+	// reproductions of the uncached path.
+	Pairs *PairCache
+
+	// fpOnce memoizes the configuration fingerprint folded into pair
+	// cache keys (Cfg and Tab are immutable for the Integrator's
+	// lifetime). Guarded lazily so struct-literal construction keeps
+	// working; the Integrator must not be copied after first use.
+	fpOnce sync.Once
+	fp     uint64
+	fpOK   bool
+}
+
+// cacheFP returns the memoized configuration fingerprint.
+func (in *Integrator) cacheFP() (uint64, bool) {
+	in.fpOnce.Do(func() { in.fp, in.fpOK = in.cacheFingerprint() })
+	return in.fp, in.fpOK
 }
 
 // NewIntegrator returns an integrator with the default configuration.
@@ -92,10 +121,40 @@ func (in *Integrator) TemplatePair(ti, tj *basis.Template) float64 {
 		// Far field: both templates collapse to point charges carrying
 		// their zeroth moments, placed at their charge centroids
 		// (support centers are wrong for asymmetric arch shapes).
+		// Far pairs never consult the pair cache: the point form is
+		// cheaper than the lookup.
 		return ti.Moment() * tj.Moment() / ti.Centroid().Dist(tj.Centroid())
 	}
 
+	if in.Pairs != nil {
+		if fp, okCfg := in.cacheFP(); okCfg {
+			if k, ok := keyOf(fp, ti, tj); ok {
+				sh := in.Pairs.shardOf(&k)
+				if v, hit := sh.get(k); hit {
+					return v
+				}
+				v := in.templatePairNear(ti, tj, d, diam)
+				sh.put(k, v)
+				return v
+			}
+		}
+	}
+	return in.templatePairNear(ti, tj, d, diam)
+}
+
+// templatePairNear evaluates a non-far pair (the cacheable work).
+func (in *Integrator) templatePairNear(ti, tj *basis.Template, d, diam float64) float64 {
+	cfg := in.Cfg
+
 	if ti.IsFlat() && tj.IsFlat() {
+		if in.Tab != nil && !cfg.DisableApprox && d > cfg.MidFactor*diam {
+			// The tabulated counterpart of RectGalerkin's intermediate
+			// branch: collocate the target at its center against the
+			// tabulated source potential.
+			if v, ok := in.Tab.EvalRect(tj.Support, ti.Support.Center()); ok {
+				return ti.Amplitude * tj.Amplitude * ti.Support.Area() * v
+			}
+		}
 		return ti.Amplitude * tj.Amplitude * kernel.RectGalerkin(cfg, ti.Support, tj.Support)
 	}
 
@@ -236,6 +295,10 @@ func (in *Integrator) pairCrossAxis(ti, tj *basis.Template) float64 {
 	var na, nb nodeBuf
 	na.fill(ti.Shape, vi, q)
 	nb.fill(tj.Shape, vj, q)
+	tab := in.Tab
+	if in.Cfg.DisableApprox {
+		tab = nil // full-accuracy mode: no tabulated kernels
+	}
 	var sum float64
 	for a := 0; a < na.n; a++ {
 		wa := na.w[a]
@@ -245,9 +308,16 @@ func (in *Integrator) pairCrossAxis(ti, tj *basis.Template) float64 {
 		u := na.x[a] // ti's varying coordinate == tj's flat axis coordinate
 		// The two flat directions integrate in closed form: a 2-D
 		// rectangle integral of 1/r over [fj] x [fi] evaluated at the
-		// in-plane point (u, vp) with plane separation Z.
+		// in-plane point (u, vp) with plane separation Z — served from
+		// the tabulated kernel when the normalized query is in domain.
 		var inner float64
 		for b := 0; b < nb.n; b++ {
+			if tab != nil {
+				if v, ok := tab.EvalCoords(fj.Lo, fj.Hi, fi.Lo, fi.Hi, u, nb.x[b], Z); ok {
+					inner += nb.w[b] * v
+					continue
+				}
+			}
 			inner += nb.w[b] * kernel.RectPotential(ops,
 				fj.Lo, fj.Hi, fi.Lo, fi.Hi, u, nb.x[b], Z)
 		}
@@ -292,6 +362,12 @@ func (in *Integrator) genericPair(ti, tj *basis.Template) float64 {
 // p (including tj's amplitude, excluding 1/(4*pi*eps)).
 func (in *Integrator) potentialAt(tj *basis.Template, p geom.Vec3) float64 {
 	if tj.IsFlat() {
+		if cfg := in.Cfg; in.Tab != nil && !cfg.DisableApprox &&
+			tj.Support.DistToPoint(p) <= cfg.FarFactor*tj.Support.Diameter() {
+			if v, ok := in.Tab.EvalRect(tj.Support, p); ok {
+				return tj.Amplitude * v
+			}
+		}
 		return tj.Amplitude * kernel.RectCollocation(in.Cfg, tj.Support, p)
 	}
 	ops := in.Cfg.Ops

@@ -1,0 +1,291 @@
+package assembly
+
+import (
+	"math"
+	"sync"
+
+	"parbem/internal/basis"
+	"parbem/internal/geom"
+	"parbem/internal/kernel"
+)
+
+// floatBits is math.Float64bits, local for the shard hash.
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+// PairCache memoizes template-pair Galerkin integrals across matrix fills.
+// The key is the pair's *relative* geometry — both supports translated so
+// the first support's corner is the origin — so a hit requires only that
+// the two templates be an exact rigid translate of a previously integrated
+// pair. That is exactly the situation the paper's instantiable templates
+// create: a repeated-template corpus (the same bus extracted many times,
+// or one structure whose crossings repeat on a regular pitch) re-derives
+// the same relative pair geometries over and over, and the batch engine
+// shares one cache across all of its extractions so every repeat becomes
+// a lookup.
+//
+// Only non-far pairs are worth caching (the far-field point approximation
+// is cheaper than the lookup); TemplatePair applies that gate before
+// consulting the cache. A cached value is the output of the same
+// deterministic code path as a fresh evaluation; when a hit serves a
+// *translated* copy of the original pair, the two evaluations could have
+// differed in the last ulp (absolute coordinates round differently), so
+// enabling the cache perturbs results by at most machine epsilon.
+//
+// The cache is sharded: each shard is an independent mutex-protected LRU,
+// so concurrent fill workers rarely contend on the same lock.
+type PairCache struct {
+	shards [pairShards]pairShard
+}
+
+const pairShards = 64
+
+// pairShard is one LRU shard: a map into a doubly linked ring ordered by
+// recency.
+type pairShard struct {
+	mu   sync.Mutex
+	cap  int
+	m    map[pairKey]*pairNode
+	head *pairNode // most recent
+	tail *pairNode // least recent
+	hits uint64
+	miss uint64
+}
+
+type pairNode struct {
+	key        pairKey
+	val        float64
+	prev, next *pairNode
+}
+
+// pairKey captures the translation-invariant geometry of a template pair
+// plus a fingerprint of the integration configuration it was evaluated
+// under (kernel settings and tabulated-kernel identity), so one shared
+// cache never aliases values across differently-configured extractions.
+// It is a comparable value type so lookups stay allocation-free.
+type pairKey struct {
+	cfg              uint64
+	normalA, normalB geom.Axis
+	dirA, dirB       basis.VaryDir
+	shapeA, shapeB   shapeKey
+	// Relative geometry: support A's in-plane extents and support B's
+	// plane offset and in-plane intervals, all translated so support
+	// A's (offset, U.Lo, V.Lo) corner is the origin.
+	g          [7]float64
+	ampA, ampB float64
+}
+
+// shapeKey is the comparable encoding of a template shape.
+type shapeKey struct {
+	kind uint8
+	p    [3]float64
+}
+
+// shapeKeyOf encodes the shape; ok is false for shape types that cannot
+// be encoded compactly (TabulatedShape), which simply bypasses the cache.
+func shapeKeyOf(s basis.Shape) (shapeKey, bool) {
+	switch sh := s.(type) {
+	case basis.FlatShape:
+		return shapeKey{kind: 0}, true
+	case basis.ArchShape:
+		return shapeKey{kind: 1, p: [3]float64{sh.EdgePos, sh.LambdaIn, sh.LambdaOut}}, true
+	}
+	return shapeKey{}, false
+}
+
+// NewPairCache creates a cache bounded to roughly maxEntries entries
+// (split across shards; 0 means the default of 1<<18).
+func NewPairCache(maxEntries int) *PairCache {
+	if maxEntries <= 0 {
+		maxEntries = 1 << 18
+	}
+	per := maxEntries / pairShards
+	if per < 16 {
+		per = 16
+	}
+	c := &PairCache{}
+	for i := range c.shards {
+		c.shards[i].cap = per
+		c.shards[i].m = make(map[pairKey]*pairNode)
+	}
+	return c
+}
+
+// cacheFingerprint condenses every configuration input that influences
+// a template-pair integral into one word for the pair-cache key. ok is
+// false for configurations the cache cannot identify (a custom MathOps
+// provider), which simply bypasses caching.
+func (in *Integrator) cacheFingerprint() (uint64, bool) {
+	cfg := in.Cfg
+	var opsID uint64
+	switch cfg.Ops {
+	case kernel.StdOps:
+		opsID = 1
+	case kernel.FastOps:
+		opsID = 2
+	default:
+		return 0, false
+	}
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(opsID)
+	mix(floatBits(cfg.FarFactor))
+	mix(floatBits(cfg.MidFactor))
+	mix(uint64(cfg.QuadOrder))
+	if cfg.DisableApprox {
+		mix(1)
+	}
+	if in.Tab != nil {
+		mix(in.Tab.Fingerprint())
+	}
+	return h, true
+}
+
+// keyOf builds the translation-invariant key; ok is false when the pair
+// is not cacheable (un-encodable shape).
+func keyOf(cfgFP uint64, ti, tj *basis.Template) (pairKey, bool) {
+	var k pairKey
+	k.cfg = cfgFP
+	var ok bool
+	if k.shapeA, ok = shapeKeyOf(ti.Shape); !ok {
+		return k, false
+	}
+	if k.shapeB, ok = shapeKeyOf(tj.Shape); !ok {
+		return k, false
+	}
+	k.normalA, k.normalB = ti.Support.Normal, tj.Support.Normal
+	k.dirA, k.dirB = ti.Dir, tj.Dir
+	k.ampA, k.ampB = ti.Amplitude, tj.Amplitude
+	sa, sb := &ti.Support, &tj.Support
+	// Translate both supports by support A's origin. The in-plane axes
+	// of a rect are fixed functions of its normal, so for equal normals
+	// the U/V axes align; for different normals the key still encodes a
+	// well-defined relative geometry because the normals are part of it.
+	// Each support's in-plane origin shift must be expressed in the
+	// *other* rect's axes when normals differ, so instead of reasoning
+	// per-axis we subtract support A's world-space corner from both
+	// rects' world-space coordinates via their axis extents.
+	au, av, an := sa.U.Lo, sa.V.Lo, sa.Offset
+	// World components of A's corner, indexed by axis.
+	var corner [3]float64
+	corner[sa.UAxis()] = au
+	corner[sa.VAxis()] = av
+	corner[sa.Normal] = an
+	k.g[0] = sa.U.Hi - au
+	k.g[1] = sa.V.Hi - av
+	k.g[2] = sb.U.Lo - corner[sb.UAxis()]
+	k.g[3] = sb.U.Hi - corner[sb.UAxis()]
+	k.g[4] = sb.V.Lo - corner[sb.VAxis()]
+	k.g[5] = sb.V.Hi - corner[sb.VAxis()]
+	k.g[6] = sb.Offset - corner[sb.Normal]
+	return k, true
+}
+
+// shardOf picks the shard by a cheap hash of the key's geometry.
+func (c *PairCache) shardOf(k *pairKey) *pairShard {
+	// FNV-style mix of a few discriminating floats.
+	h := uint64(14695981039346656037)
+	mix := func(f float64) {
+		h ^= floatBits(f)
+		h *= 1099511628211
+	}
+	mix(k.g[2])
+	mix(k.g[4])
+	mix(k.g[6])
+	mix(k.g[0])
+	h ^= uint64(k.normalA)<<8 | uint64(k.normalB)<<4 | uint64(k.dirA)<<2 | uint64(k.dirB)
+	return &c.shards[h%pairShards]
+}
+
+// get returns the cached value for the key.
+func (s *pairShard) get(k pairKey) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.m[k]
+	if n == nil {
+		s.miss++
+		return 0, false
+	}
+	s.hits++
+	s.moveToFront(n)
+	return n.val, true
+}
+
+// put inserts a value, evicting the least recently used entry when full.
+func (s *pairShard) put(k pairKey, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := s.m[k]; n != nil {
+		n.val = v
+		s.moveToFront(n)
+		return
+	}
+	if len(s.m) >= s.cap && s.tail != nil {
+		old := s.tail
+		s.unlink(old)
+		delete(s.m, old.key)
+	}
+	n := &pairNode{key: k, val: v}
+	s.m[k] = n
+	s.pushFront(n)
+}
+
+func (s *pairShard) moveToFront(n *pairNode) {
+	if s.head == n {
+		return
+	}
+	s.unlink(n)
+	s.pushFront(n)
+}
+
+func (s *pairShard) pushFront(n *pairNode) {
+	n.prev = nil
+	n.next = s.head
+	if s.head != nil {
+		s.head.prev = n
+	}
+	s.head = n
+	if s.tail == nil {
+		s.tail = n
+	}
+}
+
+func (s *pairShard) unlink(n *pairNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		s.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		s.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// Stats returns cumulative hit and miss counts across shards.
+func (c *PairCache) Stats() (hits, misses uint64) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.miss
+		s.mu.Unlock()
+	}
+	return hits, misses
+}
+
+// Len returns the current entry count.
+func (c *PairCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}

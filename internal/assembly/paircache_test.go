@@ -1,0 +1,125 @@
+package assembly
+
+import (
+	"math"
+	"testing"
+
+	"parbem/internal/basis"
+	"parbem/internal/geom"
+	"parbem/internal/kernel"
+)
+
+func busSet() *basis.Set {
+	st := geom.DefaultBus(3, 3).Build()
+	return basis.Build(st, basis.DefaultBuilderOptions())
+}
+
+func TestPairCacheReproducesUncached(t *testing.T) {
+	set := busSet()
+	plain := NewIntegrator()
+	cached := NewIntegrator()
+	cached.Pairs = NewPairCache(0)
+
+	// Two passes: the second is served almost entirely from the cache
+	// and must agree with the uncached integrator to the last ulp that
+	// translation-invariant keying allows.
+	for pass := 0; pass < 2; pass++ {
+		for k := int64(0); k < NumPairs(set.M()); k += 3 {
+			i, j := KToIJ(k)
+			want := plain.TemplatePair(&set.Templates[i], &set.Templates[j])
+			got := cached.TemplatePair(&set.Templates[i], &set.Templates[j])
+			tol := 1e-13 * math.Abs(want)
+			if math.Abs(got-want) > tol {
+				t.Fatalf("pass %d pair (%d,%d): cached %g != %g", pass, i, j, got, want)
+			}
+		}
+	}
+	if hits, _ := cached.Pairs.Stats(); hits == 0 {
+		t.Fatal("second pass produced no cache hits")
+	}
+}
+
+func TestPairCacheTranslationInvariance(t *testing.T) {
+	// Two identical crossing structures offset by a whole number of
+	// microns must generate pair keys that collide (that is the point of
+	// relative-geometry keying).
+	mk := func(off float64) *basis.Set {
+		sp := geom.DefaultCrossingPair()
+		st := sp.Build()
+		for _, c := range st.Conductors {
+			for bi := range c.Boxes {
+				c.Boxes[bi].Min.X += off
+				c.Boxes[bi].Max.X += off
+			}
+		}
+		return basis.Build(st, basis.DefaultBuilderOptions())
+	}
+	a := mk(0)
+	b := mk(4e-6)
+	if a.M() != b.M() {
+		t.Fatalf("template counts differ: %d vs %d", a.M(), b.M())
+	}
+	matched := 0
+	for i := 0; i < a.M(); i++ {
+		ka, oka := keyOf(1, &a.Templates[i], &a.Templates[i])
+		kb, okb := keyOf(1, &b.Templates[i], &b.Templates[i])
+		if !oka || !okb {
+			continue
+		}
+		if ka == kb {
+			matched++
+		}
+	}
+	if matched == 0 {
+		t.Fatal("no self-pair keys matched across a rigid translation")
+	}
+}
+
+func TestPairCacheLRUBound(t *testing.T) {
+	c := NewPairCache(pairShards * 16) // minimum per-shard capacity
+	set := busSet()
+	in := NewIntegrator()
+	in.Pairs = c
+	for k := int64(0); k < NumPairs(set.M()); k++ {
+		i, j := KToIJ(k)
+		in.TemplatePair(&set.Templates[i], &set.Templates[j])
+	}
+	if got, max := c.Len(), pairShards*16; got > max {
+		t.Fatalf("cache grew to %d entries, cap %d", got, max)
+	}
+}
+
+func TestPairCacheConfigsDoNotAlias(t *testing.T) {
+	// One shared cache, two differently-configured integrators: each
+	// must get its own values, not the other's.
+	set := busSet()
+	pc := NewPairCache(0)
+	std := NewIntegrator()
+	std.Pairs = pc
+	coarse := &Integrator{Cfg: kernel.DefaultConfig(), Pairs: pc}
+	coarse.Cfg.QuadOrder = 2
+
+	plainStd := NewIntegrator()
+	plainCoarse := &Integrator{Cfg: kernel.DefaultConfig()}
+	plainCoarse.Cfg.QuadOrder = 2
+
+	for k := int64(0); k < NumPairs(set.M()); k += 17 {
+		i, j := KToIJ(k)
+		ti, tj := &set.Templates[i], &set.Templates[j]
+		// Prime with the standard config, then query with the coarse
+		// one; a key collision would return the standard value.
+		std.TemplatePair(ti, tj)
+		if got, want := coarse.TemplatePair(ti, tj), plainCoarse.TemplatePair(ti, tj); got != want {
+			t.Fatalf("pair (%d,%d): coarse config served %g, want %g (aliased across configs)", i, j, got, want)
+		}
+		if got, want := std.TemplatePair(ti, tj), plainStd.TemplatePair(ti, tj); got != want {
+			t.Fatalf("pair (%d,%d): std config served %g, want %g", i, j, got, want)
+		}
+	}
+}
+
+func TestShapeKeyOfTabulatedShapeUncacheable(t *testing.T) {
+	if _, ok := shapeKeyOf(basis.TabulatedShape{Samples: []float64{0, 1}}); ok {
+		t.Fatal("TabulatedShape must bypass the cache (slice field is not comparable)")
+	}
+}

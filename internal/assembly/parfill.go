@@ -1,0 +1,33 @@
+package assembly
+
+import (
+	"sync"
+
+	"parbem/internal/basis"
+	"parbem/internal/sched"
+)
+
+// FillRanges is the chunk-queue core shared by every parallel fill path:
+// it computes the partial slab of each k-chunk [bounds[t], bounds[t+1])
+// on the executor's workers and hands each finished slab to merge. Merge
+// calls are serialized (the paper's merge mutex, Figure 4, whose cost is
+// negligible next to the integration work), so callers can accumulate
+// into shared state without their own locking.
+//
+// The shared-memory backend passes sched.Local or a shared sched.Pool and
+// merges into the full system matrix; a distributed-memory rank passes a
+// rank-local executor and merges into its private partial slab before
+// serializing it onto the network.
+func FillRanges(set *basis.Set, in *Integrator, bounds []int64, ex sched.Executor, merge func(*Partial)) {
+	var mu sync.Mutex
+	ex.Map(len(bounds)-1, func(t int) {
+		lo, hi := bounds[t], bounds[t+1]
+		if hi <= lo {
+			return
+		}
+		part := FillPartial(set, in, lo, hi)
+		mu.Lock()
+		merge(part)
+		mu.Unlock()
+	})
+}

@@ -1,0 +1,118 @@
+package geomio
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"parbem/internal/geom"
+)
+
+// randStructure builds a randomized multi-conductor structure. With
+// unit = 1 the writer emits %g-formatted coordinates, which strconv
+// round-trips exactly, so Write -> Read must preserve geometry bit for
+// bit.
+func randStructure(rng *rand.Rand) *geom.Structure {
+	st := &geom.Structure{Name: fmt.Sprintf("rand-%d", rng.Intn(1_000_000))}
+	nc := 1 + rng.Intn(4)
+	for c := 0; c < nc; c++ {
+		cond := &geom.Conductor{Name: fmt.Sprintf("c%d", c)}
+		nb := 1 + rng.Intn(3)
+		for b := 0; b < nb; b++ {
+			// Arbitrary magnitudes, including negatives and values with
+			// long decimal expansions.
+			min := geom.Vec3{
+				X: (rng.Float64() - 0.5) * 1e-3,
+				Y: (rng.Float64() - 0.5) * 1e-3,
+				Z: (rng.Float64() - 0.5) * 1e-3,
+			}
+			sz := geom.Vec3{
+				X: rng.Float64()*1e-4 + 1e-9,
+				Y: rng.Float64()*1e-4 + 1e-9,
+				Z: rng.Float64()*1e-4 + 1e-9,
+			}
+			cond.Boxes = append(cond.Boxes, geom.NewBox(min, min.Add(sz)))
+		}
+		st.Conductors = append(st.Conductors, cond)
+	}
+	return st
+}
+
+// checkRoundTrip writes st at unit scale 1 and asserts the re-read
+// structure is geometrically bit-exact.
+func checkRoundTrip(t *testing.T, st *geom.Structure) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, st, 1); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("read back: %v\ninput:\n%s", err, buf.String())
+	}
+	if got.Name != st.Name {
+		t.Errorf("name %q != %q", got.Name, st.Name)
+	}
+	if len(got.Conductors) != len(st.Conductors) {
+		t.Fatalf("%d conductors != %d", len(got.Conductors), len(st.Conductors))
+	}
+	for ci, c := range st.Conductors {
+		gc := got.Conductors[ci]
+		if gc.Name != c.Name {
+			t.Errorf("conductor %d name %q != %q", ci, gc.Name, c.Name)
+		}
+		if len(gc.Boxes) != len(c.Boxes) {
+			t.Fatalf("conductor %d: %d boxes != %d", ci, len(gc.Boxes), len(c.Boxes))
+		}
+		for bi, b := range c.Boxes {
+			if gc.Boxes[bi] != b {
+				t.Errorf("conductor %d box %d: %+v != %+v (not bit-exact)",
+					ci, bi, gc.Boxes[bi], b)
+			}
+		}
+	}
+}
+
+func TestRoundTripRandomStructures(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		checkRoundTrip(t, randStructure(rng))
+	}
+}
+
+func TestRoundTripBenchmarkStructures(t *testing.T) {
+	for _, st := range []*geom.Structure{
+		geom.DefaultCrossingPair().Build(),
+		geom.DefaultBus(3, 4).Build(),
+		geom.DefaultInterconnect().Build(),
+	} {
+		checkRoundTrip(t, st)
+	}
+}
+
+// FuzzRoundTrip drives the same property from fuzzed seeds.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Add(int64(-12345))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		var buf bytes.Buffer
+		st := randStructure(rng)
+		if err := Write(&buf, st, 1); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("read back: %v", err)
+		}
+		for ci, c := range st.Conductors {
+			for bi, b := range c.Boxes {
+				if got.Conductors[ci].Boxes[bi] != b {
+					t.Fatalf("box %d/%d not bit-exact", ci, bi)
+				}
+			}
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"parbem/internal/assembly"
 	"parbem/internal/basis"
 	"parbem/internal/linalg"
+	"parbem/internal/sched"
 )
 
 // Message tags of the distributed fill protocol.
@@ -12,15 +13,47 @@ const (
 	tagPartData   = 2
 )
 
+// FillOptions tunes the distributed fill beyond the paper's baseline.
+type FillOptions struct {
+	// ThreadsPerRank runs the rank-local fill on this many goroutine
+	// "threads" through the shared work-stealing scheduler (the hybrid
+	// MPI+OpenMP layout of real BEM codes). Zero or one keeps the
+	// paper's one-thread-per-process model.
+	ThreadsPerRank int
+	// ChunksPerThread sets how many chunks each rank splits its
+	// partition into per thread (default 4; more chunks smooth residual
+	// imbalance inside the rank).
+	ChunksPerThread int
+}
+
 // FillDistributed runs the distributed-memory system setup of paper
-// Section 5.2 / Figures 5 and 6 on the given network: every rank holds a
-// private copy of the template definitions and computes the entries of P~
-// in its k-partition into a partial matrix P_Kd; ranks d != 0 serialize
-// their partials and send them to the main rank, which shifts each slab to
-// its column offset and accumulates into P. The returned matrix (rank 0's
-// result) is symmetrized and unscaled.
+// Section 5.2 / Figures 5 and 6 on the given network with the default
+// one-thread-per-rank layout.
 func FillDistributed(set *basis.Set, in *assembly.Integrator, net *Network) *linalg.Dense {
+	return FillDistributedOpts(set, in, net, FillOptions{})
+}
+
+// FillDistributedOpts is FillDistributed with explicit fill options: every
+// rank holds a private copy of the template definitions and computes the
+// entries of P~ in its k-partition into a partial matrix P_Kd; ranks
+// d != 0 serialize their partials and send them to the main rank, which
+// shifts each slab to its column offset and accumulates into P. The
+// returned matrix (rank 0's result) is symmetrized and unscaled.
+//
+// The rank-local fill runs through the same work-stealing chunk scheduler
+// as the shared-memory backend (assembly.FillRanges): the rank's k-range
+// is re-chunked and executed on ThreadsPerRank local workers, each chunk's
+// slab merging into the rank's partial.
+func FillDistributedOpts(set *basis.Set, in *assembly.Integrator, net *Network, fo FillOptions) *linalg.Dense {
 	size := net.size
+	threads := fo.ThreadsPerRank
+	if threads <= 0 {
+		threads = 1
+	}
+	cpt := fo.ChunksPerThread
+	if cpt <= 0 {
+		cpt = 4
+	}
 	// One contiguous k-partition per rank (Figure 5/6); boundaries are
 	// placed at equal *estimated cost* rather than equal count, since a
 	// rank stuck with the expensive shaped-template block would bound
@@ -41,7 +74,7 @@ func FillDistributed(set *basis.Set, in *assembly.Integrator, net *Network) *lin
 				c.SendInts(0, tagPartHeader, []int{0, -1})
 				return
 			}
-			part := assembly.FillPartial(local, in, lo, hi)
+			part := fillRank(local, in, lo, hi, threads, cpt)
 			c.SendInts(0, tagPartHeader, []int{part.ColLo, part.ColHi})
 			c.SendFloat64s(0, tagPartData, part.Data.Data)
 			return
@@ -52,7 +85,7 @@ func FillDistributed(set *basis.Set, in *assembly.Integrator, net *Network) *lin
 		n := local.N()
 		P := linalg.NewDense(n, n)
 		if hi > lo {
-			part := assembly.FillPartial(local, in, lo, hi)
+			part := fillRank(local, in, lo, hi, threads, cpt)
 			part.MergeInto(P)
 		}
 		for r := 1; r < size; r++ {
@@ -72,4 +105,27 @@ func FillDistributed(set *basis.Set, in *assembly.Integrator, net *Network) *lin
 		result = P
 	})
 	return result
+}
+
+// fillRank computes one rank's partial slab for [lo, hi) by running the
+// re-chunked range through the shared scheduler on `threads` local
+// workers.
+func fillRank(set *basis.Set, in *assembly.Integrator, lo, hi int64, threads, chunksPerThread int) *assembly.Partial {
+	if threads == 1 {
+		// Paper-baseline layout: one thread per process computes its
+		// whole partition directly (no sub-chunk slabs or extra merge).
+		return assembly.FillPartial(set, in, lo, hi)
+	}
+	colLo, colHi := assembly.ColRange(set, lo, hi)
+	slab := &assembly.Partial{
+		N:     set.N(),
+		ColLo: colLo,
+		ColHi: colHi,
+		Data:  linalg.NewDense(set.N(), colHi-colLo+1),
+	}
+	sub := assembly.PartitionRange(lo, hi, threads*chunksPerThread)
+	assembly.FillRanges(set, in, sub, sched.Local(threads), func(p *assembly.Partial) {
+		p.MergeIntoSlab(slab)
+	})
+	return slab
 }

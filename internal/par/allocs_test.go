@@ -1,0 +1,70 @@
+package par
+
+// Allocation-regression guard: the fillbench benchmarks document that the
+// integration hot path (assembly.Integrator inside Fill) is
+// allocation-free; this test enforces the invariant with
+// testing.AllocsPerRun so a regression fails CI instead of only showing
+// up in benchmark numbers.
+
+import (
+	"testing"
+
+	"parbem/internal/assembly"
+	"parbem/internal/basis"
+	"parbem/internal/geom"
+	"parbem/internal/quad"
+)
+
+func TestTemplatePairAllocationFree(t *testing.T) {
+	st := geom.DefaultBus(4, 4).Build()
+	set := basis.Build(st, basis.DefaultBuilderOptions())
+	in := assembly.NewIntegrator()
+
+	// Warm the global Gauss-rule cache: rule construction is a one-time
+	// setup cost, not part of the steady-state hot path.
+	for n := 1; n <= quad.MaxOrder; n++ {
+		quad.Gauss(n)
+	}
+
+	// Sweep a deterministic sample of template pairs covering every
+	// dispatch class (far, mid, flat-flat, strip, same-axis, cross-axis,
+	// generic) and require zero allocations for each.
+	m := set.M()
+	pairs := 0
+	for i := 0; i < m; i += 7 {
+		for j := i; j < m; j += 11 {
+			ti, tj := &set.Templates[i], &set.Templates[j]
+			if allocs := testing.AllocsPerRun(10, func() {
+				in.TemplatePair(ti, tj)
+			}); allocs != 0 {
+				t.Fatalf("TemplatePair(%d, %d) allocates %.0f objects per call", i, j, allocs)
+			}
+			pairs++
+		}
+	}
+	if pairs < 50 {
+		t.Fatalf("only %d pairs sampled; widen the sweep", pairs)
+	}
+}
+
+// TestFillSteadyStateAllocs bounds the allocations of a whole Fill call:
+// everything allocated is per-chunk bookkeeping (partial slabs, scheduler
+// deques), independent of the k-range size. The bound is deliberately
+// generous; the point is that the integration inner loop contributes
+// nothing.
+func TestFillSteadyStateAllocs(t *testing.T) {
+	st := geom.DefaultBus(3, 3).Build()
+	set := basis.Build(st, basis.DefaultBuilderOptions())
+	in := assembly.NewIntegrator()
+	opt := Options{Workers: 2}
+	Fill(set, in, opt) // warm rule caches and partition code paths
+
+	allocs := testing.AllocsPerRun(3, func() {
+		Fill(set, in, opt)
+	})
+	// 2 workers x 16 chunks/worker: slabs + deques + scheduler state is
+	// a few hundred objects; the ~58k pair integrals must add zero.
+	if allocs > 2000 {
+		t.Fatalf("Fill allocates %.0f objects per call; integration hot path is no longer allocation-free", allocs)
+	}
+}

@@ -16,11 +16,11 @@ package par
 
 import (
 	"runtime"
-	"sync"
 
 	"parbem/internal/assembly"
 	"parbem/internal/basis"
 	"parbem/internal/linalg"
+	"parbem/internal/sched"
 )
 
 // Options configures the shared-memory fill.
@@ -34,6 +34,12 @@ type Options struct {
 	// ChunksPerWorker sets the dynamic-mode chunk count multiplier
 	// (default 16).
 	ChunksPerWorker int
+	// Pool, when non-nil, runs the chunks on a shared persistent
+	// work-stealing pool (the batch engine's worker set) instead of
+	// spawning Workers goroutines for this call alone. The pool's size
+	// then determines the parallelism; Workers still controls the chunk
+	// count.
+	Pool *sched.Pool
 }
 
 // Fill runs the parallelized system setup and returns the symmetrized,
@@ -61,34 +67,15 @@ func Fill(set *basis.Set, in *assembly.Integrator, opt Options) *linalg.Dense {
 		bounds = assembly.PartitionKCost(set, in, nparts)
 	}
 
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < d; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for p := range next {
-				lo, hi := bounds[p], bounds[p+1]
-				if hi <= lo {
-					continue
-				}
-				part := assembly.FillPartial(set, in, lo, hi)
-				// Adjacent partitions can share one column of P
-				// (paper Figure 5); merges are serialized on a
-				// mutex, whose cost is negligible next to the
-				// integration work.
-				mu.Lock()
-				part.MergeInto(P)
-				mu.Unlock()
-			}
-		}()
+	var ex sched.Executor = opt.Pool
+	if opt.Pool == nil {
+		ex = sched.Local(d)
 	}
-	for p := 0; p < nparts; p++ {
-		next <- p
-	}
-	close(next)
-	wg.Wait()
+	// Adjacent partitions can share one column of P (paper Figure 5);
+	// FillRanges serializes the merges.
+	assembly.FillRanges(set, in, bounds, ex, func(part *assembly.Partial) {
+		part.MergeInto(P)
+	})
 	assembly.Symmetrize(P)
 	return P
 }

@@ -1,0 +1,302 @@
+// Package sched provides the work-stealing chunk scheduler shared by the
+// parallel matrix-fill backends. The shared-memory fill (internal/par),
+// the per-rank fill of the simulated distributed backend (internal/mpi)
+// and the batch extraction engine (internal/batch) all execute their
+// k-range chunks through the same primitives:
+//
+//   - Local(d) runs one task set on d throwaway goroutines (the classic
+//     per-call worker spawn, used by standalone Extract calls);
+//   - Pool is a persistent set of workers that many concurrent jobs share,
+//     so a stream of extractions reuses one warm worker set instead of
+//     spawning goroutines per call.
+//
+// In both cases tasks are dealt to per-worker deques in round-robin order
+// and idle workers steal from the tail of the busiest victim, which
+// absorbs the cost variance between chunks (the dynamic-scheduling
+// refinement of paper Section 3's balance discussion) without a single
+// contended queue.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Executor runs n indexed tasks, distributing them over workers.
+// Implementations guarantee every task index in [0, n) runs exactly once
+// and that Map does not return before all tasks completed.
+type Executor interface {
+	Map(n int, fn func(task int))
+}
+
+// deque holds a contiguous window of task indices still to run. The owner
+// pops from the front, thieves pop from the back; chunk granularity is
+// coarse (matrix-fill chunks), so a mutex is cheaper than a lock-free
+// deque and obviously correct.
+type deque struct {
+	mu     sync.Mutex
+	tasks  []int
+	lo, hi int // remaining window [lo, hi)
+}
+
+func (d *deque) popFront() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.lo >= d.hi {
+		return 0, false
+	}
+	t := d.tasks[d.lo]
+	d.lo++
+	return t, true
+}
+
+func (d *deque) popBack() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.lo >= d.hi {
+		return 0, false
+	}
+	d.hi--
+	return d.tasks[d.hi], true
+}
+
+func (d *deque) remaining() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.hi - d.lo
+}
+
+// job is one Map call in flight: tasks dealt across per-worker deques plus
+// a completion latch.
+type job struct {
+	deques  []*deque
+	fn      func(task int)
+	pending atomic.Int64
+	done    chan struct{}
+}
+
+// newJob deals n tasks round-robin over nw deques. Round-robin (rather
+// than contiguous blocks) interleaves the cost profile across workers,
+// since cost-balanced chunk bounds are already contiguous in k.
+func newJob(n, nw int, fn func(task int)) *job {
+	j := &job{deques: make([]*deque, nw), fn: fn, done: make(chan struct{})}
+	for w := range j.deques {
+		cnt := n / nw
+		if w < n%nw {
+			cnt++
+		}
+		j.deques[w] = &deque{tasks: make([]int, 0, cnt)}
+	}
+	for t := 0; t < n; t++ {
+		d := j.deques[t%nw]
+		d.tasks = append(d.tasks, t)
+		d.hi++
+	}
+	j.pending.Store(int64(n))
+	return j
+}
+
+// take claims one task for worker w: own deque first, then steal from the
+// victim with the most remaining work.
+func (j *job) take(w int) (int, bool) {
+	if t, ok := j.deques[w].popFront(); ok {
+		return t, true
+	}
+	for {
+		best, bestLeft := -1, 0
+		for v := range j.deques {
+			if v == w {
+				continue
+			}
+			if left := j.deques[v].remaining(); left > bestLeft {
+				best, bestLeft = v, left
+			}
+		}
+		if best < 0 {
+			return 0, false
+		}
+		if t, ok := j.deques[best].popBack(); ok {
+			return t, true
+		}
+		// Lost the race to the victim's last task; rescan.
+	}
+}
+
+// finish marks one task complete, closing the latch on the last.
+func (j *job) finish() {
+	if j.pending.Add(-1) == 0 {
+		close(j.done)
+	}
+}
+
+// local is the throwaway-goroutine executor.
+type local struct{ workers int }
+
+// Local returns an executor that spawns d goroutines per Map call
+// (d <= 0 means GOMAXPROCS). It is the per-call analog of Pool.
+func Local(d int) Executor {
+	if d <= 0 {
+		d = runtime.GOMAXPROCS(0)
+	}
+	return local{workers: d}
+}
+
+// Map implements Executor.
+func (l local) Map(n int, fn func(task int)) {
+	if n <= 0 {
+		return
+	}
+	nw := l.workers
+	if nw > n {
+		nw = n
+	}
+	j := newJob(n, nw, fn)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				t, ok := j.take(w)
+				if !ok {
+					return
+				}
+				fn(t)
+				j.finish()
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Pool is a persistent work-stealing worker pool. Concurrent Map calls
+// from any number of goroutines share the same workers; each call blocks
+// until its own tasks are done. Close stops the workers (outstanding Map
+// calls complete first).
+type Pool struct {
+	workers int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	jobs   []*job
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewPool starts a pool of d workers (d <= 0 means GOMAXPROCS).
+func NewPool(d int) *Pool {
+	if d <= 0 {
+		d = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: d}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(d)
+	for w := 0; w < d; w++ {
+		go p.worker(w)
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Map implements Executor: it enqueues n tasks and blocks until all ran.
+func (p *Pool) Map(n int, fn func(task int)) {
+	if n <= 0 {
+		return
+	}
+	j := newJob(n, p.workers, fn)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		// The pool is gone; run inline rather than deadlock the caller.
+		for t := 0; t < n; t++ {
+			fn(t)
+		}
+		return
+	}
+	p.jobs = append(p.jobs, j)
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	<-j.done
+}
+
+// Close stops the workers after in-flight jobs drain.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}
+
+// worker is the main loop of pool worker w: claim tasks from any active
+// job (own deque first, then steal), sleep when no claimable work exists.
+func (p *Pool) worker(w int) {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.jobs) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.jobs) == 0 && p.closed {
+			p.mu.Unlock()
+			return
+		}
+		jobs := make([]*job, len(p.jobs))
+		copy(jobs, p.jobs)
+		p.mu.Unlock()
+
+		ran := false
+		for _, j := range jobs {
+			for {
+				t, ok := j.take(w % len(j.deques))
+				if !ok {
+					break
+				}
+				ran = true
+				j.fn(t)
+				if j.pending.Add(-1) == 0 {
+					close(j.done)
+					p.removeJob(j)
+				}
+			}
+		}
+		if !ran {
+			// Every visible task is claimed by another worker; wait for
+			// a new job (or shutdown) instead of spinning. Job removal
+			// also broadcasts, so we re-check soon after state changes.
+			p.mu.Lock()
+			if len(p.jobs) == len(jobs) && !p.closed && sameJobs(p.jobs, jobs) {
+				p.cond.Wait()
+			}
+			p.mu.Unlock()
+		}
+	}
+}
+
+// removeJob deletes a completed job from the active list.
+func (p *Pool) removeJob(j *job) {
+	p.mu.Lock()
+	for i, q := range p.jobs {
+		if q == j {
+			p.jobs = append(p.jobs[:i], p.jobs[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+func sameJobs(a, b []*job) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,98 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// checkMap verifies that Map runs every task exactly once.
+func checkMap(t *testing.T, ex Executor, n int) {
+	t.Helper()
+	counts := make([]int32, n)
+	ex.Map(n, func(task int) {
+		atomic.AddInt32(&counts[task], 1)
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("task %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestLocalRunsAllTasks(t *testing.T) {
+	for _, d := range []int{1, 2, 4, 17} {
+		for _, n := range []int{0, 1, 2, 5, 100} {
+			checkMap(t, Local(d), n)
+		}
+	}
+}
+
+func TestPoolRunsAllTasks(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, n := range []int{0, 1, 3, 50, 200} {
+		checkMap(t, p, n)
+	}
+}
+
+func TestPoolConcurrentJobs(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				p.Map(37, func(task int) { total.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	if got := total.Load(); got != 8*5*37 {
+		t.Fatalf("ran %d tasks, want %d", got, 8*5*37)
+	}
+}
+
+func TestPoolReusableAfterIdle(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	checkMap(t, p, 10)
+	// The pool's workers are now asleep; a second job must wake them.
+	checkMap(t, p, 10)
+}
+
+func TestStealing(t *testing.T) {
+	// One slow task pinned to worker 0's deque must not serialize the
+	// rest: with stealing, the other worker drains everything else.
+	p := NewPool(2)
+	defer p.Close()
+	block := make(chan struct{})
+	var fast atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		p.Map(20, func(task int) {
+			if task == 0 {
+				<-block
+				return
+			}
+			fast.Add(1)
+		})
+		close(done)
+	}()
+	// All non-blocking tasks finish even though task 0 occupies a worker.
+	for fast.Load() != 19 {
+		runtime.Gosched()
+	}
+	close(block)
+	<-done
+}
+
+func TestMapOnClosedPoolRunsInline(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	checkMap(t, p, 7)
+}

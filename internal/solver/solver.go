@@ -19,6 +19,8 @@ import (
 	"parbem/internal/linalg"
 	"parbem/internal/mpi"
 	"parbem/internal/par"
+	"parbem/internal/sched"
+	"parbem/internal/tabulate"
 )
 
 // Backend selects how the system setup step is executed.
@@ -61,11 +63,38 @@ type Options struct {
 	// Network supplies the simulated interconnect for the Distributed
 	// backend (nil = ideal network of Workers ranks).
 	Network *mpi.Network
+
+	// ThreadsPerRank runs each Distributed rank's local fill on this
+	// many goroutine threads (hybrid layout; 0 = 1).
+	ThreadsPerRank int
+
+	// Tables enables the tabulated collocation kernel (paper Section
+	// 4.2.1): the table is built as part of this call (the TableGen
+	// phase) and used wherever the normalized query is in domain. The
+	// batch engine instead injects an already-built table via Tab, which
+	// is the whole point of its table cache.
+	Tables bool
+	// TableSpec overrides the table resolution/domain (nil = defaults).
+	TableSpec *tabulate.CollocationSpec
+	// Tab is a prebuilt collocation table (takes precedence over
+	// Tables; no TableGen cost is incurred).
+	Tab *tabulate.Collocation
+
+	// Pairs, when non-nil, memoizes template-pair integrals across
+	// extractions (shared by the batch engine; values are bitwise
+	// identical to uncached evaluation).
+	Pairs *assembly.PairCache
+
+	// Pool, when non-nil, runs the SharedMem fill chunks on a shared
+	// persistent work-stealing pool instead of spawning per-call
+	// workers.
+	Pool *sched.Pool
 }
 
 // Timing is the phase breakdown of one extraction.
 type Timing struct {
 	BasisGen time.Duration
+	TableGen time.Duration // tabulated-kernel build (zero when cached or off)
 	Setup    time.Duration // system matrix fill (the dominant phase)
 	Solve    time.Duration // factorization + triangular solves + C recovery
 	Total    time.Duration
@@ -92,6 +121,40 @@ func Extract(st *geom.Structure, opt Options) (*Result, error) {
 	if err := st.Validate(); err != nil {
 		return nil, err
 	}
+	t0 := time.Now()
+	set, err := BuildBasis(st, opt.Basis)
+	if err != nil {
+		return nil, err
+	}
+	tBasis := time.Since(t0)
+
+	res, err := ExtractSet(set, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Timing.BasisGen = tBasis
+	res.Timing.Total += tBasis
+	return res, nil
+}
+
+// BuildBasis generates and validates the instantiable basis for a
+// structure (zero options = calibrated defaults). It is the basis-stage
+// entry point the batch engine caches behind its geometry-signature key.
+func BuildBasis(st *geom.Structure, bopt basis.BuilderOptions) (*basis.Set, error) {
+	if bopt == (basis.BuilderOptions{}) {
+		bopt = basis.DefaultBuilderOptions()
+	}
+	set := basis.Build(st, bopt)
+	if err := set.Validate(); err != nil {
+		return nil, fmt.Errorf("solver: generated basis invalid: %w", err)
+	}
+	return set, nil
+}
+
+// ExtractSet runs system setup and solve on an already-built basis set
+// (which is read shared, never mutated, so one cached set may serve many
+// concurrent calls). Timing.BasisGen is zero.
+func ExtractSet(set *basis.Set, opt Options) (*Result, error) {
 	eps := opt.Eps
 	if eps == 0 {
 		eps = kernel.Eps0
@@ -100,18 +163,22 @@ func Extract(st *geom.Structure, opt Options) (*Result, error) {
 	if cfg == nil {
 		cfg = kernel.DefaultConfig()
 	}
-	in := &assembly.Integrator{Cfg: cfg}
 
-	t0 := time.Now()
-	bopt := opt.Basis
-	if bopt == (basis.BuilderOptions{}) {
-		bopt = basis.DefaultBuilderOptions()
+	var tTable time.Duration
+	tab := opt.Tab
+	if tab == nil && opt.Tables {
+		spec := tabulate.CollocationSpec{}
+		if opt.TableSpec != nil {
+			spec = *opt.TableSpec
+		}
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("solver: bad table spec: %w", err)
+		}
+		tt := time.Now()
+		tab = tabulate.NewCollocation(spec)
+		tTable = time.Since(tt)
 	}
-	set := basis.Build(st, bopt)
-	if err := set.Validate(); err != nil {
-		return nil, fmt.Errorf("solver: generated basis invalid: %w", err)
-	}
-	tBasis := time.Since(t0)
+	in := &assembly.Integrator{Cfg: cfg, Tab: tab, Pairs: opt.Pairs}
 
 	t1 := time.Now()
 	P, err := fill(set, in, opt)
@@ -137,10 +204,10 @@ func Extract(st *geom.Structure, opt Options) (*Result, error) {
 		Set:         set,
 		P:           P,
 		Timing: Timing{
-			BasisGen: tBasis,
+			TableGen: tTable,
 			Setup:    tSetup,
 			Solve:    tSolve,
-			Total:    tBasis + tSetup + tSolve,
+			Total:    tTable + tSetup + tSolve,
 		},
 	}, nil
 }
@@ -151,7 +218,7 @@ func fill(set *basis.Set, in *assembly.Integrator, opt Options) (*linalg.Dense, 
 	case Serial:
 		return assembly.FillSerial(set, in), nil
 	case SharedMem:
-		return par.Fill(set, in, par.Options{Workers: opt.Workers}), nil
+		return par.Fill(set, in, par.Options{Workers: opt.Workers, Pool: opt.Pool}), nil
 	case Distributed:
 		net := opt.Network
 		if net == nil {
@@ -161,7 +228,8 @@ func fill(set *basis.Set, in *assembly.Integrator, opt Options) (*linalg.Dense, 
 			}
 			net = mpi.NewNetwork(d)
 		}
-		return mpi.FillDistributed(set, in, net), nil
+		return mpi.FillDistributedOpts(set, in, net,
+			mpi.FillOptions{ThreadsPerRank: opt.ThreadsPerRank}), nil
 	}
 	return nil, errors.New("solver: unknown backend")
 }
