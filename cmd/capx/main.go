@@ -14,6 +14,12 @@
 // several times faster than separate runs when structures repeat:
 //
 //	capx -batch -workers 8 bus1.geo bus2.geo bus3.geo
+//
+// Baseline mode runs one of the piecewise-constant reference solvers
+// instead (multipole, precorrected-FFT or dense direct), reporting panel
+// count and Krylov iteration totals:
+//
+//	capx -structure bus -m 16 -n 16 -baseline fastcap -edge 4e-7 -tol 1e-5
 package main
 
 import (
@@ -41,6 +47,9 @@ func main() {
 		check     = flag.Bool("check", true, "validate the Maxwell matrix structure")
 		batchMode = flag.Bool("batch", false, "batch mode: extract the geometry files given as arguments through one shared engine")
 		tables    = flag.Bool("tables", false, "enable the tabulated collocation kernel (Section 4.2.1)")
+		baseline  = flag.String("baseline", "", "run a piecewise-constant baseline instead: fastcap | pfft | dense")
+		tol       = flag.Float64("tol", 1e-4, "baseline iterative solver relative tolerance")
+		edge      = flag.Float64("edge", 0.5e-6, "baseline max panel edge (m)")
 	)
 	flag.Parse()
 
@@ -66,6 +75,11 @@ func main() {
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *baseline != "" {
+		runBaseline(st, *baseline, *edge, *tol, *workers, *units, *maxPrint, *check)
+		return
 	}
 
 	opt := parbem.Options{Workers: *workers, Tables: *tables}
@@ -150,6 +164,55 @@ func printMatrix(c *parbem.Matrix, units float64, names []string, maxPrint int) 
 		fmt.Printf("C[%3d][%3d] = %10.4f   strongest coupling -> %3d: %10.4f\n",
 			i, i, c.At(i, i)*units, bj, best*units)
 	}
+}
+
+// runBaseline solves the structure with one of the piecewise-constant
+// reference solvers and reports panel counts, Krylov iterations and
+// timing next to the capacitance matrix.
+func runBaseline(st *parbem.Structure, kind string, edge, tol float64, workers int, units float64, maxPrint int, check bool) {
+	var (
+		res *parbem.ReferenceResult
+		err error
+	)
+	t0 := time.Now()
+	switch kind {
+	case "fastcap":
+		res, err = parbem.ExtractFastCapLike(st, edge, parbem.FastCapOptions{Workers: workers, Tol: tol})
+	case "pfft":
+		res, err = parbem.ExtractPFFT(st, edge, parbem.PFFTOptions{Workers: workers, Tol: tol})
+	case "dense":
+		res, err = parbem.ExtractReference(st, edge)
+	default:
+		log.Fatalf("unknown baseline %q (want fastcap, pfft or dense)", kind)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := time.Since(t0)
+
+	fmt.Printf("structure : %s (%d conductors)\n", st.Name, st.NumConductors())
+	fmt.Printf("baseline  : %s, N = %d panels, edge = %g m\n", kind, res.NumPanels, edge)
+	if res.Iterations > 0 {
+		fmt.Printf("krylov    : %d GMRES iterations total (tol %g, all conductors concurrent)\n",
+			res.Iterations, tol)
+	}
+	fmt.Printf("timing    : solve %v | total %v\n\n", res.SolveTime, total)
+
+	names := make([]string, st.NumConductors())
+	for i, c := range st.Conductors {
+		names[i] = c.Name
+	}
+	if check {
+		if violations := parbem.CheckMaxwell(res.C, 0); len(violations) > 0 {
+			fmt.Println("Maxwell-matrix warnings:")
+			for _, v := range violations {
+				fmt.Printf("  %s\n", v)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println("capacitance matrix (scaled):")
+	printMatrix(res.C, units, names, maxPrint)
 }
 
 func parseBackend(name string) (parbem.Backend, error) {

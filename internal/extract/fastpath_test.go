@@ -1,0 +1,79 @@
+package extract
+
+import (
+	"math"
+	"testing"
+
+	"parbem/internal/pcbem"
+)
+
+// TestIterativeCrossingMatchesDense verifies the accelerated template
+// solve: above the panel threshold solveCrossing must route through the
+// multipole iterative path and reproduce the dense charge densities to
+// well within the arch-fit sensitivity.
+func TestIterativeCrossingMatchesDense(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dense reference solve is O(N^3)")
+	}
+	sp := smallSpec()
+	st := sp.Build()
+	prob, err := pcbem.NewProblem(st, 0.15e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prob.N() < iterativeThreshold {
+		t.Fatalf("problem too small to exercise the fast path: N=%d", prob.N())
+	}
+	fast, err := solveCrossing(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Iterations == 0 {
+		t.Fatal("solveCrossing did not take the iterative path")
+	}
+	dense, err := prob.SolveDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column 1 is the excitation CrossingProfile reads.
+	var num, den float64
+	for i := 0; i < prob.N(); i++ {
+		d := fast.Rho.At(i, 1) - dense.Rho.At(i, 1)
+		num += d * d
+		den += dense.Rho.At(i, 1) * dense.Rho.At(i, 1)
+	}
+	// The floor is the operator's center-monopole treatment of
+	// mid-range panel pairs (~0.2%), far below the arch-fit
+	// sensitivity; the bound guards against regressions on top of it.
+	rel := math.Sqrt(num / den)
+	if rel > 1e-2 {
+		t.Fatalf("iterative charge densities off by %g relative", rel)
+	}
+}
+
+// TestSweepHConcurrentMatchesSequential pins the concurrent sweep to the
+// per-point results (each h is an independent problem).
+func TestSweepHConcurrentMatchesSequential(t *testing.T) {
+	base := smallSpec()
+	hs := []float64{0.4e-6, 0.8e-6}
+	fits, err := SweepH(base, hs, 0.5e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hs {
+		sp := base
+		sp.H = h
+		prof, err := CrossingProfile(sp, 0.5e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := FitArch(prof, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fits[i].Flat != want.Flat || fits[i].Peak != want.Peak ||
+			fits[i].PeakPos != want.PeakPos || fits[i].Decay != want.Decay {
+			t.Fatalf("h=%g: concurrent sweep fit %+v != sequential %+v", h, fits[i], want)
+		}
+	}
+}

@@ -55,13 +55,22 @@ func TestLeafSizeRespected(t *testing.T) {
 	}
 }
 
-func TestAdjacencyIncludesSelf(t *testing.T) {
+func TestNearListIncludesSelf(t *testing.T) {
 	p := busProblem(t, 3, 3, 2e-6)
 	tr := buildTree(p.Panels, 8)
-	tr.computeAdjacency(1.5)
+	in := tr.buildInteractions(0.5, 1.5)
 	for _, lf := range tr.leaves() {
-		if !tr.isAdjacent(lf, lf) {
-			t.Fatalf("leaf %d not adjacent to itself", lf)
+		found := false
+		for _, ns := range in.nearBy[lf] {
+			if ns.leaf == lf {
+				if !ns.galerkin {
+					t.Fatalf("leaf %d self pair not exact", lf)
+				}
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("leaf %d missing from its own near list", lf)
 		}
 	}
 }
@@ -91,8 +100,20 @@ func TestOperatorMatchesDenseMatvec(t *testing.T) {
 	if rel > 0.02 {
 		t.Fatalf("matvec relative error %g > 2%%", rel)
 	}
-	if op.NearEntries() >= n*n {
+}
+
+func TestNearFieldSparse(t *testing.T) {
+	// Large enough that the dual-tree traversal finds well-separated
+	// pairs; the near CSR must then be a small fraction of N^2 (the
+	// stored-entry count is O(N): a few hundred entries per row).
+	p := busProblem(t, 8, 8, 0.75e-6)
+	op := NewOperator(p.Panels, Options{})
+	n := p.N()
+	if op.NearEntries() >= n*n/4 {
 		t.Errorf("near entries %d not sparse vs N^2 = %d", op.NearEntries(), n*n)
+	}
+	if len(op.m2lSrc) == 0 {
+		t.Error("no far-field interactions found")
 	}
 }
 

@@ -1,0 +1,175 @@
+package fmm
+
+import (
+	"math"
+	"sort"
+)
+
+// nearSrc is one entry of a leaf's near list: a source leaf whose panels
+// interact with every panel of the target leaf through the near-field
+// CSR, either with exact Galerkin integrals or with center monopole
+// (point) entries.
+type nearSrc struct {
+	leaf     int32
+	galerkin bool
+	// off is the entry offset of this source leaf's block inside every
+	// CSR row of the target leaf (rows of one leaf all share the same
+	// layout: blocks ordered by source leaf id).
+	off int32
+}
+
+// nearPair is one unordered near leaf pair (a <= b), the unit of
+// near-field assembly work: the pair's Galerkin (or point) block is
+// integrated once and scattered into the rows of both leaves.
+type nearPair struct {
+	a, b     int32
+	galerkin bool
+	// offA is the block offset inside leaf a's rows for sources in b;
+	// offB the offset inside leaf b's rows for sources in a.
+	offA, offB int32
+}
+
+// interactions is the output of the dual-tree traversal: per-node M2L
+// source lists in CSR form plus the near-field pair decomposition.
+type interactions struct {
+	m2lOff []int32 // per-node offsets into m2lSrc, len(nodes)+1
+	m2lSrc []int32 // well-separated source node ids
+
+	pairs  []nearPair  // unordered near leaf pairs
+	nearBy [][]nearSrc // per-leaf near lists, sorted by source leaf id
+}
+
+// buildInteractions runs the dual-tree traversal from (root, root) and
+// classifies every (target, source) node pair exactly once:
+//
+//   - accepted by the multipole criterion -> M2L entry on the target;
+//   - both leaves, not accepted -> near pair (exact Galerkin when the
+//     boxes are within the NearFactor adjacency radius, center monopole
+//     entries otherwise);
+//   - otherwise the larger node is expanded into its children.
+//
+// The expansion rule (larger halfSize first; ties broken by node id, not
+// by position) makes the visited ordered-pair set symmetric, so every
+// unordered near pair is seen in both orders and recorded once with
+// a <= b.
+func (t *tree) buildInteractions(theta, nearFactor float64) *interactions {
+	nn := len(t.nodes)
+	m2l := make([][]int32, nn)
+	nearBy := make([][]nearSrc, nn)
+	var pairs []nearPair
+
+	type pr struct{ a, b int32 }
+	stack := make([]pr, 1, 1024)
+	stack[0] = pr{0, 0}
+	for len(stack) > 0 {
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		a, b := top.a, top.b
+		na, nb := &t.nodes[a], &t.nodes[b]
+		d := na.center.Sub(nb.center).Norm()
+		// Multipole acceptance: both the source truncation (as in the
+		// recursive Barnes-Hut walk) and the local-expansion truncation
+		// on the target side shrink like (halfSize/d)^3, so the
+		// criterion is symmetric in the two radii.
+		if d*theta > 2*(na.halfSize+nb.halfSize) {
+			m2l[a] = append(m2l[a], b)
+			continue
+		}
+		if na.leaf && nb.leaf {
+			gal := t.boxDist(a, b) <= nearFactor*2*math.Max(na.halfSize, nb.halfSize)
+			nearBy[a] = append(nearBy[a], nearSrc{leaf: b, galerkin: gal})
+			if a <= b {
+				pairs = append(pairs, nearPair{a: a, b: b, galerkin: gal})
+			}
+			continue
+		}
+		var expandA bool
+		switch {
+		case na.leaf:
+			expandA = false
+		case nb.leaf:
+			expandA = true
+		case na.halfSize != nb.halfSize:
+			expandA = na.halfSize > nb.halfSize
+		default:
+			expandA = a <= b
+		}
+		if expandA {
+			for _, ch := range na.children {
+				if ch >= 0 {
+					stack = append(stack, pr{ch, b})
+				}
+			}
+		} else {
+			for _, ch := range nb.children {
+				if ch >= 0 {
+					stack = append(stack, pr{a, ch})
+				}
+			}
+		}
+	}
+
+	in := &interactions{nearBy: nearBy, pairs: pairs}
+
+	// Deterministic order independent of traversal stack details.
+	total := 0
+	for id := range m2l {
+		lst := m2l[id]
+		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+		total += len(lst)
+	}
+	in.m2lOff = make([]int32, nn+1)
+	in.m2lSrc = make([]int32, 0, total)
+	for id := range m2l {
+		in.m2lOff[id] = int32(len(in.m2lSrc))
+		in.m2lSrc = append(in.m2lSrc, m2l[id]...)
+	}
+	in.m2lOff[nn] = int32(len(in.m2lSrc))
+
+	// Fix every leaf's row layout: blocks ordered by source leaf id,
+	// offsets by prefix sum of source leaf sizes.
+	for id := range nearBy {
+		lst := nearBy[id]
+		if len(lst) == 0 {
+			continue
+		}
+		sort.Slice(lst, func(i, j int) bool { return lst[i].leaf < lst[j].leaf })
+		var off int32
+		for k := range lst {
+			lst[k].off = off
+			nd := &t.nodes[lst[k].leaf]
+			off += nd.hi - nd.lo
+		}
+	}
+
+	// Resolve each pair's block offsets on both sides.
+	for k := range pairs {
+		p := &pairs[k]
+		p.offA = findNearOff(nearBy[p.a], p.b)
+		p.offB = findNearOff(nearBy[p.b], p.a)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+	return in
+}
+
+// findNearOff returns the row-block offset of source leaf src inside a
+// sorted near list.
+func findNearOff(lst []nearSrc, src int32) int32 {
+	i := sort.Search(len(lst), func(i int) bool { return lst[i].leaf >= src })
+	return lst[i].off
+}
+
+// rowStride returns the total near-entry count of every row of leaf id.
+func (in *interactions) rowStride(t *tree, id int32) int64 {
+	var s int64
+	for _, ns := range in.nearBy[id] {
+		nd := &t.nodes[ns.leaf]
+		s += int64(nd.hi - nd.lo)
+	}
+	return s
+}

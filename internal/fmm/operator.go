@@ -1,25 +1,38 @@
 package fmm
 
 import (
+	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"parbem/internal/geom"
 	"parbem/internal/kernel"
 	"parbem/internal/linalg"
+	"parbem/internal/sched"
 )
 
 // Options tunes the multipole operator.
 type Options struct {
 	LeafSize int     // max panels per leaf (default 16)
-	Theta    float64 // Barnes-Hut opening parameter (default 0.5)
-	// NearFactor scales the leaf adjacency radius (default 1.5): leaves
-	// within NearFactor * 2*max(halfSize) interact with exact Galerkin
-	// entries.
+	Theta    float64 // multipole opening parameter (default 0.5)
+	// NearFactor scales the exact-integration radius (default 1.5):
+	// near leaf pairs within NearFactor * 2*max(halfSize) get exact
+	// Galerkin entries; remaining near pairs get center monopole
+	// entries (the same approximation the far field uses).
 	NearFactor float64
-	Workers    int // parallel matvec workers (default GOMAXPROCS)
+	Workers    int // parallel workers when Pool is nil (default GOMAXPROCS)
 	Eps        float64
 	Cfg        *kernel.Config
+	// Pool optionally supplies a shared persistent worker pool
+	// (internal/sched); when nil, construction and Apply use a
+	// throwaway sched.Local executor sized by Workers, or run inline
+	// when Workers is 1.
+	Pool *sched.Pool
+	// Tol is the GMRES relative tolerance used by the iterative solves
+	// driven through parbem.ExtractFastCapLike (0 = 1e-4). The operator
+	// itself does not consume it.
+	Tol float64
 }
 
 func (o *Options) defaults() {
@@ -43,34 +56,73 @@ func (o *Options) defaults() {
 	}
 }
 
+// applyScratch is the per-Apply mutable state: panel charges, upward
+// moments and downward local expansions. Bundling it keeps Apply
+// re-entrant (concurrent GMRES solves share one Operator) and
+// allocation-free after warmup.
+type applyScratch struct {
+	charges []float64
+	mono    []float64
+	dip     [][3]float64
+	quad    [][6]float64 // xx, yy, zz, xy, xz, yz
+	l0      []float64
+	l1      [][3]float64
+	l2      [][6]float64 // symmetric Hessian, same layout as quad
+}
+
+func newScratch(n, nodes int) *applyScratch {
+	return &applyScratch{
+		charges: make([]float64, n),
+		mono:    make([]float64, nodes),
+		dip:     make([][3]float64, nodes),
+		quad:    make([][6]float64, nodes),
+		l0:      make([]float64, nodes),
+		l1:      make([][3]float64, nodes),
+		l2:      make([][6]float64, nodes),
+	}
+}
+
 // Operator is the multipole-accelerated Galerkin matvec y = P x for panel
-// charge densities x. It implements linalg.Matvec.
+// charge densities x. It implements linalg.Matvec. Apply is safe for
+// concurrent use.
 type Operator struct {
 	panels []geom.Panel
 	opt    Options
 	t      *tree
+	exec   sched.Executor // nil = run inline (serial)
 
 	centers []geom.Vec3
 	areas   []float64
 
-	// Exact near-field entries: CSR-like storage per target panel.
-	nearIdx [][]int32
-	nearVal [][]float64
+	// Near field: one CSR matrix over panels (exact Galerkin plus
+	// point-monopole entries, pre-scaled).
+	nearOff []int64
+	nearIdx []int32
+	nearVal []float64
 
-	// Multipole moments per node, rebuilt each Apply.
-	mono []float64
-	dip  [][3]float64
-	quad [][6]float64 // xx, yy, zz, xy, xz, yz
+	// Far field: per-node M2L source lists.
+	m2lOff []int32
+	m2lSrc []int32
 
-	charges []float64 // scratch: panel total charges
-	scale   float64   // 1/(4*pi*eps)
+	leaves []int32
+	scale  float64 // 1/(4*pi*eps)
+
+	// own is the warm scratch for the common one-Apply-at-a-time case;
+	// concurrent Applies overflow into the extra pool.
+	own     *applyScratch
+	ownBusy atomic.Bool
+	extra   sync.Pool
 }
 
-// NewOperator builds the tree, adjacency and exact near-field entries.
+// m2lChunk batches M2L node updates into executor tasks.
+const m2lChunk = 64
+
+// NewOperator builds the tree, the near/far interaction lists and the
+// exact near-field entries.
 func NewOperator(panels []geom.Panel, opt Options) *Operator {
 	opt.defaults()
 	t := buildTree(panels, opt.LeafSize)
-	t.computeAdjacency(opt.NearFactor)
+	inter := t.buildInteractions(opt.Theta, opt.NearFactor)
 
 	op := &Operator{
 		panels:  panels,
@@ -78,204 +130,357 @@ func NewOperator(panels []geom.Panel, opt Options) *Operator {
 		t:       t,
 		centers: make([]geom.Vec3, len(panels)),
 		areas:   make([]float64, len(panels)),
-		nearIdx: make([][]int32, len(panels)),
-		nearVal: make([][]float64, len(panels)),
-		mono:    make([]float64, len(t.nodes)),
-		dip:     make([][3]float64, len(t.nodes)),
-		quad:    make([][6]float64, len(t.nodes)),
-		charges: make([]float64, len(panels)),
+		m2lOff:  inter.m2lOff,
+		m2lSrc:  inter.m2lSrc,
+		leaves:  t.leaves(),
 		scale:   1 / (kernel.FourPi * opt.Eps),
+	}
+	if opt.Pool != nil {
+		op.exec = opt.Pool
+	} else if opt.Workers > 1 {
+		op.exec = sched.Local(opt.Workers)
 	}
 	for i, p := range panels {
 		op.centers[i] = p.Center()
 		op.areas[i] = p.Area()
 	}
 
-	// Exact near-field assembly, parallel over leaves.
-	leaves := t.leaves()
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opt.Workers)
-	for _, lf := range leaves {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(lf int32) {
-			defer func() { <-sem; wg.Done() }()
-			nd := &t.nodes[lf]
-			for _, pi := range t.perm[nd.lo:nd.hi] {
-				var idx []int32
-				var val []float64
-				for _, al := range nd.adj {
-					an := &t.nodes[al]
-					for _, pj := range t.perm[an.lo:an.hi] {
-						v := kernel.RectGalerkin(opt.Cfg, panels[pi].Rect, panels[pj].Rect)
-						idx = append(idx, pj)
-						val = append(val, op.scale*v)
-					}
-				}
-				op.nearIdx[pi] = idx
-				op.nearVal[pi] = val
-			}
-		}(lf)
+	// CSR row offsets: every row of a leaf has the same stride.
+	op.nearOff = make([]int64, len(panels)+1)
+	for pi := range panels {
+		op.nearOff[pi+1] = op.nearOff[pi] + inter.rowStride(t, t.leafOf[pi])
 	}
-	wg.Wait()
+	total := op.nearOff[len(panels)]
+	op.nearIdx = make([]int32, total)
+	op.nearVal = make([]float64, total)
+
+	// Fill near blocks, one task per unordered leaf pair; each block is
+	// integrated once and scattered to both sides. Every (row, block)
+	// segment is owned by exactly one pair, so no locking is needed.
+	pairs := inter.pairs
+	op.pmap(len(pairs), func(k int) {
+		op.fillPair(&pairs[k])
+	})
+
+	op.own = newScratch(len(panels), len(t.nodes))
 	return op
+}
+
+// pmap runs n tasks on the configured executor, or inline when serial.
+func (op *Operator) pmap(n int, fn func(int)) {
+	if op.exec == nil {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	op.exec.Map(n, fn)
+}
+
+// nearValue computes one pre-scaled near-field entry.
+func (op *Operator) nearValue(pi, pj int32, galerkin bool) float64 {
+	if galerkin {
+		return op.scale * kernel.RectGalerkin(op.opt.Cfg, op.panels[pi].Rect, op.panels[pj].Rect)
+	}
+	return op.scale * op.areas[pi] * op.areas[pj] / op.centers[pi].Dist(op.centers[pj])
+}
+
+// fillPair integrates the near block of one unordered leaf pair and
+// scatters it into the CSR rows of both leaves.
+func (op *Operator) fillPair(pr *nearPair) {
+	na, nb := &op.t.nodes[pr.a], &op.t.nodes[pr.b]
+	pa := op.t.perm[na.lo:na.hi]
+	if pr.a == pr.b {
+		// Self block: symmetric, compute the upper triangle once.
+		for ia, pi := range pa {
+			base := op.nearOff[pi] + int64(pr.offA)
+			for jb := ia; jb < len(pa); jb++ {
+				pj := pa[jb]
+				v := op.nearValue(pi, pj, pr.galerkin)
+				op.nearIdx[base+int64(jb)] = pj
+				op.nearVal[base+int64(jb)] = v
+				if jb != ia {
+					b2 := op.nearOff[pj] + int64(pr.offA) + int64(ia)
+					op.nearIdx[b2] = pi
+					op.nearVal[b2] = v
+				}
+			}
+		}
+		return
+	}
+	pb := op.t.perm[nb.lo:nb.hi]
+	for ia, pi := range pa {
+		base := op.nearOff[pi] + int64(pr.offA)
+		for jb, pj := range pb {
+			v := op.nearValue(pi, pj, pr.galerkin)
+			op.nearIdx[base+int64(jb)] = pj
+			op.nearVal[base+int64(jb)] = v
+			b2 := op.nearOff[pj] + int64(pr.offB) + int64(ia)
+			op.nearIdx[b2] = pi
+			op.nearVal[b2] = v
+		}
+	}
 }
 
 // Dim implements linalg.Matvec.
 func (op *Operator) Dim() int { return len(op.panels) }
 
-// NearEntries returns the total number of stored exact entries (memory
+// NearEntries returns the number of stored near-field entries (memory
 // diagnostics for Table 2).
-func (op *Operator) NearEntries() int {
-	n := 0
-	for _, r := range op.nearIdx {
-		n += len(r)
+func (op *Operator) NearEntries() int { return len(op.nearVal) }
+
+func (op *Operator) acquire() *applyScratch {
+	if op.ownBusy.CompareAndSwap(false, true) {
+		return op.own
 	}
-	return n
+	if s, ok := op.extra.Get().(*applyScratch); ok {
+		return s
+	}
+	return newScratch(len(op.panels), len(op.t.nodes))
 }
 
-// Apply implements linalg.Matvec: upward moment pass, then near+far
-// evaluation per target panel, parallel over leaves.
+func (op *Operator) release(s *applyScratch) {
+	if s == op.own {
+		op.ownBusy.Store(false)
+		return
+	}
+	op.extra.Put(s)
+}
+
+// Apply implements linalg.Matvec: upward moment pass, M2L over the
+// interaction lists, L2L downward translation, then near CSR row plus
+// L2P per panel. Allocation-free after the first call (serial mode) and
+// safe for concurrent use.
 func (op *Operator) Apply(dst, x []float64) {
-	for i := range op.charges {
-		op.charges[i] = x[i] * op.areas[i]
+	s := op.acquire()
+	defer op.release(s)
+	for i, a := range op.areas {
+		s.charges[i] = x[i] * a
 	}
-	op.upward(0)
-
-	leaves := op.t.leaves()
-	var wg sync.WaitGroup
-	work := make(chan int32)
-	for w := 0; w < op.opt.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for lf := range work {
-				op.evalLeaf(lf, dst, x)
-			}
-		}()
+	op.upward(s)
+	if op.exec == nil {
+		for id := range op.t.nodes {
+			op.m2lNode(s, id)
+		}
+		op.downward(s)
+		for _, lf := range op.leaves {
+			op.evalLeaf(s, lf, dst, x)
+		}
+		return
 	}
-	for _, lf := range leaves {
-		work <- lf
-	}
-	close(work)
-	wg.Wait()
+	nn := len(op.t.nodes)
+	op.exec.Map((nn+m2lChunk-1)/m2lChunk, func(c int) {
+		lo := c * m2lChunk
+		hi := lo + m2lChunk
+		if hi > nn {
+			hi = nn
+		}
+		for id := lo; id < hi; id++ {
+			op.m2lNode(s, id)
+		}
+	})
+	op.downward(s)
+	leaves := op.leaves
+	op.exec.Map(len(leaves), func(k int) {
+		op.evalLeaf(s, leaves[k], dst, x)
+	})
 }
 
-// upward computes moments of node id (post-order), about each node center.
-func (op *Operator) upward(id int32) {
-	nd := &op.t.nodes[id]
-	var mono float64
-	var dip [3]float64
-	var quad [6]float64
-	if nd.leaf {
-		for _, pi := range op.t.perm[nd.lo:nd.hi] {
-			q := op.charges[pi]
-			mono += q
-			r := op.centers[pi].Sub(nd.center)
-			dip[0] += q * r.X
-			dip[1] += q * r.Y
-			dip[2] += q * r.Z
-			quad[0] += q * r.X * r.X
-			quad[1] += q * r.Y * r.Y
-			quad[2] += q * r.Z * r.Z
-			quad[3] += q * r.X * r.Y
-			quad[4] += q * r.X * r.Z
-			quad[5] += q * r.Y * r.Z
+// upward computes the Cartesian moments of every node about its own
+// center. Children always have larger ids than their parent, so one
+// descending sweep is a post-order traversal.
+func (op *Operator) upward(s *applyScratch) {
+	nodes := op.t.nodes
+	for id := len(nodes) - 1; id >= 0; id-- {
+		nd := &nodes[id]
+		var mono float64
+		var dip [3]float64
+		var quad [6]float64
+		if nd.leaf {
+			for _, pi := range op.t.perm[nd.lo:nd.hi] {
+				q := s.charges[pi]
+				r := op.centers[pi].Sub(nd.center)
+				mono += q
+				dip[0] += q * r.X
+				dip[1] += q * r.Y
+				dip[2] += q * r.Z
+				quad[0] += q * r.X * r.X
+				quad[1] += q * r.Y * r.Y
+				quad[2] += q * r.Z * r.Z
+				quad[3] += q * r.X * r.Y
+				quad[4] += q * r.X * r.Z
+				quad[5] += q * r.Y * r.Z
+			}
+		} else {
+			for _, ch := range nd.children {
+				if ch < 0 {
+					continue
+				}
+				cn := &nodes[ch]
+				d := cn.center.Sub(nd.center)
+				q := s.mono[ch]
+				cd := s.dip[ch]
+				cq := s.quad[ch]
+				mono += q
+				// Shift dipole: d' = d_child + q * offset.
+				dip[0] += cd[0] + q*d.X
+				dip[1] += cd[1] + q*d.Y
+				dip[2] += cd[2] + q*d.Z
+				// Shift quadrupole: Q'_ab = Q_ab + d_a off_b + d_b off_a + q off_a off_b.
+				quad[0] += cq[0] + 2*cd[0]*d.X + q*d.X*d.X
+				quad[1] += cq[1] + 2*cd[1]*d.Y + q*d.Y*d.Y
+				quad[2] += cq[2] + 2*cd[2]*d.Z + q*d.Z*d.Z
+				quad[3] += cq[3] + cd[0]*d.Y + cd[1]*d.X + q*d.X*d.Y
+				quad[4] += cq[4] + cd[0]*d.Z + cd[2]*d.X + q*d.X*d.Z
+				quad[5] += cq[5] + cd[1]*d.Z + cd[2]*d.Y + q*d.Y*d.Z
+			}
 		}
-	} else {
+		s.mono[id] = mono
+		s.dip[id] = dip
+		s.quad[id] = quad
+	}
+}
+
+// m2lNode converts the moments of every well-separated source node into
+// a local (Taylor) expansion about node id's center: value l0, gradient
+// l1 and symmetric Hessian l2 of the source potential field. The result
+// is assigned, not accumulated, so no zeroing pass is needed.
+func (op *Operator) m2lNode(s *applyScratch, id int) {
+	var l0 float64
+	var l1 [3]float64
+	var l2 [6]float64
+	ct := op.t.nodes[id].center
+	for _, src := range op.m2lSrc[op.m2lOff[id]:op.m2lOff[id+1]] {
+		q := s.mono[src]
+		dp := s.dip[src]
+		qd := s.quad[src]
+		R := ct.Sub(op.t.nodes[src].center)
+		x, y, z := R.X, R.Y, R.Z
+		r2 := x*x + y*y + z*z
+		inv2 := 1 / r2
+		inv := math.Sqrt(inv2)
+		inv3 := inv * inv2
+		inv5 := inv3 * inv2
+		inv7 := inv5 * inv2
+		inv9 := inv7 * inv2
+
+		// Monopole q/r: value, gradient -q x/r^3, Hessian
+		// q(3 x_a x_b - delta_ab r^2)/r^5.
+		l0 += q * inv
+		c3 := q * inv3
+		l1[0] -= c3 * x
+		l1[1] -= c3 * y
+		l1[2] -= c3 * z
+		c5 := 3 * q * inv5
+		l2[0] += c5*x*x - c3
+		l2[1] += c5*y*y - c3
+		l2[2] += c5*z*z - c3
+		l2[3] += c5 * x * y
+		l2[4] += c5 * x * z
+		l2[5] += c5 * y * z
+
+		// Dipole (D.x)/r^3.
+		dx := dp[0]*x + dp[1]*y + dp[2]*z
+		l0 += dx * inv3
+		d5 := 3 * dx * inv5
+		l1[0] += dp[0]*inv3 - d5*x
+		l1[1] += dp[1]*inv3 - d5*y
+		l1[2] += dp[2]*inv3 - d5*z
+		d7 := 15 * dx * inv7
+		t5 := 3 * inv5
+		l2[0] += d7*x*x - t5*(2*dp[0]*x+dx)
+		l2[1] += d7*y*y - t5*(2*dp[1]*y+dx)
+		l2[2] += d7*z*z - t5*(2*dp[2]*z+dx)
+		l2[3] += d7*x*y - t5*(dp[0]*y+dp[1]*x)
+		l2[4] += d7*x*z - t5*(dp[0]*z+dp[2]*x)
+		l2[5] += d7*y*z - t5*(dp[1]*z+dp[2]*y)
+
+		// Quadrupole (raw second moments): (3 x.Qx - tr(Q) r^2)/(2 r^5).
+		qx := qd[0]*x + qd[3]*y + qd[4]*z
+		qy := qd[3]*x + qd[1]*y + qd[5]*z
+		qz := qd[4]*x + qd[5]*y + qd[2]*z
+		a := x*qx + y*qy + z*qz
+		tr := qd[0] + qd[1] + qd[2]
+		l0 += 1.5*a*inv5 - 0.5*tr*inv3
+		a7 := 7.5 * a * inv7
+		tq5 := 1.5 * tr * inv5
+		l1[0] += 3*qx*inv5 - a7*x + tq5*x
+		l1[1] += 3*qy*inv5 - a7*y + tq5*y
+		l1[2] += 3*qz*inv5 - a7*z + tq5*z
+		a9 := 52.5 * a * inv9
+		t7 := 7.5 * tr * inv7
+		i5 := 3 * inv5
+		l2[0] += i5*qd[0] - 30*qx*x*inv7 - a7 + a9*x*x + tq5 - t7*x*x
+		l2[1] += i5*qd[1] - 30*qy*y*inv7 - a7 + a9*y*y + tq5 - t7*y*y
+		l2[2] += i5*qd[2] - 30*qz*z*inv7 - a7 + a9*z*z + tq5 - t7*z*z
+		l2[3] += i5*qd[3] - 15*(qx*y+qy*x)*inv7 + a9*x*y - t7*x*y
+		l2[4] += i5*qd[4] - 15*(qx*z+qz*x)*inv7 + a9*x*z - t7*x*z
+		l2[5] += i5*qd[5] - 15*(qy*z+qz*y)*inv7 + a9*y*z - t7*y*z
+	}
+	s.l0[id] = l0
+	s.l1[id] = l1
+	s.l2[id] = l2
+}
+
+// downward translates each node's local expansion to its children (L2L).
+// Parents have smaller ids, so one ascending sweep visits parents first.
+func (op *Operator) downward(s *applyScratch) {
+	nodes := op.t.nodes
+	for id := range nodes {
+		nd := &nodes[id]
+		if nd.leaf {
+			continue
+		}
+		pl0 := s.l0[id]
+		pl1 := s.l1[id]
+		pl2 := s.l2[id]
 		for _, ch := range nd.children {
 			if ch < 0 {
 				continue
 			}
-			op.upward(ch)
-			cn := &op.t.nodes[ch]
-			d := cn.center.Sub(nd.center)
-			q := op.mono[ch]
-			cd := op.dip[ch]
-			cq := op.quad[ch]
-			mono += q
-			// Shift dipole: d' = d_child + q * offset.
-			dip[0] += cd[0] + q*d.X
-			dip[1] += cd[1] + q*d.Y
-			dip[2] += cd[2] + q*d.Z
-			// Shift quadrupole: Q'_ab = Q_ab + d_a off_b + d_b off_a + q off_a off_b.
-			quad[0] += cq[0] + 2*cd[0]*d.X + q*d.X*d.X
-			quad[1] += cq[1] + 2*cd[1]*d.Y + q*d.Y*d.Y
-			quad[2] += cq[2] + 2*cd[2]*d.Z + q*d.Z*d.Z
-			quad[3] += cq[3] + cd[0]*d.Y + cd[1]*d.X + q*d.X*d.Y
-			quad[4] += cq[4] + cd[0]*d.Z + cd[2]*d.X + q*d.X*d.Z
-			quad[5] += cq[5] + cd[1]*d.Z + cd[2]*d.Y + q*d.Y*d.Z
-		}
-	}
-	op.mono[id] = mono
-	op.dip[id] = dip
-	op.quad[id] = quad
-}
-
-// evalLeaf computes dst for every target panel of leaf lf.
-func (op *Operator) evalLeaf(lf int32, dst, x []float64) {
-	nd := &op.t.nodes[lf]
-	for _, pi := range op.t.perm[nd.lo:nd.hi] {
-		// Exact near field.
-		var sum float64
-		idx := op.nearIdx[pi]
-		val := op.nearVal[pi]
-		for k, pj := range idx {
-			sum += val[k] * x[pj]
-		}
-		// Far field from the tree.
-		phi := op.evalFar(0, lf, op.centers[pi])
-		dst[pi] = sum + op.scale*op.areas[pi]*phi
-	}
-}
-
-// evalFar returns the point potential (unscaled) at p from all panels not
-// in the near zone of target leaf tl.
-func (op *Operator) evalFar(id, tl int32, p geom.Vec3) float64 {
-	nd := &op.t.nodes[id]
-	if nd.leaf {
-		if op.t.isAdjacent(tl, id) {
-			return 0 // handled exactly
-		}
-		var sum float64
-		for _, pj := range op.t.perm[nd.lo:nd.hi] {
-			q := op.charges[pj]
-			if q == 0 {
-				continue
+			d := nodes[ch].center.Sub(nd.center)
+			hx := pl2[0]*d.X + pl2[3]*d.Y + pl2[4]*d.Z
+			hy := pl2[3]*d.X + pl2[1]*d.Y + pl2[5]*d.Z
+			hz := pl2[4]*d.X + pl2[5]*d.Y + pl2[2]*d.Z
+			s.l0[ch] += pl0 + pl1[0]*d.X + pl1[1]*d.Y + pl1[2]*d.Z +
+				0.5*(d.X*hx+d.Y*hy+d.Z*hz)
+			s.l1[ch][0] += pl1[0] + hx
+			s.l1[ch][1] += pl1[1] + hy
+			s.l1[ch][2] += pl1[2] + hz
+			for k := 0; k < 6; k++ {
+				s.l2[ch][k] += pl2[k]
 			}
-			sum += q / p.Dist(op.centers[pj])
-		}
-		return sum
-	}
-	r := p.Sub(nd.center)
-	dist := r.Norm()
-	if dist > 2*nd.halfSize/op.opt.Theta {
-		return op.evalMultipole(id, r, dist)
-	}
-	var sum float64
-	for _, ch := range nd.children {
-		if ch >= 0 {
-			sum += op.evalFar(ch, tl, p)
 		}
 	}
-	return sum
 }
 
-// evalMultipole evaluates the Cartesian expansion of node id at offset r.
-func (op *Operator) evalMultipole(id int32, r geom.Vec3, dist float64) float64 {
-	inv := 1 / dist
-	inv2 := inv * inv
-	inv3 := inv2 * inv
-	inv5 := inv3 * inv2
-	d := op.dip[id]
-	q := op.quad[id]
-	phi := op.mono[id]*inv + (d[0]*r.X+d[1]*r.Y+d[2]*r.Z)*inv3
-	// Quadrupole: 1/2 * Q_ab (3 r_a r_b - delta_ab r^2) / r^5.
-	tr := q[0] + q[1] + q[2]
-	rr := q[0]*r.X*r.X + q[1]*r.Y*r.Y + q[2]*r.Z*r.Z +
-		2*(q[3]*r.X*r.Y+q[4]*r.X*r.Z+q[5]*r.Y*r.Z)
-	phi += 0.5 * (3*rr - tr*dist*dist) * inv5
-	return phi
+// evalLeaf computes dst for every target panel of leaf lf: the near CSR
+// row plus the leaf's local expansion evaluated at the panel center
+// (L2P).
+func (op *Operator) evalLeaf(s *applyScratch, lf int32, dst, x []float64) {
+	nd := &op.t.nodes[lf]
+	l0 := s.l0[lf]
+	l1 := s.l1[lf]
+	l2 := s.l2[lf]
+	for _, pi := range op.t.perm[nd.lo:nd.hi] {
+		lo, hi := op.nearOff[pi], op.nearOff[pi+1]
+		idx := op.nearIdx[lo:hi]
+		val := op.nearVal[lo:hi]
+		var s0, s1 float64
+		k := 0
+		for ; k+2 <= len(idx); k += 2 {
+			s0 += val[k] * x[idx[k]]
+			s1 += val[k+1] * x[idx[k+1]]
+		}
+		if k < len(idx) {
+			s0 += val[k] * x[idx[k]]
+		}
+		r := op.centers[pi].Sub(nd.center)
+		phi := l0 + l1[0]*r.X + l1[1]*r.Y + l1[2]*r.Z +
+			0.5*(l2[0]*r.X*r.X+l2[1]*r.Y*r.Y+l2[2]*r.Z*r.Z) +
+			l2[3]*r.X*r.Y + l2[4]*r.X*r.Z + l2[5]*r.Y*r.Z
+		dst[pi] = s0 + s1 + op.scale*op.areas[pi]*phi
+	}
 }
 
 var _ linalg.Matvec = (*Operator)(nil)

@@ -1,11 +1,38 @@
 // Package fmm is a from-scratch multipole-accelerated piecewise-constant
-// BEM solver in the mold of FASTCAP [4]: an octree over the panels, a
-// Cartesian multipole expansion (monopole, dipole, quadrupole) computed in
-// an upward pass, direct near-field interactions with exact Galerkin
-// entries, and a Barnes–Hut opening criterion for the far field. Combined
-// with GMRES (internal/pcbem.SolveIterative) it gives the O(N log N)
-// matvec whose limited parallel scalability the paper contrasts against
-// (references [1] and [7], Figure 8).
+// BEM solver in the mold of FASTCAP [4], the first acceleration baseline
+// the paper benchmarks against (references [1] and [7], Figure 8).
+//
+// # Architecture
+//
+// The operator is list-driven: all tree walking happens once, at
+// construction time, and Apply is nothing but flat loops over
+// precomputed int32 index slices.
+//
+//   - An octree over panel centroids (buildTree) gives every node a
+//     contiguous [lo, hi) range of the permuted panel index array.
+//   - A dual-tree traversal (buildInteractions) classifies every
+//     target/source node pair exactly once: well-separated pairs become
+//     M2L list entries attached to the target node; leaf pairs that fail
+//     the acceptance criterion become near-field pairs, either "exact"
+//     (adjacent within Options.NearFactor — closed-form Galerkin
+//     integrals) or "point" (center monopole entries, the same
+//     approximation the far field uses for marginal leaves).
+//   - The near field is stored as one CSR matrix over panels. Each
+//     unordered leaf-pair block is integrated once and scattered to both
+//     sides (the Galerkin kernel is symmetric), in parallel on a
+//     sched.Executor, with per-(row, segment) offsets precomputed so no
+//     locking is needed.
+//   - Apply runs an upward pass accumulating Cartesian moments (monopole,
+//     dipole, quadrupole), converts source moments to local expansions on
+//     each target node via the M2L lists, translates locals down the tree
+//     (L2L), and evaluates local expansion plus near CSR row per panel
+//     (L2P). All scratch state lives in a per-Apply buffer bundle, so
+//     Apply allocates nothing after warmup and concurrent Applies (e.g.
+//     one GMRES per conductor) are safe.
+//
+// Combined with GMRES (internal/pcbem.SolveIterative) this gives the
+// O(N)-style matvec whose limited parallel scalability the paper
+// contrasts with the instantiable-basis solver.
 package fmm
 
 import (
@@ -20,18 +47,17 @@ type node struct {
 	center   geom.Vec3
 	halfSize float64 // half edge length of the cube
 	children [8]int32
-	// Panels covered: [lo, hi) into the permuted index array.
+	parent   int32
+	// Panels covered: [lo, hi) into the permuted index array. For
+	// internal nodes this is the whole subtree's range.
 	lo, hi int32
 	leaf   bool
-	// adj lists leaf ids whose panels interact directly with this
-	// leaf's panels (filled for leaves only).
-	adj []int32
 }
 
 // tree is an octree over panel centroids.
 type tree struct {
 	nodes  []node
-	perm   []int32 // permuted panel indices; leaves own contiguous ranges
+	perm   []int32 // permuted panel indices; nodes own contiguous ranges
 	leafOf []int32 // panel -> containing leaf node id
 }
 
@@ -62,14 +88,14 @@ func buildTree(panels []geom.Panel, leafSize int) *tree {
 	for i := range t.perm {
 		t.perm[i] = int32(i)
 	}
-	t.split(centers, center, half, 0, int32(n), leafSize)
+	t.split(centers, center, half, 0, int32(n), leafSize, -1)
 	return t
 }
 
 // split recursively partitions perm[lo:hi]; returns the node id.
-func (t *tree) split(centers []geom.Vec3, center geom.Vec3, half float64, lo, hi int32, leafSize int) int32 {
+func (t *tree) split(centers []geom.Vec3, center geom.Vec3, half float64, lo, hi int32, leafSize int, parent int32) int32 {
 	id := int32(len(t.nodes))
-	t.nodes = append(t.nodes, node{center: center, halfSize: half, lo: lo, hi: hi})
+	t.nodes = append(t.nodes, node{center: center, halfSize: half, lo: lo, hi: hi, parent: parent})
 	for i := range t.nodes[id].children {
 		t.nodes[id].children[i] = -1
 	}
@@ -129,7 +155,7 @@ func (t *tree) split(centers []geom.Vec3, center geom.Vec3, half float64, lo, hi
 		} else {
 			cc.Z -= qh
 		}
-		child := t.split(centers, cc, qh, cl, ch, leafSize)
+		child := t.split(centers, cc, qh, cl, ch, leafSize, id)
 		t.nodes[id].children[o] = child
 	}
 	return id
@@ -160,28 +186,4 @@ func (t *tree) boxDist(a, b int32) float64 {
 		}
 	}
 	return math.Sqrt(d2)
-}
-
-// computeAdjacency fills each leaf's adj list: leaves closer than
-// nearDist(leafA, leafB) interact directly.
-func (t *tree) computeAdjacency(factor float64) {
-	ls := t.leaves()
-	for _, a := range ls {
-		for _, b := range ls {
-			limit := factor * math.Max(t.nodes[a].halfSize, t.nodes[b].halfSize) * 2
-			if t.boxDist(a, b) <= limit {
-				t.nodes[a].adj = append(t.nodes[a].adj, b)
-			}
-		}
-	}
-}
-
-// isAdjacent reports whether leaf b is in leaf a's near list.
-func (t *tree) isAdjacent(a, b int32) bool {
-	for _, x := range t.nodes[a].adj {
-		if x == b {
-			return true
-		}
-	}
-	return false
 }

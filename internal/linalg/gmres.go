@@ -3,6 +3,8 @@ package linalg
 import (
 	"errors"
 	"math"
+
+	"parbem/internal/sched"
 )
 
 // Matvec abstracts y = A*x for iterative solvers; implementations include
@@ -15,11 +17,26 @@ type Matvec interface {
 	Dim() int
 }
 
-// DenseOp adapts a Dense matrix to the Matvec interface.
-type DenseOp struct{ M *Dense }
+// DenseOpParCutoff is the element count above which DenseOp uses the
+// parallel row-blocked matvec when an executor is configured.
+const DenseOpParCutoff = 1 << 15
+
+// DenseOp adapts a Dense matrix to the Matvec interface. When Exec is
+// non-nil and the matrix is at least DenseOpParCutoff elements, Apply
+// runs the row-blocked parallel kernel on it.
+type DenseOp struct {
+	M    *Dense
+	Exec sched.Executor
+}
 
 // Apply implements Matvec.
-func (d DenseOp) Apply(dst, x []float64) { d.M.MulVec(dst, x) }
+func (d DenseOp) Apply(dst, x []float64) {
+	if d.Exec != nil && d.M.Rows*d.M.Cols >= DenseOpParCutoff {
+		ParMulVec(d.Exec, d.M, dst, x)
+		return
+	}
+	d.M.MulVec(dst, x)
+}
 
 // Dim implements Matvec.
 func (d DenseOp) Dim() int { return d.M.Rows }
@@ -42,9 +59,78 @@ type GMRESResult struct {
 // ErrGMRESBreakdown indicates an unexpected zero in the Arnoldi process.
 var ErrGMRESBreakdown = errors.New("linalg: GMRES breakdown")
 
+// GMRESWorkspace holds every buffer a restarted GMRES solve needs —
+// Arnoldi basis, Hessenberg factors, rotation state and residual
+// scratch — so repeated solves (multi-RHS extractions, parameter
+// sweeps) allocate nothing after the first. A workspace serves one
+// solve at a time; concurrent solves each need their own.
+type GMRESWorkspace struct {
+	n, m int
+	v    [][]float64 // m+1 Arnoldi vectors of length n
+	h    *Dense      // (m+1) x m Hessenberg
+	cs   []float64
+	sn   []float64
+	g    []float64
+	yk   []float64
+	r    []float64
+	w    []float64
+	z    []float64
+}
+
+// NewGMRESWorkspace preallocates buffers for dimension-n solves with the
+// given restart length (0 = the default 50).
+func NewGMRESWorkspace(n, restart int) *GMRESWorkspace {
+	ws := &GMRESWorkspace{}
+	ws.ensure(n, normalizeRestart(n, restart))
+	return ws
+}
+
+func normalizeRestart(n, restart int) int {
+	if restart == 0 {
+		restart = 50
+	}
+	if restart > n {
+		restart = n
+	}
+	return restart
+}
+
+// ensure grows the workspace to cover an n-dimensional solve with
+// restart m; existing capacity is reused.
+func (ws *GMRESWorkspace) ensure(n, m int) {
+	if ws.n >= n && ws.m >= m {
+		return
+	}
+	if n > ws.n {
+		ws.n = n
+	}
+	if m > ws.m {
+		ws.m = m
+	}
+	ws.v = make([][]float64, ws.m+1)
+	for i := range ws.v {
+		ws.v[i] = make([]float64, ws.n)
+	}
+	ws.h = NewDense(ws.m+1, ws.m)
+	ws.cs = make([]float64, ws.m)
+	ws.sn = make([]float64, ws.m)
+	ws.g = make([]float64, ws.m+1)
+	ws.yk = make([]float64, ws.m)
+	ws.r = make([]float64, ws.n)
+	ws.w = make([]float64, ws.n)
+	ws.z = make([]float64, ws.n)
+}
+
 // GMRES solves A x = b with restarted GMRES(m), writing the solution into
-// x (which also provides the initial guess).
+// x (which also provides the initial guess). It allocates a fresh
+// workspace; use GMRESWith to reuse one across solves.
 func GMRES(a Matvec, x, b []float64, opt GMRESOptions) (GMRESResult, error) {
+	return GMRESWith(nil, a, x, b, opt)
+}
+
+// GMRESWith is GMRES with caller-provided scratch: ws is grown as needed
+// and reused, so steady-state solves are allocation-free. ws may be nil.
+func GMRESWith(ws *GMRESWorkspace, a Matvec, x, b []float64, opt GMRESOptions) (GMRESResult, error) {
 	n := a.Dim()
 	if len(x) != n || len(b) != n {
 		return GMRESResult{}, errors.New("linalg: GMRES dimension mismatch")
@@ -52,12 +138,7 @@ func GMRES(a Matvec, x, b []float64, opt GMRESOptions) (GMRESResult, error) {
 	if opt.Tol == 0 {
 		opt.Tol = 1e-6
 	}
-	if opt.Restart == 0 {
-		opt.Restart = 50
-	}
-	if opt.Restart > n {
-		opt.Restart = n
-	}
+	opt.Restart = normalizeRestart(n, opt.Restart)
 	if opt.MaxIter == 0 {
 		opt.MaxIter = 10 * n
 	}
@@ -70,18 +151,20 @@ func GMRES(a Matvec, x, b []float64, opt GMRESOptions) (GMRESResult, error) {
 	}
 
 	m := opt.Restart
-	// Arnoldi basis (m+1 vectors) and Hessenberg in Givens-reduced form.
-	v := make([][]float64, m+1)
-	for i := range v {
-		v[i] = make([]float64, n)
+	if ws == nil {
+		ws = NewGMRESWorkspace(n, m)
+	} else {
+		ws.ensure(n, m)
 	}
-	h := NewDense(m+1, m)
-	cs := make([]float64, m)
-	sn := make([]float64, m)
-	g := make([]float64, m+1)
-	r := make([]float64, n)
-	w := make([]float64, n)
-	z := make([]float64, n)
+	// Views at the solve's dimensions (the workspace may be larger).
+	v := ws.v[:m+1]
+	for i := range v {
+		v[i] = ws.v[i][:n]
+	}
+	h := ws.h
+	cs, sn := ws.cs, ws.sn
+	g := ws.g[:m+1]
+	r, w, z := ws.r[:n], ws.w[:n], ws.z[:n]
 
 	total := 0
 	for {
@@ -151,7 +234,7 @@ func GMRES(a Matvec, x, b []float64, opt GMRESOptions) (GMRESResult, error) {
 			}
 		}
 		// Solve the k x k triangular system and update x.
-		yk := make([]float64, k)
+		yk := ws.yk[:k]
 		for i := k - 1; i >= 0; i-- {
 			s := g[i]
 			for j := i + 1; j < k; j++ {

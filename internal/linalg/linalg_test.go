@@ -251,7 +251,7 @@ func TestGMRESDense(t *testing.T) {
 	b := make([]float64, n)
 	a.MulVec(b, want)
 	x := make([]float64, n)
-	res, err := GMRES(DenseOp{a}, x, b, GMRESOptions{Tol: 1e-10})
+	res, err := GMRES(DenseOp{M: a}, x, b, GMRESOptions{Tol: 1e-10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +278,7 @@ func TestGMRESRestartedAndPreconditioned(t *testing.T) {
 
 	// Small restart forces the restart path.
 	x := make([]float64, n)
-	res, err := GMRES(DenseOp{a}, x, b, GMRESOptions{Tol: 1e-9, Restart: 10})
+	res, err := GMRES(DenseOp{M: a}, x, b, GMRESOptions{Tol: 1e-9, Restart: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +292,7 @@ func TestGMRESRestartedAndPreconditioned(t *testing.T) {
 		diag[i] = a.At(i, i)
 	}
 	x2 := make([]float64, n)
-	res2, err := GMRES(DenseOp{a}, x2, b, GMRESOptions{
+	res2, err := GMRES(DenseOp{M: a}, x2, b, GMRESOptions{
 		Tol: 1e-9, Restart: 10,
 		Precond: func(dst, r []float64) {
 			for i := range dst {
@@ -319,7 +319,7 @@ func TestGMRESRestartedAndPreconditioned(t *testing.T) {
 func TestGMRESZeroRHS(t *testing.T) {
 	a := randomSPD(5, rand.New(rand.NewSource(8)))
 	x := []float64{1, 2, 3, 4, 5}
-	res, err := GMRES(DenseOp{a}, x, make([]float64, 5), GMRESOptions{})
+	res, err := GMRES(DenseOp{M: a}, x, make([]float64, 5), GMRESOptions{})
 	if err != nil || !res.Converged {
 		t.Fatalf("zero rhs: %v %+v", err, res)
 	}

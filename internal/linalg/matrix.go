@@ -75,17 +75,13 @@ func (m *Dense) MulVec(dst, x []float64) {
 		panic("linalg: MulVec dimension mismatch")
 	}
 	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		var s float64
-		for j, v := range row {
-			s += v * x[j]
-		}
-		dst[i] = s
+		dst[i] = Dot(m.Row(i), x)
 	}
 }
 
-// Mul computes c = a * b with a blocked loop ordering (ikj) that streams
-// rows of b. c must be pre-allocated with shape a.Rows x b.Cols.
+// Mul computes c = a * b with an ikj loop ordering that streams rows of
+// b through the unrolled Axpy kernel. c must be pre-allocated with shape
+// a.Rows x b.Cols.
 func Mul(c, a, b *Dense) {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
 		panic("linalg: Mul dimension mismatch")
@@ -97,13 +93,7 @@ func Mul(c, a, b *Dense) {
 		arow := a.Row(i)
 		crow := c.Row(i)
 		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
+			Axpy(av, b.Row(k), crow)
 		}
 	}
 }
@@ -140,22 +130,42 @@ func (m *Dense) SymmetryError() float64 {
 	return e
 }
 
-// Dot returns the inner product of x and y.
+// Dot returns the inner product of x and y. The loop is 4-way unrolled
+// with independent accumulators so the FMA chains overlap; this kernel
+// is the inner loop of both GMRES (Gram-Schmidt) and MulVec.
 func Dot(x, y []float64) float64 {
-	var s float64
-	for i, v := range x {
-		s += v * y[i]
+	n := len(x)
+	y = y[:n]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
 	}
-	return s
+	for ; i < n; i++ {
+		s0 += x[i] * y[i]
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // Norm2 returns the Euclidean norm of x.
 func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
 
-// Axpy computes y += a*x in place.
+// Axpy computes y += a*x in place, 4-way unrolled like Dot.
 func Axpy(a float64, x, y []float64) {
-	for i, v := range x {
-		y[i] += a * v
+	n := len(x)
+	y = y[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += a * x[i]
+		y[i+1] += a * x[i+1]
+		y[i+2] += a * x[i+2]
+		y[i+3] += a * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += a * x[i]
 	}
 }
 

@@ -1,0 +1,121 @@
+package pcbem
+
+import (
+	"testing"
+
+	"parbem/internal/geom"
+	"parbem/internal/sched"
+)
+
+// TestAssembleDenseMatchesEntries pins the parallel symmetric fill to
+// the entry definition: every (i, j) must equal Entry(i, j) computed
+// directly, independent of the executor.
+func TestAssembleDenseMatchesEntries(t *testing.T) {
+	p, err := NewProblem(geom.DefaultCrossingPair().Build(), 2e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	for _, ex := range []sched.Executor{nil, sched.Local(1), sched.Local(7), pool} {
+		p.Par = ex
+		m := p.AssembleDense()
+		n := p.N()
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				if got, want := m.At(i, j), p.Entry(i, j); got != want {
+					t.Fatalf("executor %T: P[%d][%d] = %g, want %g", ex, i, j, got, want)
+				}
+				// Lower triangle is mirrored from the upper (the
+				// quadrature is not bit-symmetric in argument order).
+				if got := m.At(j, i); got != m.At(i, j) {
+					t.Fatalf("executor %T: P[%d][%d] not mirrored", ex, j, i)
+				}
+			}
+		}
+	}
+}
+
+func TestTriangularRowBounds(t *testing.T) {
+	for _, n := range []int{1, 2, 63, 64, 100, 1000} {
+		bounds := triangularRowBounds(n, 64)
+		if bounds[0] != 0 || bounds[len(bounds)-1] != n {
+			t.Fatalf("n=%d: bounds %v do not cover [0,%d)", n, bounds, n)
+		}
+		for k := 1; k < len(bounds); k++ {
+			if bounds[k] <= bounds[k-1] {
+				t.Fatalf("n=%d: bounds %v not strictly increasing", n, bounds)
+			}
+		}
+	}
+}
+
+// TestSolveIterativeConcurrentColumnsDeterministic verifies the
+// concurrent multi-RHS path returns the same capacitance matrix and
+// iteration total on every run (each column's GMRES is independent).
+func TestSolveIterativeConcurrentColumnsDeterministic(t *testing.T) {
+	p, err := NewProblem(geom.DefaultBus(3, 3).Build(), 1.5e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := p.DenseOp()
+	first, err := p.SolveIterative(op, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 3; rep++ {
+		res, err := p.SolveIterative(op, 1e-8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Iterations != first.Iterations {
+			t.Fatalf("iteration count not deterministic: %d vs %d", res.Iterations, first.Iterations)
+		}
+		for i := 0; i < res.C.Rows; i++ {
+			for j := 0; j < res.C.Cols; j++ {
+				if res.C.At(i, j) != first.C.At(i, j) {
+					t.Fatalf("C[%d][%d] not deterministic", i, j)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkAssembleDense(b *testing.B) {
+	p, err := NewProblem(geom.DefaultBus(4, 4).Build(), 1e-6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.AssembleDense()
+	}
+}
+
+func BenchmarkAssembleDenseSerial(b *testing.B) {
+	p, err := NewProblem(geom.DefaultBus(4, 4).Build(), 1e-6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.Par = sched.Local(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.AssembleDense()
+	}
+}
+
+// BenchmarkSolveIterativeMultiRHS measures the concurrent per-conductor
+// Krylov solves over the dense operator.
+func BenchmarkSolveIterativeMultiRHS(b *testing.B) {
+	p, err := NewProblem(geom.DefaultBus(4, 4).Build(), 1.5e-6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	op := p.DenseOp()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SolveIterative(op, 1e-6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -7,17 +7,24 @@
 // It provides the dense direct solve (the accuracy reference used for
 // Table 2's error figures), and the generic Krylov plumbing shared by the
 // multipole (internal/fmm) and precorrected-FFT (internal/pfft)
-// acceleration baselines.
+// acceleration baselines. The expensive layers are throughput-oriented:
+// AssembleDense fills the symmetric halves in parallel with cost-balanced
+// row ranges on a sched executor, and SolveIterative runs one GMRES per
+// conductor concurrently, each with its own preallocated reusable
+// workspace (the operators' Apply implementations are safe for
+// concurrent use).
 package pcbem
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"parbem/internal/geom"
 	"parbem/internal/kernel"
 	"parbem/internal/linalg"
+	"parbem/internal/sched"
 )
 
 // Problem is a panelized extraction problem.
@@ -26,6 +33,10 @@ type Problem struct {
 	NumConductors int
 	Eps           float64
 	Cfg           *kernel.Config
+	// Par optionally supplies the executor for parallel assembly and
+	// dense matvecs (e.g. a shared sched.Pool); nil means a throwaway
+	// sched.Local executor sized by GOMAXPROCS.
+	Par sched.Executor
 }
 
 // NewProblem panelizes a structure with the given maximum panel edge.
@@ -45,6 +56,14 @@ func NewProblem(st *geom.Structure, maxEdge float64) (*Problem, error) {
 	}, nil
 }
 
+// exec returns the configured executor (a fresh local one by default).
+func (p *Problem) exec() sched.Executor {
+	if p.Par != nil {
+		return p.Par
+	}
+	return sched.Local(0)
+}
+
 // N returns the number of unknowns (panels).
 func (p *Problem) N() int { return len(p.Panels) }
 
@@ -54,17 +73,61 @@ func (p *Problem) Entry(i, j int) float64 {
 	return kernel.Scale(v, p.Eps)
 }
 
-// AssembleDense builds the full N x N Galerkin matrix.
+// assembleChunks is the target task count for the parallel fill: several
+// per worker so the cost-balanced ranges load-balance under stealing.
+const assembleChunks = 64
+
+// triangularRowBounds partitions rows [0, n) into chunks carrying
+// roughly equal upper-triangle entry counts (row i holds n-i entries).
+func triangularRowBounds(n, chunks int) []int {
+	if chunks > n {
+		chunks = n
+	}
+	total := int64(n) * int64(n+1) / 2
+	target := total / int64(chunks)
+	bounds := make([]int, 1, chunks+1)
+	var acc int64
+	for i := 0; i < n; i++ {
+		acc += int64(n - i)
+		if acc >= target && len(bounds) < chunks {
+			bounds = append(bounds, i+1)
+			acc = 0
+		}
+	}
+	return append(bounds, n)
+}
+
+// AssembleDense builds the full N x N Galerkin matrix: the upper
+// triangle is integrated in parallel over cost-balanced row ranges, then
+// mirrored (each entry is computed exactly once).
 func (p *Problem) AssembleDense() *linalg.Dense {
 	n := p.N()
 	m := linalg.NewDense(n, n)
-	for i := 0; i < n; i++ {
-		for j := i; j < n; j++ {
-			v := p.Entry(i, j)
-			m.Set(i, j, v)
-			m.Set(j, i, v)
+	ex := p.exec()
+	bounds := triangularRowBounds(n, assembleChunks)
+	ex.Map(len(bounds)-1, func(t int) {
+		for i := bounds[t]; i < bounds[t+1]; i++ {
+			row := m.Row(i)
+			for j := i; j < n; j++ {
+				row[j] = p.Entry(i, j)
+			}
 		}
-	}
+	})
+	// Mirror the strictly-lower triangle from the filled upper half.
+	chunk := (n + assembleChunks - 1) / assembleChunks
+	ex.Map((n+chunk-1)/chunk, func(t int) {
+		lo := t * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			for j := 0; j < i; j++ {
+				row[j] = m.At(j, i)
+			}
+		}
+	})
 	return m
 }
 
@@ -119,7 +182,7 @@ func (p *Problem) SolveDense() (*Result, error) {
 			}
 		}
 	}
-	c := capFromRho(phi, rho)
+	c := p.capFromRho(phi, rho)
 	return &Result{
 		C: c, Rho: rho, NumPanels: p.N(),
 		SetupTime: setup, SolveTime: time.Since(t1),
@@ -128,7 +191,14 @@ func (p *Problem) SolveDense() (*Result, error) {
 
 // SolveIterative solves the system with GMRES through an arbitrary matvec
 // operator (dense, multipole-accelerated, or precorrected-FFT), with a
-// Jacobi preconditioner built from the exact diagonal.
+// Jacobi preconditioner built from the exact diagonal. All conductor
+// right-hand sides are solved concurrently, each column on its own
+// goroutine with a preallocated reusable GMRES workspace; the heavy
+// per-iteration work (the operator Apply) runs on whatever parallel
+// resources the operator was configured with, so concurrent columns keep
+// a shared worker pool saturated between Krylov synchronization points.
+// The operator's Apply must be safe for concurrent use (the fmm and pfft
+// operators and DenseOp all are).
 func (p *Problem) SolveIterative(op linalg.Matvec, tol float64) (*Result, error) {
 	if op.Dim() != p.N() {
 		return nil, errors.New("pcbem: operator dimension mismatch")
@@ -144,46 +214,63 @@ func (p *Problem) SolveIterative(op linalg.Matvec, tol float64) (*Result, error)
 	phi := p.RHS()
 	rho := linalg.NewDense(n, p.NumConductors)
 	t1 := time.Now()
-	iters := 0
-	b := make([]float64, n)
-	x := make([]float64, n)
-	for j := 0; j < p.NumConductors; j++ {
-		for i := 0; i < n; i++ {
-			b[i] = phi.At(i, j)
-			x[i] = 0
-		}
-		res, err := linalg.GMRES(op, x, b, linalg.GMRESOptions{
-			Tol:     tol,
-			Restart: 60,
-			Precond: func(dst, r []float64) {
-				for i := range dst {
-					dst[i] = r[i] / diag[i]
-				}
-			},
-		})
-		if err != nil {
-			return nil, fmt.Errorf("pcbem: GMRES failed on conductor %d: %w", j, err)
-		}
-		if !res.Converged {
-			return nil, fmt.Errorf("pcbem: GMRES stalled on conductor %d (res %g)", j, res.Residual)
-		}
-		iters += res.Iterations
-		for i := 0; i < n; i++ {
-			rho.Set(i, j, x[i])
-		}
+	nc := p.NumConductors
+	iters := make([]int, nc)
+	errs := make([]error, nc)
+	var wg sync.WaitGroup
+	for j := 0; j < nc; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			ws := linalg.NewGMRESWorkspace(n, 60)
+			b := make([]float64, n)
+			x := make([]float64, n)
+			for i := 0; i < n; i++ {
+				b[i] = phi.At(i, j)
+			}
+			res, err := linalg.GMRESWith(ws, op, x, b, linalg.GMRESOptions{
+				Tol:     tol,
+				Restart: 60,
+				Precond: func(dst, r []float64) {
+					for i := range dst {
+						dst[i] = r[i] / diag[i]
+					}
+				},
+			})
+			if err != nil {
+				errs[j] = fmt.Errorf("pcbem: GMRES failed on conductor %d: %w", j, err)
+				return
+			}
+			if !res.Converged {
+				errs[j] = fmt.Errorf("pcbem: GMRES stalled on conductor %d (res %g)", j, res.Residual)
+				return
+			}
+			iters[j] = res.Iterations
+			for i := 0; i < n; i++ {
+				rho.Set(i, j, x[i])
+			}
+		}(j)
 	}
-	c := capFromRho(phi, rho)
+	wg.Wait()
+	total := 0
+	for j := 0; j < nc; j++ {
+		if errs[j] != nil {
+			return nil, errs[j]
+		}
+		total += iters[j]
+	}
+	c := p.capFromRho(phi, rho)
 	return &Result{
 		C: c, Rho: rho, NumPanels: n,
-		Iterations: iters, SolveTime: time.Since(t1),
+		Iterations: total, SolveTime: time.Since(t1),
 	}, nil
 }
 
 // capFromRho computes C = Phi^T rho, symmetrized.
-func capFromRho(phi, rho *linalg.Dense) *linalg.Dense {
+func (p *Problem) capFromRho(phi, rho *linalg.Dense) *linalg.Dense {
 	n := phi.Cols
 	c := linalg.NewDense(n, n)
-	linalg.Mul(c, phi.Transpose(), rho)
+	linalg.ParMul(p.exec(), c, phi.Transpose(), rho)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			v := 0.5 * (c.At(i, j) + c.At(j, i))
@@ -195,7 +282,9 @@ func capFromRho(phi, rho *linalg.Dense) *linalg.Dense {
 }
 
 // DenseOp exposes the dense assembled matrix as a Matvec for testing the
-// iterative path independently of the accelerated operators.
+// iterative path independently of the accelerated operators; above the
+// linalg.DenseOpParCutoff size its matvec runs row-blocked on the
+// problem's executor.
 func (p *Problem) DenseOp() linalg.Matvec {
-	return linalg.DenseOp{M: p.AssembleDense()}
+	return linalg.DenseOp{M: p.AssembleDense(), Exec: p.Par}
 }

@@ -32,6 +32,10 @@ type Options struct {
 	Workers    int
 	Eps        float64
 	Cfg        *kernel.Config
+	// Tol is the GMRES relative tolerance used by the iterative solves
+	// driven through parbem.ExtractPFFT (0 = 1e-4). The operator itself
+	// does not consume it.
+	Tol float64
 }
 
 func (o *Options) defaults() {
