@@ -15,11 +15,16 @@
 //
 //	capx -batch -workers 8 bus1.geo bus2.geo bus3.geo
 //
-// Baseline mode runs one of the piecewise-constant reference solvers
-// instead (multipole, precorrected-FFT or dense direct), reporting panel
-// count and Krylov iteration totals:
+// Piecewise-constant pipeline mode runs the unified operator pipeline
+// instead: -backend auto|dense|fastcap|pfft selects the solve backend
+// (auto picks per the cost model from panel count and grid fill factor)
+// and -precond auto|none|jacobi|block the preconditioner, reporting the
+// resolved backend, panel count and Krylov iteration totals:
 //
-//	capx -structure bus -m 16 -n 16 -baseline fastcap -edge 4e-7 -tol 1e-5
+//	capx -structure bus -m 16 -n 16 -backend auto -edge 4e-7 -tol 1e-5
+//	capx -structure bus -backend fastcap -precond block
+//
+// The legacy -baseline flag maps onto the same pipeline path.
 package main
 
 import (
@@ -38,7 +43,8 @@ func main() {
 		input     = flag.String("input", "", "read structure from a geometry file instead")
 		m         = flag.Int("m", 8, "bus: lower-layer wire count")
 		n         = flag.Int("n", 8, "bus: upper-layer wire count")
-		backend   = flag.String("backend", "serial", "serial | shared | mpi")
+		backend   = flag.String("backend", "serial", "instantiable solver: serial | shared | mpi; piecewise-constant pipeline: auto | dense | fastcap | pfft")
+		precond   = flag.String("precond", "auto", "pipeline preconditioner: auto | none | jacobi | block")
 		workers   = flag.Int("workers", 4, "parallel nodes D")
 		accel     = flag.Bool("accel", false, "enable tabulated elementary functions (Section 4.2.3)")
 		units     = flag.Float64("unit", 1e15, "output scale (1e15 = fF)")
@@ -78,7 +84,11 @@ func main() {
 	}
 
 	if *baseline != "" {
-		runBaseline(st, *baseline, *edge, *tol, *workers, *units, *maxPrint, *check)
+		runPipeline(st, *baseline, *precond, *edge, *tol, *workers, *units, *maxPrint, *check)
+		return
+	}
+	if isPipelineBackend(*backend) {
+		runPipeline(st, *backend, *precond, *edge, *tol, *workers, *units, *maxPrint, *check)
 		return
 	}
 
@@ -166,37 +176,72 @@ func printMatrix(c *parbem.Matrix, units float64, names []string, maxPrint int) 
 	}
 }
 
-// runBaseline solves the structure with one of the piecewise-constant
-// reference solvers and reports panel counts, Krylov iterations and
-// timing next to the capacitance matrix.
-func runBaseline(st *parbem.Structure, kind string, edge, tol float64, workers int, units float64, maxPrint int, check bool) {
-	var (
-		res *parbem.ReferenceResult
-		err error
-	)
-	t0 := time.Now()
-	switch kind {
-	case "fastcap":
-		res, err = parbem.ExtractFastCapLike(st, edge, parbem.FastCapOptions{Workers: workers, Tol: tol})
-	case "pfft":
-		res, err = parbem.ExtractPFFT(st, edge, parbem.PFFTOptions{Workers: workers, Tol: tol})
-	case "dense":
-		res, err = parbem.ExtractReference(st, edge)
-	default:
-		log.Fatalf("unknown baseline %q (want fastcap, pfft or dense)", kind)
+// isPipelineBackend reports whether the -backend value selects the
+// unified piecewise-constant pipeline rather than an instantiable-basis
+// fill backend.
+func isPipelineBackend(name string) bool {
+	switch name {
+	case "auto", "dense", "fastcap", "pfft":
+		return true
 	}
+	return false
+}
+
+// runPipeline solves the structure through the unified operator pipeline
+// and reports the resolved backend, panel counts, Krylov iterations and
+// timing next to the capacitance matrix.
+func runPipeline(st *parbem.Structure, kind, precond string, edge, tol float64, workers int, units float64, maxPrint int, check bool) {
+	opt := parbem.PipelineOptions{Tol: tol}
+	switch kind {
+	case "auto":
+		opt.Backend = parbem.BackendAuto
+		// Whichever accelerated operator the cost model picks must see
+		// the worker count.
+		opt.FMM = &parbem.FastCapOptions{Workers: workers}
+		opt.PFFT = &parbem.PFFTOptions{Workers: workers}
+	case "fastcap", "fmm":
+		opt.Backend = parbem.BackendFMM
+		opt.FMM = &parbem.FastCapOptions{Workers: workers}
+	case "pfft":
+		opt.Backend = parbem.BackendPFFT
+		opt.PFFT = &parbem.PFFTOptions{Workers: workers}
+	case "dense":
+		opt.Backend = parbem.BackendDense
+		// An explicit -precond request means the user wants the
+		// preconditioned iterative path; the default is the direct
+		// factorization (the historical -baseline dense behavior).
+		opt.Direct = precond == "" || precond == "auto"
+	default:
+		log.Fatalf("unknown pipeline backend %q (want auto, dense, fastcap or pfft)", kind)
+	}
+	switch precond {
+	case "", "auto":
+		opt.Precond = parbem.PrecondAuto
+	case "none":
+		opt.Precond = parbem.PrecondNone
+	case "jacobi":
+		opt.Precond = parbem.PrecondJacobi
+	case "block":
+		opt.Precond = parbem.PrecondBlockJacobi
+	default:
+		log.Fatalf("unknown preconditioner %q (want auto, none, jacobi or block)", precond)
+	}
+
+	t0 := time.Now()
+	res, err := parbem.ExtractPipeline(st, edge, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
 	total := time.Since(t0)
 
 	fmt.Printf("structure : %s (%d conductors)\n", st.Name, st.NumConductors())
-	fmt.Printf("baseline  : %s, N = %d panels, edge = %g m\n", kind, res.NumPanels, edge)
+	fmt.Printf("backend   : %v (requested %s), N = %d panels, edge = %g m\n",
+		res.Backend, kind, res.NumPanels, edge)
 	if res.Iterations > 0 {
-		fmt.Printf("krylov    : %d GMRES iterations total (tol %g, all conductors concurrent)\n",
-			res.Iterations, tol)
+		fmt.Printf("krylov    : %d GMRES iterations total (tol %g, precond %s, all conductors concurrent)\n",
+			res.Iterations, tol, precond)
 	}
-	fmt.Printf("timing    : solve %v | total %v\n\n", res.SolveTime, total)
+	fmt.Printf("timing    : setup %v | solve %v | total %v\n\n", res.SetupTime, res.SolveTime, total)
 
 	names := make([]string, st.NumConductors())
 	for i, c := range st.Conductors {

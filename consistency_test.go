@@ -39,6 +39,61 @@ func randomStructures(seed int64, n int) []*Structure {
 	return out
 }
 
+// TestPipelineBackendConsistency asserts that every operator backend of
+// the unified pipeline — dense direct, dense iterative, multipole
+// (preconditioned and unpreconditioned) and precorrected-FFT — agrees on
+// the bus corpus to 1e-3 relative (the operators share the exact
+// Galerkin near field; they differ only in far-field approximation, well
+// inside the bound at the conservative settings used here).
+func TestPipelineBackendConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several full piecewise-constant solves")
+	}
+	st := NewBus(3, 3).Build()
+	const edge = 1e-6
+
+	ref, err := ExtractPipeline(st, edge, PipelineOptions{Backend: BackendDense, Direct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Backend != BackendDense || ref.Iterations != 0 {
+		t.Fatalf("reference not a direct dense solve: backend %v, %d iterations",
+			ref.Backend, ref.Iterations)
+	}
+
+	backends := []struct {
+		name string
+		opt  PipelineOptions
+	}{
+		{"dense-iterative", PipelineOptions{Backend: BackendDense, Tol: 1e-6}},
+		{"fmm-blockjacobi", PipelineOptions{Backend: BackendFMM, Tol: 1e-6,
+			Precond: PrecondBlockJacobi, FMM: &FastCapOptions{Theta: 0.35}}},
+		{"fmm-unpreconditioned", PipelineOptions{Backend: BackendFMM, Tol: 1e-6,
+			Precond: PrecondNone, FMM: &FastCapOptions{Theta: 0.35}}},
+		{"fmm-jacobi", PipelineOptions{Backend: BackendFMM, Tol: 1e-6,
+			Precond: PrecondJacobi, FMM: &FastCapOptions{Theta: 0.35}}},
+		{"pfft", PipelineOptions{Backend: BackendPFFT, Tol: 1e-6,
+			PFFT: &PFFTOptions{NearRadius: 8}}},
+		{"auto", PipelineOptions{Backend: BackendAuto, Tol: 1e-6}},
+	}
+	for _, be := range backends {
+		res, err := ExtractPipeline(st, edge, be.opt)
+		if err != nil {
+			t.Fatalf("%s: %v", be.name, err)
+		}
+		if res.C.Rows != st.NumConductors() {
+			t.Fatalf("%s: C is %dx%d for %d conductors",
+				be.name, res.C.Rows, res.C.Cols, st.NumConductors())
+		}
+		if e := CapError(res.C, ref.C); e > 1e-3 {
+			t.Errorf("%s deviates from dense direct by %.3g (tol 1e-3)", be.name, e)
+		}
+		if res.Iterations == 0 {
+			t.Errorf("%s: no Krylov iterations reported", be.name)
+		}
+	}
+}
+
 // TestBackendConsistency asserts that the Serial, SharedMem and
 // Distributed backends and the batch Engine produce capacitance matrices
 // agreeing within 1e-10 relative error on seeded-random structures.

@@ -20,6 +20,11 @@
 // The paper's observation that nearly all extraction time is the
 // embarrassingly parallel matrix fill is what makes this profitable: the
 // fill is exactly the part that repeats across a batch.
+//
+// Solves flow through the unified operator pipeline (internal/op) via
+// solver.ExtractSet, so every engine extraction shares the same direct
+// path (equilibrated Cholesky, shift recovery, LU fallback) and
+// capacitance reduction as the interactive entry points.
 package batch
 
 import (

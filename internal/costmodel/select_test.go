@@ -1,0 +1,64 @@
+package costmodel
+
+import "testing"
+
+func TestSelectSmallProblemsGoDense(t *testing.T) {
+	for _, n := range []int{1, 100, DenseMaxPanels} {
+		w := Workload{Panels: n, Span: [3]float64{1e-5, 1e-5, 1e-6}, MedianEdge: 5e-7}
+		if got := Select(w); got != ChooseDense {
+			t.Errorf("N=%d: got %v, want dense", n, got)
+		}
+	}
+}
+
+func TestSelectSpreadStructureGoesFMM(t *testing.T) {
+	// 5k panels scattered over a large volume: the uniform grid would be
+	// nearly empty, so the tree operator must win.
+	w := Workload{
+		Panels:     5000,
+		Span:       [3]float64{100e-6, 100e-6, 100e-6},
+		MedianEdge: 1e-6,
+	}
+	if f := w.FillFactor(); f >= PFFTMinFill {
+		t.Fatalf("test workload not sparse: fill %g", f)
+	}
+	if got := Select(w); got != ChooseFMM {
+		t.Errorf("got %v, want fmm", got)
+	}
+}
+
+func TestSelectCompactDenseVolumeGoesPFFT(t *testing.T) {
+	// 50k panels filling a compact slab: high fill factor, grid wins.
+	w := Workload{
+		Panels:     50000,
+		Span:       [3]float64{20e-6, 20e-6, 2e-6},
+		MedianEdge: 1e-6,
+	}
+	if f := w.FillFactor(); f < PFFTMinFill {
+		t.Fatalf("test workload not dense: fill %g", f)
+	}
+	if got := Select(w); got != ChoosePFFT {
+		t.Errorf("got %v, want pfft", got)
+	}
+}
+
+func TestSelectTightToleranceAvoidsPFFT(t *testing.T) {
+	// Same compact workload, but a 1e-8 target: the grid approximation
+	// cannot chase it, so the exact-near-field tree operator is forced.
+	w := Workload{
+		Panels:     50000,
+		Span:       [3]float64{20e-6, 20e-6, 2e-6},
+		MedianEdge: 1e-6,
+		Tol:        1e-8,
+	}
+	if got := Select(w); got != ChooseFMM {
+		t.Errorf("got %v, want fmm at tight tolerance", got)
+	}
+}
+
+func TestGridNodesPositive(t *testing.T) {
+	w := Workload{Panels: 10, Span: [3]float64{0, 0, 0}, MedianEdge: 0}
+	if g := w.GridNodes(); g <= 0 {
+		t.Errorf("degenerate workload grid nodes %d", g)
+	}
+}

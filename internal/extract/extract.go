@@ -18,6 +18,7 @@ import (
 	"parbem/internal/basis"
 	"parbem/internal/fmm"
 	"parbem/internal/geom"
+	"parbem/internal/op"
 	"parbem/internal/pcbem"
 )
 
@@ -34,22 +35,25 @@ const iterativeThreshold = 1500
 const iterativeTol = 1e-6
 
 // solveCrossing solves a panelized crossing problem with the fastest
-// applicable method. Above iterativeThreshold panels it uses the
-// list-based multipole operator with a conservative opening parameter
-// and tight tolerance; if that solve fails to converge (the accuracy
-// guard), it falls back to the dense direct solve rather than return a
-// degraded profile.
+// applicable method. Above iterativeThreshold panels it runs the unified
+// pipeline on the list-based multipole operator with a conservative
+// opening parameter, the near-field block-Jacobi preconditioner and a
+// tight tolerance; if that solve fails to converge (the accuracy guard),
+// it falls back to the dense direct solve rather than return a degraded
+// profile.
 func solveCrossing(prob *pcbem.Problem) (*pcbem.Result, error) {
 	if prob.N() < iterativeThreshold {
 		return prob.SolveDense()
 	}
 	// Workers: 1 — parallelism comes from the layers above (SweepH runs
-	// GOMAXPROCS h-points concurrently and SolveIterative one GMRES per
+	// GOMAXPROCS h-points concurrently and the pipeline one GMRES per
 	// conductor); a parallel operator here would oversubscribe ~P^2.
-	op := fmm.NewOperator(prob.Panels, fmm.Options{
-		Theta: 0.3, NearFactor: 2, Workers: 1, Cfg: prob.Cfg, Eps: prob.Eps,
+	res, err := prob.SolvePipeline(op.Options{
+		Backend: op.BackendFMM,
+		Precond: op.PrecondBlockJacobi,
+		Tol:     iterativeTol,
+		FMM:     &fmm.Options{Theta: 0.3, NearFactor: 2, Workers: 1},
 	})
-	res, err := prob.SolveIterative(op, iterativeTol)
 	if err == nil {
 		return res, nil
 	}

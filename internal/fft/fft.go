@@ -72,6 +72,11 @@ func transform(x []complex128, sign float64) {
 type Grid3 struct {
 	Nx, Ny, Nz int
 	Data       []complex128
+	// bufY, bufX are the gather/scatter line buffers of the strided
+	// transforms, kept on the grid so repeated transforms (one per
+	// matvec in pfft) are allocation-free. A grid serves one transform
+	// at a time.
+	bufY, bufX []complex128
 }
 
 // NewGrid3 allocates a zeroed grid.
@@ -79,7 +84,12 @@ func NewGrid3(nx, ny, nz int) *Grid3 {
 	if !IsPow2(nx) || !IsPow2(ny) || !IsPow2(nz) {
 		panic("fft: grid dimensions must be powers of two")
 	}
-	return &Grid3{Nx: nx, Ny: ny, Nz: nz, Data: make([]complex128, nx*ny*nz)}
+	return &Grid3{
+		Nx: nx, Ny: ny, Nz: nz,
+		Data: make([]complex128, nx*ny*nz),
+		bufY: make([]complex128, ny),
+		bufX: make([]complex128, nx),
+	}
 }
 
 // Idx returns the linear index of (ix, iy, iz).
@@ -101,7 +111,7 @@ func (g *Grid3) transformAll(f func([]complex128)) {
 		}
 	}
 	// Along y: strided, gather/scatter.
-	buf := make([]complex128, g.Ny)
+	buf := g.bufY
 	for ix := 0; ix < g.Nx; ix++ {
 		for iz := 0; iz < g.Nz; iz++ {
 			for iy := 0; iy < g.Ny; iy++ {
@@ -114,7 +124,7 @@ func (g *Grid3) transformAll(f func([]complex128)) {
 		}
 	}
 	// Along x.
-	bufX := make([]complex128, g.Nx)
+	bufX := g.bufX
 	for iy := 0; iy < g.Ny; iy++ {
 		for iz := 0; iz < g.Nz; iz++ {
 			for ix := 0; ix < g.Nx; ix++ {

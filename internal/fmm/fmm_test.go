@@ -4,25 +4,12 @@ import (
 	"math"
 	"math/rand"
 	"testing"
-
-	"parbem/internal/geom"
-	"parbem/internal/pcbem"
 )
 
-func busProblem(t *testing.T, m, n int, edge float64) *pcbem.Problem {
-	t.Helper()
-	st := geom.DefaultBus(m, n).Build()
-	p, err := pcbem.NewProblem(st, edge)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return p
-}
-
 func TestTreeCoversAllPanels(t *testing.T) {
-	p := busProblem(t, 4, 4, 2e-6)
-	tr := buildTree(p.Panels, 8)
-	seen := make([]bool, len(p.Panels))
+	panels := busPanels(t, 4, 4, 2e-6)
+	tr := buildTree(panels, 8)
+	seen := make([]bool, len(panels))
 	for _, lf := range tr.leaves() {
 		nd := tr.nodes[lf]
 		for _, pi := range tr.perm[nd.lo:nd.hi] {
@@ -43,9 +30,9 @@ func TestTreeCoversAllPanels(t *testing.T) {
 }
 
 func TestLeafSizeRespected(t *testing.T) {
-	p := busProblem(t, 4, 4, 1e-6)
+	panels := busPanels(t, 4, 4, 1e-6)
 	for _, ls := range []int{4, 16, 64} {
-		tr := buildTree(p.Panels, ls)
+		tr := buildTree(panels, ls)
 		for _, lf := range tr.leaves() {
 			nd := tr.nodes[lf]
 			if int(nd.hi-nd.lo) > ls {
@@ -56,8 +43,8 @@ func TestLeafSizeRespected(t *testing.T) {
 }
 
 func TestNearListIncludesSelf(t *testing.T) {
-	p := busProblem(t, 3, 3, 2e-6)
-	tr := buildTree(p.Panels, 8)
+	panels := busPanels(t, 3, 3, 2e-6)
+	tr := buildTree(panels, 8)
 	in := tr.buildInteractions(0.5, 1.5)
 	for _, lf := range tr.leaves() {
 		found := false
@@ -76,10 +63,10 @@ func TestNearListIncludesSelf(t *testing.T) {
 }
 
 func TestOperatorMatchesDenseMatvec(t *testing.T) {
-	p := busProblem(t, 3, 3, 1.5e-6)
-	dense := p.AssembleDense()
-	op := NewOperator(p.Panels, Options{Theta: 0.4})
-	n := p.N()
+	panels := busPanels(t, 3, 3, 1.5e-6)
+	dense := denseRef(panels)
+	op := NewOperator(panels, Options{Theta: 0.4})
+	n := len(panels)
 	rng := rand.New(rand.NewSource(1))
 	x := make([]float64, n)
 	for i := range x {
@@ -106,9 +93,9 @@ func TestNearFieldSparse(t *testing.T) {
 	// Large enough that the dual-tree traversal finds well-separated
 	// pairs; the near CSR must then be a small fraction of N^2 (the
 	// stored-entry count is O(N): a few hundred entries per row).
-	p := busProblem(t, 8, 8, 0.75e-6)
-	op := NewOperator(p.Panels, Options{})
-	n := p.N()
+	panels := busPanels(t, 8, 8, 0.75e-6)
+	op := NewOperator(panels, Options{})
+	n := len(panels)
 	if op.NearEntries() >= n*n/4 {
 		t.Errorf("near entries %d not sparse vs N^2 = %d", op.NearEntries(), n*n)
 	}
@@ -118,9 +105,9 @@ func TestNearFieldSparse(t *testing.T) {
 }
 
 func TestOperatorAccuracyImprovesWithSmallerTheta(t *testing.T) {
-	p := busProblem(t, 3, 3, 1.5e-6)
-	dense := p.AssembleDense()
-	n := p.N()
+	panels := busPanels(t, 3, 3, 1.5e-6)
+	dense := denseRef(panels)
+	n := len(panels)
 	rng := rand.New(rand.NewSource(2))
 	x := make([]float64, n)
 	for i := range x {
@@ -129,7 +116,7 @@ func TestOperatorAccuracyImprovesWithSmallerTheta(t *testing.T) {
 	want := make([]float64, n)
 	dense.MulVec(want, x)
 	err := func(theta float64) float64 {
-		op := NewOperator(p.Panels, Options{Theta: theta})
+		op := NewOperator(panels, Options{Theta: theta})
 		got := make([]float64, n)
 		op.Apply(got, x)
 		var num, den float64
@@ -147,38 +134,16 @@ func TestOperatorAccuracyImprovesWithSmallerTheta(t *testing.T) {
 	}
 }
 
-func TestFMMSolveMatchesDense(t *testing.T) {
-	p := busProblem(t, 2, 2, 1e-6)
-	direct, err := p.SolveDense()
-	if err != nil {
-		t.Fatal(err)
-	}
-	op := NewOperator(p.Panels, Options{Theta: 0.35})
-	iter, err := p.SolveIterative(op, 1e-6)
-	if err != nil {
-		t.Fatal(err)
-	}
-	nc := direct.C.Rows
-	for i := 0; i < nc; i++ {
-		for j := 0; j < nc; j++ {
-			a, b := direct.C.At(i, j), iter.C.At(i, j)
-			if rel := math.Abs(a-b) / math.Abs(direct.C.At(i, i)); rel > 0.02 {
-				t.Errorf("C[%d][%d]: dense %g fmm %g", i, j, a, b)
-			}
-		}
-	}
-}
-
 func TestOperatorWorkerCountInvariance(t *testing.T) {
-	p := busProblem(t, 3, 3, 1.5e-6)
-	n := p.N()
+	panels := busPanels(t, 3, 3, 1.5e-6)
+	n := len(panels)
 	rng := rand.New(rand.NewSource(3))
 	x := make([]float64, n)
 	for i := range x {
 		x[i] = rng.NormFloat64()
 	}
-	op1 := NewOperator(p.Panels, Options{Workers: 1})
-	op8 := NewOperator(p.Panels, Options{Workers: 8})
+	op1 := NewOperator(panels, Options{Workers: 1})
+	op8 := NewOperator(panels, Options{Workers: 8})
 	a := make([]float64, n)
 	b := make([]float64, n)
 	op1.Apply(a, x)

@@ -5,8 +5,6 @@ import (
 	"math/rand"
 	"testing"
 
-	"parbem/internal/geom"
-	"parbem/internal/pcbem"
 	"parbem/internal/sched"
 )
 
@@ -27,15 +25,11 @@ func TestInteractionListsPartition(t *testing.T) {
 		{4, 4, 1e-6, 32, 0.3},
 		{2, 2, 0.75e-6, 8, 0.5},
 	} {
-		st := geom.DefaultBus(tc.m, tc.n).Build()
-		p, err := pcbem.NewProblem(st, tc.edge)
-		if err != nil {
-			t.Fatal(err)
-		}
-		op := NewOperator(p.Panels, Options{
+		panels := busPanels(t, tc.m, tc.n, tc.edge)
+		op := NewOperator(panels, Options{
 			LeafSize: tc.leafSize, Theta: tc.theta, Workers: 1,
 		})
-		n := p.N()
+		n := len(panels)
 		count := make([]int, n)
 		for pi := 0; pi < n; pi++ {
 			for i := range count {
@@ -69,13 +63,9 @@ func TestInteractionListsPartition(t *testing.T) {
 // the exact model it approximates: the near CSR row plus a brute-force
 // point-charge sum over every non-near source.
 func TestFarFieldMatchesPointSum(t *testing.T) {
-	st := geom.DefaultBus(8, 8).Build()
-	p, err := pcbem.NewProblem(st, 0.75e-6)
-	if err != nil {
-		t.Fatal(err)
-	}
-	n := p.N()
-	op := NewOperator(p.Panels, Options{Workers: 1})
+	panels := busPanels(t, 8, 8, 0.75e-6)
+	n := len(panels)
+	op := NewOperator(panels, Options{Workers: 1})
 	if len(op.m2lSrc) == 0 {
 		t.Fatal("problem too small: no far field to validate")
 	}
@@ -120,19 +110,15 @@ func TestFarFieldMatchesPointSum(t *testing.T) {
 // TestApplyAllocFree proves the steady-state matvec allocates nothing in
 // serial mode, and only constant scheduler bookkeeping when parallel.
 func TestApplyAllocFree(t *testing.T) {
-	st := geom.DefaultBus(4, 4).Build()
-	p, err := pcbem.NewProblem(st, 1e-6)
-	if err != nil {
-		t.Fatal(err)
-	}
-	n := p.N()
+	panels := busPanels(t, 4, 4, 1e-6)
+	n := len(panels)
 	x := make([]float64, n)
 	dst := make([]float64, n)
 	for i := range x {
 		x[i] = 1
 	}
 
-	serial := NewOperator(p.Panels, Options{Workers: 1})
+	serial := NewOperator(panels, Options{Workers: 1})
 	serial.Apply(dst, x) // warm the scratch
 	if allocs := testing.AllocsPerRun(10, func() {
 		serial.Apply(dst, x)
@@ -144,7 +130,7 @@ func TestApplyAllocFree(t *testing.T) {
 	// the panel count (the precedent bound of internal/par).
 	pool := sched.NewPool(4)
 	defer pool.Close()
-	par := NewOperator(p.Panels, Options{Pool: pool})
+	par := NewOperator(panels, Options{Pool: pool})
 	par.Apply(dst, x)
 	if allocs := testing.AllocsPerRun(10, func() {
 		par.Apply(dst, x)
@@ -157,13 +143,9 @@ func TestApplyAllocFree(t *testing.T) {
 // many goroutines applying the same operator concurrently must all get
 // the bit-exact serial answer.
 func TestConcurrentAppliesMatchSerial(t *testing.T) {
-	st := geom.DefaultBus(3, 3).Build()
-	p, err := pcbem.NewProblem(st, 1.5e-6)
-	if err != nil {
-		t.Fatal(err)
-	}
-	n := p.N()
-	op := NewOperator(p.Panels, Options{Workers: 1})
+	panels := busPanels(t, 3, 3, 1.5e-6)
+	n := len(panels)
+	op := NewOperator(panels, Options{Workers: 1})
 	rng := rand.New(rand.NewSource(5))
 	const g = 8
 	xs := make([][]float64, g)

@@ -3,8 +3,6 @@ package fmm
 import (
 	"math"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"parbem/internal/geom"
 	"parbem/internal/kernel"
@@ -33,6 +31,13 @@ type Options struct {
 	// driven through parbem.ExtractFastCapLike (0 = 1e-4). The operator
 	// itself does not consume it.
 	Tol float64
+	// NearEval optionally overrides the exact near-field entry
+	// integration (e.g. the tabulated-collocation adapter in
+	// internal/op): it returns the unscaled Galerkin integral for the
+	// target/source pair, or ok=false to fall back to the closed-form
+	// quadrature. Blocks are integrated once per unordered pair, so an
+	// asymmetric evaluator still yields a symmetric near field.
+	NearEval func(target, source geom.Rect) (float64, bool)
 }
 
 func (o *Options) defaults() {
@@ -107,11 +112,9 @@ type Operator struct {
 	leaves []int32
 	scale  float64 // 1/(4*pi*eps)
 
-	// own is the warm scratch for the common one-Apply-at-a-time case;
-	// concurrent Applies overflow into the extra pool.
-	own     *applyScratch
-	ownBusy atomic.Bool
-	extra   sync.Pool
+	// scratch manages per-Apply buffers: warm dedicated value for the
+	// one-Apply-at-a-time case, pooled overflow for concurrent Applies.
+	scratch *sched.Scratch[*applyScratch]
 }
 
 // m2lChunk batches M2L node updates into executor tasks.
@@ -158,28 +161,24 @@ func NewOperator(panels []geom.Panel, opt Options) *Operator {
 	// integrated once and scattered to both sides. Every (row, block)
 	// segment is owned by exactly one pair, so no locking is needed.
 	pairs := inter.pairs
-	op.pmap(len(pairs), func(k int) {
+	sched.MapOrInline(op.exec, len(pairs), func(k int) {
 		op.fillPair(&pairs[k])
 	})
 
-	op.own = newScratch(len(panels), len(t.nodes))
+	op.scratch = sched.NewScratch(func() *applyScratch {
+		return newScratch(len(panels), len(t.nodes))
+	})
 	return op
-}
-
-// pmap runs n tasks on the configured executor, or inline when serial.
-func (op *Operator) pmap(n int, fn func(int)) {
-	if op.exec == nil {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	op.exec.Map(n, fn)
 }
 
 // nearValue computes one pre-scaled near-field entry.
 func (op *Operator) nearValue(pi, pj int32, galerkin bool) float64 {
 	if galerkin {
+		if ne := op.opt.NearEval; ne != nil {
+			if v, ok := ne(op.panels[pi].Rect, op.panels[pj].Rect); ok {
+				return op.scale * v
+			}
+		}
 		return op.scale * kernel.RectGalerkin(op.opt.Cfg, op.panels[pi].Rect, op.panels[pj].Rect)
 	}
 	return op.scale * op.areas[pi] * op.areas[pj] / op.centers[pi].Dist(op.centers[pj])
@@ -229,22 +228,40 @@ func (op *Operator) Dim() int { return len(op.panels) }
 // diagnostics for Table 2).
 func (op *Operator) NearEntries() int { return len(op.nearVal) }
 
-func (op *Operator) acquire() *applyScratch {
-	if op.ownBusy.CompareAndSwap(false, true) {
-		return op.own
+// NearBlocks implements the pipeline's near-block contract
+// (internal/op.NearBlocker): the exact-Galerkin self blocks of the
+// octree leaves, extracted from the near-field CSR. Leaves partition the
+// panels, so the blocks are disjoint and cover every unknown; each block
+// is a principal sub-matrix of the SPD Galerkin matrix and therefore
+// Cholesky-factorizable.
+func (op *Operator) NearBlocks() (idx [][]int32, blocks []*linalg.Dense) {
+	// pos[panel] = position of the panel within its own leaf.
+	pos := make([]int32, len(op.panels))
+	for _, lf := range op.leaves {
+		nd := &op.t.nodes[lf]
+		for k, pi := range op.t.perm[nd.lo:nd.hi] {
+			pos[pi] = int32(k)
+		}
 	}
-	if s, ok := op.extra.Get().(*applyScratch); ok {
-		return s
+	for _, lf := range op.leaves {
+		nd := &op.t.nodes[lf]
+		pan := op.t.perm[nd.lo:nd.hi]
+		b := linalg.NewDense(len(pan), len(pan))
+		for r, pi := range pan {
+			row := b.Row(r)
+			lo, hi := op.nearOff[pi], op.nearOff[pi+1]
+			cols := op.nearIdx[lo:hi]
+			vals := op.nearVal[lo:hi]
+			for k, pj := range cols {
+				if op.t.leafOf[pj] == lf {
+					row[pos[pj]] = vals[k]
+				}
+			}
+		}
+		idx = append(idx, append([]int32(nil), pan...))
+		blocks = append(blocks, b)
 	}
-	return newScratch(len(op.panels), len(op.t.nodes))
-}
-
-func (op *Operator) release(s *applyScratch) {
-	if s == op.own {
-		op.ownBusy.Store(false)
-		return
-	}
-	op.extra.Put(s)
+	return idx, blocks
 }
 
 // Apply implements linalg.Matvec: upward moment pass, M2L over the
@@ -252,8 +269,8 @@ func (op *Operator) release(s *applyScratch) {
 // L2P per panel. Allocation-free after the first call (serial mode) and
 // safe for concurrent use.
 func (op *Operator) Apply(dst, x []float64) {
-	s := op.acquire()
-	defer op.release(s)
+	s := op.scratch.Acquire()
+	defer op.scratch.Release(s)
 	for i, a := range op.areas {
 		s.charges[i] = x[i] * a
 	}

@@ -7,19 +7,13 @@ import (
 	"time"
 
 	"parbem/internal/geom"
-	"parbem/internal/pcbem"
 )
 
-// speedupProblem is the ~5k panel configuration the list-based operator
+// speedupPanels is the ~5k panel configuration the list-based operator
 // is benchmarked on.
-func speedupProblem(tb testing.TB) *pcbem.Problem {
+func speedupPanels(tb testing.TB) []geom.Panel {
 	tb.Helper()
-	st := geom.DefaultBus(7, 7).Build()
-	p, err := pcbem.NewProblem(st, 0.45e-6)
-	if err != nil {
-		tb.Fatal(err)
-	}
-	return p
+	return busPanels(tb, 7, 7, 0.45e-6)
 }
 
 // TestFMMOperatorSpeedup enforces the headline win of the list-based
@@ -30,14 +24,14 @@ func TestFMMOperatorSpeedup(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second construction")
 	}
-	p := speedupProblem(t)
-	n := p.N()
+	panels := speedupPanels(t)
+	n := len(panels)
 	if n < 4000 || n > 7000 {
 		t.Fatalf("problem size drifted: N=%d, want ~5k", n)
 	}
 
-	newOp := NewOperator(p.Panels, Options{Workers: 1})
-	refOp := newRefOperator(p.Panels, Options{})
+	newOp := NewOperator(panels, Options{Workers: 1})
+	refOp := newRefOperator(panels, Options{})
 	refOp.opt.Workers = 1
 
 	rng := rand.New(rand.NewSource(7))
@@ -116,14 +110,10 @@ func TestFMMOperatorSpeedup(t *testing.T) {
 
 // BenchmarkFMMApply measures the steady-state list-driven matvec.
 func BenchmarkFMMApply(b *testing.B) {
-	st := geom.DefaultBus(8, 8).Build()
-	p, err := pcbem.NewProblem(st, 0.75e-6)
-	if err != nil {
-		b.Fatal(err)
-	}
-	op := NewOperator(p.Panels, Options{})
-	x := make([]float64, p.N())
-	dst := make([]float64, p.N())
+	panels := busPanels(b, 8, 8, 0.75e-6)
+	op := NewOperator(panels, Options{})
+	x := make([]float64, len(panels))
+	dst := make([]float64, len(panels))
 	for i := range x {
 		x[i] = 1
 	}
@@ -137,14 +127,10 @@ func BenchmarkFMMApply(b *testing.B) {
 // BenchmarkFMMApplySerial is the single-worker variant (the per-entry
 // arithmetic floor without scheduling).
 func BenchmarkFMMApplySerial(b *testing.B) {
-	st := geom.DefaultBus(8, 8).Build()
-	p, err := pcbem.NewProblem(st, 0.75e-6)
-	if err != nil {
-		b.Fatal(err)
-	}
-	op := NewOperator(p.Panels, Options{Workers: 1})
-	x := make([]float64, p.N())
-	dst := make([]float64, p.N())
+	panels := busPanels(b, 8, 8, 0.75e-6)
+	op := NewOperator(panels, Options{Workers: 1})
+	x := make([]float64, len(panels))
+	dst := make([]float64, len(panels))
 	for i := range x {
 		x[i] = 1
 	}
@@ -158,13 +144,9 @@ func BenchmarkFMMApplySerial(b *testing.B) {
 // BenchmarkFMMConstruct measures operator construction (tree, dual-tree
 // traversal, parallel near-field assembly).
 func BenchmarkFMMConstruct(b *testing.B) {
-	st := geom.DefaultBus(8, 8).Build()
-	p, err := pcbem.NewProblem(st, 0.75e-6)
-	if err != nil {
-		b.Fatal(err)
-	}
+	panels := busPanels(b, 8, 8, 0.75e-6)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		NewOperator(p.Panels, Options{})
+		NewOperator(panels, Options{})
 	}
 }

@@ -1,0 +1,59 @@
+package op
+
+import (
+	"testing"
+
+	"parbem/internal/fmm"
+)
+
+// BenchmarkPipelineSolve compares the unified pipeline's multi-RHS solve
+// over the fmm operator with and without the near-field block-Jacobi
+// preconditioner (equal tolerance). The iters/op metric is the total
+// Krylov count across all conductor columns.
+func BenchmarkPipelineSolve(b *testing.B) {
+	spec := busSpec(b, 4, 4, 1e-6).withDefaults()
+	a := fmm.NewOperator(spec.Panels, fmm.Options{Eps: spec.Eps, Cfg: spec.Cfg})
+	phi := spec.RHS()
+	for _, bc := range []struct {
+		name string
+		kind PrecondKind
+	}{
+		{"plain", PrecondNone},
+		{"jacobi", PrecondJacobi},
+		{"block-jacobi", PrecondBlockJacobi},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			pl, err := NewWithOperator(spec, a, Options{Precond: bc.kind, Tol: 1e-4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var iters int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, it, err := pl.SolveRHS(phi)
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters = it
+			}
+			b.ReportMetric(float64(iters), "iters/op")
+		})
+	}
+}
+
+// BenchmarkPipelineDirect measures the direct dense path (assembly
+// excluded; factorization + solves + reduction).
+func BenchmarkPipelineDirect(b *testing.B) {
+	spec := busSpec(b, 3, 3, 1.5e-6).withDefaults()
+	pl, err := New(spec, Options{Backend: BackendDense, Direct: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	phi := spec.RHS()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.ExtractRHS(phi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

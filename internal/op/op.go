@@ -1,0 +1,271 @@
+// Package op is the unified operator/solve pipeline: one backend-agnostic,
+// preconditioned Krylov path shared by every capacitance-extraction entry
+// point (the dense reference, the multipole and precorrected-FFT
+// accelerated baselines, the template-extraction fast path, the
+// instantiable-basis solver and the batch engine).
+//
+// # Operator contract
+//
+// A solve backend is anything implementing Operator (= linalg.Matvec):
+//
+//	Apply(dst, x)  // dst = P x; dst and x never alias
+//	Dim() int      // square dimension N
+//
+// Apply must be safe for concurrent use — the pipeline solves all
+// conductor right-hand sides at once, one Krylov iteration stream per
+// column — and should be allocation-free after warmup (the fmm and pfft
+// operators and DenseOperator all are in serial mode). Backends may
+// additionally implement NearBlocker to expose their near-field diagonal
+// blocks:
+//
+//	NearBlocks() (idx [][]int32, blocks []*linalg.Dense)
+//
+// idx[k] lists the unknowns of block k (disjoint across blocks) and
+// blocks[k] is the corresponding dense sub-matrix of the operator. The
+// fmm operator returns its exact-Galerkin octree-leaf self blocks, the
+// pfft operator its precorrection-cluster blocks, and DenseOperator
+// fixed-size diagonal blocks.
+//
+// # Pipeline
+//
+// Pipeline owns the three steps every entry point used to re-implement:
+// right-hand-side construction (unit-potential excitation per conductor,
+// Galerkin-tested with panel areas), the multi-RHS solve (concurrent
+// preconditioned restarted GMRES on pooled workspaces, or the direct
+// equilibrated-Cholesky path for dense backends), and the
+// charge-to-capacitance reduction C = Phi^T Rho (symmetrized).
+//
+// # Preconditioner
+//
+// The block-Jacobi preconditioner (NewBlockJacobi) factorizes each near
+// block once with Cholesky at setup and applies all block solves
+// allocation-free inside GMRESWith; unknowns outside every block fall
+// back to the exact point-Jacobi diagonal. Because the near blocks carry
+// the strong interactions of the Galerkin matrix, block-Jacobi cuts
+// Krylov iteration counts across all accelerated backends relative to
+// both plain and point-Jacobi iteration (see TestBlockJacobiReducesIterations
+// and BenchmarkPipelineSolve).
+//
+// Backend selection under Options.Backend == BackendAuto is delegated to
+// internal/costmodel.Select, which picks dense, fmm or pfft from the
+// panel count and grid fill factor.
+package op
+
+import (
+	"math"
+	"sort"
+
+	"parbem/internal/geom"
+	"parbem/internal/kernel"
+	"parbem/internal/linalg"
+	"parbem/internal/sched"
+)
+
+// Operator is the solve-backend contract: a concurrency-safe matvec.
+type Operator = linalg.Matvec
+
+// NearBlocker is optionally implemented by operators that can expose
+// disjoint near-field diagonal blocks for block-Jacobi preconditioning.
+// idx[k] holds the unknown indices of block k; blocks[k] the dense
+// sub-matrix over those unknowns. Blocks must not share unknowns.
+type NearBlocker interface {
+	NearBlocks() (idx [][]int32, blocks []*linalg.Dense)
+}
+
+// Spec describes a panelized extraction problem to the pipeline: the
+// geometry, the physics constants and the execution resources. It is the
+// backend-independent half of pcbem.Problem.
+type Spec struct {
+	Panels        []geom.Panel
+	NumConductors int
+	// Eps is the dielectric permittivity (0 = vacuum).
+	Eps float64
+	// Cfg is the integration configuration (nil = defaults).
+	Cfg *kernel.Config
+	// Exec runs parallel assembly, dense matvecs and the reduction
+	// (nil = a throwaway sched.Local sized by GOMAXPROCS).
+	Exec sched.Executor
+}
+
+// withDefaults fills zero fields (value receiver: the caller's spec is
+// not mutated).
+func (s Spec) withDefaults() Spec {
+	if s.Eps == 0 {
+		s.Eps = kernel.Eps0
+	}
+	if s.Cfg == nil {
+		s.Cfg = kernel.DefaultConfig()
+	}
+	return s
+}
+
+// exec returns the configured executor or a throwaway local one.
+func (s *Spec) exec() sched.Executor {
+	if s.Exec != nil {
+		return s.Exec
+	}
+	return sched.Local(0)
+}
+
+// N returns the unknown count.
+func (s *Spec) N() int { return len(s.Panels) }
+
+// Entry computes one scaled Galerkin matrix entry P_ij.
+func (s *Spec) Entry(i, j int) float64 {
+	v := kernel.RectGalerkin(s.Cfg, s.Panels[i].Rect, s.Panels[j].Rect)
+	return kernel.Scale(v, s.Eps)
+}
+
+// RHS builds the N x n right-hand-side matrix Phi: row i has the panel
+// area in the column of its conductor (Galerkin testing of the unit
+// potential).
+func (s *Spec) RHS() *linalg.Dense {
+	phi := linalg.NewDense(s.N(), s.NumConductors)
+	for i, pan := range s.Panels {
+		phi.Set(i, pan.Conductor, pan.Area())
+	}
+	return phi
+}
+
+// assembleChunks is the target task count for the parallel fill: several
+// per worker so the cost-balanced ranges load-balance under stealing.
+const assembleChunks = 64
+
+// TriangularRowBounds partitions rows [0, n) into chunks carrying
+// roughly equal upper-triangle entry counts (row i holds n-i entries).
+func TriangularRowBounds(n, chunks int) []int {
+	if n <= 0 {
+		return []int{0, 0}
+	}
+	if chunks > n {
+		chunks = n
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	total := int64(n) * int64(n+1) / 2
+	target := total / int64(chunks)
+	bounds := make([]int, 1, chunks+1)
+	var acc int64
+	for i := 0; i < n; i++ {
+		acc += int64(n - i)
+		if acc >= target && len(bounds) < chunks {
+			bounds = append(bounds, i+1)
+			acc = 0
+		}
+	}
+	return append(bounds, n)
+}
+
+// AssembleDense builds the full N x N Galerkin matrix: the upper
+// triangle is integrated in parallel over cost-balanced row ranges, then
+// mirrored (each entry is computed exactly once).
+func (s *Spec) AssembleDense() *linalg.Dense {
+	n := s.N()
+	m := linalg.NewDense(n, n)
+	ex := s.exec()
+	bounds := TriangularRowBounds(n, assembleChunks)
+	ex.Map(len(bounds)-1, func(t int) {
+		for i := bounds[t]; i < bounds[t+1]; i++ {
+			row := m.Row(i)
+			for j := i; j < n; j++ {
+				row[j] = s.Entry(i, j)
+			}
+		}
+	})
+	// Mirror the strictly-lower triangle from the filled upper half.
+	chunk := (n + assembleChunks - 1) / assembleChunks
+	ex.Map((n+chunk-1)/chunk, func(t int) {
+		lo := t * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			for j := 0; j < i; j++ {
+				row[j] = m.At(j, i)
+			}
+		}
+	})
+	return m
+}
+
+// diagonal computes the exact matrix diagonal (point-Jacobi data).
+func (s *Spec) diagonal() []float64 {
+	d := make([]float64, s.N())
+	for i := range d {
+		d[i] = s.Entry(i, i)
+	}
+	return d
+}
+
+// stats summarizes the panelization for the cost-model selector: the
+// bounding-box span of panel centers and the median panel long edge.
+func (s *Spec) stats() (span [3]float64, medianEdge float64) {
+	if len(s.Panels) == 0 {
+		return span, 0
+	}
+	lo := geom.Vec3{X: math.Inf(1), Y: math.Inf(1), Z: math.Inf(1)}
+	hi := geom.Vec3{X: math.Inf(-1), Y: math.Inf(-1), Z: math.Inf(-1)}
+	edges := make([]float64, len(s.Panels))
+	for i, p := range s.Panels {
+		c := p.Center()
+		lo = geom.Vec3{X: math.Min(lo.X, c.X), Y: math.Min(lo.Y, c.Y), Z: math.Min(lo.Z, c.Z)}
+		hi = geom.Vec3{X: math.Max(hi.X, c.X), Y: math.Max(hi.Y, c.Y), Z: math.Max(hi.Z, c.Z)}
+		edges[i] = math.Max(p.U.Len(), p.V.Len())
+	}
+	d := hi.Sub(lo)
+	span = [3]float64{d.X, d.Y, d.Z}
+	sort.Float64s(edges)
+	return span, edges[len(edges)/2]
+}
+
+// denseBlockSize is DenseOperator's near-block width: large enough that
+// the blocks capture meaningful local coupling, small enough that the
+// per-iteration block solves stay negligible next to the dense matvec.
+const denseBlockSize = 64
+
+// DenseOperator adapts an assembled dense system matrix to the pipeline.
+// Its matvec delegates to linalg.DenseOp (row-blocked parallel above the
+// cutoff when an executor is configured) and its near blocks are
+// fixed-size diagonal blocks of the matrix.
+type DenseOperator struct {
+	linalg.DenseOp
+	// BlockSize overrides the near-block width (0 = denseBlockSize).
+	BlockSize int
+}
+
+// NewDenseOperator wraps an assembled matrix for the pipeline.
+func NewDenseOperator(m *linalg.Dense, ex sched.Executor) *DenseOperator {
+	return &DenseOperator{DenseOp: linalg.DenseOp{M: m, Exec: ex}}
+}
+
+// NearBlocks implements NearBlocker with contiguous diagonal blocks.
+func (d *DenseOperator) NearBlocks() (idx [][]int32, blocks []*linalg.Dense) {
+	bs := d.BlockSize
+	if bs <= 0 {
+		bs = denseBlockSize
+	}
+	n := d.M.Rows
+	for lo := 0; lo < n; lo += bs {
+		hi := lo + bs
+		if hi > n {
+			hi = n
+		}
+		ix := make([]int32, hi-lo)
+		b := linalg.NewDense(hi-lo, hi-lo)
+		for i := lo; i < hi; i++ {
+			ix[i-lo] = int32(i)
+			copy(b.Row(i-lo), d.M.Row(i)[lo:hi])
+		}
+		idx = append(idx, ix)
+		blocks = append(blocks, b)
+	}
+	return idx, blocks
+}
+
+var (
+	_ Operator    = (*DenseOperator)(nil)
+	_ NearBlocker = (*DenseOperator)(nil)
+)

@@ -1,0 +1,524 @@
+package op
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"parbem/internal/costmodel"
+	"parbem/internal/fmm"
+	"parbem/internal/linalg"
+	"parbem/internal/pfft"
+	"parbem/internal/sched"
+)
+
+// Backend selects a solve backend for the pipeline.
+type Backend int
+
+// Pipeline backends.
+const (
+	// BackendAuto picks dense, fmm or pfft via the cost model
+	// (internal/costmodel.Select).
+	BackendAuto Backend = iota
+	// BackendDense assembles the full Galerkin matrix.
+	BackendDense
+	// BackendFMM uses the list-based multipole operator.
+	BackendFMM
+	// BackendPFFT uses the precorrected-FFT operator.
+	BackendPFFT
+)
+
+// String implements fmt.Stringer.
+func (b Backend) String() string {
+	switch b {
+	case BackendAuto:
+		return "auto"
+	case BackendDense:
+		return "dense"
+	case BackendFMM:
+		return "fmm"
+	case BackendPFFT:
+		return "pfft"
+	}
+	return fmt.Sprintf("Backend(%d)", int(b))
+}
+
+// PrecondKind selects the pipeline preconditioner.
+type PrecondKind int
+
+// Preconditioner kinds.
+const (
+	// PrecondAuto uses block-Jacobi when the operator exposes near
+	// blocks, point-Jacobi otherwise.
+	PrecondAuto PrecondKind = iota
+	// PrecondNone iterates unpreconditioned.
+	PrecondNone
+	// PrecondJacobi scales by the exact matrix diagonal.
+	PrecondJacobi
+	// PrecondBlockJacobi solves the operator's factorized near blocks.
+	PrecondBlockJacobi
+)
+
+// String implements fmt.Stringer.
+func (p PrecondKind) String() string {
+	switch p {
+	case PrecondAuto:
+		return "auto"
+	case PrecondNone:
+		return "none"
+	case PrecondJacobi:
+		return "jacobi"
+	case PrecondBlockJacobi:
+		return "block-jacobi"
+	}
+	return fmt.Sprintf("PrecondKind(%d)", int(p))
+}
+
+// Options configures a Pipeline.
+type Options struct {
+	// Backend selects the operator (default BackendAuto).
+	Backend Backend
+	// Precond selects the preconditioner (default PrecondAuto).
+	Precond PrecondKind
+	// Tol is the GMRES relative residual tolerance (0 = 1e-4).
+	Tol float64
+	// Restart is the GMRES restart length (0 = 60).
+	Restart int
+	// Direct forces the dense direct solve (equilibrated Cholesky with
+	// LU fallback) instead of Krylov iteration; it requires the dense
+	// backend (auto resolving to dense is fine).
+	Direct bool
+	// FMM overrides the multipole operator options (nil = defaults;
+	// Eps/Cfg are filled from the Spec when zero).
+	FMM *fmm.Options
+	// PFFT overrides the precorrected-FFT operator options (likewise).
+	PFFT *pfft.Options
+}
+
+// withDefaults normalizes zero fields.
+func (o Options) withDefaults() Options {
+	if o.Tol == 0 {
+		o.Tol = 1e-4
+	}
+	if o.Restart == 0 {
+		o.Restart = 60
+	}
+	return o
+}
+
+// Result is a completed extraction through the pipeline.
+type Result struct {
+	C          *linalg.Dense // n x n capacitance matrix (F)
+	Rho        *linalg.Dense // N x n panel charge densities per excitation
+	NumPanels  int
+	Iterations int // total Krylov iterations (0 for direct)
+	SetupTime  time.Duration
+	SolveTime  time.Duration
+	// Backend is the resolved operator backend (never BackendAuto).
+	Backend Backend
+}
+
+// Pipeline is the unified solve path: one operator, one preconditioner,
+// pooled GMRES workspaces, and the shared RHS-construction and
+// capacitance-reduction steps. Construct with New (backend built from a
+// Spec, with automatic selection), NewWithOperator (caller-supplied
+// operator) or NewFromDense (already-assembled system matrix). A
+// Pipeline may be reused for many solves; Solve/Extract are safe to call
+// concurrently.
+type Pipeline struct {
+	spec    Spec
+	opt     Options
+	a       Operator
+	pre     Preconditioner
+	dense   *linalg.Dense // retained when the backend assembled densely
+	backend Backend
+	setup   time.Duration
+	ws      sync.Pool
+}
+
+// New builds the pipeline for a panelized problem, constructing the
+// operator selected by opt.Backend (BackendAuto delegates to the cost
+// model) and the preconditioner selected by opt.Precond.
+func New(spec Spec, opt Options) (*Pipeline, error) {
+	spec = spec.withDefaults()
+	opt = opt.withDefaults()
+	if spec.N() == 0 {
+		return nil, errors.New("op: empty panelization")
+	}
+	backend := opt.Backend
+	if backend == BackendAuto {
+		backend = selectBackend(&spec, opt)
+	}
+	t0 := time.Now()
+	p := &Pipeline{spec: spec, opt: opt, backend: backend}
+	switch backend {
+	case BackendDense:
+		p.dense = spec.AssembleDense()
+		p.a = NewDenseOperator(p.dense, spec.Exec)
+	case BackendFMM:
+		fo := fmm.Options{}
+		if opt.FMM != nil {
+			fo = *opt.FMM
+		}
+		if fo.Eps == 0 {
+			fo.Eps = spec.Eps
+		}
+		if fo.Cfg == nil {
+			fo.Cfg = spec.Cfg
+		}
+		p.a = fmm.NewOperator(spec.Panels, fo)
+	case BackendPFFT:
+		po := pfft.Options{}
+		if opt.PFFT != nil {
+			po = *opt.PFFT
+		}
+		if po.Eps == 0 {
+			po.Eps = spec.Eps
+		}
+		if po.Cfg == nil {
+			po.Cfg = spec.Cfg
+		}
+		p.a = pfft.NewOperator(spec.Panels, po)
+	default:
+		return nil, fmt.Errorf("op: unknown backend %v", opt.Backend)
+	}
+	if opt.Direct && p.dense == nil {
+		return nil, fmt.Errorf("op: direct solve requires the dense backend, got %v", backend)
+	}
+	if err := p.buildPrecond(); err != nil {
+		return nil, err
+	}
+	p.setup = time.Since(t0)
+	return p, nil
+}
+
+// NewWithOperator wraps a caller-constructed operator (any Matvec) in
+// the pipeline; spec supplies the RHS data, the executor and the exact
+// diagonal for point-Jacobi preconditioning.
+func NewWithOperator(spec Spec, a Operator, opt Options) (*Pipeline, error) {
+	spec = spec.withDefaults()
+	opt = opt.withDefaults()
+	if a.Dim() != spec.N() {
+		return nil, errors.New("op: operator dimension mismatch")
+	}
+	if opt.Direct {
+		return nil, errors.New("op: direct solve needs a dense backend, not a wrapped operator")
+	}
+	t0 := time.Now()
+	p := &Pipeline{spec: spec, opt: opt, a: a, backend: backendOf(a)}
+	if err := p.buildPrecond(); err != nil {
+		return nil, err
+	}
+	p.setup = time.Since(t0)
+	return p, nil
+}
+
+// NewFromDense wraps an already-assembled system matrix (the
+// instantiable-basis solver's path: the matrix is tiny and solved
+// directly unless opt says otherwise). The spec-free pipeline takes its
+// dimensions from the matrix and its diagonal for preconditioning.
+func NewFromDense(m *linalg.Dense, opt Options) (*Pipeline, error) {
+	opt = opt.withDefaults()
+	if m.Rows != m.Cols {
+		return nil, errors.New("op: system matrix not square")
+	}
+	p := &Pipeline{
+		opt:     opt,
+		dense:   m,
+		a:       NewDenseOperator(m, nil),
+		backend: BackendDense,
+	}
+	if err := p.buildPrecond(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// selectBackend runs the cost model over the spec's panel statistics.
+func selectBackend(spec *Spec, opt Options) Backend {
+	span, med := spec.stats()
+	switch costmodel.Select(costmodel.Workload{
+		Panels:     spec.N(),
+		Span:       span,
+		MedianEdge: med,
+		Tol:        opt.Tol,
+	}) {
+	case costmodel.ChooseDense:
+		return BackendDense
+	case costmodel.ChoosePFFT:
+		return BackendPFFT
+	}
+	return BackendFMM
+}
+
+// backendOf classifies a caller-supplied operator for Result reporting.
+func backendOf(a Operator) Backend {
+	switch a.(type) {
+	case *fmm.Operator:
+		return BackendFMM
+	case *pfft.Operator:
+		return BackendPFFT
+	}
+	return BackendDense
+}
+
+// buildPrecond constructs the configured preconditioner. For the direct
+// path no preconditioner is needed.
+func (p *Pipeline) buildPrecond() error {
+	if p.opt.Direct {
+		return nil
+	}
+	kind := p.opt.Precond
+	nb, hasBlocks := p.a.(NearBlocker)
+	if kind == PrecondAuto {
+		if hasBlocks {
+			kind = PrecondBlockJacobi
+		} else {
+			kind = PrecondJacobi
+		}
+	}
+	switch kind {
+	case PrecondNone:
+		return nil
+	case PrecondJacobi:
+		p.pre = NewJacobi(p.diagonal())
+		return nil
+	case PrecondBlockJacobi:
+		if !hasBlocks {
+			return fmt.Errorf("op: %v operator exposes no near blocks for block-Jacobi", p.backend)
+		}
+		idx, blocks := nb.NearBlocks()
+		bj, err := NewBlockJacobi(p.a.Dim(), idx, blocks, p.diagonal())
+		if err != nil {
+			return err
+		}
+		p.pre = bj
+		return nil
+	}
+	return fmt.Errorf("op: unknown preconditioner %v", p.opt.Precond)
+}
+
+// diagonal returns the exact matrix diagonal from the cheapest source
+// available: the assembled matrix, else the spec's entry integrals.
+func (p *Pipeline) diagonal() []float64 {
+	if p.dense != nil {
+		d := make([]float64, p.dense.Rows)
+		for i := range d {
+			d[i] = p.dense.At(i, i)
+		}
+		return d
+	}
+	return p.spec.diagonal()
+}
+
+// Operator exposes the pipeline's operator (diagnostics, tests).
+func (p *Pipeline) Operator() Operator { return p.a }
+
+// Backend reports the resolved backend.
+func (p *Pipeline) Backend() Backend { return p.backend }
+
+// Preconditioner exposes the built preconditioner (nil = none).
+func (p *Pipeline) Preconditioner() Preconditioner { return p.pre }
+
+// SetupTime reports the operator + preconditioner construction time.
+func (p *Pipeline) SetupTime() time.Duration { return p.setup }
+
+// Extract builds the unit-potential RHS from the spec, solves, and
+// reduces to the capacitance matrix.
+func (p *Pipeline) Extract() (*Result, error) {
+	if p.spec.NumConductors == 0 {
+		return nil, errors.New("op: pipeline has no spec (use ExtractRHS)")
+	}
+	return p.ExtractRHS(p.spec.RHS())
+}
+
+// ExtractRHS solves P Rho = Phi for a caller-built right-hand-side
+// matrix and reduces C = Phi^T Rho (symmetrized).
+func (p *Pipeline) ExtractRHS(phi *linalg.Dense) (*Result, error) {
+	t0 := time.Now()
+	rho, iters, err := p.SolveRHS(phi)
+	if err != nil {
+		return nil, err
+	}
+	c := Reduce(p.spec.exec(), phi, rho)
+	return &Result{
+		C:          c,
+		Rho:        rho,
+		NumPanels:  p.a.Dim(),
+		Iterations: iters,
+		SetupTime:  p.setup,
+		SolveTime:  time.Since(t0),
+		Backend:    p.backend,
+	}, nil
+}
+
+// SolveRHS solves P Rho = Phi without the reduction step. Direct
+// pipelines factorize once per call; iterative pipelines run one
+// preconditioned GMRES per column concurrently, each on a pooled
+// workspace (allocation-free once the pool is warm).
+func (p *Pipeline) SolveRHS(phi *linalg.Dense) (*linalg.Dense, int, error) {
+	n := p.a.Dim()
+	if phi.Rows != n {
+		return nil, 0, errors.New("op: RHS dimension mismatch")
+	}
+	if p.opt.Direct {
+		rho, err := SolveSPD(p.dense, phi)
+		if err != nil {
+			return nil, 0, err
+		}
+		return rho, 0, nil
+	}
+	nc := phi.Cols
+	rho := linalg.NewDense(n, nc)
+	iters := make([]int, nc)
+	errs := make([]error, nc)
+	var pre func(dst, r []float64)
+	if p.pre != nil {
+		pre = p.pre.Apply
+	}
+	var wg sync.WaitGroup
+	for j := 0; j < nc; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			ws := p.acquireWS(n)
+			defer p.ws.Put(ws)
+			b := make([]float64, n)
+			x := make([]float64, n)
+			for i := 0; i < n; i++ {
+				b[i] = phi.At(i, j)
+			}
+			res, err := linalg.GMRESWith(ws, p.a, x, b, linalg.GMRESOptions{
+				Tol:     p.opt.Tol,
+				Restart: p.opt.Restart,
+				Precond: pre,
+			})
+			if err != nil {
+				errs[j] = fmt.Errorf("op: GMRES failed on column %d: %w", j, err)
+				return
+			}
+			if !res.Converged {
+				errs[j] = fmt.Errorf("op: GMRES stalled on column %d (res %g)", j, res.Residual)
+				return
+			}
+			iters[j] = res.Iterations
+			for i := 0; i < n; i++ {
+				rho.Set(i, j, x[i])
+			}
+		}(j)
+	}
+	wg.Wait()
+	total := 0
+	for j := 0; j < nc; j++ {
+		if errs[j] != nil {
+			return nil, 0, errs[j]
+		}
+		total += iters[j]
+	}
+	return rho, total, nil
+}
+
+// acquireWS takes a GMRES workspace from the pool (grown as needed).
+func (p *Pipeline) acquireWS(n int) *linalg.GMRESWorkspace {
+	if ws, ok := p.ws.Get().(*linalg.GMRESWorkspace); ok {
+		return ws
+	}
+	return linalg.NewGMRESWorkspace(n, p.opt.Restart)
+}
+
+// Reduce computes the capacitance matrix C = Phi^T Rho on the executor
+// and enforces exact symmetry (P is symmetric, so C is up to roundoff).
+func Reduce(ex sched.Executor, phi, rho *linalg.Dense) *linalg.Dense {
+	n := phi.Cols
+	c := linalg.NewDense(n, rho.Cols)
+	linalg.ParMul(ex, c, phi.Transpose(), rho)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := 0.5 * (c.At(i, j) + c.At(j, i))
+			c.Set(i, j, v)
+			c.Set(j, i, v)
+		}
+	}
+	return c
+}
+
+// SolveSPD solves P X = Phi by Cholesky with symmetric Jacobi
+// equilibration: the system diagonal can span several orders of
+// magnitude (face basis moments vs small arch templates in the
+// instantiable solver), so P is first scaled to unit diagonal,
+// S P S y = S Phi with S = diag(P_ii^-1/2). P is SPD in exact
+// arithmetic, but quadrature error on nearly dependent basis functions
+// can push a tiny eigenvalue below zero on large problems; an escalating
+// uniform shift on the equilibrated matrix (starting at 1e-12, far below
+// the integration accuracy) restores positive definiteness. LU remains
+// the last-resort fallback. The input matrix is not modified.
+func SolveSPD(p, phi *linalg.Dense) (*linalg.Dense, error) {
+	nr := p.Rows
+	if phi.Rows != nr {
+		return nil, errors.New("op: SolveSPD dimension mismatch")
+	}
+	s := make([]float64, nr)
+	ok := true
+	for i := 0; i < nr; i++ {
+		d := p.At(i, i)
+		if d <= 0 {
+			ok = false
+			break
+		}
+		s[i] = 1 / math.Sqrt(d)
+	}
+	if ok {
+		eq := linalg.NewDense(nr, nr)
+		for i := 0; i < nr; i++ {
+			prow := p.Row(i)
+			erow := eq.Row(i)
+			si := s[i]
+			for j, v := range prow {
+				erow[j] = si * v * s[j]
+			}
+		}
+		ephi := linalg.NewDense(nr, phi.Cols)
+		for i := 0; i < nr; i++ {
+			for j := 0; j < phi.Cols; j++ {
+				ephi.Set(i, j, s[i]*phi.At(i, j))
+			}
+		}
+		for _, shift := range []float64{0, 1e-12, 1e-10, 1e-8} {
+			if shift > 0 {
+				for i := 0; i < nr; i++ {
+					eq.Set(i, i, 1+shift)
+				}
+			}
+			ch, err := linalg.NewCholesky(eq)
+			if err != nil {
+				continue
+			}
+			y := ch.SolveMatrix(ephi)
+			// Undo the scaling: x = S y.
+			for i := 0; i < nr; i++ {
+				for j := 0; j < y.Cols; j++ {
+					y.Set(i, j, s[i]*y.At(i, j))
+				}
+			}
+			return y, nil
+		}
+	}
+	lu, err := linalg.NewLU(p)
+	if err != nil {
+		return nil, fmt.Errorf("op: system matrix unsolvable: %w", err)
+	}
+	rho := linalg.NewDense(nr, phi.Cols)
+	sched.Local(0).Map(phi.Cols, func(j int) {
+		col := make([]float64, nr)
+		for i := 0; i < nr; i++ {
+			col[i] = phi.At(i, j)
+		}
+		lu.Solve(col, col)
+		for i := 0; i < nr; i++ {
+			rho.Set(i, j, col[i])
+		}
+	})
+	return rho, nil
+}

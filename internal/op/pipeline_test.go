@@ -1,0 +1,194 @@
+package op
+
+import (
+	"math"
+	"testing"
+
+	"parbem/internal/costmodel"
+	"parbem/internal/fmm"
+	"parbem/internal/geom"
+	"parbem/internal/pfft"
+)
+
+// busSpec panelizes the default bus crossbar into a pipeline spec.
+func busSpec(tb testing.TB, m, n int, edge float64) Spec {
+	tb.Helper()
+	st := geom.DefaultBus(m, n).Build()
+	panels := st.Panelize(edge)
+	if len(panels) == 0 {
+		tb.Fatal("no panels generated")
+	}
+	return Spec{Panels: panels, NumConductors: st.NumConductors()}
+}
+
+// capDiff returns the maximum capacitance deviation relative to the
+// reference row diagonal.
+func capDiff(got, ref *Result) float64 {
+	var worst float64
+	for i := 0; i < ref.C.Rows; i++ {
+		den := math.Abs(ref.C.At(i, i))
+		for j := 0; j < ref.C.Cols; j++ {
+			if rel := math.Abs(got.C.At(i, j)-ref.C.At(i, j)) / den; rel > worst {
+				worst = rel
+			}
+		}
+	}
+	return worst
+}
+
+// TestPipelineDirectMatchesIterativeDense pins the two dense paths of
+// the pipeline to each other: the direct equilibrated-Cholesky solve and
+// the preconditioned GMRES iteration over the same assembled matrix must
+// produce the same capacitance matrix.
+func TestPipelineDirectMatchesIterativeDense(t *testing.T) {
+	spec := busSpec(t, 2, 2, 1e-6)
+	direct, err := New(spec, Options{Backend: BackendDense, Direct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dres, err := direct.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.Iterations != 0 {
+		t.Errorf("direct path reported %d Krylov iterations", dres.Iterations)
+	}
+	iter, err := New(spec, Options{Backend: BackendDense, Tol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ires, err := iter.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ires.Iterations == 0 {
+		t.Error("iterative path reported no iterations")
+	}
+	if d := capDiff(ires, dres); d > 1e-5 {
+		t.Errorf("iterative dense deviates from direct by %g", d)
+	}
+}
+
+// TestFMMSolveMatchesDense pins the multipole backend against the dense
+// reference through the shared pipeline (formerly in internal/fmm).
+func TestFMMSolveMatchesDense(t *testing.T) {
+	spec := busSpec(t, 2, 2, 1e-6)
+	direct, err := New(spec, Options{Backend: BackendDense, Direct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dres, err := direct.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := New(spec, Options{
+		Backend: BackendFMM, Tol: 1e-6,
+		FMM: &fmm.Options{Theta: 0.35},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pl.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != BackendFMM {
+		t.Fatalf("resolved backend %v, want fmm", res.Backend)
+	}
+	if d := capDiff(res, dres); d > 0.02 {
+		t.Errorf("fmm capacitance deviates from dense by %g", d)
+	}
+}
+
+// TestPFFTSolveMatchesDense pins the precorrected-FFT backend against
+// the dense reference through the shared pipeline (formerly in
+// internal/pfft).
+func TestPFFTSolveMatchesDense(t *testing.T) {
+	spec := busSpec(t, 2, 2, 1e-6)
+	direct, err := New(spec, Options{Backend: BackendDense, Direct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dres, err := direct.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := New(spec, Options{
+		Backend: BackendPFFT, Tol: 1e-6,
+		PFFT: &pfft.Options{NearRadius: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pl.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := capDiff(res, dres); d > 0.05 {
+		t.Errorf("pfft capacitance deviates from dense by %g", d)
+	}
+}
+
+// TestAutoBackendFollowsCostModel pins BackendAuto to the cost model's
+// recommendation on both sides of the dense cutoff.
+func TestAutoBackendFollowsCostModel(t *testing.T) {
+	small := busSpec(t, 2, 2, 1.5e-6).withDefaults()
+	pl, err := New(small, Options{Backend: BackendAuto, Direct: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Backend() != BackendDense {
+		t.Errorf("auto chose %v for N=%d, want dense", pl.Backend(), small.N())
+	}
+
+	big := busSpec(t, 8, 8, 0.75e-6).withDefaults()
+	if big.N() <= costmodel.DenseMaxPanels {
+		t.Fatalf("test geometry too small to leave the dense regime: N=%d", big.N())
+	}
+	span, med := big.stats()
+	want := costmodel.Select(costmodel.Workload{
+		Panels: big.N(), Span: span, MedianEdge: med, Tol: 1e-4,
+	})
+	pl2, err := New(big, Options{Backend: BackendAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pl2.Backend()
+	if (want == costmodel.ChooseFMM && got != BackendFMM) ||
+		(want == costmodel.ChoosePFFT && got != BackendPFFT) ||
+		(want == costmodel.ChooseDense && got != BackendDense) {
+		t.Errorf("auto chose %v, cost model recommends %v", got, want)
+	}
+	if got == BackendDense {
+		t.Errorf("auto stayed dense above the cutoff (N=%d)", big.N())
+	}
+}
+
+// TestTabulatedOperatorMatchesExact validates the tabulated-near-field
+// adapter: the operator built with collocation-table near entries must
+// agree with the exact fmm operator to within the table's interpolation
+// error on a full solve.
+func TestTabulatedOperatorMatchesExact(t *testing.T) {
+	spec := busSpec(t, 3, 3, 1e-6).withDefaults()
+	exact, err := New(spec, Options{Backend: BackendFMM, Tol: 1e-6, FMM: &fmm.Options{Theta: 0.35}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eres, err := exact.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tabOp := NewTabulated(spec.Panels, testCollocation(t), fmm.Options{Theta: 0.35, Eps: spec.Eps, Cfg: spec.Cfg})
+	pl, err := NewWithOperator(spec, tabOp, Options{Tol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pl.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := capDiff(res, eres); d > 0.02 {
+		t.Errorf("tabulated near field deviates from exact by %g", d)
+	}
+}

@@ -1,0 +1,178 @@
+package op
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"parbem/internal/fmm"
+	"parbem/internal/linalg"
+	"parbem/internal/tabulate"
+)
+
+var (
+	collocOnce sync.Once
+	colloc     *tabulate.Collocation
+)
+
+// testCollocation builds (once) the default collocation table.
+func testCollocation(tb testing.TB) *tabulate.Collocation {
+	tb.Helper()
+	collocOnce.Do(func() {
+		colloc = tabulate.NewCollocation(tabulate.CollocationSpec{})
+	})
+	return colloc
+}
+
+// TestBlockJacobiSolvesBlockDiagonalExactly pins the preconditioner's
+// algebra: on a block-diagonal SPD matrix, Apply must be the exact
+// inverse.
+func TestBlockJacobiSolvesBlockDiagonalExactly(t *testing.T) {
+	// Two blocks: a 3x3 SPD block over {0, 2, 4} and a 2x2 over {1, 3};
+	// unknown 5 is uncovered with diagonal 4.
+	n := 6
+	a := linalg.NewDenseFrom(3, 3, []float64{4, 1, 0.5, 1, 3, 0.25, 0.5, 0.25, 2})
+	b := linalg.NewDenseFrom(2, 2, []float64{2, 0.5, 0.5, 1})
+	idx := [][]int32{{0, 2, 4}, {1, 3}}
+	diag := []float64{4, 2, 3, 1, 2, 4}
+	bj, err := NewBlockJacobi(n, idx, []*linalg.Dense{a, b}, diag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bj.Blocks() != 2 {
+		t.Fatalf("got %d blocks, want 2", bj.Blocks())
+	}
+	r := []float64{1, -2, 3, 0.5, -1, 8}
+	dst := make([]float64, n)
+	bj.Apply(dst, r)
+
+	// Verify each block: A * dst[idx] == r[idx].
+	checkBlock := func(m *linalg.Dense, ix []int32) {
+		k := len(ix)
+		for row := 0; row < k; row++ {
+			var s float64
+			for col := 0; col < k; col++ {
+				s += m.At(row, col) * dst[ix[col]]
+			}
+			if math.Abs(s-r[ix[row]]) > 1e-12 {
+				t.Errorf("block solve residual %g at unknown %d", s-r[ix[row]], ix[row])
+			}
+		}
+	}
+	checkBlock(a, idx[0])
+	checkBlock(b, idx[1])
+	if math.Abs(dst[5]-8.0/4.0) > 1e-15 {
+		t.Errorf("uncovered unknown got %g, want point-Jacobi 2", dst[5])
+	}
+}
+
+// TestBlockJacobiRejectsOverlap guards the disjointness contract.
+func TestBlockJacobiRejectsOverlap(t *testing.T) {
+	a := linalg.NewDenseFrom(1, 1, []float64{1})
+	b := linalg.NewDenseFrom(1, 1, []float64{1})
+	if _, err := NewBlockJacobi(2, [][]int32{{0}, {0}}, []*linalg.Dense{a, b}, nil); err == nil {
+		t.Fatal("overlapping blocks must be rejected")
+	}
+}
+
+// TestBlockJacobiApplyAllocFree proves the warm serial Apply path
+// allocates nothing (the contract GMRESWith relies on).
+func TestBlockJacobiApplyAllocFree(t *testing.T) {
+	spec := busSpec(t, 3, 3, 1.5e-6).withDefaults()
+	a := fmm.NewOperator(spec.Panels, fmm.Options{Workers: 1, Eps: spec.Eps, Cfg: spec.Cfg})
+	idx, blocks := a.NearBlocks()
+	bj, err := NewBlockJacobi(a.Dim(), idx, blocks, spec.diagonal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := a.Dim()
+	r := make([]float64, n)
+	dst := make([]float64, n)
+	for i := range r {
+		r[i] = float64(i%7) + 1
+	}
+	bj.Apply(dst, r) // warm
+	if allocs := testing.AllocsPerRun(10, func() {
+		bj.Apply(dst, r)
+	}); allocs != 0 {
+		t.Fatalf("warm BlockJacobi.Apply allocates %.0f objects per call", allocs)
+	}
+}
+
+// TestFMMNearBlocksMatchEntries verifies the fmm operator's exposed
+// blocks against the exact scaled Galerkin entries: leaf self blocks are
+// integrated exactly, so every stored block entry must equal
+// Spec.Entry for its panel pair, and the blocks must partition all
+// unknowns.
+func TestFMMNearBlocksMatchEntries(t *testing.T) {
+	spec := busSpec(t, 2, 2, 1.5e-6).withDefaults()
+	a := fmm.NewOperator(spec.Panels, fmm.Options{Workers: 1, Eps: spec.Eps, Cfg: spec.Cfg})
+	idx, blocks := a.NearBlocks()
+	seen := make([]bool, spec.N())
+	for k, ix := range idx {
+		blk := blocks[k]
+		for r, pi := range ix {
+			if seen[pi] {
+				t.Fatalf("unknown %d in two blocks", pi)
+			}
+			seen[pi] = true
+			for c, pj := range ix {
+				// The quadrature is not bit-symmetric in argument
+				// order and each unordered pair is integrated once,
+				// so allow the ~1e-8 argument-order asymmetry.
+				want := spec.Entry(int(pi), int(pj))
+				if got := blk.At(r, c); math.Abs(got-want) > 1e-6*math.Abs(want) {
+					t.Fatalf("block %d entry (%d,%d): %g want %g", k, r, c, got, want)
+				}
+			}
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("unknown %d uncovered", i)
+		}
+	}
+}
+
+// TestBlockJacobiReducesIterations is the preconditioner's reason to
+// exist: on a >= 2k-panel bus, block-Jacobi must strictly reduce the
+// total GMRES iteration count against the unpreconditioned fmm path at
+// equal tolerance, while producing the same capacitance matrix within
+// the solve tolerance.
+func TestBlockJacobiReducesIterations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second fmm construction and solves")
+	}
+	spec := busSpec(t, 8, 8, 0.75e-6).withDefaults()
+	if spec.N() < 2000 {
+		t.Fatalf("test geometry too small: N=%d, want >= 2000", spec.N())
+	}
+	a := fmm.NewOperator(spec.Panels, fmm.Options{Eps: spec.Eps, Cfg: spec.Cfg})
+
+	plain, err := NewWithOperator(spec, a, Options{Precond: PrecondNone, Tol: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := plain.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	block, err := NewWithOperator(spec, a, Options{Precond: PrecondBlockJacobi, Tol: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bres, err := block.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bres.Iterations >= pres.Iterations {
+		t.Errorf("block-Jacobi did not reduce iterations: %d vs plain %d",
+			bres.Iterations, pres.Iterations)
+	}
+	t.Logf("N=%d: plain %d iterations, block-Jacobi %d (%.1fx)",
+		spec.N(), pres.Iterations, bres.Iterations,
+		float64(pres.Iterations)/float64(bres.Iterations))
+	if d := capDiff(bres, pres); d > 1e-2 {
+		t.Errorf("preconditioned result deviates by %g", d)
+	}
+}

@@ -1,4 +1,4 @@
-package solver
+package op
 
 import (
 	"math"
@@ -26,7 +26,7 @@ func TestSolveSPDOnSPDMatrix(t *testing.T) {
 		phi.Set(i, 0, 1)
 		phi.Set(i, 1, float64(i))
 	}
-	x, err := solveSPD(P, phi)
+	x, err := SolveSPD(P, phi)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestSolveSPDFallsBackOnIndefinite(t *testing.T) {
 	// factor it, the LU fallback must still solve the system.
 	P := linalg.NewDenseFrom(2, 2, []float64{1, 2, 2, 1})
 	phi := linalg.NewDenseFrom(2, 1, []float64{3, 0})
-	x, err := solveSPD(P, phi)
+	x, err := SolveSPD(P, phi)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestSolveSPDZeroDiagonalGoesToLU(t *testing.T) {
 	// handle the (permuted) solve.
 	P := linalg.NewDenseFrom(2, 2, []float64{0, 1, 1, 0})
 	phi := linalg.NewDenseFrom(2, 1, []float64{5, 7})
-	x, err := solveSPD(P, phi)
+	x, err := SolveSPD(P, phi)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestSolveSPDZeroDiagonalGoesToLU(t *testing.T) {
 func TestSolveSPDSingularErrors(t *testing.T) {
 	P := linalg.NewDense(2, 2) // all zeros
 	phi := linalg.NewDenseFrom(2, 1, []float64{1, 1})
-	if _, err := solveSPD(P, phi); err == nil {
+	if _, err := SolveSPD(P, phi); err == nil {
 		t.Fatal("singular system must error")
 	}
 }

@@ -1,0 +1,57 @@
+package op
+
+import (
+	"parbem/internal/fmm"
+	"parbem/internal/geom"
+	"parbem/internal/kernel"
+	"parbem/internal/tabulate"
+)
+
+// TabulatedNear returns a near-field entry evaluator backed by the
+// tabulated collocation kernel of paper Section 4.2.1: intermediate-range
+// pairs (beyond cfg.MidFactor mean diameters but inside the operator's
+// near radius) are served as target-area times the tabulated source
+// potential at the target center — the same approximation
+// kernel.RectGalerkin's intermediate branch computes in closed form, at
+// table-lookup cost. Close pairs and out-of-domain queries return
+// ok=false, falling back to the exact quadrature.
+//
+// The evaluator plugs into fmm.Options.NearEval, forming the
+// tabulated-near-field operator variant of the pipeline (NewTabulated).
+func TabulatedNear(cfg *kernel.Config, tab *tabulate.Collocation) func(t, s geom.Rect) (float64, bool) {
+	if cfg == nil {
+		cfg = kernel.DefaultConfig()
+	}
+	return func(t, s geom.Rect) (float64, bool) {
+		if cfg.DisableApprox {
+			return 0, false
+		}
+		d := t.Dist(s)
+		diam := 0.5 * (t.Diameter() + s.Diameter())
+		if d <= cfg.MidFactor*diam {
+			// Too close for the collocation approximation: exact.
+			return 0, false
+		}
+		v, ok := tab.EvalRect(s, t.Center())
+		if !ok {
+			return 0, false
+		}
+		return t.Area() * v, true
+	}
+}
+
+// NewTabulated builds the tabulated-near-field multipole operator: the
+// list-based fmm operator with its exact near-field integrals served
+// from the collocation table wherever the normalized query is in domain.
+// It implements Operator and NearBlocker like the plain fmm operator and
+// drops into the same pipeline; construction is cheaper on repeated or
+// translated layouts at the cost of the table's interpolation error
+// (about one percent on served entries — the close pairs that dominate
+// the near field remain exact).
+func NewTabulated(panels []geom.Panel, tab *tabulate.Collocation, fo fmm.Options) *fmm.Operator {
+	if fo.Cfg == nil {
+		fo.Cfg = kernel.DefaultConfig()
+	}
+	fo.NearEval = TabulatedNear(fo.Cfg, tab)
+	return fmm.NewOperator(panels, fo)
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"parbem/internal/geom"
+	"parbem/internal/op"
 	"parbem/internal/sched"
 )
 
@@ -38,7 +39,7 @@ func TestAssembleDenseMatchesEntries(t *testing.T) {
 
 func TestTriangularRowBounds(t *testing.T) {
 	for _, n := range []int{1, 2, 63, 64, 100, 1000} {
-		bounds := triangularRowBounds(n, 64)
+		bounds := op.TriangularRowBounds(n, 64)
 		if bounds[0] != 0 || bounds[len(bounds)-1] != n {
 			t.Fatalf("n=%d: bounds %v do not cover [0,%d)", n, bounds, n)
 		}

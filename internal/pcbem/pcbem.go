@@ -4,26 +4,23 @@
 // unknown constant charge density, with Galerkin interactions assembled
 // from the closed-form integrals of internal/kernel.
 //
-// It provides the dense direct solve (the accuracy reference used for
-// Table 2's error figures), and the generic Krylov plumbing shared by the
-// multipole (internal/fmm) and precorrected-FFT (internal/pfft)
-// acceleration baselines. The expensive layers are throughput-oriented:
-// AssembleDense fills the symmetric halves in parallel with cost-balanced
-// row ranges on a sched executor, and SolveIterative runs one GMRES per
-// conductor concurrently, each with its own preallocated reusable
-// workspace (the operators' Apply implementations are safe for
-// concurrent use).
+// It is now a thin geometric front end over the unified operator/solve
+// pipeline (internal/op): Problem owns the panelization and physics
+// constants, while RHS construction, dense assembly, the preconditioned
+// multi-RHS Krylov solves and the charge-to-capacitance reduction all
+// live in op.Pipeline, shared with the multipole (internal/fmm) and
+// precorrected-FFT (internal/pfft) acceleration baselines, the
+// template-extraction fast path and the instantiable-basis solver.
 package pcbem
 
 import (
 	"errors"
 	"fmt"
-	"sync"
-	"time"
 
 	"parbem/internal/geom"
 	"parbem/internal/kernel"
 	"parbem/internal/linalg"
+	"parbem/internal/op"
 	"parbem/internal/sched"
 )
 
@@ -56,12 +53,15 @@ func NewProblem(st *geom.Structure, maxEdge float64) (*Problem, error) {
 	}, nil
 }
 
-// exec returns the configured executor (a fresh local one by default).
-func (p *Problem) exec() sched.Executor {
-	if p.Par != nil {
-		return p.Par
+// Spec returns the pipeline description of this problem.
+func (p *Problem) Spec() op.Spec {
+	return op.Spec{
+		Panels:        p.Panels,
+		NumConductors: p.NumConductors,
+		Eps:           p.Eps,
+		Cfg:           p.Cfg,
+		Exec:          p.Par,
 	}
-	return sched.Local(0)
 }
 
 // N returns the number of unknowns (panels).
@@ -73,212 +73,69 @@ func (p *Problem) Entry(i, j int) float64 {
 	return kernel.Scale(v, p.Eps)
 }
 
-// assembleChunks is the target task count for the parallel fill: several
-// per worker so the cost-balanced ranges load-balance under stealing.
-const assembleChunks = 64
-
-// triangularRowBounds partitions rows [0, n) into chunks carrying
-// roughly equal upper-triangle entry counts (row i holds n-i entries).
-func triangularRowBounds(n, chunks int) []int {
-	if chunks > n {
-		chunks = n
-	}
-	total := int64(n) * int64(n+1) / 2
-	target := total / int64(chunks)
-	bounds := make([]int, 1, chunks+1)
-	var acc int64
-	for i := 0; i < n; i++ {
-		acc += int64(n - i)
-		if acc >= target && len(bounds) < chunks {
-			bounds = append(bounds, i+1)
-			acc = 0
-		}
-	}
-	return append(bounds, n)
-}
-
 // AssembleDense builds the full N x N Galerkin matrix: the upper
 // triangle is integrated in parallel over cost-balanced row ranges, then
 // mirrored (each entry is computed exactly once).
 func (p *Problem) AssembleDense() *linalg.Dense {
-	n := p.N()
-	m := linalg.NewDense(n, n)
-	ex := p.exec()
-	bounds := triangularRowBounds(n, assembleChunks)
-	ex.Map(len(bounds)-1, func(t int) {
-		for i := bounds[t]; i < bounds[t+1]; i++ {
-			row := m.Row(i)
-			for j := i; j < n; j++ {
-				row[j] = p.Entry(i, j)
-			}
-		}
-	})
-	// Mirror the strictly-lower triangle from the filled upper half.
-	chunk := (n + assembleChunks - 1) / assembleChunks
-	ex.Map((n+chunk-1)/chunk, func(t int) {
-		lo := t * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		for i := lo; i < hi; i++ {
-			row := m.Row(i)
-			for j := 0; j < i; j++ {
-				row[j] = m.At(j, i)
-			}
-		}
-	})
-	return m
+	spec := p.Spec()
+	return spec.AssembleDense()
 }
 
 // RHS builds the N x n right-hand-side matrix Phi: row i has the panel
 // area in the column of its conductor (Galerkin testing of the unit
 // potential).
 func (p *Problem) RHS() *linalg.Dense {
-	phi := linalg.NewDense(p.N(), p.NumConductors)
-	for i, pan := range p.Panels {
-		phi.Set(i, pan.Conductor, pan.Area())
-	}
-	return phi
+	spec := p.Spec()
+	return spec.RHS()
 }
 
-// Result is a completed piecewise-constant extraction.
-type Result struct {
-	C          *linalg.Dense // n x n capacitance matrix (F)
-	Rho        *linalg.Dense // N x n panel charge densities per excitation
-	NumPanels  int
-	Iterations int // total Krylov iterations (0 for direct)
-	SetupTime  time.Duration
-	SolveTime  time.Duration
-}
+// Result is a completed piecewise-constant extraction (the pipeline's
+// result type; SetupTime covers operator construction, Iterations is the
+// total Krylov count across all conductor excitations, 0 for direct).
+type Result = op.Result
 
-// SolveDense assembles the dense system and solves it directly (Cholesky
-// with LU fallback). It is O(N^2) memory and O(N^3) time: the "system
-// solving bottleneck" the paper's introduction describes.
+// SolveDense assembles the dense system and solves it directly
+// (equilibrated Cholesky with LU fallback, through the pipeline's direct
+// path). It is O(N^2) memory and O(N^3) time: the "system solving
+// bottleneck" the paper's introduction describes.
 func (p *Problem) SolveDense() (*Result, error) {
-	t0 := time.Now()
-	P := p.AssembleDense()
-	phi := p.RHS()
-	setup := time.Since(t0)
-
-	t1 := time.Now()
-	var rho *linalg.Dense
-	if ch, err := linalg.NewCholesky(P); err == nil {
-		rho = ch.SolveMatrix(phi)
-	} else {
-		lu, luErr := linalg.NewLU(P)
-		if luErr != nil {
-			return nil, fmt.Errorf("pcbem: dense solve failed: %w", luErr)
-		}
-		rho = linalg.NewDense(p.N(), p.NumConductors)
-		col := make([]float64, p.N())
-		for j := 0; j < p.NumConductors; j++ {
-			for i := 0; i < p.N(); i++ {
-				col[i] = phi.At(i, j)
-			}
-			lu.Solve(col, col)
-			for i := 0; i < p.N(); i++ {
-				rho.Set(i, j, col[i])
-			}
-		}
-	}
-	c := p.capFromRho(phi, rho)
-	return &Result{
-		C: c, Rho: rho, NumPanels: p.N(),
-		SetupTime: setup, SolveTime: time.Since(t1),
-	}, nil
+	return p.SolvePipeline(op.Options{Backend: op.BackendDense, Direct: true})
 }
 
-// SolveIterative solves the system with GMRES through an arbitrary matvec
-// operator (dense, multipole-accelerated, or precorrected-FFT), with a
-// Jacobi preconditioner built from the exact diagonal. All conductor
-// right-hand sides are solved concurrently, each column on its own
-// goroutine with a preallocated reusable GMRES workspace; the heavy
-// per-iteration work (the operator Apply) runs on whatever parallel
-// resources the operator was configured with, so concurrent columns keep
-// a shared worker pool saturated between Krylov synchronization points.
-// The operator's Apply must be safe for concurrent use (the fmm and pfft
+// SolveIterative solves the system with preconditioned GMRES through an
+// arbitrary matvec operator (dense, multipole-accelerated, or
+// precorrected-FFT) via the unified pipeline: all conductor right-hand
+// sides are solved concurrently on pooled workspaces, preconditioned
+// with the operator's near-field blocks when it exposes them
+// (block-Jacobi) and with the exact point-Jacobi diagonal otherwise. The
+// operator's Apply must be safe for concurrent use (the fmm and pfft
 // operators and DenseOp all are).
-func (p *Problem) SolveIterative(op linalg.Matvec, tol float64) (*Result, error) {
-	if op.Dim() != p.N() {
-		return nil, errors.New("pcbem: operator dimension mismatch")
+func (p *Problem) SolveIterative(a linalg.Matvec, tol float64) (*Result, error) {
+	pl, err := op.NewWithOperator(p.Spec(), a, op.Options{Tol: tol})
+	if err != nil {
+		return nil, fmt.Errorf("pcbem: %w", err)
 	}
-	if tol == 0 {
-		tol = 1e-4
+	res, err := pl.Extract()
+	if err != nil {
+		return nil, fmt.Errorf("pcbem: %w", err)
 	}
-	n := p.N()
-	diag := make([]float64, n)
-	for i := 0; i < n; i++ {
-		diag[i] = p.Entry(i, i)
-	}
-	phi := p.RHS()
-	rho := linalg.NewDense(n, p.NumConductors)
-	t1 := time.Now()
-	nc := p.NumConductors
-	iters := make([]int, nc)
-	errs := make([]error, nc)
-	var wg sync.WaitGroup
-	for j := 0; j < nc; j++ {
-		wg.Add(1)
-		go func(j int) {
-			defer wg.Done()
-			ws := linalg.NewGMRESWorkspace(n, 60)
-			b := make([]float64, n)
-			x := make([]float64, n)
-			for i := 0; i < n; i++ {
-				b[i] = phi.At(i, j)
-			}
-			res, err := linalg.GMRESWith(ws, op, x, b, linalg.GMRESOptions{
-				Tol:     tol,
-				Restart: 60,
-				Precond: func(dst, r []float64) {
-					for i := range dst {
-						dst[i] = r[i] / diag[i]
-					}
-				},
-			})
-			if err != nil {
-				errs[j] = fmt.Errorf("pcbem: GMRES failed on conductor %d: %w", j, err)
-				return
-			}
-			if !res.Converged {
-				errs[j] = fmt.Errorf("pcbem: GMRES stalled on conductor %d (res %g)", j, res.Residual)
-				return
-			}
-			iters[j] = res.Iterations
-			for i := 0; i < n; i++ {
-				rho.Set(i, j, x[i])
-			}
-		}(j)
-	}
-	wg.Wait()
-	total := 0
-	for j := 0; j < nc; j++ {
-		if errs[j] != nil {
-			return nil, errs[j]
-		}
-		total += iters[j]
-	}
-	c := p.capFromRho(phi, rho)
-	return &Result{
-		C: c, Rho: rho, NumPanels: n,
-		Iterations: total, SolveTime: time.Since(t1),
-	}, nil
+	return res, nil
 }
 
-// capFromRho computes C = Phi^T rho, symmetrized.
-func (p *Problem) capFromRho(phi, rho *linalg.Dense) *linalg.Dense {
-	n := phi.Cols
-	c := linalg.NewDense(n, n)
-	linalg.ParMul(p.exec(), c, phi.Transpose(), rho)
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			v := 0.5 * (c.At(i, j) + c.At(j, i))
-			c.Set(i, j, v)
-			c.Set(j, i, v)
-		}
+// SolvePipeline solves the problem through the unified pipeline with
+// explicit backend/preconditioner control (op.Options zero value:
+// cost-model backend selection, automatic preconditioner, 1e-4
+// tolerance).
+func (p *Problem) SolvePipeline(opt op.Options) (*Result, error) {
+	pl, err := op.New(p.Spec(), opt)
+	if err != nil {
+		return nil, fmt.Errorf("pcbem: %w", err)
 	}
-	return c
+	res, err := pl.Extract()
+	if err != nil {
+		return nil, fmt.Errorf("pcbem: %w", err)
+	}
+	return res, nil
 }
 
 // DenseOp exposes the dense assembled matrix as a Matvec for testing the

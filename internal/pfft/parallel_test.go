@@ -1,0 +1,139 @@
+package pfft
+
+import (
+	"testing"
+
+	"parbem/internal/sched"
+)
+
+// TestApplyAllocFree proves the steady-state matvec allocates nothing in
+// serial mode, and only constant scheduler bookkeeping when parallel —
+// the same guarantees as the fmm operator.
+func TestApplyAllocFree(t *testing.T) {
+	panels := busPanels(t, 3, 3, 1e-6)
+	n := len(panels)
+	x := make([]float64, n)
+	dst := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+
+	serial := NewOperator(panels, Options{Workers: 1})
+	serial.Apply(dst, x) // warm the scratch
+	if allocs := testing.AllocsPerRun(10, func() {
+		serial.Apply(dst, x)
+	}); allocs != 0 {
+		t.Fatalf("serial Apply allocates %.0f objects per call", allocs)
+	}
+
+	// Parallel mode: per-Map scheduler bookkeeping only, independent of
+	// the panel count (the precedent bound of internal/fmm).
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	par := NewOperator(panels, Options{Pool: pool})
+	par.Apply(dst, x)
+	if allocs := testing.AllocsPerRun(10, func() {
+		par.Apply(dst, x)
+	}); allocs > 200 {
+		t.Fatalf("pooled Apply allocates %.0f objects per call; grid loops are no longer allocation-free", allocs)
+	}
+}
+
+// TestConcurrentAppliesMatchSerial exercises the scratch overflow path:
+// many goroutines applying the same operator concurrently must all get
+// the bit-exact serial answer (the pipeline runs one GMRES per conductor
+// over one shared operator).
+func TestConcurrentAppliesMatchSerial(t *testing.T) {
+	panels := busPanels(t, 2, 2, 1.5e-6)
+	n := len(panels)
+	op := NewOperator(panels, Options{Workers: 1})
+	const g = 8
+	xs := make([][]float64, g)
+	want := make([][]float64, g)
+	for k := 0; k < g; k++ {
+		xs[k] = make([]float64, n)
+		for i := range xs[k] {
+			xs[k][i] = float64((i*7+k)%13) - 6
+		}
+		want[k] = make([]float64, n)
+		op.Apply(want[k], xs[k])
+	}
+	got := make([][]float64, g)
+	done := make(chan int, g)
+	for k := 0; k < g; k++ {
+		got[k] = make([]float64, n)
+		go func(k int) {
+			op.Apply(got[k], xs[k])
+			done <- k
+		}(k)
+	}
+	for k := 0; k < g; k++ {
+		<-done
+	}
+	for k := 0; k < g; k++ {
+		for i := range got[k] {
+			if got[k][i] != want[k][i] {
+				t.Fatalf("concurrent Apply %d differs at %d: %g vs %g",
+					k, i, got[k][i], want[k][i])
+			}
+		}
+	}
+}
+
+// TestNearBlocksPartition verifies the precorrection clusters exposed to
+// the preconditioner: disjoint, covering every panel, with symmetric
+// positive-diagonal blocks.
+func TestNearBlocksPartition(t *testing.T) {
+	panels := busPanels(t, 3, 3, 1e-6)
+	op := NewOperator(panels, Options{Workers: 1})
+	idx, blocks := op.NearBlocks()
+	if len(idx) != len(blocks) {
+		t.Fatalf("%d index sets vs %d blocks", len(idx), len(blocks))
+	}
+	seen := make([]bool, len(panels))
+	for k, ix := range idx {
+		blk := blocks[k]
+		if blk.Rows != len(ix) || blk.Cols != len(ix) {
+			t.Fatalf("block %d shape %dx%d for %d unknowns", k, blk.Rows, blk.Cols, len(ix))
+		}
+		for r, pi := range ix {
+			if seen[pi] {
+				t.Fatalf("panel %d in two clusters", pi)
+			}
+			seen[pi] = true
+			if blk.At(r, r) <= 0 {
+				t.Fatalf("block %d diagonal %d not positive", k, r)
+			}
+			for c := range ix {
+				// Rows are integrated independently and the quadrature
+				// is not bit-symmetric in argument order; bound the
+				// asymmetry at the quadrature level.
+				a, bb := blk.At(r, c), blk.At(c, r)
+				if d := a - bb; d > 1e-6*blk.At(r, r) || d < -1e-6*blk.At(r, r) {
+					t.Fatalf("block %d asymmetric at (%d,%d): %g vs %g", k, r, c, a, bb)
+				}
+			}
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("panel %d uncovered", i)
+		}
+	}
+}
+
+// BenchmarkPFFTApply measures the steady-state matvec (serial).
+func BenchmarkPFFTApply(b *testing.B) {
+	panels := busPanels(b, 4, 4, 1e-6)
+	op := NewOperator(panels, Options{Workers: 1})
+	x := make([]float64, len(panels))
+	dst := make([]float64, len(panels))
+	for i := range x {
+		x[i] = 1
+	}
+	op.Apply(dst, x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op.Apply(dst, x)
+	}
+}

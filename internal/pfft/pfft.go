@@ -5,17 +5,28 @@
 // kernel, potentials are interpolated back at the panels, and close
 // interactions are "precorrected" by replacing the inaccurate grid
 // contribution with exact Galerkin entries.
+//
+// The operator matches the guarantees of its multipole sibling
+// (internal/fmm): Apply is safe for concurrent use (per-Apply scratch is
+// pooled, not locked), allocation-free after warmup in serial mode, and
+// its projection and interpolation loops run on a sched.Executor when
+// Workers > 1 or a shared Pool is supplied. The grid projection is
+// parallelized over grid nodes through a precomputed node-to-panel
+// adjacency (no write conflicts), the interpolation/precorrection over
+// panel ranges. It also exposes its precorrection clusters as near-field
+// diagonal blocks for the pipeline's block-Jacobi preconditioner
+// (internal/op).
 package pfft
 
 import (
 	"math"
 	"runtime"
-	"sync"
 
 	"parbem/internal/fft"
 	"parbem/internal/geom"
 	"parbem/internal/kernel"
 	"parbem/internal/linalg"
+	"parbem/internal/sched"
 )
 
 // Options tunes the precorrected-FFT operator.
@@ -29,9 +40,14 @@ type Options struct {
 	MaxNodes int
 	// NearRadius is the precorrection radius in units of h (default 3).
 	NearRadius float64
-	Workers    int
+	Workers    int // parallel workers when Pool is nil (default GOMAXPROCS)
 	Eps        float64
 	Cfg        *kernel.Config
+	// Pool optionally supplies a shared persistent worker pool
+	// (internal/sched); when nil, construction and Apply use a
+	// throwaway sched.Local executor sized by Workers, or run inline
+	// when Workers is 1.
+	Pool *sched.Pool
 	// Tol is the GMRES relative tolerance used by the iterative solves
 	// driven through parbem.ExtractPFFT (0 = 1e-4). The operator itself
 	// does not consume it.
@@ -63,11 +79,24 @@ type stencil struct {
 	w   [8]float64
 }
 
+// applyScratch is the per-Apply mutable state: panel charges and the
+// padded FFT work grid. Pooling it keeps Apply re-entrant (concurrent
+// GMRES solves share one Operator) and allocation-free after warmup.
+type applyScratch struct {
+	charges []float64
+	grid    *fft.Grid3
+}
+
+// applyChunk is the grid-node / panel batch size of the parallel Apply
+// loops: coarse enough that executor task overhead stays negligible.
+const applyChunk = 2048
+
 // Operator is the precorrected-FFT matvec y = P x. It implements
-// linalg.Matvec.
+// linalg.Matvec. Apply is safe for concurrent use.
 type Operator struct {
 	panels []geom.Panel
 	opt    Options
+	exec   sched.Executor // nil = run inline (serial)
 
 	h          float64
 	origin     geom.Vec3
@@ -75,18 +104,33 @@ type Operator struct {
 	px, py, pz int // padded FFT dims (>= 2*logical, powers of two)
 
 	kernelHat *fft.Grid3 // forward FFT of the 1/r kernel on the padded grid
-	work      *fft.Grid3 // scratch charge/potential grid
 
 	sten    []stencil
 	areas   []float64
 	centers []geom.Vec3
 
-	nearIdx [][]int32
-	nearVal [][]float64 // exact - grid, pre-scaled
+	// Node-to-panel adjacency (CSR over logical nodes with at least one
+	// panel in their footprint): the projection loop iterates nodes, so
+	// parallel chunks never write the same grid entry.
+	activeNodes []int32
+	nodeOff     []int32
+	nodePanel   []int32
+	nodeW       []float64
 
-	charges []float64
-	scale   float64
-	mu      sync.Mutex // guards work during Apply
+	nearIdx   [][]int32
+	nearVal   [][]float64 // exact - grid, pre-scaled
+	nearExact [][]float64 // exact Galerkin, pre-scaled (near-block data)
+
+	// cluster[i] is panel i's precorrection spatial-hash cell, the
+	// near-block partition exposed to the preconditioner.
+	cluster  []int32
+	clusters [][]int32
+
+	scale float64
+
+	// scratch manages per-Apply buffers: warm dedicated value for the
+	// one-Apply-at-a-time case, pooled overflow for concurrent Applies.
+	scratch *sched.Scratch[*applyScratch]
 }
 
 // NewOperator builds the grid, kernel transform, stencils and
@@ -101,8 +145,13 @@ func NewOperator(panels []geom.Panel, opt Options) *Operator {
 		sten:    make([]stencil, len(panels)),
 		nearIdx: make([][]int32, len(panels)),
 		nearVal: make([][]float64, len(panels)),
-		charges: make([]float64, len(panels)),
 		scale:   1 / (kernel.FourPi * opt.Eps),
+	}
+	op.nearExact = make([][]float64, len(panels))
+	if opt.Pool != nil {
+		op.exec = opt.Pool
+	} else if opt.Workers > 1 {
+		op.exec = sched.Local(opt.Workers)
 	}
 	var medEdge float64
 	{
@@ -142,10 +191,20 @@ func NewOperator(panels []geom.Panel, opt Options) *Operator {
 	op.pz = fft.NextPow2(2 * op.nz)
 
 	op.buildKernel()
-	op.work = fft.NewGrid3(op.px, op.py, op.pz)
 	op.buildStencils()
+	op.buildNodeAdjacency()
 	op.buildPrecorrection()
+	op.scratch = sched.NewScratch(func() *applyScratch {
+		return newScratch(len(panels), op.px, op.py, op.pz)
+	})
 	return op
+}
+
+func newScratch(n, px, py, pz int) *applyScratch {
+	return &applyScratch{
+		charges: make([]float64, n),
+		grid:    fft.NewGrid3(px, py, pz),
+	}
 }
 
 func median(xs []float64) float64 {
@@ -234,6 +293,43 @@ func (op *Operator) buildStencils() {
 	}
 }
 
+// buildNodeAdjacency inverts the stencils into a CSR over logical grid
+// nodes, so the projection loop can be parallelized over nodes with no
+// write conflicts (each node entry is owned by exactly one task).
+func (op *Operator) buildNodeAdjacency() {
+	counts := make([]int32, op.nx*op.ny*op.nz)
+	for i := range op.sten {
+		for k := 0; k < 8; k++ {
+			counts[op.sten[i].idx[k]]++
+		}
+	}
+	for n, c := range counts {
+		if c > 0 {
+			op.activeNodes = append(op.activeNodes, int32(n))
+		}
+	}
+	op.nodeOff = make([]int32, len(op.activeNodes)+1)
+	slot := make([]int32, op.nx*op.ny*op.nz) // node -> active slot + 1
+	for a, n := range op.activeNodes {
+		op.nodeOff[a+1] = op.nodeOff[a] + counts[n]
+		slot[n] = int32(a) + 1
+	}
+	total := op.nodeOff[len(op.activeNodes)]
+	op.nodePanel = make([]int32, total)
+	op.nodeW = make([]float64, total)
+	fill := make([]int32, len(op.activeNodes))
+	for i := range op.sten {
+		s := &op.sten[i]
+		for k := 0; k < 8; k++ {
+			a := slot[s.idx[k]] - 1
+			p := op.nodeOff[a] + fill[a]
+			fill[a]++
+			op.nodePanel[p] = int32(i)
+			op.nodeW[p] = s.w[k]
+		}
+	}
+}
+
 // nodeIdx linearizes logical node coordinates (clamped into range).
 func (op *Operator) nodeIdx(ix, iy, iz int) int32 {
 	ix = clamp(ix, op.nx)
@@ -276,7 +372,9 @@ func (op *Operator) gridPair(i, j int) float64 {
 }
 
 // buildPrecorrection finds near pairs via spatial hashing and stores
-// (exact - grid) entries.
+// both the (exact - grid) correction entries and the exact entries (the
+// near-block data). The spatial-hash cells double as the near-block
+// clusters, assigned deterministically in panel order.
 func (op *Operator) buildPrecorrection() {
 	cell := op.opt.NearRadius * op.h
 	type key struct{ x, y, z int32 }
@@ -288,44 +386,48 @@ func (op *Operator) buildPrecorrection() {
 			int32(math.Floor((c.Z - op.origin.Z) / cell)),
 		}
 	}
+	op.cluster = make([]int32, len(op.panels))
+	clusterOf := make(map[key]int32)
 	for i, c := range op.centers {
 		k := keyOf(c)
 		buckets[k] = append(buckets[k], int32(i))
+		id, ok := clusterOf[k]
+		if !ok {
+			id = int32(len(op.clusters))
+			clusterOf[k] = id
+			op.clusters = append(op.clusters, nil)
+		}
+		op.cluster[i] = id
+		op.clusters[id] = append(op.clusters[id], int32(i))
 	}
 	limit := op.opt.NearRadius * op.h
 
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, op.opt.Workers)
-	for i := range op.panels {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer func() { <-sem; wg.Done() }()
-			ci := op.centers[i]
-			k := keyOf(ci)
-			var idx []int32
-			var val []float64
-			for dx := int32(-1); dx <= 1; dx++ {
-				for dy := int32(-1); dy <= 1; dy++ {
-					for dz := int32(-1); dz <= 1; dz++ {
-						for _, j := range buckets[key{k.x + dx, k.y + dy, k.z + dz}] {
-							if ci.Dist(op.centers[j]) > limit {
-								continue
-							}
-							exact := op.scale * kernel.RectGalerkin(op.opt.Cfg,
-								op.panels[i].Rect, op.panels[j].Rect)
-							gridPart := op.scale * op.areas[i] * op.areas[int(j)] * op.gridPair(i, int(j))
-							idx = append(idx, j)
-							val = append(val, exact-gridPart)
+	sched.MapOrInline(op.exec, len(op.panels), func(i int) {
+		ci := op.centers[i]
+		k := keyOf(ci)
+		var idx []int32
+		var val, exa []float64
+		for dx := int32(-1); dx <= 1; dx++ {
+			for dy := int32(-1); dy <= 1; dy++ {
+				for dz := int32(-1); dz <= 1; dz++ {
+					for _, j := range buckets[key{k.x + dx, k.y + dy, k.z + dz}] {
+						if ci.Dist(op.centers[j]) > limit {
+							continue
 						}
+						exact := op.scale * kernel.RectGalerkin(op.opt.Cfg,
+							op.panels[i].Rect, op.panels[j].Rect)
+						gridPart := op.scale * op.areas[i] * op.areas[int(j)] * op.gridPair(i, int(j))
+						idx = append(idx, j)
+						val = append(val, exact-gridPart)
+						exa = append(exa, exact)
 					}
 				}
 			}
-			op.nearIdx[i] = idx
-			op.nearVal[i] = val
-		}(i)
-	}
-	wg.Wait()
+		}
+		op.nearIdx[i] = idx
+		op.nearVal[i] = val
+		op.nearExact[i] = exa
+	})
 }
 
 // Dim implements linalg.Matvec.
@@ -343,68 +445,140 @@ func (op *Operator) NearEntries() int {
 	return n
 }
 
-// Apply implements linalg.Matvec: project, convolve, interpolate, correct.
-func (op *Operator) Apply(dst, x []float64) {
-	op.mu.Lock()
-	defer op.mu.Unlock()
-
-	for i := range op.charges {
-		op.charges[i] = x[i] * op.areas[i]
-	}
-
-	// Project onto the padded grid (logical region only).
-	g := op.work
-	for i := range g.Data {
-		g.Data[i] = 0
-	}
-	for i := range op.panels {
-		s := &op.sten[i]
-		q := op.charges[i]
-		for k := 0; k < 8; k++ {
-			ix, iy, iz := op.nodeCoords(s.idx[k])
-			g.Data[g.Idx(ix, iy, iz)] += complex(q*s.w[k], 0)
+// NearBlocks implements the pipeline's near-block contract
+// (internal/op.NearBlocker): the exact-Galerkin diagonal blocks of the
+// precorrection spatial-hash clusters. Clusters partition the panels;
+// cluster pairs beyond the precorrection radius are not stored and stay
+// zero (the preconditioner falls back to the block diagonal if the
+// zero-filled block loses positive definiteness).
+func (op *Operator) NearBlocks() (idx [][]int32, blocks []*linalg.Dense) {
+	pos := make([]int32, len(op.panels))
+	for _, cl := range op.clusters {
+		for k, pi := range cl {
+			pos[pi] = int32(k)
 		}
 	}
+	for _, cl := range op.clusters {
+		b := linalg.NewDense(len(cl), len(cl))
+		for r, pi := range cl {
+			row := b.Row(r)
+			cols := op.nearIdx[pi]
+			vals := op.nearExact[pi]
+			for k, pj := range cols {
+				if op.cluster[pj] == op.cluster[pi] {
+					row[pos[pj]] = vals[k]
+				}
+			}
+		}
+		idx = append(idx, append([]int32(nil), cl...))
+		blocks = append(blocks, b)
+	}
+	return idx, blocks
+}
 
-	// Convolve via FFT (this global transform is the serial bottleneck
+// Apply implements linalg.Matvec: project, convolve, interpolate,
+// correct. The projection runs parallel over grid nodes (via the
+// precomputed node-to-panel adjacency), the interpolation and
+// precorrection parallel over panel ranges; the global FFT stays serial
+// (the bottleneck that limits parallel efficiency in [1]). Safe for
+// concurrent use and allocation-free after warmup in serial mode.
+func (op *Operator) Apply(dst, x []float64) {
+	s := op.scratch.Acquire()
+	defer op.scratch.Release(s)
+
+	for i := range s.charges {
+		s.charges[i] = x[i] * op.areas[i]
+	}
+
+	// Zero the padded grid, then project charges onto the logical
+	// region: each task owns a disjoint range of grid entries. The
+	// serial path runs the same range helpers without closures, so it
+	// stays allocation-free.
+	g := s.grid
+	data := g.Data
+	nodes := op.activeNodes
+	np := len(op.panels)
+	if op.exec == nil {
+		op.zeroRange(data, 0, len(data))
+		op.projectRange(s, data, 0, len(nodes))
+	} else {
+		op.exec.Map((len(data)+applyChunk-1)/applyChunk, func(t int) {
+			lo, hi := chunkBounds(t, len(data))
+			op.zeroRange(data, lo, hi)
+		})
+		op.exec.Map((len(nodes)+applyChunk-1)/applyChunk, func(t int) {
+			lo, hi := chunkBounds(t, len(nodes))
+			op.projectRange(s, data, lo, hi)
+		})
+	}
+
+	// Convolve via FFT (the global transform is the serial bottleneck
 	// that limits parallel efficiency in [1]).
 	g.Forward3()
 	g.MulPointwise(op.kernelHat)
 	g.Inverse3()
 
-	// Interpolate + precorrect, parallel over panels.
-	var wg sync.WaitGroup
-	nw := op.opt.Workers
-	chunk := (len(op.panels) + nw - 1) / nw
-	for w := 0; w < nw; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > len(op.panels) {
-			hi = len(op.panels)
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				s := &op.sten[i]
-				var phi float64
-				for k := 0; k < 8; k++ {
-					ix, iy, iz := op.nodeCoords(s.idx[k])
-					phi += s.w[k] * real(g.Data[g.Idx(ix, iy, iz)])
-				}
-				y := op.scale * op.areas[i] * phi
-				idx := op.nearIdx[i]
-				val := op.nearVal[i]
-				for k, j := range idx {
-					y += val[k] * x[j]
-				}
-				dst[i] = y
-			}
-		}(lo, hi)
+	// Interpolate + precorrect over panel ranges.
+	if op.exec == nil {
+		op.evalRange(data, dst, x, 0, np)
+		return
 	}
-	wg.Wait()
+	op.exec.Map((np+applyChunk-1)/applyChunk, func(t int) {
+		lo, hi := chunkBounds(t, np)
+		op.evalRange(data, dst, x, lo, hi)
+	})
+}
+
+// chunkBounds maps task t to its [lo, hi) range over n items in
+// applyChunk-sized chunks.
+func chunkBounds(t, n int) (int, int) {
+	lo := t * applyChunk
+	hi := lo + applyChunk
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// zeroRange clears grid entries [lo, hi).
+func (op *Operator) zeroRange(data []complex128, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		data[i] = 0
+	}
+}
+
+// projectRange accumulates panel charges onto active grid nodes
+// [lo, hi) through the node-to-panel adjacency.
+func (op *Operator) projectRange(s *applyScratch, data []complex128, lo, hi int) {
+	g := s.grid
+	for a := lo; a < hi; a++ {
+		var q float64
+		for p := op.nodeOff[a]; p < op.nodeOff[a+1]; p++ {
+			q += op.nodeW[p] * s.charges[op.nodePanel[p]]
+		}
+		ix, iy, iz := op.nodeCoords(op.activeNodes[a])
+		data[g.Idx(ix, iy, iz)] = complex(q, 0)
+	}
+}
+
+// evalRange interpolates grid potentials and applies the precorrection
+// for panels [lo, hi).
+func (op *Operator) evalRange(data []complex128, dst, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		st := &op.sten[i]
+		var phi float64
+		for k := 0; k < 8; k++ {
+			ix, iy, iz := op.nodeCoords(st.idx[k])
+			phi += st.w[k] * real(data[(ix*op.py+iy)*op.pz+iz])
+		}
+		y := op.scale * op.areas[i] * phi
+		idx := op.nearIdx[i]
+		val := op.nearVal[i]
+		for k, j := range idx {
+			y += val[k] * x[j]
+		}
+		dst[i] = y
+	}
 }
 
 var _ linalg.Matvec = (*Operator)(nil)

@@ -4,26 +4,13 @@ import (
 	"math"
 	"math/rand"
 	"testing"
-
-	"parbem/internal/geom"
-	"parbem/internal/pcbem"
 )
 
-func busProblem(t *testing.T, m, n int, edge float64) *pcbem.Problem {
-	t.Helper()
-	st := geom.DefaultBus(m, n).Build()
-	p, err := pcbem.NewProblem(st, edge)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return p
-}
-
 func TestOperatorMatchesDenseMatvec(t *testing.T) {
-	p := busProblem(t, 2, 2, 1e-6)
-	dense := p.AssembleDense()
-	op := NewOperator(p.Panels, Options{})
-	n := p.N()
+	panels := busPanels(t, 2, 2, 1e-6)
+	dense := denseRef(panels)
+	op := NewOperator(panels, Options{})
+	n := len(panels)
 	rng := rand.New(rand.NewSource(1))
 	x := make([]float64, n)
 	for i := range x {
@@ -45,32 +32,10 @@ func TestOperatorMatchesDenseMatvec(t *testing.T) {
 	}
 }
 
-func TestSolveMatchesDense(t *testing.T) {
-	p := busProblem(t, 2, 2, 1e-6)
-	direct, err := p.SolveDense()
-	if err != nil {
-		t.Fatal(err)
-	}
-	op := NewOperator(p.Panels, Options{NearRadius: 4})
-	iter, err := p.SolveIterative(op, 1e-6)
-	if err != nil {
-		t.Fatal(err)
-	}
-	nc := direct.C.Rows
-	for i := 0; i < nc; i++ {
-		for j := 0; j < nc; j++ {
-			a, b := direct.C.At(i, j), iter.C.At(i, j)
-			if rel := math.Abs(a-b) / math.Abs(direct.C.At(i, i)); rel > 0.05 {
-				t.Errorf("C[%d][%d]: dense %g pfft %g", i, j, a, b)
-			}
-		}
-	}
-}
-
 func TestNearEntriesSparse(t *testing.T) {
-	p := busProblem(t, 3, 3, 1e-6)
-	op := NewOperator(p.Panels, Options{})
-	n := p.N()
+	panels := busPanels(t, 3, 3, 1e-6)
+	op := NewOperator(panels, Options{})
+	n := len(panels)
 	if op.NearEntries() >= n*n/2 {
 		t.Errorf("precorrection not sparse: %d of %d", op.NearEntries(), n*n)
 	}
@@ -81,15 +46,15 @@ func TestNearEntriesSparse(t *testing.T) {
 }
 
 func TestWorkerInvariance(t *testing.T) {
-	p := busProblem(t, 2, 2, 1.5e-6)
-	n := p.N()
+	panels := busPanels(t, 2, 2, 1.5e-6)
+	n := len(panels)
 	rng := rand.New(rand.NewSource(2))
 	x := make([]float64, n)
 	for i := range x {
 		x[i] = rng.NormFloat64()
 	}
-	op1 := NewOperator(p.Panels, Options{Workers: 1})
-	op8 := NewOperator(p.Panels, Options{Workers: 8})
+	op1 := NewOperator(panels, Options{Workers: 1})
+	op8 := NewOperator(panels, Options{Workers: 8})
 	a := make([]float64, n)
 	b := make([]float64, n)
 	op1.Apply(a, x)

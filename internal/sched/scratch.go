@@ -1,0 +1,56 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// MapOrInline runs n tasks on ex, or inline in index order when ex is
+// nil (the serial mode of the operators: no closure scheduling, so hot
+// paths stay allocation-free).
+func MapOrInline(ex Executor, n int, fn func(task int)) {
+	if ex == nil {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	ex.Map(n, fn)
+}
+
+// Scratch manages the per-call mutable state of concurrency-safe
+// operators (fmm/pfft Apply buffers, preconditioner solve buffers): the
+// common one-call-at-a-time case reuses one dedicated warm value, so the
+// steady state is allocation-free; concurrent overflow calls draw from a
+// sync.Pool. T must be a comparable handle (typically a pointer).
+type Scratch[T comparable] struct {
+	newFn func() T
+	own   T
+	busy  atomic.Bool
+	extra sync.Pool
+}
+
+// NewScratch builds the manager and warms the dedicated value.
+func NewScratch[T comparable](newFn func() T) *Scratch[T] {
+	return &Scratch[T]{newFn: newFn, own: newFn()}
+}
+
+// Acquire returns a value for exclusive use until Release.
+func (s *Scratch[T]) Acquire() T {
+	if s.busy.CompareAndSwap(false, true) {
+		return s.own
+	}
+	if v, ok := s.extra.Get().(T); ok {
+		return v
+	}
+	return s.newFn()
+}
+
+// Release returns a value obtained from Acquire.
+func (s *Scratch[T]) Release(v T) {
+	if v == s.own {
+		s.busy.Store(false)
+		return
+	}
+	s.extra.Put(v)
+}

@@ -7,9 +7,6 @@ package solver
 import (
 	"errors"
 	"fmt"
-	"math"
-	"runtime"
-	"sync"
 	"time"
 
 	"parbem/internal/assembly"
@@ -18,6 +15,7 @@ import (
 	"parbem/internal/kernel"
 	"parbem/internal/linalg"
 	"parbem/internal/mpi"
+	"parbem/internal/op"
 	"parbem/internal/par"
 	"parbem/internal/sched"
 	"parbem/internal/tabulate"
@@ -234,8 +232,11 @@ func fill(set *basis.Set, in *assembly.Integrator, opt Options) (*linalg.Dense, 
 	return nil, errors.New("solver: unknown backend")
 }
 
-// solveSystem factorizes P and recovers C = Phi^T rho with Phi the
-// conductor-indicator right-hand sides weighted by basis moments.
+// solveSystem recovers C = Phi^T rho with Phi the conductor-indicator
+// right-hand sides weighted by basis moments, through the unified
+// pipeline's direct path (equilibrated Cholesky with escalating-shift
+// recovery and LU fallback — see op.SolveSPD) and its shared
+// capacitance reduction.
 func solveSystem(set *basis.Set, P *linalg.Dense) (*linalg.Dense, error) {
 	n := set.NumConductors
 	N := set.N()
@@ -245,102 +246,13 @@ func solveSystem(set *basis.Set, P *linalg.Dense) (*linalg.Dense, error) {
 		phi.Set(i, f.Conductor, moments[i])
 	}
 
-	rho, err := solveSPD(P, phi)
+	pl, err := op.NewFromDense(P, op.Options{Direct: true})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("solver: %w", err)
 	}
-
-	c := linalg.NewDense(n, n)
-	linalg.Mul(c, phi.Transpose(), rho)
-	// Enforce exact symmetry (P is symmetric, so C is up to roundoff).
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			v := 0.5 * (c.At(i, j) + c.At(j, i))
-			c.Set(i, j, v)
-			c.Set(j, i, v)
-		}
-	}
-	return c, nil
-}
-
-// solveSPD solves P X = Phi by Cholesky with symmetric Jacobi
-// equilibration: the Gram matrix's diagonal spans several orders of
-// magnitude (face basis moments vs small arch templates), so P is first
-// scaled to unit diagonal, S P S y = S Phi with S = diag(P_ii^-1/2). P is
-// SPD in exact arithmetic, but quadrature error on nearly dependent basis
-// functions can push a tiny eigenvalue below zero on large problems; an
-// escalating uniform shift on the equilibrated matrix (starting at 1e-12,
-// far below the integration accuracy) restores positive definiteness. LU
-// remains the last-resort fallback.
-func solveSPD(P, phi *linalg.Dense) (*linalg.Dense, error) {
-	nr := P.Rows
-	s := make([]float64, nr)
-	ok := true
-	for i := 0; i < nr; i++ {
-		d := P.At(i, i)
-		if d <= 0 {
-			ok = false
-			break
-		}
-		s[i] = 1 / mathSqrt(d)
-	}
-	if ok {
-		eq := linalg.NewDense(nr, nr)
-		for i := 0; i < nr; i++ {
-			prow := P.Row(i)
-			erow := eq.Row(i)
-			si := s[i]
-			for j, v := range prow {
-				erow[j] = si * v * s[j]
-			}
-		}
-		ephi := linalg.NewDense(nr, phi.Cols)
-		for i := 0; i < nr; i++ {
-			for j := 0; j < phi.Cols; j++ {
-				ephi.Set(i, j, s[i]*phi.At(i, j))
-			}
-		}
-		if ch, err := linalg.NewCholesky(eq); err == nil {
-			y := ch.SolveMatrix(ephi)
-			// Undo the scaling: x = S y.
-			for i := 0; i < nr; i++ {
-				for j := 0; j < y.Cols; j++ {
-					y.Set(i, j, s[i]*y.At(i, j))
-				}
-			}
-			return y, nil
-		}
-	}
-	lu, err := linalg.NewLU(P)
+	res, err := pl.ExtractRHS(phi)
 	if err != nil {
-		return nil, fmt.Errorf("solver: system matrix unsolvable: %w", err)
+		return nil, fmt.Errorf("solver: %w", err)
 	}
-	rho := linalg.NewDense(nr, phi.Cols)
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			col := make([]float64, nr)
-			for j := range next {
-				for i := 0; i < nr; i++ {
-					col[i] = phi.At(i, j)
-				}
-				lu.Solve(col, col)
-				for i := 0; i < nr; i++ {
-					rho.Set(i, j, col[i])
-				}
-			}
-		}()
-	}
-	for j := 0; j < phi.Cols; j++ {
-		next <- j
-	}
-	close(next)
-	wg.Wait()
-	return rho, nil
+	return res.C, nil
 }
-
-// mathSqrt is split out for clarity at the call site.
-func mathSqrt(x float64) float64 { return math.Sqrt(x) }

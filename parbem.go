@@ -35,27 +35,38 @@
 // BenchmarkEngineBatch in internal/batch). The same engine is available
 // on the command line as `capx -batch file1.geo file2.geo ...`.
 //
-// # Choosing a baseline
+// # Choosing a backend
 //
-// Three piecewise-constant reference solvers are provided alongside the
-// instantiable-basis solver:
+// Every piecewise-constant solve — the dense reference, the multipole
+// and precorrected-FFT accelerated baselines, and the template
+// extraction behind the instantiable basis — runs through one unified
+// operator pipeline (internal/op): backend-agnostic RHS construction,
+// concurrent multi-RHS preconditioned GMRES on pooled workspaces (or the
+// direct equilibrated-Cholesky path for dense), and the shared
+// charge-to-capacitance reduction. Three operator backends implement the
+// pipeline's matvec contract:
 //
-//   - ExtractReference: dense Galerkin assembly (parallel, symmetric
-//     halves filled once) plus a direct factorization. O(N^2) memory and
-//     O(N^3) time — the accuracy reference, practical to a few thousand
-//     panels.
-//   - ExtractFastCapLike: FASTCAP-style multipole solver. The operator
-//     is list-driven (dual-tree interaction lists, M2L/L2L/L2P downward
-//     pass, flat CSR near field), its matvec is allocation-free and
-//     concurrency-safe, and all conductor excitations are solved
-//     concurrently. The first choice at 10^4-10^5 panels.
-//   - ExtractPFFT: precorrected-FFT solver; competitive when panels are
-//     dense in a compact volume, where the uniform grid is efficient.
+//   - dense (ExtractReference): parallel symmetric Galerkin assembly
+//     plus a direct factorization. O(N^2) memory and O(N^3) time — the
+//     accuracy reference, and the automatic choice below ~1800 panels
+//     where the cubic term is cheaper than any operator construction.
+//   - fmm (ExtractFastCapLike): FASTCAP-style list-driven multipole
+//     operator (dual-tree interaction lists, M2L/L2L/L2P downward pass,
+//     flat CSR near field); allocation-free concurrency-safe matvec.
+//     The safe default at 10^4-10^5 panels and for spread-out or
+//     high-aspect structures, and the only accelerated choice at tight
+//     (< 1e-6) tolerances.
+//   - pfft (ExtractPFFT): precorrected-FFT operator; wins when panels
+//     densely fill a compact volume (the cost model's grid fill factor),
+//     where the uniform grid convolution amortizes best.
 //
-// Both accelerated baselines accept an iterative tolerance through their
-// Options (default 1e-4) and report the total Krylov iteration count in
-// the result. The same trade-offs are available on the command line via
-// `capx -baseline fastcap|pfft|dense`.
+// ExtractPipeline exposes the selection directly: BackendAuto picks one
+// of the three from the panel count and grid fill factor
+// (internal/costmodel.Select), and the preconditioner — point-Jacobi or
+// near-field block-Jacobi (PrecondAuto uses the operator's near blocks
+// when it exposes them) — cuts Krylov iteration counts across all
+// accelerated backends. The same controls are available on the command
+// line via `capx -backend auto|dense|fastcap|pfft -precond auto|none|jacobi|block`.
 package parbem
 
 import (
@@ -70,6 +81,7 @@ import (
 	"parbem/internal/kernel"
 	"parbem/internal/linalg"
 	"parbem/internal/mpi"
+	"parbem/internal/op"
 	"parbem/internal/pcbem"
 	"parbem/internal/pfft"
 	"parbem/internal/report"
@@ -194,6 +206,39 @@ func NewNetwork(size int) *Network { return mpi.NewNetwork(size) }
 // ReferenceResult is a piecewise-constant baseline extraction.
 type ReferenceResult = pcbem.Result
 
+// PipelineOptions configures the unified piecewise-constant solve
+// pipeline: operator backend, preconditioner, tolerance and per-backend
+// operator tuning. The zero value selects the backend with the cost
+// model, the preconditioner automatically and a 1e-4 tolerance.
+type PipelineOptions = op.Options
+
+// Pipeline backend and preconditioner selectors (see the "Choosing a
+// backend" section above).
+const (
+	BackendAuto        = op.BackendAuto
+	BackendDense       = op.BackendDense
+	BackendFMM         = op.BackendFMM
+	BackendPFFT        = op.BackendPFFT
+	PrecondAuto        = op.PrecondAuto
+	PrecondNone        = op.PrecondNone
+	PrecondJacobi      = op.PrecondJacobi
+	PrecondBlockJacobi = op.PrecondBlockJacobi
+)
+
+// ExtractPipeline solves the structure with the unified operator
+// pipeline: panelize at maxEdge, build the selected (or cost-model
+// chosen) operator backend, solve all conductor excitations with
+// preconditioned GMRES (or directly for the dense backend with
+// opt.Direct) and reduce to the capacitance matrix. The result reports
+// the resolved backend and the total Krylov iteration count.
+func ExtractPipeline(st *Structure, maxEdge float64, opt PipelineOptions) (*ReferenceResult, error) {
+	p, err := pcbem.NewProblem(st, maxEdge)
+	if err != nil {
+		return nil, err
+	}
+	return p.SolvePipeline(opt)
+}
+
 // ExtractReference solves the structure with a finely discretized
 // piecewise-constant Galerkin BEM and a dense direct solve. It is O(N^3)
 // but gives the accuracy reference for the instantiable-basis solver.
@@ -212,16 +257,14 @@ type FastCapOptions = fmm.Options
 
 // ExtractFastCapLike solves the structure with the multipole-accelerated
 // piecewise-constant solver (FASTCAP-style: octree + interaction lists +
-// Cartesian multipole/local expansions + GMRES). The returned result
-// carries the total Krylov iteration count across all conductor
-// excitations (solved concurrently).
+// Cartesian multipole/local expansions + block-Jacobi preconditioned
+// GMRES through the unified pipeline). The returned result carries the
+// total Krylov iteration count across all conductor excitations (solved
+// concurrently).
 func ExtractFastCapLike(st *Structure, maxEdge float64, opt FastCapOptions) (*ReferenceResult, error) {
-	p, err := pcbem.NewProblem(st, maxEdge)
-	if err != nil {
-		return nil, err
-	}
-	op := fmm.NewOperator(p.Panels, opt)
-	return p.SolveIterative(op, opt.Tol)
+	return ExtractPipeline(st, maxEdge, PipelineOptions{
+		Backend: BackendFMM, Tol: opt.Tol, FMM: &opt,
+	})
 }
 
 // PFFTOptions tunes the precorrected-FFT baseline. Set Tol to override
@@ -229,14 +272,11 @@ func ExtractFastCapLike(st *Structure, maxEdge float64, opt FastCapOptions) (*Re
 type PFFTOptions = pfft.Options
 
 // ExtractPFFT solves the structure with the precorrected-FFT accelerated
-// piecewise-constant solver.
+// piecewise-constant solver (through the same unified pipeline).
 func ExtractPFFT(st *Structure, maxEdge float64, opt PFFTOptions) (*ReferenceResult, error) {
-	p, err := pcbem.NewProblem(st, maxEdge)
-	if err != nil {
-		return nil, err
-	}
-	op := pfft.NewOperator(p.Panels, opt)
-	return p.SolveIterative(op, opt.Tol)
+	return ExtractPipeline(st, maxEdge, PipelineOptions{
+		Backend: BackendPFFT, Tol: opt.Tol, PFFT: &opt,
+	})
 }
 
 // ReadStructure parses a structure from the line-oriented text format of
