@@ -25,9 +25,23 @@
 //	capx -structure bus -backend fastcap -precond block
 //
 // The legacy -baseline flag maps onto the same pipeline path.
+//
+// Sweep mode runs a separation (H) sweep of the crossing or bus
+// structure through one staged extraction plan: after the first point,
+// only cross-layer near-field integrals are re-integrated, unchanged
+// block factors are adopted and the solves warm-start, reporting
+// per-point stage timings and the cold-vs-warm amortization:
+//
+//	capx -structure crossing -sweep 16 -backend fastcap -edge 3e-7
+//	capx -structure bus -m 8 -n 8 -sweep 8 -hmin 5e-7 -hmax 2e-6
+//
+// Pipeline and sweep runs accept -json for machine-readable output
+// (capacitance matrix, backend/precond choice, iteration counts,
+// per-stage timings) for serving and telemetry integrations.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -56,6 +70,10 @@ func main() {
 		baseline  = flag.String("baseline", "", "run a piecewise-constant baseline instead: fastcap | pfft | dense")
 		tol       = flag.Float64("tol", 1e-4, "baseline iterative solver relative tolerance")
 		edge      = flag.Float64("edge", 0.5e-6, "baseline max panel edge (m)")
+		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON (capacitance matrix, backend/precond, iterations, per-stage timings) instead of text")
+		sweep     = flag.Int("sweep", 0, "h-sweep mode: extract N separation variants through one staged plan (crossing or bus structure)")
+		hmin      = flag.Float64("hmin", 0, "sweep: smallest separation (0 = 0.6x the structure default)")
+		hmax      = flag.Float64("hmax", 0, "sweep: largest separation (0 = 2x the structure default)")
 	)
 	flag.Parse()
 
@@ -64,6 +82,14 @@ func main() {
 			log.Fatal("-spice is not supported in batch mode")
 		}
 		runBatch(flag.Args(), *backend, *workers, *tables, *accel, *check, *units, *maxPrint)
+		return
+	}
+
+	if *sweep > 0 {
+		if *input != "" {
+			log.Fatal("-sweep varies the built-in crossing/bus separation and does not support -input")
+		}
+		runSweep(*structure, *m, *n, *sweep, *hmin, *hmax, *backend, *precond, *edge, *tol, *workers, *jsonOut)
 		return
 	}
 
@@ -84,12 +110,15 @@ func main() {
 	}
 
 	if *baseline != "" {
-		runPipeline(st, *baseline, *precond, *edge, *tol, *workers, *units, *maxPrint, *check)
+		runPipeline(st, *baseline, *precond, *edge, *tol, *workers, *units, *maxPrint, *check, *jsonOut)
 		return
 	}
 	if isPipelineBackend(*backend) {
-		runPipeline(st, *backend, *precond, *edge, *tol, *workers, *units, *maxPrint, *check)
+		runPipeline(st, *backend, *precond, *edge, *tol, *workers, *units, *maxPrint, *check, *jsonOut)
 		return
+	}
+	if *jsonOut {
+		log.Fatal("-json requires a pipeline backend (auto|dense|fastcap|pfft) or -sweep")
 	}
 
 	opt := parbem.Options{Workers: *workers, Tables: *tables}
@@ -187,10 +216,9 @@ func isPipelineBackend(name string) bool {
 	return false
 }
 
-// runPipeline solves the structure through the unified operator pipeline
-// and reports the resolved backend, panel counts, Krylov iterations and
-// timing next to the capacitance matrix.
-func runPipeline(st *parbem.Structure, kind, precond string, edge, tol float64, workers int, units float64, maxPrint int, check bool) {
+// pipelineOptions maps the -backend/-precond/-tol/-workers flags to
+// pipeline options (shared by the single-shot and sweep modes).
+func pipelineOptions(kind, precond string, tol float64, workers int) parbem.PipelineOptions {
 	opt := parbem.PipelineOptions{Tol: tol}
 	switch kind {
 	case "auto":
@@ -226,6 +254,41 @@ func runPipeline(st *parbem.Structure, kind, precond string, edge, tol float64, 
 	default:
 		log.Fatalf("unknown preconditioner %q (want auto, none, jacobi or block)", precond)
 	}
+	return opt
+}
+
+// matrixRows flattens a capacitance matrix for JSON output.
+func matrixRows(c *parbem.Matrix) [][]float64 {
+	rows := make([][]float64, c.Rows)
+	for i := range rows {
+		rows[i] = append([]float64(nil), c.Row(i)...)
+	}
+	return rows
+}
+
+// conductorNames lists the structure's conductor names.
+func conductorNames(st *parbem.Structure) []string {
+	names := make([]string, st.NumConductors())
+	for i, c := range st.Conductors {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// emitJSON marshals v to stdout.
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runPipeline solves the structure through the unified operator pipeline
+// and reports the resolved backend, panel counts, Krylov iterations and
+// timing next to the capacitance matrix.
+func runPipeline(st *parbem.Structure, kind, precond string, edge, tol float64, workers int, units float64, maxPrint int, check bool, jsonOut bool) {
+	opt := pipelineOptions(kind, precond, tol, workers)
 
 	t0 := time.Now()
 	res, err := parbem.ExtractPipeline(st, edge, opt)
@@ -233,6 +296,35 @@ func runPipeline(st *parbem.Structure, kind, precond string, edge, tol float64, 
 		log.Fatal(err)
 	}
 	total := time.Since(t0)
+
+	if jsonOut {
+		emitJSON(struct {
+			Structure  string      `json:"structure"`
+			Backend    string      `json:"backend"`
+			Requested  string      `json:"requested"`
+			Precond    string      `json:"precond"`
+			NumPanels  int         `json:"num_panels"`
+			Edge       float64     `json:"edge_m"`
+			Tol        float64     `json:"tol"`
+			Iterations int         `json:"iterations"`
+			SetupMs    float64     `json:"setup_ms"`
+			SolveMs    float64     `json:"solve_ms"`
+			TotalMs    float64     `json:"total_ms"`
+			Names      []string    `json:"conductors"`
+			CFarads    [][]float64 `json:"c_farads"`
+			Warnings   []string    `json:"maxwell_warnings,omitempty"`
+		}{
+			Structure: st.Name, Backend: res.Backend.String(), Requested: kind,
+			Precond: precond, NumPanels: res.NumPanels, Edge: edge, Tol: tol,
+			Iterations: res.Iterations,
+			SetupMs:    res.SetupTime.Seconds() * 1e3,
+			SolveMs:    res.SolveTime.Seconds() * 1e3,
+			TotalMs:    total.Seconds() * 1e3,
+			Names:      conductorNames(st), CFarads: matrixRows(res.C),
+			Warnings: parbem.CheckMaxwell(res.C, 0),
+		})
+		return
+	}
 
 	fmt.Printf("structure : %s (%d conductors)\n", st.Name, st.NumConductors())
 	fmt.Printf("backend   : %v (requested %s), N = %d panels, edge = %g m\n",
@@ -258,6 +350,140 @@ func runPipeline(st *parbem.Structure, kind, precond string, edge, tol float64, 
 	}
 	fmt.Println("capacitance matrix (scaled):")
 	printMatrix(res.C, units, names, maxPrint)
+}
+
+// sweepPoint is the per-variant record of a sweep (shared by the text
+// and JSON outputs).
+type sweepPoint struct {
+	H          float64     `json:"h_m"`
+	Iterations int         `json:"iterations"`
+	Reused     string      `json:"reused"`
+	DiscMs     float64     `json:"discretize_ms"`
+	TopoMs     float64     `json:"topology_ms"`
+	NearMs     float64     `json:"near_field_ms"`
+	FactMs     float64     `json:"factorize_ms"`
+	SolveMs    float64     `json:"solve_ms"`
+	TotalMs    float64     `json:"total_ms"`
+	CFarads    [][]float64 `json:"c_farads,omitempty"`
+}
+
+// runSweep extracts a separation sweep through one staged plan
+// (parbem.NewPlan) and reports per-point timings, reuse and the
+// cold-vs-warm amortization.
+func runSweep(structure string, m, n, points int, hmin, hmax float64, backend, precond string, edge, tol float64, workers int, jsonOut bool) {
+	if !isPipelineBackend(backend) {
+		log.Fatalf("-sweep needs a pipeline backend (auto|dense|fastcap|pfft), got %q", backend)
+	}
+	defH := 0.0
+	variant := func(h float64) *parbem.Structure {
+		switch structure {
+		case "crossing":
+			sp := parbem.NewCrossingPair()
+			sp.H = h
+			return sp.Build()
+		default: // bus
+			sp := parbem.NewBus(m, n)
+			sp.H = h
+			return sp.Build()
+		}
+	}
+	switch structure {
+	case "crossing":
+		defH = parbem.NewCrossingPair().H
+	case "bus":
+		defH = parbem.NewBus(m, n).H
+	default:
+		log.Fatalf("-sweep supports the crossing and bus structures (their separation H), got %q", structure)
+	}
+	if hmin == 0 {
+		hmin = 0.6 * defH
+	}
+	if hmax == 0 {
+		hmax = 2 * defH
+	}
+	if points < 2 || hmax <= hmin {
+		log.Fatalf("bad sweep range: %d points over [%g, %g]", points, hmin, hmax)
+	}
+
+	p, err := parbem.NewPlan(parbem.PlanOptions{
+		MaxEdge:  edge,
+		Pipeline: pipelineOptions(backend, precond, tol, workers),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	recs := make([]sweepPoint, points)
+	var coldMs, warmMs float64
+	t0 := time.Now()
+	for i := 0; i < points; i++ {
+		h := hmin + (hmax-hmin)*float64(i)/float64(points-1)
+		res, err := p.Extract(variant(h))
+		if err != nil {
+			log.Fatalf("sweep point h=%g: %v", h, err)
+		}
+		reused := "none"
+		if res.Reused.NearField {
+			reused = "near-field"
+			if res.Reused.Factorization {
+				reused += "+factors"
+			}
+		}
+		recs[i] = sweepPoint{
+			H: h, Iterations: res.Iterations, Reused: reused,
+			DiscMs:  res.Stages.Discretize.Seconds() * 1e3,
+			TopoMs:  res.Stages.Topology.Seconds() * 1e3,
+			NearMs:  res.Stages.NearField.Seconds() * 1e3,
+			FactMs:  res.Stages.Factorize.Seconds() * 1e3,
+			SolveMs: res.Stages.Solve.Seconds() * 1e3,
+			TotalMs: res.Total.Seconds() * 1e3,
+		}
+		if jsonOut {
+			recs[i].CFarads = matrixRows(res.C)
+		}
+		if i == 0 {
+			coldMs += recs[i].TotalMs
+		} else {
+			warmMs += recs[i].TotalMs
+		}
+	}
+	total := time.Since(t0)
+	stats := p.Stats()
+	warmPer := warmMs / float64(points-1)
+
+	if jsonOut {
+		emitJSON(struct {
+			Structure string           `json:"structure"`
+			Backend   string           `json:"backend"`
+			Precond   string           `json:"precond"`
+			Edge      float64          `json:"edge_m"`
+			Tol       float64          `json:"tol"`
+			Points    []sweepPoint     `json:"points"`
+			ColdMs    float64          `json:"cold_ms_per_point"`
+			WarmMs    float64          `json:"warm_ms_per_point"`
+			TotalMs   float64          `json:"total_ms"`
+			Stats     parbem.PlanStats `json:"stats"`
+		}{
+			Structure: structure, Backend: backend, Precond: precond,
+			Edge: edge, Tol: tol, Points: recs,
+			ColdMs: coldMs, WarmMs: warmPer, TotalMs: total.Seconds() * 1e3,
+			Stats: stats,
+		})
+		return
+	}
+
+	fmt.Printf("sweep     : %s, %d points over H = [%g, %g] m, backend %s, edge %g m\n",
+		structure, points, hmin, hmax, backend, edge)
+	fmt.Printf("%10s %6s %12s %9s %9s %9s %9s %9s\n",
+		"h (m)", "iters", "reused", "topo ms", "near ms", "fact ms", "solve ms", "total ms")
+	for _, r := range recs {
+		fmt.Printf("%10.3g %6d %12s %9.2f %9.2f %9.2f %9.2f %9.2f\n",
+			r.H, r.Iterations, r.Reused, r.TopoMs, r.NearMs, r.FactMs, r.SolveMs, r.TotalMs)
+	}
+	fmt.Printf("\namortize  : cold %.1f ms/pt, warm %.1f ms/pt (%.1fx), sweep total %v\n",
+		coldMs, warmPer, coldMs/warmPer, total)
+	fmt.Printf("reuse     : %d near entries copied, %d computed, %d block factors adopted, %d warm starts\n",
+		stats.NearReused, stats.NearComputed, stats.FactReused, stats.WarmStarts)
 }
 
 func parseBackend(name string) (parbem.Backend, error) {

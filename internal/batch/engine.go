@@ -25,6 +25,12 @@
 // solver.ExtractSet, so every engine extraction shares the same direct
 // path (equilibrated Cholesky, shift recovery, LU fallback) and
 // capacitance reduction as the interactive entry points.
+//
+// Piecewise-constant pipeline extractions (ExtractPipeline) ride the
+// same LRU with staged extraction plans (internal/plan) keyed by
+// structural family, so a stream of geometry variants — h-sweeps,
+// width studies, near-identical cells — reuses near-field integrals,
+// factorizations and warm starts across requests.
 package batch
 
 import (
@@ -38,6 +44,8 @@ import (
 	"parbem/internal/basis"
 	"parbem/internal/geom"
 	"parbem/internal/kernel"
+	"parbem/internal/op"
+	"parbem/internal/plan"
 	"parbem/internal/quad"
 	"parbem/internal/sched"
 	"parbem/internal/solver"
@@ -294,6 +302,119 @@ func (e *Engine) ExtractAll(sts []*geom.Structure) ([]*solver.Result, error) {
 		}
 	}
 	return results, nil
+}
+
+// ExtractPipeline runs a piecewise-constant pipeline extraction
+// (parbem.ExtractPipeline semantics) through the engine's plan cache:
+// structures route to a staged extraction plan (internal/plan) keyed by
+// their structural family — conductor/box layout plus the solve options
+// — so geometry variants of one family arriving in a stream reuse each
+// other's stage artifacts: unchanged near-field integrals are copied,
+// block factorizations adopted and Krylov solves warm-started, exactly
+// as in an explicit parbem.Plan sweep. Unrelated geometries that
+// happen to share a family key simply rebuild (the plan's diff keeps
+// results exact); per-family extractions serialize on their plan.
+//
+// Caveat: opt.FMM/PFFT worker-pool and evaluator overrides (Pool,
+// NearEval) are not part of the family key, and all non-standard
+// kernel.Config.Ops providers share one key tag; callers varying those
+// per request should use explicit parbem.NewPlan instances instead.
+func (e *Engine) ExtractPipeline(st *geom.Structure, maxEdge float64, opt op.Options) (*plan.Result, error) {
+	if err := st.Validate(); err != nil {
+		return nil, err
+	}
+	mk := func() (*plan.Plan, error) {
+		return plan.New(plan.Options{MaxEdge: maxEdge, Pipeline: opt})
+	}
+	if e.state == nil {
+		p, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		return p.Extract(st)
+	}
+	v, _, err := e.state.GetOrCompute(planSignature(st, maxEdge, opt), func() (any, error) {
+		return mk()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*plan.Plan).Extract(st)
+}
+
+// planSignature keys a plan by structural family: conductor/box counts
+// (not coordinates — variants must share the key) plus every scalar
+// solve option that changes results.
+func planSignature(st *geom.Structure, maxEdge float64, opt op.Options) string {
+	buf := []byte("plan:")
+	f := func(x float64) {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+	}
+	u := func(x uint64) {
+		buf = binary.LittleEndian.AppendUint64(buf, x)
+	}
+	f(maxEdge)
+	u(uint64(opt.Backend))
+	u(uint64(opt.Precond))
+	f(opt.Tol)
+	u(uint64(opt.Restart))
+	if opt.Direct {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	// Presence tags keep the encoding unambiguous: without them, a
+	// missing sub-struct followed by other fields could serialize like
+	// a present zero-valued one (geoSignature's collision-free rule).
+	cfg := func(c *kernel.Config) {
+		if c == nil {
+			buf = append(buf, 0)
+			return
+		}
+		if c.Ops == kernel.StdOps {
+			buf = append(buf, 1)
+		} else {
+			// Any non-standard elementary-function provider (the
+			// tabulated fastmath set, or a caller's own) shares one
+			// tag; see the ExtractPipeline caveat.
+			buf = append(buf, 2)
+		}
+		f(c.FarFactor)
+		f(c.MidFactor)
+		u(uint64(c.QuadOrder))
+		if c.DisableApprox {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	if fo := opt.FMM; fo != nil {
+		buf = append(buf, 'F')
+		u(uint64(fo.LeafSize))
+		f(fo.Theta)
+		f(fo.NearFactor)
+		f(fo.Eps)
+		f(fo.Tol)
+		cfg(fo.Cfg)
+	} else {
+		buf = append(buf, 0)
+	}
+	if po := opt.PFFT; po != nil {
+		buf = append(buf, 'P')
+		f(po.GridSpacing)
+		u(uint64(po.MaxNodes))
+		f(po.NearRadius)
+		f(po.Eps)
+		f(po.Tol)
+		cfg(po.Cfg)
+	} else {
+		buf = append(buf, 0)
+	}
+	u(uint64(len(st.Conductors)))
+	for _, c := range st.Conductors {
+		u(uint64(len(c.Boxes)))
+	}
+	return string(buf)
 }
 
 // geoSignature serializes the exact geometry and builder options into a

@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"parbem/internal/geom"
+	"parbem/internal/op"
+	"parbem/internal/pcbem"
 	"parbem/internal/solver"
 )
 
@@ -243,4 +245,74 @@ func BenchmarkEngineBatch(b *testing.B) {
 			e.Close()
 		}
 	})
+}
+
+// TestEnginePipelinePlanReuse routes geometry variants of one family
+// through the engine's plan cache and checks both correctness (vs an
+// independent pipeline solve) and that the shared plan actually reused
+// stage artifacts across the stream.
+func TestEnginePipelinePlanReuse(t *testing.T) {
+	eng := New(Options{Workers: 2})
+	defer eng.Close()
+
+	const edge = 0.5e-6
+	popt := op.Options{Backend: op.BackendDense, Direct: true}
+	for _, h := range []float64{0.4e-6, 0.55e-6, 0.7e-6} {
+		sp := geom.DefaultCrossingPair()
+		sp.H = h
+		st := sp.Build()
+		res, err := eng.ExtractPipeline(st, edge, popt)
+		if err != nil {
+			t.Fatalf("h=%g: %v", h, err)
+		}
+		prob, err := pcbem.NewProblem(st, edge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := prob.SolvePipeline(popt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var maxRel float64
+		for i := 0; i < ref.C.Rows; i++ {
+			den := ref.C.At(i, i)
+			if den < 0 {
+				den = -den
+			}
+			for j := 0; j < ref.C.Cols; j++ {
+				d := res.C.At(i, j) - ref.C.At(i, j)
+				if d < 0 {
+					d = -d
+				}
+				if d/den > maxRel {
+					maxRel = d / den
+				}
+			}
+		}
+		if maxRel > 1e-10 {
+			t.Errorf("h=%g: engine pipeline deviates by %g", h, maxRel)
+		}
+	}
+
+	// All three variants share one family: the second and third must
+	// have hit the cached plan and reused dense entries.
+	s := eng.Stats()
+	if s.StateHits < 2 {
+		t.Errorf("plan cache hits = %d, want >= 2", s.StateHits)
+	}
+}
+
+// TestEnginePipelineNoCache covers the DisableCache path: every call
+// builds a one-shot plan but still solves correctly.
+func TestEnginePipelineNoCache(t *testing.T) {
+	eng := New(Options{Workers: 1, DisableCache: true})
+	defer eng.Close()
+	st := geom.DefaultCrossingPair().Build()
+	res, err := eng.ExtractPipeline(st, 0.6e-6, op.Options{Backend: op.BackendDense, Direct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.C.Rows != 2 {
+		t.Fatalf("C is %dx%d", res.C.Rows, res.C.Cols)
+	}
 }

@@ -10,6 +10,7 @@ package extract
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"runtime"
 	"sort"
@@ -18,8 +19,10 @@ import (
 	"parbem/internal/basis"
 	"parbem/internal/fmm"
 	"parbem/internal/geom"
+	"parbem/internal/linalg"
 	"parbem/internal/op"
 	"parbem/internal/pcbem"
+	"parbem/internal/plan"
 )
 
 // iterativeThreshold is the panel count above which the elementary
@@ -80,13 +83,19 @@ func CrossingProfile(sp geom.CrossingPairSpec, maxEdge float64) (*Profile, error
 	if err != nil {
 		return nil, err
 	}
-	// Excitation column 1: source conductor at 1 V.
+	return profileFrom(sp, prob.Panels, res.Rho)
+}
+
+// profileFrom bins a solved charge density into the width-averaged
+// profile on the target wire's top face (excitation column 1: source
+// conductor at 1 V).
+func profileFrom(sp geom.CrossingPairSpec, panels []geom.Panel, rho *linalg.Dense) (*Profile, error) {
 	topZ := sp.Thickness / 2 // top face of the bottom wire
 	type bin struct {
 		area, charge float64
 	}
 	bins := map[float64]*bin{}
-	for i, pan := range prob.Panels {
+	for i, pan := range panels {
 		if pan.Conductor != 0 || pan.Normal != geom.Z || pan.Offset != topZ {
 			continue
 		}
@@ -99,7 +108,7 @@ func CrossingProfile(sp geom.CrossingPairSpec, maxEdge float64) (*Profile, error
 		}
 		a := pan.Area()
 		b.area += a
-		b.charge += res.Rho.At(i, 1) * a
+		b.charge += rho.At(i, 1) * a
 	}
 	if len(bins) == 0 {
 		return nil, errors.New("extract: no panels found on the target top face")
@@ -241,36 +250,124 @@ func interp(p *Profile, u float64) float64 {
 	return p.Rho[i-1]*(1-t) + p.Rho[i]*t
 }
 
+// PointError records the failure of one sweep point, tagged with the
+// separation it belongs to.
+type PointError struct {
+	H   float64
+	Err error
+}
+
+// Error implements the error interface.
+func (e *PointError) Error() string {
+	return fmt.Sprintf("extract: sweep point h=%g: %v", e.H, e.Err)
+}
+
+// Unwrap exposes the underlying failure.
+func (e *PointError) Unwrap() error { return e.Err }
+
 // SweepH runs the extraction over a set of separations h and returns the
 // fitted a(h), b(h) magnitudes — the parameter vectors p of the
-// instantiable template library. The h-points are independent elementary
-// problems and are evaluated concurrently (bounded by GOMAXPROCS).
+// instantiable template library.
+//
+// The h-points are geometry variants of one structure, so the sweep
+// runs on staged extraction plans (internal/plan): points are processed
+// in h order, sharded into GOMAXPROCS contiguous chunks, one plan per
+// chunk — adjacent separations reuse each other's near-field integrals,
+// factorizations and charge solutions, cutting per-point cost several
+// times over independent solves (BenchmarkSweepIncremental).
+//
+// Failing points no longer abort the sweep: every error is collected as
+// a PointError carrying its h value and returned joined, with fits[i]
+// nil exactly for the failed points — callers keep the healthy part of
+// the sweep.
 func SweepH(base geom.CrossingPairSpec, hs []float64, maxEdge float64) ([]*ArchFit, error) {
 	fits := make([]*ArchFit, len(hs))
 	errs := make([]error, len(hs))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+
+	// Process in h order for maximal adjacent reuse; results map back
+	// through the index permutation.
+	order := make([]int, len(hs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return hs[order[a]] < hs[order[b]] })
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(hs) {
+		workers = len(hs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// The panel count — and hence the method selection — is the same
+	// for every point (only positions vary with h), so resolve the plan
+	// options once, not per worker.
+	popt := crossingPlanOptions(base, maxEdge)
 	var wg sync.WaitGroup
-	for i, h := range hs {
+	for w := 0; w < workers; w++ {
+		lo := w * len(hs) / workers
+		hi := (w + 1) * len(hs) / workers
+		if lo == hi {
+			continue
+		}
 		wg.Add(1)
-		go func(i int, h float64) {
+		go func(chunk []int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			sp := base
-			sp.H = h
-			prof, err := CrossingProfile(sp, maxEdge)
+			p, err := plan.New(plan.Options{MaxEdge: maxEdge, Pipeline: popt})
 			if err != nil {
-				errs[i] = err
-				return
+				p = nil // degrade to independent per-point solves
 			}
-			fits[i], errs[i] = FitArch(prof, sp)
-		}(i, h)
+			for _, i := range chunk {
+				sp := base
+				sp.H = hs[i]
+				fits[i], errs[i] = sweepPoint(p, sp, maxEdge)
+			}
+		}(order[lo:hi])
 	}
 	wg.Wait()
-	for _, err := range errs {
+
+	var joined []error
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			joined = append(joined, &PointError{H: hs[i], Err: err})
 		}
 	}
-	return fits, nil
+	return fits, errors.Join(joined...)
+}
+
+// crossingPlanOptions resolves solveCrossing's method selection for the
+// sweep's panel count: dense direct below the iterative threshold, the
+// conservative multipole configuration above it.
+func crossingPlanOptions(base geom.CrossingPairSpec, maxEdge float64) op.Options {
+	if len(base.Build().Panelize(maxEdge)) < iterativeThreshold {
+		return op.Options{Backend: op.BackendDense, Direct: true}
+	}
+	return op.Options{
+		Backend: op.BackendFMM,
+		Precond: op.PrecondBlockJacobi,
+		Tol:     iterativeTol,
+		FMM:     &fmm.Options{Theta: 0.3, NearFactor: 2, Workers: 1},
+	}
+}
+
+// sweepPoint extracts and fits one h-point, preferring the shared plan
+// and falling back to an independent solve on a plan solve failure (the
+// accuracy guard of solveCrossing, preserved under reuse). Profile
+// binning errors are deterministic in the panelization and would repeat
+// identically on the fallback, so they return directly.
+func sweepPoint(p *plan.Plan, sp geom.CrossingPairSpec, maxEdge float64) (*ArchFit, error) {
+	if p != nil {
+		if res, err := p.Extract(sp.Build()); err == nil {
+			prof, err := profileFrom(sp, res.Panels, res.Rho)
+			if err != nil {
+				return nil, err
+			}
+			return FitArch(prof, sp)
+		}
+	}
+	prof, err := CrossingProfile(sp, maxEdge)
+	if err != nil {
+		return nil, err
+	}
+	return FitArch(prof, sp)
 }

@@ -112,6 +112,16 @@ type Operator struct {
 	leaves []int32
 	scale  float64 // 1/(4*pi*eps)
 
+	// lists retains the dual-tree traversal output (near pair
+	// decomposition and per-leaf near lists): delta-aware reconstruction
+	// of a later geometry variant addresses this operator's CSR through
+	// it (see nearLookup).
+	lists *interactions
+
+	// nearReused / nearComputed count the exact-Galerkin entries copied
+	// from a previous variant vs integrated fresh at construction.
+	nearReused, nearComputed int64
+
 	// scratch manages per-Apply buffers: warm dedicated value for the
 	// one-Apply-at-a-time case, pooled overflow for concurrent Applies.
 	scratch *sched.Scratch[*applyScratch]
@@ -124,8 +134,17 @@ const m2lChunk = 64
 // exact near-field entries.
 func NewOperator(panels []geom.Panel, opt Options) *Operator {
 	opt.defaults()
-	t := buildTree(panels, opt.LeafSize)
-	inter := t.buildInteractions(opt.Theta, opt.NearFactor)
+	return NewOperatorWith(NewTopology(panels, opt), panels, opt, nil)
+}
+
+// NewOperatorWith assembles the operator over a pre-built topology,
+// optionally copying unchanged exact-Galerkin near entries from a
+// previous variant's operator (reuse may be nil; invalid reuse — panel
+// count mismatch, different kernel settings — degrades to a full
+// fresh fill).
+func NewOperatorWith(tp *Topology, panels []geom.Panel, opt Options, reuse *Reuse) *Operator {
+	opt.defaults()
+	t, inter := tp.t, tp.inter
 
 	op := &Operator{
 		panels:  panels,
@@ -137,6 +156,7 @@ func NewOperator(panels []geom.Panel, opt Options) *Operator {
 		m2lSrc:  inter.m2lSrc,
 		leaves:  t.leaves(),
 		scale:   1 / (kernel.FourPi * opt.Eps),
+		lists:   inter,
 	}
 	if opt.Pool != nil {
 		op.exec = opt.Pool
@@ -146,6 +166,11 @@ func NewOperator(panels []geom.Panel, opt Options) *Operator {
 	for i, p := range panels {
 		op.centers[i] = p.Center()
 		op.areas[i] = p.Area()
+	}
+
+	var look *nearLookup
+	if reuse.valid(len(panels), &op.opt) {
+		look = newNearLookup(reuse)
 	}
 
 	// CSR row offsets: every row of a leaf has the same stride.
@@ -162,8 +187,12 @@ func NewOperator(panels []geom.Panel, opt Options) *Operator {
 	// segment is owned by exactly one pair, so no locking is needed.
 	pairs := inter.pairs
 	sched.MapOrInline(op.exec, len(pairs), func(k int) {
-		op.fillPair(&pairs[k])
+		op.fillPair(&pairs[k], look)
 	})
+	if look != nil {
+		op.nearReused = look.copied.Load()
+		op.nearComputed = look.computed.Load()
+	}
 
 	op.scratch = sched.NewScratch(func() *applyScratch {
 		return newScratch(len(panels), len(t.nodes))
@@ -171,9 +200,18 @@ func NewOperator(panels []geom.Panel, opt Options) *Operator {
 	return op
 }
 
-// nearValue computes one pre-scaled near-field entry.
+// nearValue computes one pre-scaled near-field entry. Exact entries are
+// integrated in a canonical orientation (lower panel index as target):
+// the quadrature of perpendicular pairs is not exactly symmetric in its
+// arguments, and the canonical order makes each pair's value a function
+// of the pair alone — independent of which octree leaf hosted the
+// integration — so values copied across geometry variants (see Reuse)
+// match what a fresh build would compute.
 func (op *Operator) nearValue(pi, pj int32, galerkin bool) float64 {
 	if galerkin {
+		if pj < pi {
+			pi, pj = pj, pi
+		}
 		if ne := op.opt.NearEval; ne != nil {
 			if v, ok := ne(op.panels[pi].Rect, op.panels[pj].Rect); ok {
 				return op.scale * v
@@ -185,8 +223,25 @@ func (op *Operator) nearValue(pi, pj int32, galerkin bool) float64 {
 }
 
 // fillPair integrates the near block of one unordered leaf pair and
-// scatters it into the CSR rows of both leaves.
-func (op *Operator) fillPair(pr *nearPair) {
+// scatters it into the CSR rows of both leaves. With a non-nil lookup,
+// exact-Galerkin entries whose panel pair is unchanged since the
+// previous variant are copied instead of integrated (point entries are
+// a single division and are always recomputed).
+func (op *Operator) fillPair(pr *nearPair, look *nearLookup) {
+	var copied, computed int64
+	value := func(pi, pj int32) float64 {
+		if !pr.galerkin {
+			return op.nearValue(pi, pj, false)
+		}
+		if look != nil {
+			if v, ok := look.value(pi, pj); ok {
+				copied++
+				return v
+			}
+		}
+		computed++
+		return op.nearValue(pi, pj, true)
+	}
 	na, nb := &op.t.nodes[pr.a], &op.t.nodes[pr.b]
 	pa := op.t.perm[na.lo:na.hi]
 	if pr.a == pr.b {
@@ -195,7 +250,7 @@ func (op *Operator) fillPair(pr *nearPair) {
 			base := op.nearOff[pi] + int64(pr.offA)
 			for jb := ia; jb < len(pa); jb++ {
 				pj := pa[jb]
-				v := op.nearValue(pi, pj, pr.galerkin)
+				v := value(pi, pj)
 				op.nearIdx[base+int64(jb)] = pj
 				op.nearVal[base+int64(jb)] = v
 				if jb != ia {
@@ -205,19 +260,23 @@ func (op *Operator) fillPair(pr *nearPair) {
 				}
 			}
 		}
-		return
-	}
-	pb := op.t.perm[nb.lo:nb.hi]
-	for ia, pi := range pa {
-		base := op.nearOff[pi] + int64(pr.offA)
-		for jb, pj := range pb {
-			v := op.nearValue(pi, pj, pr.galerkin)
-			op.nearIdx[base+int64(jb)] = pj
-			op.nearVal[base+int64(jb)] = v
-			b2 := op.nearOff[pj] + int64(pr.offB) + int64(ia)
-			op.nearIdx[b2] = pi
-			op.nearVal[b2] = v
+	} else {
+		pb := op.t.perm[nb.lo:nb.hi]
+		for ia, pi := range pa {
+			base := op.nearOff[pi] + int64(pr.offA)
+			for jb, pj := range pb {
+				v := value(pi, pj)
+				op.nearIdx[base+int64(jb)] = pj
+				op.nearVal[base+int64(jb)] = v
+				b2 := op.nearOff[pj] + int64(pr.offB) + int64(ia)
+				op.nearIdx[b2] = pi
+				op.nearVal[b2] = v
+			}
 		}
+	}
+	if look != nil && pr.galerkin {
+		look.copied.Add(copied)
+		look.computed.Add(computed)
 	}
 }
 
@@ -227,6 +286,13 @@ func (op *Operator) Dim() int { return len(op.panels) }
 // NearEntries returns the number of stored near-field entries (memory
 // diagnostics for Table 2).
 func (op *Operator) NearEntries() int { return len(op.nearVal) }
+
+// NearReuse reports how many exact-Galerkin near entries were copied
+// from the previous variant vs integrated fresh at construction (both
+// zero when the operator was built without reuse).
+func (op *Operator) NearReuse() (copied, computed int64) {
+	return op.nearReused, op.nearComputed
+}
 
 // NearBlocks implements the pipeline's near-block contract
 // (internal/op.NearBlocker): the exact-Galerkin self blocks of the

@@ -173,14 +173,17 @@ func (t *tree) leaves() []int32 {
 }
 
 // boxDist returns the distance between the cubes of nodes a and b
-// (0 when they touch or overlap).
+// (0 when they touch or overlap). The gap is computed symmetrically —
+// |ca-cb| - (ha+hb), not (|ca-cb| - ha) - hb — so boxDist(a, b) is
+// bitwise equal to boxDist(b, a) and the near/galerkin classification
+// of a leaf pair cannot depend on the traversal's visit order.
 func (t *tree) boxDist(a, b int32) float64 {
 	na, nb := &t.nodes[a], &t.nodes[b]
 	var d2 float64
 	for ax := geom.X; ax <= geom.Z; ax++ {
 		ca := na.center.Component(ax)
 		cb := nb.center.Component(ax)
-		g := math.Abs(ca-cb) - na.halfSize - nb.halfSize
+		g := math.Abs(ca-cb) - (na.halfSize + nb.halfSize)
 		if g > 0 {
 			d2 += g * g
 		}

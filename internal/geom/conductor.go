@@ -52,19 +52,48 @@ type Panel struct {
 // does not exceed maxEdge (each face is split into a uniform grid). It is
 // the discretization used by the piecewise-constant baselines.
 func (s *Structure) Panelize(maxEdge float64) []Panel {
+	p, _ := s.panelize(maxEdge, false)
+	return p
+}
+
+// BoxRef identifies the conductor box a panel was generated from.
+type BoxRef struct {
+	Conductor, Box int32
+}
+
+// PanelizeProv is Panelize with provenance: prov[i] records the
+// conductor box panel i was split from. The staged extraction plans
+// (internal/plan) use it together with Diff to map panels 1:1 across
+// geometry variants.
+func (s *Structure) PanelizeProv(maxEdge float64) ([]Panel, []BoxRef) {
+	return s.panelize(maxEdge, true)
+}
+
+// panelize generates the panels in deterministic conductor/box/face
+// order, optionally recording provenance.
+func (s *Structure) panelize(maxEdge float64, wantProv bool) ([]Panel, []BoxRef) {
 	var out []Panel
+	var prov []BoxRef
 	var scratch []Rect
 	for ci, c := range s.Conductors {
-		for _, f := range c.Faces() {
-			nu := gridCount(f.U.Len(), maxEdge)
-			nv := gridCount(f.V.Len(), maxEdge)
-			scratch = f.SplitGrid(nu, nv, scratch[:0])
-			for _, r := range scratch {
-				out = append(out, Panel{Rect: r, Conductor: ci})
+		for bi, b := range c.Boxes {
+			fs := b.Faces()
+			for _, f := range fs {
+				nu := gridCount(f.U.Len(), maxEdge)
+				nv := gridCount(f.V.Len(), maxEdge)
+				scratch = f.SplitGrid(nu, nv, scratch[:0])
+				for _, r := range scratch {
+					out = append(out, Panel{Rect: r, Conductor: ci})
+				}
+				if wantProv {
+					for range scratch {
+						prov = append(prov, BoxRef{Conductor: int32(ci), Box: int32(bi)})
+					}
+				}
 			}
 		}
 	}
-	return out
+	return out, prov
 }
 
 // gridCount returns how many segments of length <= maxEdge cover length.

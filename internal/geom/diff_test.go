@@ -1,0 +1,65 @@
+package geom
+
+import "testing"
+
+func TestDiffClassifiesBoxes(t *testing.T) {
+	a := DefaultCrossingPair().Build()
+	spB := DefaultCrossingPair()
+	spB.H *= 1.5
+	b := spB.Build()
+
+	d := Diff(a, b)
+	if !d.Comparable || d.Identical {
+		t.Fatalf("h variant: comparable=%v identical=%v", d.Comparable, d.Identical)
+	}
+	// Bottom wire is fixed; top wire translates in z only.
+	if got := d.Boxes[0][0].Change; got != BoxSame {
+		t.Errorf("bottom wire classified %v, want same", got)
+	}
+	top := d.Boxes[1][0]
+	if top.Change != BoxTranslated {
+		t.Fatalf("top wire classified %v, want translated", top.Change)
+	}
+	if top.Delta.X != 0 || top.Delta.Y != 0 || top.Delta.Z == 0 {
+		t.Errorf("top wire delta = %v, want pure z translation", top.Delta)
+	}
+
+	if d := Diff(a, a.Clone()); !d.Identical {
+		t.Error("clone not identical to original")
+	}
+
+	spC := DefaultCrossingPair()
+	spC.Width *= 2
+	if d := Diff(a, spC.Build()); d.Boxes[0][0].Change != BoxChanged {
+		t.Errorf("resized wire classified %v, want changed", d.Boxes[0][0].Change)
+	}
+
+	bus := DefaultBus(2, 2).Build()
+	if d := Diff(a, bus); d.Comparable {
+		t.Error("crossing vs bus reported comparable")
+	}
+}
+
+func TestPanelizeProvMatchesPanelize(t *testing.T) {
+	st := DefaultBus(2, 3).Build()
+	const edge = 0.7e-6
+	plain := st.Panelize(edge)
+	panels, prov := st.PanelizeProv(edge)
+	if len(panels) != len(plain) || len(prov) != len(panels) {
+		t.Fatalf("lengths: plain %d, prov panels %d, prov %d",
+			len(plain), len(panels), len(prov))
+	}
+	for i := range panels {
+		if panels[i] != plain[i] {
+			t.Fatalf("panel %d differs between Panelize and PanelizeProv", i)
+		}
+		if int(prov[i].Conductor) != panels[i].Conductor {
+			t.Fatalf("panel %d: provenance conductor %d != panel conductor %d",
+				i, prov[i].Conductor, panels[i].Conductor)
+		}
+		nb := len(st.Conductors[panels[i].Conductor].Boxes)
+		if prov[i].Box < 0 || int(prov[i].Box) >= nb {
+			t.Fatalf("panel %d: box index %d out of range [0,%d)", i, prov[i].Box, nb)
+		}
+	}
+}

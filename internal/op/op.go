@@ -54,6 +54,7 @@ package op
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"parbem/internal/geom"
 	"parbem/internal/kernel"
@@ -189,6 +190,57 @@ func (s *Spec) AssembleDense() *linalg.Dense {
 		}
 	})
 	return m
+}
+
+// AssembleDenseReuse is AssembleDense with delta-aware reuse: entries
+// whose panel pair moved rigidly as a unit since prev was assembled
+// (equal non-negative class values, panels aligned 1:1 by index; see
+// geom.Diff and internal/plan) are copied from prev instead of
+// re-integrated. It returns the matrix and the number of unordered
+// entries served from prev. A shape-mismatched prev degrades to a full
+// fresh assembly.
+func (s *Spec) AssembleDenseReuse(prev *linalg.Dense, class []int32) (*linalg.Dense, int64) {
+	n := s.N()
+	if prev == nil || prev.Rows != n || prev.Cols != n || len(class) != n {
+		return s.AssembleDense(), 0
+	}
+	m := linalg.NewDense(n, n)
+	ex := s.exec()
+	bounds := TriangularRowBounds(n, assembleChunks)
+	var reused atomic.Int64
+	ex.Map(len(bounds)-1, func(t int) {
+		var nr int64
+		for i := bounds[t]; i < bounds[t+1]; i++ {
+			row := m.Row(i)
+			prow := prev.Row(i)
+			ci := class[i]
+			for j := i; j < n; j++ {
+				if ci >= 0 && ci == class[j] {
+					row[j] = prow[j]
+					nr++
+				} else {
+					row[j] = s.Entry(i, j)
+				}
+			}
+		}
+		reused.Add(nr)
+	})
+	// Mirror the strictly-lower triangle from the filled upper half.
+	chunk := (n + assembleChunks - 1) / assembleChunks
+	ex.Map((n+chunk-1)/chunk, func(t int) {
+		lo := t * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			for j := 0; j < i; j++ {
+				row[j] = m.At(j, i)
+			}
+		}
+	})
+	return m, reused.Load()
 }
 
 // diagonal computes the exact matrix diagonal (point-Jacobi data).

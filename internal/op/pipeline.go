@@ -136,6 +136,8 @@ type Pipeline struct {
 	backend Backend
 	setup   time.Duration
 	ws      sync.Pool
+	// factors is the optional reused-block lookup of NewPrebuilt.
+	factors func(idx []int32) *linalg.Cholesky
 }
 
 // New builds the pipeline for a panelized problem, constructing the
@@ -158,29 +160,9 @@ func New(spec Spec, opt Options) (*Pipeline, error) {
 		p.dense = spec.AssembleDense()
 		p.a = NewDenseOperator(p.dense, spec.Exec)
 	case BackendFMM:
-		fo := fmm.Options{}
-		if opt.FMM != nil {
-			fo = *opt.FMM
-		}
-		if fo.Eps == 0 {
-			fo.Eps = spec.Eps
-		}
-		if fo.Cfg == nil {
-			fo.Cfg = spec.Cfg
-		}
-		p.a = fmm.NewOperator(spec.Panels, fo)
+		p.a = fmm.NewOperator(spec.Panels, FMMOptions(spec, opt))
 	case BackendPFFT:
-		po := pfft.Options{}
-		if opt.PFFT != nil {
-			po = *opt.PFFT
-		}
-		if po.Eps == 0 {
-			po.Eps = spec.Eps
-		}
-		if po.Cfg == nil {
-			po.Cfg = spec.Cfg
-		}
-		p.a = pfft.NewOperator(spec.Panels, po)
+		p.a = pfft.NewOperator(spec.Panels, PFFTOptions(spec, opt))
 	default:
 		return nil, fmt.Errorf("op: unknown backend %v", opt.Backend)
 	}
@@ -233,6 +215,104 @@ func NewFromDense(m *linalg.Dense, opt Options) (*Pipeline, error) {
 	if err := p.buildPrecond(); err != nil {
 		return nil, err
 	}
+	return p, nil
+}
+
+// FMMOptions resolves the multipole operator options New would use for
+// a spec: the caller override with Eps and Cfg filled from the spec.
+// Exported so stage builders (internal/plan) construct operators
+// exactly as the pipeline would.
+func FMMOptions(spec Spec, opt Options) fmm.Options {
+	spec = spec.withDefaults()
+	fo := fmm.Options{}
+	if opt.FMM != nil {
+		fo = *opt.FMM
+	}
+	if fo.Eps == 0 {
+		fo.Eps = spec.Eps
+	}
+	if fo.Cfg == nil {
+		fo.Cfg = spec.Cfg
+	}
+	return fo
+}
+
+// PFFTOptions resolves the precorrected-FFT operator options New would
+// use for a spec (see FMMOptions).
+func PFFTOptions(spec Spec, opt Options) pfft.Options {
+	spec = spec.withDefaults()
+	po := pfft.Options{}
+	if opt.PFFT != nil {
+		po = *opt.PFFT
+	}
+	if po.Eps == 0 {
+		po.Eps = spec.Eps
+	}
+	if po.Cfg == nil {
+		po.Cfg = spec.Cfg
+	}
+	return po
+}
+
+// ResolveBackend reports the backend New would construct for spec/opt
+// (BackendAuto resolved through the cost model).
+func ResolveBackend(spec Spec, opt Options) Backend {
+	spec = spec.withDefaults()
+	opt = opt.withDefaults()
+	if opt.Backend == BackendAuto {
+		return selectBackend(&spec, opt)
+	}
+	return opt.Backend
+}
+
+// Prebuilt supplies stage artifacts constructed by the caller (the
+// staged extraction plans in internal/plan) to NewPrebuilt: the solve
+// operator, the assembled system matrix when the operator wraps one,
+// and an optional lookup of previously factorized near blocks for the
+// block-Jacobi preconditioner.
+type Prebuilt struct {
+	// Operator is the solve backend (required unless Dense is set, in
+	// which case a DenseOperator is wrapped around it).
+	Operator Operator
+	// Dense is the assembled system matrix backing a dense operator;
+	// required for Options.Direct.
+	Dense *linalg.Dense
+	// Factors optionally returns a previously computed Cholesky factor
+	// for the near block over idx (nil result = factorize fresh). A
+	// factor is only valid if the block's values are unchanged — the
+	// preconditioner is an approximate inverse, so a stale factor
+	// degrades convergence but never correctness.
+	Factors func(idx []int32) *linalg.Cholesky
+}
+
+// NewPrebuilt wraps caller-built stage artifacts in a pipeline,
+// skipping operator construction entirely. The spec supplies RHS data,
+// the executor and the point-Jacobi diagonal, exactly as in New.
+func NewPrebuilt(spec Spec, opt Options, pb Prebuilt) (*Pipeline, error) {
+	spec = spec.withDefaults()
+	opt = opt.withDefaults()
+	a := pb.Operator
+	if a == nil {
+		if pb.Dense == nil {
+			return nil, errors.New("op: NewPrebuilt needs an operator or an assembled matrix")
+		}
+		a = NewDenseOperator(pb.Dense, spec.Exec)
+	}
+	if a.Dim() != spec.N() {
+		return nil, errors.New("op: prebuilt operator dimension mismatch")
+	}
+	t0 := time.Now()
+	p := &Pipeline{
+		spec: spec, opt: opt, a: a, dense: pb.Dense,
+		backend: backendOf(a), factors: pb.Factors,
+	}
+	if opt.Direct && p.dense == nil {
+		return nil, errors.New("op: direct solve requires an assembled dense matrix")
+	}
+	if err := p.buildPrecond(); err != nil {
+		return nil, err
+	}
+	p.setup = time.Since(t0)
 	return p, nil
 }
 
@@ -290,7 +370,7 @@ func (p *Pipeline) buildPrecond() error {
 			return fmt.Errorf("op: %v operator exposes no near blocks for block-Jacobi", p.backend)
 		}
 		idx, blocks := nb.NearBlocks()
-		bj, err := NewBlockJacobi(p.a.Dim(), idx, blocks, p.diagonal())
+		bj, err := NewBlockJacobiWith(p.a.Dim(), idx, blocks, p.diagonal(), p.factors)
 		if err != nil {
 			return err
 		}
@@ -325,20 +405,45 @@ func (p *Pipeline) Preconditioner() Preconditioner { return p.pre }
 // SetupTime reports the operator + preconditioner construction time.
 func (p *Pipeline) SetupTime() time.Duration { return p.setup }
 
+// SetTol updates the Krylov tolerance for subsequent solves (0 resets
+// the 1e-4 default). Tolerance is a solve-only parameter: no stage
+// artifact depends on it, so plans reuse the whole pipeline across
+// tolerance changes. Not safe to call concurrently with active solves.
+func (p *Pipeline) SetTol(tol float64) {
+	if tol == 0 {
+		tol = 1e-4
+	}
+	p.opt.Tol = tol
+}
+
 // Extract builds the unit-potential RHS from the spec, solves, and
 // reduces to the capacitance matrix.
 func (p *Pipeline) Extract() (*Result, error) {
+	return p.ExtractWarm(nil)
+}
+
+// ExtractWarm is Extract with warm-started Krylov solves: column j of
+// x0 seeds the initial guess for conductor j (typically the previous
+// geometry variant's charge solution in a sweep). A nil or
+// shape-mismatched x0 falls back to zero starts; the direct path
+// ignores it. The warm start changes iteration counts, never the
+// converged solution (which is determined by the tolerance).
+func (p *Pipeline) ExtractWarm(x0 *linalg.Dense) (*Result, error) {
 	if p.spec.NumConductors == 0 {
 		return nil, errors.New("op: pipeline has no spec (use ExtractRHS)")
 	}
-	return p.ExtractRHS(p.spec.RHS())
+	return p.extractRHS(p.spec.RHS(), x0)
 }
 
 // ExtractRHS solves P Rho = Phi for a caller-built right-hand-side
 // matrix and reduces C = Phi^T Rho (symmetrized).
 func (p *Pipeline) ExtractRHS(phi *linalg.Dense) (*Result, error) {
+	return p.extractRHS(phi, nil)
+}
+
+func (p *Pipeline) extractRHS(phi, x0 *linalg.Dense) (*Result, error) {
 	t0 := time.Now()
-	rho, iters, err := p.SolveRHS(phi)
+	rho, iters, err := p.SolveRHSWarm(phi, x0)
 	if err != nil {
 		return nil, err
 	}
@@ -359,6 +464,12 @@ func (p *Pipeline) ExtractRHS(phi *linalg.Dense) (*Result, error) {
 // preconditioned GMRES per column concurrently, each on a pooled
 // workspace (allocation-free once the pool is warm).
 func (p *Pipeline) SolveRHS(phi *linalg.Dense) (*linalg.Dense, int, error) {
+	return p.SolveRHSWarm(phi, nil)
+}
+
+// SolveRHSWarm is SolveRHS with per-column initial guesses from x0
+// (see ExtractWarm).
+func (p *Pipeline) SolveRHSWarm(phi, x0 *linalg.Dense) (*linalg.Dense, int, error) {
 	n := p.a.Dim()
 	if phi.Rows != n {
 		return nil, 0, errors.New("op: RHS dimension mismatch")
@@ -371,6 +482,9 @@ func (p *Pipeline) SolveRHS(phi *linalg.Dense) (*linalg.Dense, int, error) {
 		return rho, 0, nil
 	}
 	nc := phi.Cols
+	if x0 != nil && (x0.Rows != n || x0.Cols != nc) {
+		x0 = nil
+	}
 	rho := linalg.NewDense(n, nc)
 	iters := make([]int, nc)
 	errs := make([]error, nc)
@@ -389,6 +503,11 @@ func (p *Pipeline) SolveRHS(phi *linalg.Dense) (*linalg.Dense, int, error) {
 			x := make([]float64, n)
 			for i := 0; i < n; i++ {
 				b[i] = phi.At(i, j)
+			}
+			if x0 != nil {
+				for i := 0; i < n; i++ {
+					x[i] = x0.At(i, j)
+				}
 			}
 			res, err := linalg.GMRESWith(ws, p.a, x, b, linalg.GMRESOptions{
 				Tol:     p.opt.Tol,

@@ -70,6 +70,8 @@ type BlockJacobi struct {
 	// Applies (one per RHS column).
 	scratch *sched.Scratch[*[]float64]
 	maxBlk  int
+
+	reusedFactors int
 }
 
 // NewBlockJacobi factorizes the given disjoint near blocks for dimension
@@ -77,6 +79,16 @@ type BlockJacobi struct {
 // over them. diag supplies the exact matrix diagonal used for unknowns
 // no block covers (nil = identity there).
 func NewBlockJacobi(n int, idx [][]int32, blocks []*linalg.Dense, diag []float64) (*BlockJacobi, error) {
+	return NewBlockJacobiWith(n, idx, blocks, diag, nil)
+}
+
+// NewBlockJacobiWith is NewBlockJacobi with an optional lookup of
+// previously computed factors: when factors returns a non-nil Cholesky
+// of the block's shape, it is adopted instead of re-factorizing (the
+// staged extraction plans carry unchanged blocks' factors across
+// geometry variants this way).
+func NewBlockJacobiWith(n int, idx [][]int32, blocks []*linalg.Dense, diag []float64,
+	factors func(idx []int32) *linalg.Cholesky) (*BlockJacobi, error) {
 	if len(idx) != len(blocks) {
 		return nil, errors.New("op: block index/matrix count mismatch")
 	}
@@ -110,7 +122,15 @@ func NewBlockJacobi(n int, idx [][]int32, blocks []*linalg.Dense, diag []float64
 			bj.covered[i] = true
 		}
 		blk := bjBlock{idx: ix}
-		if ch, err := linalg.NewCholesky(b); err == nil {
+		if factors != nil {
+			if ch := factors(ix); ch != nil && ch.L.Rows == len(ix) {
+				blk.chol = ch
+				bj.reusedFactors++
+			}
+		}
+		if blk.chol != nil {
+			// Adopted from a previous variant.
+		} else if ch, err := linalg.NewCholesky(b); err == nil {
 			blk.chol = ch
 		} else {
 			// Not numerically SPD (possible for cluster blocks with
@@ -139,6 +159,25 @@ func NewBlockJacobi(n int, idx [][]int32, blocks []*linalg.Dense, diag []float64
 
 // Blocks returns the number of factorized blocks (diagnostics).
 func (bj *BlockJacobi) Blocks() int { return len(bj.blocks) }
+
+// ReusedFactors reports how many block factors were adopted through the
+// NewBlockJacobiWith lookup instead of factorized fresh.
+func (bj *BlockJacobi) ReusedFactors() int { return bj.reusedFactors }
+
+// Factors exposes the factorized blocks (idx[k] lists block k's
+// unknowns, chol[k] its Cholesky factor, nil for diagonal-fallback
+// blocks). Both slices and their contents are shared and must be
+// treated as read-only; the staged extraction plans key them by idx to
+// seed the next variant's NewBlockJacobiWith lookup.
+func (bj *BlockJacobi) Factors() (idx [][]int32, chol []*linalg.Cholesky) {
+	idx = make([][]int32, len(bj.blocks))
+	chol = make([]*linalg.Cholesky, len(bj.blocks))
+	for k := range bj.blocks {
+		idx[k] = bj.blocks[k].idx
+		chol[k] = bj.blocks[k].chol
+	}
+	return idx, chol
+}
 
 // Apply implements Preconditioner: gather each block's residual, solve
 // the factorized block system, scatter the result; uncovered unknowns

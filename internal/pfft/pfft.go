@@ -21,6 +21,9 @@ package pfft
 import (
 	"math"
 	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
 
 	"parbem/internal/fft"
 	"parbem/internal/geom"
@@ -128,14 +131,56 @@ type Operator struct {
 
 	scale float64
 
+	// kernelShared reports that kernelHat was adopted from a previous
+	// variant's operator (same padded dims and spacing) instead of
+	// re-transformed; nearReused/nearComputed count the exact-Galerkin
+	// precorrection entries copied from the previous variant vs
+	// integrated fresh.
+	kernelShared             bool
+	nearReused, nearComputed int64
+	// topoTime / nearTime split construction into its topology phase
+	// (grid sizing, kernel transform, stencils, node adjacency) and its
+	// near-field phase (precorrection integration) for the staged
+	// plans' per-stage telemetry.
+	topoTime, nearTime time.Duration
+
 	// scratch manages per-Apply buffers: warm dedicated value for the
 	// one-Apply-at-a-time case, pooled overflow for concurrent Applies.
 	scratch *sched.Scratch[*applyScratch]
 }
 
+// Reuse requests delta-aware construction: the kernel transform is
+// adopted from Prev when the padded grid dims and spacing match, and
+// exact-Galerkin precorrection entries whose panel pair moved rigidly
+// as a unit since Prev was built (equal non-negative Class values; see
+// geom.Diff and internal/plan) are copied instead of re-integrated.
+type Reuse struct {
+	Prev  *Operator
+	Class []int32
+}
+
+// validNear reports whether per-entry exact reuse applies: aligned
+// panel sets and integral-identical settings (copied values bake in the
+// kernel configuration and the 1/(4*pi*eps) scale).
+func (r *Reuse) validNear(n int, opt *Options) bool {
+	if r == nil || r.Prev == nil || len(r.Class) != n || r.Prev.Dim() != n {
+		return false
+	}
+	p := &r.Prev.opt
+	return p.Eps == opt.Eps && *p.Cfg == *opt.Cfg
+}
+
 // NewOperator builds the grid, kernel transform, stencils and
 // precorrection entries.
 func NewOperator(panels []geom.Panel, opt Options) *Operator {
+	return NewOperatorReuse(panels, opt, nil)
+}
+
+// NewOperatorReuse is NewOperator with optional reuse of a previous
+// variant's stage artifacts (reuse may be nil; inapplicable reuse
+// degrades to a full fresh build).
+func NewOperatorReuse(panels []geom.Panel, opt Options, reuse *Reuse) *Operator {
+	t0 := time.Now()
 	opt.defaults()
 	op := &Operator{
 		panels:  panels,
@@ -190,14 +235,56 @@ func NewOperator(panels []geom.Panel, opt Options) *Operator {
 	op.py = fft.NextPow2(2 * op.ny)
 	op.pz = fft.NextPow2(2 * op.nz)
 
-	op.buildKernel()
+	// Geometry-independent phase: the padded-grid kernel transform
+	// depends only on the padded dims and the spacing, so a previous
+	// variant on the same grid shares it (it is immutable after
+	// construction).
+	if prev := reusePrev(reuse); prev != nil &&
+		prev.px == op.px && prev.py == op.py && prev.pz == op.pz && prev.h == op.h {
+		op.kernelHat = prev.kernelHat
+		op.kernelShared = true
+	} else {
+		op.buildKernel()
+	}
 	op.buildStencils()
 	op.buildNodeAdjacency()
-	op.buildPrecorrection()
+	op.topoTime = time.Since(t0)
+	tN := time.Now()
+	if reuse.validNear(len(panels), &op.opt) {
+		op.buildPrecorrection(reuse)
+	} else {
+		op.buildPrecorrection(nil)
+	}
+	op.nearTime = time.Since(tN)
 	op.scratch = sched.NewScratch(func() *applyScratch {
 		return newScratch(len(panels), op.px, op.py, op.pz)
 	})
 	return op
+}
+
+// reusePrev returns the previous operator of a reuse request, nil-safe.
+func reusePrev(r *Reuse) *Operator {
+	if r == nil {
+		return nil
+	}
+	return r.Prev
+}
+
+// NearReuse reports how many exact-Galerkin precorrection entries were
+// copied from the previous variant vs integrated fresh at construction.
+func (op *Operator) NearReuse() (copied, computed int64) {
+	return op.nearReused, op.nearComputed
+}
+
+// KernelShared reports whether the kernel transform was adopted from
+// the previous variant.
+func (op *Operator) KernelShared() bool { return op.kernelShared }
+
+// PhaseTimes reports the construction split: the topology phase (grid
+// sizing, kernel transform, stencils, adjacency) vs the near-field
+// phase (precorrection integration).
+func (op *Operator) PhaseTimes() (topology, nearField time.Duration) {
+	return op.topoTime, op.nearTime
 }
 
 func newScratch(n, px, py, pz int) *applyScratch {
@@ -374,8 +461,15 @@ func (op *Operator) gridPair(i, j int) float64 {
 // buildPrecorrection finds near pairs via spatial hashing and stores
 // both the (exact - grid) correction entries and the exact entries (the
 // near-block data). The spatial-hash cells double as the near-block
-// clusters, assigned deterministically in panel order.
-func (op *Operator) buildPrecorrection() {
+// clusters, assigned deterministically in panel order. Rows are sorted
+// by source panel index, which makes them binary-searchable for the
+// delta-aware reuse of later geometry variants.
+//
+// With a non-nil reuse, exact-Galerkin entries of rigidly co-moved
+// pairs are copied from the previous variant; when additionally the
+// grids coincide and both stencils are unchanged, the grid-mediated
+// part is unchanged too and the whole correction entry is copied.
+func (op *Operator) buildPrecorrection(reuse *Reuse) {
 	cell := op.opt.NearRadius * op.h
 	type key struct{ x, y, z int32 }
 	buckets := make(map[key][]int32)
@@ -402,32 +496,83 @@ func (op *Operator) buildPrecorrection() {
 	}
 	limit := op.opt.NearRadius * op.h
 
+	var prev *Operator
+	var class []int32
+	if reuse != nil {
+		prev, class = reuse.Prev, reuse.Class
+	}
+	// The grid-mediated part of an entry is a function of the two
+	// stencils, the logical dims and the spacing only.
+	gridsEq := prev != nil && op.kernelShared &&
+		prev.nx == op.nx && prev.ny == op.ny && prev.nz == op.nz
+
 	sched.MapOrInline(op.exec, len(op.panels), func(i int) {
 		ci := op.centers[i]
 		k := keyOf(ci)
 		var idx []int32
-		var val, exa []float64
 		for dx := int32(-1); dx <= 1; dx++ {
 			for dy := int32(-1); dy <= 1; dy++ {
 				for dz := int32(-1); dz <= 1; dz++ {
 					for _, j := range buckets[key{k.x + dx, k.y + dy, k.z + dz}] {
-						if ci.Dist(op.centers[j]) > limit {
-							continue
+						if ci.Dist(op.centers[j]) <= limit {
+							idx = append(idx, j)
 						}
-						exact := op.scale * kernel.RectGalerkin(op.opt.Cfg,
-							op.panels[i].Rect, op.panels[j].Rect)
-						gridPart := op.scale * op.areas[i] * op.areas[int(j)] * op.gridPair(i, int(j))
-						idx = append(idx, j)
-						val = append(val, exact-gridPart)
-						exa = append(exa, exact)
 					}
 				}
+			}
+		}
+		sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+		val := make([]float64, len(idx))
+		exa := make([]float64, len(idx))
+		var nr, nc int64
+		stenI := gridsEq && op.sten[i] == prev.sten[i]
+		for t, j := range idx {
+			var exact float64
+			copiedExact, copiedVal := false, false
+			if prev != nil && class[i] >= 0 && class[i] == class[j] {
+				if p, ok := prevRowFind(prev, i, j); ok {
+					exact = prev.nearExact[i][p]
+					copiedExact = true
+					if stenI && op.sten[j] == prev.sten[j] {
+						val[t] = prev.nearVal[i][p]
+						copiedVal = true
+					}
+				}
+			}
+			if !copiedExact {
+				exact = op.scale * kernel.RectGalerkin(op.opt.Cfg,
+					op.panels[i].Rect, op.panels[j].Rect)
+			}
+			if !copiedVal {
+				gridPart := op.scale * op.areas[i] * op.areas[j] * op.gridPair(i, int(j))
+				val[t] = exact - gridPart
+			}
+			exa[t] = exact
+			if copiedExact {
+				nr++
+			} else {
+				nc++
 			}
 		}
 		op.nearIdx[i] = idx
 		op.nearVal[i] = val
 		op.nearExact[i] = exa
+		if prev != nil {
+			atomic.AddInt64(&op.nearReused, nr)
+			atomic.AddInt64(&op.nearComputed, nc)
+		}
 	})
+}
+
+// prevRowFind binary-searches the previous variant's (sorted) row i for
+// source panel j.
+func prevRowFind(prev *Operator, i int, j int32) (int, bool) {
+	row := prev.nearIdx[i]
+	p := sort.Search(len(row), func(p int) bool { return row[p] >= j })
+	if p == len(row) || row[p] != j {
+		return 0, false
+	}
+	return p, true
 }
 
 // Dim implements linalg.Matvec.

@@ -1,0 +1,118 @@
+package pfft
+
+import (
+	"math"
+	"testing"
+
+	"parbem/internal/geom"
+)
+
+// crossingVariant builds the crossing pair at separation h with
+// provenance, mirroring how internal/plan feeds the operator.
+func crossingVariant(h, edge float64) ([]geom.Panel, []geom.BoxRef, *geom.Structure) {
+	sp := geom.DefaultCrossingPair()
+	sp.H = h
+	st := sp.Build()
+	panels, prov := st.PanelizeProv(edge)
+	return panels, prov, st
+}
+
+// crossingClasses derives per-panel rigid-motion classes between two
+// variants (one class per distinct box translation, -1 for reshaped
+// boxes).
+func crossingClasses(a, b *geom.Structure, prov []geom.BoxRef) []int32 {
+	d := geom.Diff(a, b)
+	if !d.Comparable {
+		return nil
+	}
+	classOf := map[geom.Vec3]int32{}
+	cls := make([]int32, len(prov))
+	for i, pr := range prov {
+		bd := d.Boxes[pr.Conductor][pr.Box]
+		if bd.Change == geom.BoxChanged {
+			cls[i] = -1
+			continue
+		}
+		id, ok := classOf[bd.Delta]
+		if !ok {
+			id = int32(len(classOf))
+			classOf[bd.Delta] = id
+		}
+		cls[i] = id
+	}
+	return cls
+}
+
+// TestOperatorReuseMatchesFresh pins the delta-aware pfft construction
+// to a from-scratch build of the same variant: a substantial share of
+// the exact precorrection entries must be copied, the kernel transform
+// shared when the grids coincide, and the matvecs must agree to
+// floating-point noise.
+func TestOperatorReuseMatchesFresh(t *testing.T) {
+	const edge = 0.4e-6
+	pa, _, sta := crossingVariant(0.5e-6, edge)
+	pb, prov, stb := crossingVariant(0.7e-6, edge)
+	if len(pa) != len(pb) {
+		t.Fatalf("variant panel counts differ: %d vs %d", len(pa), len(pb))
+	}
+	opt := Options{Workers: 1}
+
+	prev := NewOperator(pa, opt)
+	fresh := NewOperator(pb, opt)
+	cls := crossingClasses(sta, stb, prov)
+	if cls == nil {
+		t.Fatal("variants not comparable")
+	}
+	reused := NewOperatorReuse(pb, opt, &Reuse{Prev: prev, Class: cls})
+
+	copied, computed := reused.NearReuse()
+	if copied == 0 {
+		t.Fatal("reuse construction copied no exact entries")
+	}
+	t.Logf("near entries: %d copied, %d computed; kernel shared: %v",
+		copied, computed, reused.KernelShared())
+	// The crossing's x/y span dominates the bounding box, so a z-only
+	// h change keeps the auto spacing and the padded dims: the kernel
+	// transform must be shared.
+	if !reused.KernelShared() {
+		t.Error("kernel transform not shared across z-translated variants")
+	}
+	if c, _ := fresh.NearReuse(); c != 0 || fresh.KernelShared() {
+		t.Error("fresh construction reports reuse")
+	}
+
+	n := len(pb)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(float64(2*i + 1))
+	}
+	yf := make([]float64, n)
+	yr := make([]float64, n)
+	fresh.Apply(yf, x)
+	reused.Apply(yr, x)
+	var num, den float64
+	for i := range yf {
+		d := yf[i] - yr[i]
+		num += d * d
+		den += yf[i] * yf[i]
+	}
+	if rel := math.Sqrt(num / den); rel > 1e-12 {
+		t.Errorf("reused matvec deviates from fresh by %g relative", rel)
+	}
+}
+
+// TestOperatorReuseEpsMismatch verifies that reuse with a different
+// dielectric degrades to a fresh near-field fill (copied exact values
+// bake in the scale).
+func TestOperatorReuseEpsMismatch(t *testing.T) {
+	const edge = 0.5e-6
+	pa, _, _ := crossingVariant(0.5e-6, edge)
+	pb, prov, _ := crossingVariant(0.7e-6, edge)
+	prev := NewOperator(pa, Options{Workers: 1})
+	cls := make([]int32, len(prov))
+	op := NewOperatorReuse(pb, Options{Workers: 1, Eps: 2 * prev.opt.Eps},
+		&Reuse{Prev: prev, Class: cls})
+	if c, _ := op.NearReuse(); c != 0 {
+		t.Errorf("eps-mismatched reuse copied %d entries", c)
+	}
+}

@@ -1,0 +1,604 @@
+// Package plan implements staged extraction plans: an incremental
+// build/solve chain that re-extracts geometry variants (h-sweeps,
+// width/spacing studies, corpus batches) without paying the full setup
+// cost per variant.
+//
+// # Stage DAG
+//
+// A piecewise-constant extraction factors into a chain of stage
+// artifacts, each content-addressed by what it actually depends on:
+//
+//	Discretization  panel set + provenance        <- geometry, maxEdge
+//	Topology        octree + interaction lists,   <- panel centers,
+//	                pFFT grid dims + stencils        operator options
+//	NearField       exact-Galerkin near entries   <- pairwise relative
+//	                (fmm CSR, pfft precorrection,    panel geometry,
+//	                dense matrix)                    kernel cfg, eps
+//	Factorization   block-Jacobi Cholesky factors <- near-field blocks
+//	Solve           Krylov/direct solve + C       <- all above, tol
+//
+// # Invalidation keys and reuse rules
+//
+// A geometry delta invalidates only the stages that truly changed:
+//
+//   - Identical geometry (every box bitwise equal, geom.Diff.Identical):
+//     every stage is reused; Extract returns the cached result without
+//     touching any artifact. A tolerance change re-solves on the reused
+//     pipeline (tolerance is a solve-only input); a dielectric change
+//     rescales the result (the capacitance of a homogeneous medium is
+//     exactly linear in eps).
+//   - Rigid box translations (geom.Diff classifies every box as
+//     Same/Translated and panel counts align): panels map 1:1 across
+//     variants and are grouped into rigid-motion classes, one per
+//     distinct exact translation. Every near-field integral between two
+//     panels of the same class has bit-identical relative geometry and
+//     is copied from the previous variant instead of re-integrated
+//     (fmm/pfft per-entry reuse, dense per-entry reuse); near blocks
+//     whose panels share one class keep their Cholesky factors. The
+//     Discretization and Topology stages are rebuilt — both are
+//     O(N log N) with no kernel integration, noise next to the
+//     integral-bearing stages they feed. The previous variant's charge
+//     solution warm-starts the Krylov solves.
+//   - Anything else (resized boxes, changed counts): the affected
+//     panels' entries are re-integrated; incomparable geometries
+//     rebuild from scratch.
+//
+// Reuse never changes what is computed, only where the value comes
+// from: copied entries are bitwise equal to what a canonical fresh
+// integration at the previous coordinates produced, so plan-reused
+// sweeps match independent extractions to the coordinate-noise floor,
+// far below 1e-10 (TestPlanIncrementalConsistency). Preconditioner
+// factor reuse cannot affect results at all — only iteration counts.
+//
+// A Plan is safe for concurrent use but serializes extractions; for
+// concurrent sweeps, shard the variants across plans (extract.SweepH
+// runs one plan per contiguous chunk of sorted h values).
+package plan
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"time"
+
+	"parbem/internal/fmm"
+	"parbem/internal/geom"
+	"parbem/internal/kernel"
+	"parbem/internal/linalg"
+	"parbem/internal/op"
+	"parbem/internal/pfft"
+	"parbem/internal/sched"
+)
+
+// Options configures a Plan. MaxEdge is required; the zero Pipeline
+// value selects the backend with the cost model, the preconditioner
+// automatically and a 1e-4 tolerance, exactly like op.Options.
+type Options struct {
+	// MaxEdge is the panelization edge length in meters (required).
+	MaxEdge float64
+	// Pipeline configures the solve: backend, preconditioner,
+	// tolerance, per-backend operator tuning.
+	Pipeline op.Options
+	// Eps is the dielectric permittivity (0 = vacuum). See SetEps.
+	Eps float64
+	// Exec optionally supplies the executor for parallel assembly and
+	// reductions (nil = throwaway sched.Local per stage build).
+	Exec sched.Executor
+	// NoWarmStart disables seeding iterative solves with the previous
+	// variant's charge solution.
+	NoWarmStart bool
+}
+
+// Stats counts stage builds and reuse over a plan's lifetime. The JSON
+// tags keep machine-readable emitters (capx -json) on the snake_case
+// convention of the rest of their payloads.
+type Stats struct {
+	Extracts  int `json:"extracts"`   // Extract calls
+	CacheHits int `json:"cache_hits"` // identical-geometry calls served without any build
+	Rescales  int `json:"rescales"`   // identical-geometry calls served by eps rescaling
+	Resolves  int `json:"resolves"`   // identical-geometry calls re-solved (tol change)
+
+	DiscBuilds int `json:"disc_builds"` // Discretization stage builds
+	TopoBuilds int `json:"topo_builds"` // Topology stage builds
+	NearBuilds int `json:"near_builds"` // NearField stage builds
+	FactBuilds int `json:"fact_builds"` // Factorization stage builds (pipeline constructions)
+
+	NearReused   int64 `json:"near_reused"`   // near-field entries copied across variants
+	NearComputed int64 `json:"near_computed"` // near-field entries integrated fresh
+	DenseReused  int64 `json:"dense_reused"`  // dense upper-triangle entries copied
+	FactReused   int   `json:"fact_reused"`   // block factors adopted across variants
+	WarmStarts   int   `json:"warm_starts"`   // solves seeded from the previous variant
+}
+
+// StageReuse flags which stage artifacts of a Result came (at least
+// partially) from the previous variant.
+type StageReuse struct {
+	Discretization bool
+	Topology       bool
+	NearField      bool
+	Factorization  bool
+}
+
+// StageTimings is the per-stage wall time of one Extract.
+type StageTimings struct {
+	Discretize time.Duration
+	Topology   time.Duration
+	NearField  time.Duration
+	Factorize  time.Duration
+	Solve      time.Duration
+}
+
+// Result is a completed plan extraction. It is shared with the plan's
+// internal state (cache hits return the same object; Rho seeds the next
+// variant's warm start) and must be treated as read-only.
+type Result struct {
+	C   *linalg.Dense // n x n capacitance matrix (F)
+	Rho *linalg.Dense // N x n panel charge densities per excitation
+	// Panels is the discretization the charges live on (shared).
+	Panels        []geom.Panel
+	NumPanels     int
+	NumConductors int
+	Iterations    int // total Krylov iterations (0 for direct)
+	Backend       op.Backend
+	Reused        StageReuse
+	Stages        StageTimings
+	Total         time.Duration
+}
+
+// Plan caches stage artifacts across geometry variants. Create with
+// New; Extract may be called concurrently (calls serialize).
+type Plan struct {
+	mu    sync.Mutex
+	opt   Options
+	cfg   *kernel.Config
+	eps   float64
+	cur   *variant
+	stats Stats
+}
+
+// variant is the cached state of the most recent geometry.
+type variant struct {
+	st     *geom.Structure // geometry snapshot (deep copy)
+	prov   []geom.BoxRef
+	spec   op.Spec
+	be     op.Backend
+	fmmOp  *fmm.Operator
+	pfftOp *pfft.Operator
+	dense  *linalg.Dense
+	pipe   *op.Pipeline
+	// factors maps a near block's exact unknown sequence to its
+	// Cholesky factor (Factorization stage artifact).
+	factors map[string]*linalg.Cholesky
+	res     *Result
+	eps     float64 // dielectric the artifacts were built at
+	tol     float64 // tolerance res was solved at
+	// resScaled caches the last eps-rescaled result so repeated
+	// identical-geometry extractions at epsScaled are cache hits.
+	resScaled *Result
+	epsScaled float64
+}
+
+// New creates a plan. MaxEdge must be positive.
+func New(opt Options) (*Plan, error) {
+	if opt.MaxEdge <= 0 {
+		return nil, errors.New("plan: MaxEdge must be positive")
+	}
+	eps := opt.Eps
+	if eps == 0 {
+		eps = kernel.Eps0
+	}
+	return &Plan{opt: opt, cfg: kernel.DefaultConfig(), eps: eps}, nil
+}
+
+// SetEps updates the dielectric permittivity (0 = vacuum) for
+// subsequent extractions. For unchanged geometry this costs one
+// rescale: the homogeneous-medium capacitance is exactly linear in eps,
+// so every stage artifact is reused.
+func (p *Plan) SetEps(eps float64) {
+	if eps == 0 {
+		eps = kernel.Eps0
+	}
+	p.mu.Lock()
+	p.eps = eps
+	p.mu.Unlock()
+}
+
+// SetTol updates the Krylov tolerance (0 = the 1e-4 default) for
+// subsequent extractions. Tolerance is a solve-only input: no stage
+// artifact is invalidated.
+func (p *Plan) SetTol(tol float64) {
+	p.mu.Lock()
+	p.opt.Pipeline.Tol = tol
+	if p.cur != nil {
+		p.cur.pipe.SetTol(tol)
+	}
+	p.mu.Unlock()
+}
+
+// Stats returns a snapshot of the plan's build/reuse counters.
+func (p *Plan) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Extract runs one extraction, reusing every stage artifact of the
+// previous variant that the geometry delta leaves valid.
+func (p *Plan) Extract(st *geom.Structure) (*Result, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Extracts++
+	if err := st.Validate(); err != nil {
+		return nil, err
+	}
+	if cur := p.cur; cur != nil && sameGeometry(cur.st, st) {
+		if tolEqual(p.opt.Pipeline, cur.tol) || p.opt.Pipeline.Direct {
+			if p.eps == cur.eps {
+				p.stats.CacheHits++
+				return cur.res, nil
+			}
+			return p.rescale(cur)
+		}
+		// Tolerance changed: re-solve on the reused artifacts (built at
+		// cur.eps) first, then rescale if the dielectric differs too —
+		// rescales must always derive from a result at the configured
+		// tolerance.
+		if _, err := p.resolve(cur); err != nil {
+			return nil, err
+		}
+		if p.eps == cur.eps {
+			return cur.res, nil
+		}
+		return p.rescale(cur)
+	}
+	return p.build(st)
+}
+
+// tolEqual reports whether the configured tolerance matches the one a
+// result was solved at (normalizing the zero default).
+func tolEqual(o op.Options, tol float64) bool {
+	want := o.Tol
+	if want == 0 {
+		want = 1e-4
+	}
+	return want == tol
+}
+
+// resolve re-runs the solve stage on fully reused artifacts (tolerance
+// change on unchanged geometry).
+func (p *Plan) resolve(cur *variant) (*Result, error) {
+	p.stats.Resolves++
+	t0 := time.Now()
+	var x0 *linalg.Dense
+	if !p.opt.NoWarmStart {
+		x0 = cur.res.Rho
+		p.stats.WarmStarts++
+	}
+	opres, err := cur.pipe.ExtractWarm(x0)
+	if err != nil {
+		return nil, err
+	}
+	res := p.wrap(cur, opres, StageReuse{true, true, true, true}, StageTimings{Solve: time.Since(t0)}, t0)
+	cur.res = res
+	cur.tol = solvedTol(p.opt.Pipeline)
+	cur.resScaled = nil // rescales derive from res; drop the stale one
+	return res, nil
+}
+
+// rescale serves an identical-geometry extraction at a different
+// dielectric: C and Rho are exactly linear in eps. The scaled result is
+// cached, so polling the same variant at the new dielectric hits.
+func (p *Plan) rescale(cur *variant) (*Result, error) {
+	if cur.resScaled != nil && cur.epsScaled == p.eps {
+		p.stats.CacheHits++
+		return cur.resScaled, nil
+	}
+	p.stats.Rescales++
+	t0 := time.Now()
+	s := p.eps / cur.eps
+	base := cur.res
+	scale := func(m *linalg.Dense) *linalg.Dense {
+		out := m.Clone()
+		for i := range out.Data {
+			out.Data[i] *= s
+		}
+		return out
+	}
+	res := &Result{
+		C:             scale(base.C),
+		Rho:           scale(base.Rho),
+		Panels:        base.Panels,
+		NumPanels:     base.NumPanels,
+		NumConductors: base.NumConductors,
+		Iterations:    base.Iterations,
+		Backend:       base.Backend,
+		Reused:        StageReuse{true, true, true, true},
+		Stages:        StageTimings{Solve: time.Since(t0)},
+		Total:         time.Since(t0),
+	}
+	cur.resScaled, cur.epsScaled = res, p.eps
+	return res, nil
+}
+
+// solvedTol normalizes the configured tolerance.
+func solvedTol(o op.Options) float64 {
+	if o.Tol == 0 {
+		return 1e-4
+	}
+	return o.Tol
+}
+
+// build runs the staged chain for a new geometry variant.
+func (p *Plan) build(st *geom.Structure) (*Result, error) {
+	t0 := time.Now()
+	cur := p.cur
+
+	// Discretization.
+	tD := time.Now()
+	snap := st.Clone()
+	panels, prov := snap.PanelizeProv(p.opt.MaxEdge)
+	if len(panels) == 0 {
+		return nil, errors.New("plan: no panels generated")
+	}
+	spec := op.Spec{
+		Panels:        panels,
+		NumConductors: snap.NumConductors(),
+		Eps:           p.eps,
+		Cfg:           p.cfg,
+		Exec:          p.opt.Exec,
+	}
+	p.stats.DiscBuilds++
+	dDisc := time.Since(tD)
+
+	// Rigid-motion classes vs the previous variant (nil = no reuse).
+	var class []int32
+	if cur != nil && cur.eps == p.eps {
+		class = motionClasses(cur, snap, prov)
+	}
+	be := op.ResolveBackend(spec, p.opt.Pipeline)
+
+	nv := &variant{st: snap, prov: prov, spec: spec, be: be, eps: p.eps}
+	res := &Result{
+		Panels:        panels,
+		NumPanels:     len(panels),
+		NumConductors: spec.NumConductors,
+		Backend:       be,
+		Reused: StageReuse{
+			Discretization: false,
+			NearField:      class != nil && cur.be == be,
+		},
+	}
+	res.Stages.Discretize = dDisc
+
+	// Topology + NearField per backend.
+	var pb op.Prebuilt
+	switch be {
+	case op.BackendDense:
+		tN := time.Now()
+		if res.Reused.NearField && cur.dense != nil {
+			var nr int64
+			nv.dense, nr = spec.AssembleDenseReuse(cur.dense, class)
+			p.stats.DenseReused += nr
+			res.Reused.NearField = nr > 0
+		} else {
+			nv.dense = spec.AssembleDense()
+			res.Reused.NearField = false
+		}
+		p.stats.NearBuilds++
+		res.Stages.NearField = time.Since(tN)
+		pb.Dense = nv.dense
+	case op.BackendFMM:
+		fo := op.FMMOptions(spec, p.opt.Pipeline)
+		tT := time.Now()
+		topo := fmm.NewTopology(spec.Panels, fo)
+		p.stats.TopoBuilds++
+		res.Stages.Topology = time.Since(tT)
+		var r *fmm.Reuse
+		if res.Reused.NearField && cur.fmmOp != nil {
+			r = &fmm.Reuse{Prev: cur.fmmOp, Class: class}
+		}
+		tN := time.Now()
+		nv.fmmOp = fmm.NewOperatorWith(topo, spec.Panels, fo, r)
+		copied, computed := nv.fmmOp.NearReuse()
+		p.stats.NearReused += copied
+		p.stats.NearComputed += computed
+		res.Reused.NearField = copied > 0
+		p.stats.NearBuilds++
+		res.Stages.NearField = time.Since(tN)
+		pb.Operator = nv.fmmOp
+	case op.BackendPFFT:
+		po := op.PFFTOptions(spec, p.opt.Pipeline)
+		var r *pfft.Reuse
+		if res.Reused.NearField && cur.pfftOp != nil {
+			r = &pfft.Reuse{Prev: cur.pfftOp, Class: class}
+		}
+		nv.pfftOp = pfft.NewOperatorReuse(spec.Panels, po, r)
+		copied, computed := nv.pfftOp.NearReuse()
+		p.stats.NearReused += copied
+		p.stats.NearComputed += computed
+		res.Reused.Topology = nv.pfftOp.KernelShared()
+		res.Reused.NearField = copied > 0
+		p.stats.TopoBuilds++
+		p.stats.NearBuilds++
+		res.Stages.Topology, res.Stages.NearField = nv.pfftOp.PhaseTimes()
+		pb.Operator = nv.pfftOp
+	default:
+		return nil, errors.New("plan: unknown backend")
+	}
+
+	// Factorization: adopt unchanged blocks' Cholesky factors.
+	pb.Factors = factorLookup(cur, class)
+	tF := time.Now()
+	popt := p.opt.Pipeline
+	popt.Backend = be
+	pipe, err := op.NewPrebuilt(spec, popt, pb)
+	if err != nil {
+		return nil, err
+	}
+	nv.pipe = pipe
+	p.stats.FactBuilds++
+	res.Stages.Factorize = time.Since(tF)
+	if bj, ok := pipe.Preconditioner().(*op.BlockJacobi); ok {
+		p.stats.FactReused += bj.ReusedFactors()
+		res.Reused.Factorization = bj.ReusedFactors() > 0
+		nv.factors = factorMap(bj)
+	}
+
+	// Solve (warm-started from the previous variant when aligned).
+	tS := time.Now()
+	var x0 *linalg.Dense
+	if !p.opt.NoWarmStart && !popt.Direct && cur != nil && cur.res != nil &&
+		cur.res.Rho.Rows == len(panels) && cur.res.Rho.Cols == spec.NumConductors {
+		x0 = cur.res.Rho
+		p.stats.WarmStarts++
+	}
+	opres, err := pipe.ExtractWarm(x0)
+	if err != nil {
+		return nil, err
+	}
+	res.Stages.Solve = time.Since(tS)
+	res.C, res.Rho = opres.C, opres.Rho
+	res.Iterations = opres.Iterations
+	res.Total = time.Since(t0)
+
+	nv.res = res
+	nv.tol = solvedTol(p.opt.Pipeline)
+	p.cur = nv
+	return res, nil
+}
+
+// wrap assembles a Result around an op.Result for the reuse paths.
+func (p *Plan) wrap(cur *variant, opres *op.Result, reused StageReuse, stages StageTimings, t0 time.Time) *Result {
+	return &Result{
+		C:             opres.C,
+		Rho:           opres.Rho,
+		Panels:        cur.spec.Panels,
+		NumPanels:     len(cur.spec.Panels),
+		NumConductors: cur.spec.NumConductors,
+		Iterations:    opres.Iterations,
+		Backend:       cur.be,
+		Reused:        reused,
+		Stages:        stages,
+		Total:         time.Since(t0),
+	}
+}
+
+// sameGeometry reports bitwise-identical conductor boxes (names are
+// irrelevant to extraction ordering and results). It allocates nothing:
+// the identical-geometry path is the cache hit the AllocsPerRun guard
+// pins.
+func sameGeometry(a, b *geom.Structure) bool {
+	if len(a.Conductors) != len(b.Conductors) {
+		return false
+	}
+	for ci := range a.Conductors {
+		ab, bb := a.Conductors[ci].Boxes, b.Conductors[ci].Boxes
+		if len(ab) != len(bb) {
+			return false
+		}
+		for k := range ab {
+			if ab[k] != bb[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// motionClasses groups the new variant's panels by exact rigid
+// translation since the previous variant: panels of a Same box share
+// the zero-delta class, panels of a box translated by delta share
+// delta's class, panels of reshaped boxes get -1. Returns nil when the
+// structures are incomparable or panels do not align 1:1 by index.
+func motionClasses(cur *variant, st *geom.Structure, prov []geom.BoxRef) []int32 {
+	d := geom.Diff(cur.st, st)
+	if !d.Comparable {
+		return nil
+	}
+	if len(prov) != len(cur.prov) {
+		return nil
+	}
+	// Panel indices align iff every box contributed the same panel
+	// count; equal total plus equal per-index provenance pins that.
+	for i := range prov {
+		if prov[i] != cur.prov[i] {
+			return nil
+		}
+	}
+	classOf := map[geom.Vec3]int32{}
+	// Per-box class, resolved once per box then fanned out to panels.
+	boxClass := make([][]int32, len(d.Boxes))
+	for ci := range d.Boxes {
+		boxClass[ci] = make([]int32, len(d.Boxes[ci]))
+		for k, bd := range d.Boxes[ci] {
+			if bd.Change == geom.BoxChanged {
+				boxClass[ci][k] = -1
+				continue
+			}
+			id, ok := classOf[bd.Delta]
+			if !ok {
+				id = int32(len(classOf))
+				classOf[bd.Delta] = id
+			}
+			boxClass[ci][k] = id
+		}
+	}
+	cls := make([]int32, len(prov))
+	for i, pr := range prov {
+		cls[i] = boxClass[pr.Conductor][pr.Box]
+	}
+	return cls
+}
+
+// factorMap keys a preconditioner's factorized blocks by their exact
+// unknown sequence.
+func factorMap(bj *op.BlockJacobi) map[string]*linalg.Cholesky {
+	idx, chol := bj.Factors()
+	m := make(map[string]*linalg.Cholesky, len(idx))
+	var buf []byte
+	for k := range idx {
+		if chol[k] == nil {
+			continue
+		}
+		m[string(blockKey(&buf, idx[k]))] = chol[k]
+	}
+	return m
+}
+
+// blockKey serializes a block's unknown sequence into buf.
+func blockKey(buf *[]byte, ix []int32) []byte {
+	b := (*buf)[:0]
+	for _, i := range ix {
+		b = binary.LittleEndian.AppendUint32(b, uint32(i))
+	}
+	*buf = b
+	return b
+}
+
+// factorLookup builds the NewPrebuilt factor lookup: a previous block's
+// factor is adopted when the new block covers the exact same unknown
+// sequence and every unknown kept its rigid-motion class (so the block
+// matrix is bitwise the copied previous one). Factor reuse can never
+// change results — the preconditioner only steers iteration counts.
+func factorLookup(cur *variant, class []int32) func(idx []int32) *linalg.Cholesky {
+	if cur == nil || cur.factors == nil || class == nil {
+		return nil
+	}
+	factors := cur.factors
+	var buf []byte
+	return func(ix []int32) *linalg.Cholesky {
+		if len(ix) == 0 {
+			return nil
+		}
+		c0 := class[ix[0]]
+		if c0 < 0 {
+			return nil
+		}
+		for _, i := range ix[1:] {
+			if class[i] != c0 {
+				return nil
+			}
+		}
+		return factors[string(blockKey(&buf, ix))]
+	}
+}

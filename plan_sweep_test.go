@@ -1,0 +1,80 @@
+package parbem
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSweepIncrementalSpeedup enforces the staged-plan value
+// proposition: a 16-point crossing h-sweep through one parbem.Plan must
+// finish at least 2x faster than 16 independent ExtractPipeline calls
+// while agreeing with every one of them to 1e-10. The speedup comes
+// from work elimination, not parallelism — on the h variants only
+// cross-layer near-field integrals are recomputed, block factors over
+// unchanged panels are adopted, and the Krylov solves warm-start from
+// the previous point — so it holds on a single core.
+func TestSweepIncrementalSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 32 extractions")
+	}
+	const (
+		edge   = 0.25e-6
+		points = 16
+	)
+	hs := make([]float64, points)
+	for i := range hs {
+		hs[i] = 0.3e-6 + 0.05e-6*float64(i)
+	}
+	popt := PipelineOptions{
+		Backend: BackendFMM,
+		Precond: PrecondBlockJacobi,
+		// Tight tolerance: both paths must converge far below the
+		// 1e-10 agreement bound so warm starts are invisible.
+		Tol: 1e-12,
+		FMM: &FastCapOptions{Workers: 1},
+	}
+	variant := func(h float64) *Structure {
+		sp := NewCrossingPair()
+		sp.H = h
+		return sp.Build()
+	}
+
+	p, err := NewPlan(PlanOptions{MaxEdge: edge, Pipeline: popt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	planC := make([]*Matrix, points)
+	t0 := time.Now()
+	for i, h := range hs {
+		res, err := p.Extract(variant(h))
+		if err != nil {
+			t.Fatalf("plan h=%g: %v", h, err)
+		}
+		planC[i] = res.C
+	}
+	planTime := time.Since(t0)
+
+	t0 = time.Now()
+	indepC := make([]*Matrix, points)
+	for i, h := range hs {
+		res, err := ExtractPipeline(variant(h), edge, popt)
+		if err != nil {
+			t.Fatalf("independent h=%g: %v", h, err)
+		}
+		indepC[i] = res.C
+	}
+	indepTime := time.Since(t0)
+
+	for i, h := range hs {
+		if e := CapError(planC[i], indepC[i]); e > 1e-10 {
+			t.Errorf("h=%g: plan deviates from independent by %.3g (tol 1e-10)", h, e)
+		}
+	}
+	speedup := float64(indepTime) / float64(planTime)
+	t.Logf("16-point h-sweep: plan %v, independent %v, speedup %.2fx (stats %+v)",
+		planTime, indepTime, speedup, p.Stats())
+	if speedup < 2 {
+		t.Errorf("plan sweep speedup %.2fx, want >= 2x (plan %v vs independent %v)",
+			speedup, planTime, indepTime)
+	}
+}
