@@ -38,17 +38,27 @@
 // Pipeline and sweep runs accept -json for machine-readable output
 // (capacitance matrix, backend/precond choice, iteration counts,
 // per-stage timings) for serving and telemetry integrations.
+//
+// Remote mode sends the same pipeline and sweep requests to a running
+// capxd daemon instead of solving locally, so repeated invocations ride
+// the server's warm plan/basis caches:
+//
+//	capx -remote http://localhost:8437 -structure bus -backend fastcap
+//	capx -remote http://localhost:8437 -structure crossing -sweep 8
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"parbem"
+	"parbem/internal/serve"
 )
 
 func main() {
@@ -74,8 +84,13 @@ func main() {
 		sweep     = flag.Int("sweep", 0, "h-sweep mode: extract N separation variants through one staged plan (crossing or bus structure)")
 		hmin      = flag.Float64("hmin", 0, "sweep: smallest separation (0 = 0.6x the structure default)")
 		hmax      = flag.Float64("hmax", 0, "sweep: largest separation (0 = 2x the structure default)")
+		remote    = flag.String("remote", "", "run against a capxd daemon at this base URL instead of solving locally (pipeline and sweep modes)")
 	)
 	flag.Parse()
+
+	if *remote != "" && *batchMode {
+		log.Fatal("-remote does not support -batch; POST the geometries to /extract individually")
+	}
 
 	if *batchMode {
 		if *spice != "" {
@@ -88,6 +103,10 @@ func main() {
 	if *sweep > 0 {
 		if *input != "" {
 			log.Fatal("-sweep varies the built-in crossing/bus separation and does not support -input")
+		}
+		if *remote != "" {
+			runRemoteSweep(*remote, *structure, *m, *n, *sweep, *hmin, *hmax, *backend, *precond, *edge, *tol, *jsonOut)
+			return
 		}
 		runSweep(*structure, *m, *n, *sweep, *hmin, *hmax, *backend, *precond, *edge, *tol, *workers, *jsonOut)
 		return
@@ -109,6 +128,17 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *remote != "" {
+		kind := *backend
+		if *baseline != "" {
+			kind = *baseline
+		}
+		if !isPipelineBackend(kind) {
+			log.Fatalf("-remote needs a pipeline backend (auto|dense|fastcap|pfft), got %q", kind)
+		}
+		runRemote(*remote, st, kind, *precond, *edge, *tol, *units, *maxPrint, *check, *jsonOut)
+		return
+	}
 	if *baseline != "" {
 		runPipeline(st, *baseline, *precond, *edge, *tol, *workers, *units, *maxPrint, *check, *jsonOut)
 		return
@@ -210,7 +240,7 @@ func printMatrix(c *parbem.Matrix, units float64, names []string, maxPrint int) 
 // fill backend.
 func isPipelineBackend(name string) bool {
 	switch name {
-	case "auto", "dense", "fastcap", "pfft":
+	case "auto", "dense", "fastcap", "fmm", "pfft":
 		return true
 	}
 	return false
@@ -484,6 +514,143 @@ func runSweep(structure string, m, n, points int, hmin, hmax float64, backend, p
 		coldMs, warmPer, coldMs/warmPer, total)
 	fmt.Printf("reuse     : %d near entries copied, %d computed, %d block factors adopted, %d warm starts\n",
 		stats.NearReused, stats.NearComputed, stats.FactReused, stats.WarmStarts)
+}
+
+// geometryText serializes a structure to the geomio wire format for the
+// remote API.
+func geometryText(st *parbem.Structure) string {
+	var sb strings.Builder
+	if err := parbem.WriteStructure(&sb, st, 0); err != nil {
+		log.Fatal(err)
+	}
+	return sb.String()
+}
+
+// runRemote sends one pipeline extraction to a capxd daemon and prints
+// the response in the local runPipeline formats.
+func runRemote(base string, st *parbem.Structure, kind, precond string, edge, tol, units float64, maxPrint int, check, jsonOut bool) {
+	c := serve.NewClient(base)
+	res, err := c.Extract(context.Background(), &serve.ExtractRequest{
+		Geometry: geometryText(st),
+		EdgeM:    edge,
+		Backend:  kind,
+		Precond:  precond,
+		Tol:      tol,
+	})
+	if err != nil {
+		log.Fatalf("remote extract: %v", err)
+	}
+	if jsonOut {
+		emitJSON(res)
+		return
+	}
+	fmt.Printf("structure : %s (%d conductors), served by %s [job %s]\n",
+		res.Structure, len(res.Conductors), base, res.JobID)
+	fmt.Printf("backend   : %s (requested %s), N = %d panels, edge = %g m, reused %s\n",
+		res.Backend, res.Requested, res.NumPanels, res.EdgeM, res.Reused)
+	if res.Iterations > 0 {
+		fmt.Printf("krylov    : %d GMRES iterations total (tol %g, precond %s)\n",
+			res.Iterations, tol, precond)
+	}
+	fmt.Printf("timing    : setup %.2f ms | solve %.2f ms | total %.2f ms\n\n",
+		res.SetupMs, res.SolveMs, res.TotalMs)
+	if check && len(res.Warnings) > 0 {
+		fmt.Println("Maxwell-matrix warnings:")
+		for _, v := range res.Warnings {
+			fmt.Printf("  %s\n", v)
+		}
+		fmt.Println()
+	}
+	c2 := rowsToMatrix(res.CFarads)
+	fmt.Println("capacitance matrix (scaled):")
+	printMatrix(c2, units, res.Conductors, maxPrint)
+}
+
+// runRemoteSweep streams an h-sweep through a capxd daemon: the variant
+// geometries are built locally (same range logic as runSweep) and ride
+// the server's family-keyed plan cache.
+func runRemoteSweep(base, structure string, m, n, points int, hmin, hmax float64, backend, precond string, edge, tol float64, jsonOut bool) {
+	if !isPipelineBackend(backend) {
+		log.Fatalf("-sweep needs a pipeline backend (auto|dense|fastcap|pfft), got %q", backend)
+	}
+	var defH float64
+	variant := func(h float64) *parbem.Structure {
+		switch structure {
+		case "crossing":
+			sp := parbem.NewCrossingPair()
+			sp.H = h
+			return sp.Build()
+		default:
+			sp := parbem.NewBus(m, n)
+			sp.H = h
+			return sp.Build()
+		}
+	}
+	switch structure {
+	case "crossing":
+		defH = parbem.NewCrossingPair().H
+	case "bus":
+		defH = parbem.NewBus(m, n).H
+	default:
+		log.Fatalf("-sweep supports the crossing and bus structures (their separation H), got %q", structure)
+	}
+	if hmin == 0 {
+		hmin = 0.6 * defH
+	}
+	if hmax == 0 {
+		hmax = 2 * defH
+	}
+	if points < 2 || hmax <= hmin {
+		log.Fatalf("bad sweep range: %d points over [%g, %g]", points, hmin, hmax)
+	}
+
+	req := &serve.SweepRequest{EdgeM: edge, Backend: backend, Precond: precond, Tol: tol}
+	hs := make([]float64, points)
+	for i := range hs {
+		hs[i] = hmin + (hmax-hmin)*float64(i)/float64(points-1)
+		req.Variants = append(req.Variants, geometryText(variant(hs[i])))
+	}
+
+	var pts []*serve.SweepPoint
+	tr, err := serve.NewClient(base).Sweep(context.Background(), req,
+		func(p *serve.SweepPoint) { pts = append(pts, p) })
+	if err != nil {
+		log.Fatalf("remote sweep: %v", err)
+	}
+	if jsonOut {
+		emitJSON(struct {
+			Structure string              `json:"structure"`
+			Backend   string              `json:"backend"`
+			Precond   string              `json:"precond"`
+			EdgeM     float64             `json:"edge_m"`
+			Tol       float64             `json:"tol"`
+			Points    []*serve.SweepPoint `json:"points"`
+			Trailer   *serve.SweepTrailer `json:"trailer"`
+		}{structure, backend, precond, edge, tol, pts, tr})
+		return
+	}
+	fmt.Printf("sweep     : %s, %d points over H = [%g, %g] m via %s, backend %s, edge %g m\n",
+		structure, points, hmin, hmax, base, backend, edge)
+	fmt.Printf("%10s %6s %20s %9s\n", "h (m)", "iters", "reused", "total ms")
+	for i, p := range pts {
+		if p.Error != nil {
+			fmt.Printf("%10.3g %6s %20s   error: %s\n", hs[i], "-", "-", p.Error.Message)
+			continue
+		}
+		fmt.Printf("%10.3g %6d %20s %9.2f\n", hs[i], p.Iterations, p.Reused, p.TotalMs)
+	}
+	fmt.Printf("\nserver    : %d points, %d failed, sweep total %.1f ms\n", tr.Points, tr.Failed, tr.TotalMs)
+}
+
+// rowsToMatrix rebuilds a dense matrix from JSON rows for printing.
+func rowsToMatrix(rows [][]float64) *parbem.Matrix {
+	m := parbem.NewMatrix(len(rows), len(rows))
+	for i, r := range rows {
+		for j, v := range r {
+			m.Set(i, j, v)
+		}
+	}
+	return m
 }
 
 func parseBackend(name string) (parbem.Backend, error) {

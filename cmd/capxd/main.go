@@ -1,0 +1,93 @@
+// Capxd is the long-running extraction service daemon: an HTTP/JSON
+// front end over one shared batch engine, so the plan, basis and
+// pair-integral caches amortize across requests instead of dying with
+// each capx invocation (see internal/serve for the API).
+//
+//	capxd -addr :8437 -workers 8 -budget 2 -queue 128
+//
+// Endpoints: POST /extract, POST /sweep (NDJSON stream), GET /jobs/{id},
+// GET /healthz, GET /stats. The capx CLI rides the same API:
+//
+//	capx -remote http://localhost:8437 -structure bus -backend fastcap
+//	capx -remote http://localhost:8437 -structure crossing -sweep 8
+//
+// Admission control: requests beyond -queue pending jobs are rejected
+// immediately with HTTP 429 and a structured queue_full error; -budget
+// caps how many pool workers any single job occupies, so -runners
+// concurrent jobs share the persistent pool instead of oversubscribing.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"parbem/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8437", "listen address")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		budget    = flag.Int("budget", 0, "max pool workers per job (0 = whole pool)")
+		runners   = flag.Int("runners", 0, "concurrent jobs (0 = workers/budget, min 1)")
+		queue     = flag.Int("queue", 64, "admission queue depth")
+		cache     = flag.Int("cache", 0, "state/plan LRU entries (0 = default 64)")
+		pairCache = flag.Int("paircache", 0, "pair-integral cache entries (0 = default)")
+		maxBody   = flag.Int64("maxbody", 0, "request body cap in bytes (0 = default 8 MiB)")
+		maxPanels = flag.Int("maxpanels", 0, "per-request estimated panel cap (0 = default 200000)")
+		history   = flag.Int("jobhistory", 0, "finished jobs kept for GET /jobs/{id} (0 = default 256)")
+	)
+	flag.Parse()
+
+	s := serve.New(serve.Options{
+		Workers:          *workers,
+		WorkerBudget:     *budget,
+		Runners:          *runners,
+		QueueDepth:       *queue,
+		CacheEntries:     *cache,
+		PairCacheEntries: *pairCache,
+		JobHistory:       *history,
+		Limits: serve.Limits{
+			MaxBodyBytes: *maxBody,
+			MaxPanels:    *maxPanels,
+		},
+	})
+
+	// Header/idle timeouts close the slow-client hole that would bypass
+	// the bounded-queue admission control (no WriteTimeout: sweep
+	// responses are long-lived NDJSON streams).
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("capxd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("capxd: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("capxd: listening on %s (pool %d workers, budget %d/job, queue %d)",
+		*addr, s.Engine().Workers(), *budget, *queue)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+	s.Close()
+}

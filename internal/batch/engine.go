@@ -64,6 +64,12 @@ type Options struct {
 	// Concurrency bounds how many extractions ExtractAll runs at once
 	// (0 = max(2, Workers)); their fills interleave on the shared pool.
 	Concurrency int
+	// PlanWorkers caps how many pool workers one ExtractPipeline
+	// request's stage builds and operator applies occupy (0 = the whole
+	// pool). A service running several pipeline extractions at once
+	// sets this so concurrent requests divide the persistent pool
+	// instead of oversubscribing it (sched.Budgeted).
+	PlanWorkers int
 
 	// CacheEntries bounds the state LRU (basis sets, kernel tables,
 	// quadrature warm sets; 0 = 64).
@@ -100,11 +106,17 @@ type Engine struct {
 	closed bool
 }
 
-// Stats is a snapshot of the engine's cache effectiveness.
+// Stats is a snapshot of the engine's cache effectiveness. The JSON
+// tags keep the extraction service's /stats payload on the snake_case
+// convention of the other machine-readable emitters.
 type Stats struct {
-	StateHits, StateMisses uint64 // basis/table/quad LRU
-	PairHits, PairMisses   uint64 // template-pair integral cache
-	PairEntries            int
+	// StateHits/StateMisses count the basis/table/quad/plan LRU.
+	StateHits   uint64 `json:"state_hits"`
+	StateMisses uint64 `json:"state_misses"`
+	// PairHits/PairMisses count the template-pair integral cache.
+	PairHits    uint64 `json:"pair_hits"`
+	PairMisses  uint64 `json:"pair_misses"`
+	PairEntries int    `json:"pair_entries"`
 }
 
 // New creates an engine and starts its worker pool. The quadrature rule
@@ -148,6 +160,21 @@ func (e *Engine) Close() {
 	e.closed = true
 	e.mu.Unlock()
 	e.pool.Close()
+}
+
+// Workers returns the size of the engine's persistent worker pool.
+func (e *Engine) Workers() int { return e.pool.Workers() }
+
+// PlanWorkers returns the per-request worker budget pipeline plans run
+// under (0 = the whole pool).
+func (e *Engine) PlanWorkers() int { return e.opt.PlanWorkers }
+
+// planExec returns the executor pipeline plans run their stage builds
+// and operator applies on: the engine's persistent pool, budgeted to
+// PlanWorkers per request when configured. After Close the pool runs
+// Map calls inline, so cached plans keep working serially.
+func (e *Engine) planExec() sched.Executor {
+	return sched.Budgeted(e.pool, e.opt.PlanWorkers)
 }
 
 // Stats returns cache counters (zero when caching is disabled).
@@ -324,7 +351,7 @@ func (e *Engine) ExtractPipeline(st *geom.Structure, maxEdge float64, opt op.Opt
 		return nil, err
 	}
 	mk := func() (*plan.Plan, error) {
-		return plan.New(plan.Options{MaxEdge: maxEdge, Pipeline: opt})
+		return plan.New(plan.Options{MaxEdge: maxEdge, Pipeline: opt, Exec: e.planExec()})
 	}
 	if e.state == nil {
 		p, err := mk()

@@ -265,6 +265,36 @@ func (e *PointError) Error() string {
 // Unwrap exposes the underlying failure.
 func (e *PointError) Unwrap() error { return e.Err }
 
+// PointErrors decomposes a SweepH error into its per-point failures.
+// SweepH joins one PointError per failed separation (errors.Join); a
+// caller reporting point-by-point — the extraction service streaming a
+// sweep — needs every component, not just the first errors.As match.
+// Non-PointError components (there are none today) are dropped; a nil
+// error yields nil.
+func PointErrors(err error) []*PointError {
+	var out []*PointError
+	var walk func(error)
+	walk = func(e error) {
+		if e == nil {
+			return
+		}
+		if pe, ok := e.(*PointError); ok {
+			out = append(out, pe)
+			return
+		}
+		switch u := e.(type) {
+		case interface{ Unwrap() []error }:
+			for _, c := range u.Unwrap() {
+				walk(c)
+			}
+		case interface{ Unwrap() error }:
+			walk(u.Unwrap())
+		}
+	}
+	walk(err)
+	return out
+}
+
 // SweepH runs the extraction over a set of separations h and returns the
 // fitted a(h), b(h) magnitudes — the parameter vectors p of the
 // instantiable template library.

@@ -117,3 +117,41 @@ func TestSweepHPartialErrors(t *testing.T) {
 		t.Error("failed point produced a fit")
 	}
 }
+
+// TestPointErrorsDecomposition pins the service-edge contract: every
+// failed point of a sweep is recoverable from the joined error, tagged
+// with its own separation, so a streaming caller can emit one error
+// entry per point instead of dropping points behind the first failure.
+func TestPointErrorsDecomposition(t *testing.T) {
+	base := smallSpec()
+	hs := []float64{math.NaN(), 0.5e-6, math.Inf(1), 0.8e-6}
+	fits, err := SweepH(base, hs, 0.5e-6)
+	pes := PointErrors(err)
+	if len(pes) != 2 {
+		t.Fatalf("got %d point errors, want 2 (err: %v)", len(pes), err)
+	}
+	var sawNaN, sawInf bool
+	for _, pe := range pes {
+		switch {
+		case math.IsNaN(pe.H):
+			sawNaN = true
+		case math.IsInf(pe.H, 1):
+			sawInf = true
+		}
+	}
+	if !sawNaN || !sawInf {
+		t.Errorf("point errors tag h values %v, want the NaN and +Inf points", pes)
+	}
+	for i, h := range hs {
+		healthy := !math.IsNaN(h) && !math.IsInf(h, 0)
+		if healthy && fits[i] == nil {
+			t.Errorf("healthy point h=%g lost its fit", h)
+		}
+		if !healthy && fits[i] != nil {
+			t.Errorf("failed point h=%g produced a fit", h)
+		}
+	}
+	if PointErrors(nil) != nil {
+		t.Error("PointErrors(nil) != nil")
+	}
+}

@@ -27,6 +27,10 @@ type Options struct {
 	// throwaway sched.Local executor sized by Workers, or run inline
 	// when Workers is 1.
 	Pool *sched.Pool
+	// Exec overrides Pool/Workers with an arbitrary executor — e.g. a
+	// sched.Budgeted view of a shared pool, so a service caps how many
+	// pool workers one request's operator occupies.
+	Exec sched.Executor
 	// Tol is the GMRES relative tolerance used by the iterative solves
 	// driven through parbem.ExtractFastCapLike (0 = 1e-4). The operator
 	// itself does not consume it.
@@ -158,7 +162,9 @@ func NewOperatorWith(tp *Topology, panels []geom.Panel, opt Options, reuse *Reus
 		scale:   1 / (kernel.FourPi * opt.Eps),
 		lists:   inter,
 	}
-	if opt.Pool != nil {
+	if opt.Exec != nil {
+		op.exec = opt.Exec
+	} else if opt.Pool != nil {
 		op.exec = opt.Pool
 	} else if opt.Workers > 1 {
 		op.exec = sched.Local(opt.Workers)

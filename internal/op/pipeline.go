@@ -234,6 +234,12 @@ func FMMOptions(spec Spec, opt Options) fmm.Options {
 	if fo.Cfg == nil {
 		fo.Cfg = spec.Cfg
 	}
+	if fo.Exec == nil && fo.Pool == nil && fo.Workers == 0 {
+		// No explicit parallelism configured: the operator runs on the
+		// spec's executor (a service's budgeted shared pool, a plan's
+		// stage executor), like the dense assembly and reduction do.
+		fo.Exec = spec.Exec
+	}
 	return fo
 }
 
@@ -250,6 +256,11 @@ func PFFTOptions(spec Spec, opt Options) pfft.Options {
 	}
 	if po.Cfg == nil {
 		po.Cfg = spec.Cfg
+	}
+	if po.Exec == nil && po.Pool == nil && po.Workers == 0 {
+		// See FMMOptions: inherit the spec's executor when the caller
+		// configured no operator-level parallelism.
+		po.Exec = spec.Exec
 	}
 	return po
 }

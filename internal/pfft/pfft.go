@@ -51,6 +51,10 @@ type Options struct {
 	// throwaway sched.Local executor sized by Workers, or run inline
 	// when Workers is 1.
 	Pool *sched.Pool
+	// Exec overrides Pool/Workers with an arbitrary executor — e.g. a
+	// sched.Budgeted view of a shared pool, so a service caps how many
+	// pool workers one request's operator occupies.
+	Exec sched.Executor
 	// Tol is the GMRES relative tolerance used by the iterative solves
 	// driven through parbem.ExtractPFFT (0 = 1e-4). The operator itself
 	// does not consume it.
@@ -193,7 +197,9 @@ func NewOperatorReuse(panels []geom.Panel, opt Options, reuse *Reuse) *Operator 
 		scale:   1 / (kernel.FourPi * opt.Eps),
 	}
 	op.nearExact = make([][]float64, len(panels))
-	if opt.Pool != nil {
+	if opt.Exec != nil {
+		op.exec = opt.Exec
+	} else if opt.Pool != nil {
 		op.exec = opt.Pool
 	} else if opt.Workers > 1 {
 		op.exec = sched.Local(opt.Workers)

@@ -170,6 +170,60 @@ func (l local) Map(n int, fn func(task int)) {
 	wg.Wait()
 }
 
+// Budgeted wraps an executor so that every Map call occupies at most k
+// of its workers at once: the call submits k feeder tasks that claim the
+// n real tasks from a shared counter. A long-running service hands each
+// request a Budgeted view of one shared persistent Pool, so concurrent
+// requests divide the pool instead of each trying to spread across all
+// of it (the oversubscription the per-request budget exists to prevent).
+// k = 1 runs inline in the caller without touching the executor at all;
+// k <= 0 returns ex unwrapped (no budget).
+//
+// The wrapped fn must not itself call Map on the same underlying Pool:
+// feeders run on pool workers, and a nested blocking Map from a worker
+// can deadlock the pool. All fill/apply call sites in this module are
+// flat (they Map only from request goroutines), which is what makes the
+// budget safe to thread through the operator stack.
+func Budgeted(ex Executor, k int) Executor {
+	if k <= 0 || ex == nil {
+		return ex
+	}
+	return budgeted{ex: ex, k: k}
+}
+
+type budgeted struct {
+	ex Executor
+	k  int
+}
+
+// Map implements Executor: every task index in [0, n) runs exactly once
+// and Map returns only after all completed, on at most k workers.
+func (b budgeted) Map(n int, fn func(task int)) {
+	if n <= 0 {
+		return
+	}
+	k := b.k
+	if k > n {
+		k = n
+	}
+	if k == 1 {
+		for t := 0; t < n; t++ {
+			fn(t)
+		}
+		return
+	}
+	var next atomic.Int64
+	b.ex.Map(k, func(int) {
+		for {
+			t := int(next.Add(1)) - 1
+			if t >= n {
+				return
+			}
+			fn(t)
+		}
+	})
+}
+
 // Pool is a persistent work-stealing worker pool. Concurrent Map calls
 // from any number of goroutines share the same workers; each call blocks
 // until its own tasks are done. Close stops the workers (outstanding Map

@@ -96,3 +96,60 @@ func TestMapOnClosedPoolRunsInline(t *testing.T) {
 	p.Close()
 	checkMap(t, p, 7)
 }
+
+func TestBudgetedRunsAllTasks(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, k := range []int{1, 2, 3, 8} {
+		for _, n := range []int{0, 1, 2, 7, 100} {
+			checkMap(t, Budgeted(p, k), n)
+		}
+	}
+	// k <= 0 means no budget: the executor passes through unwrapped.
+	if Budgeted(p, 0) != Executor(p) {
+		t.Error("Budgeted(p, 0) did not return the pool unwrapped")
+	}
+}
+
+// TestBudgetedCapsConcurrency asserts a Budgeted view never has more
+// than k of its tasks in flight, even on a larger pool.
+func TestBudgetedCapsConcurrency(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	const k = 3
+	var cur, peak atomic.Int64
+	Budgeted(p, k).Map(64, func(int) {
+		c := cur.Add(1)
+		for {
+			old := peak.Load()
+			if c <= old || peak.CompareAndSwap(old, c) {
+				break
+			}
+		}
+		runtime.Gosched()
+		cur.Add(-1)
+	})
+	if got := peak.Load(); got > k {
+		t.Errorf("budget %d exceeded: peak concurrency %d", k, got)
+	}
+}
+
+// TestBudgetedConcurrentRequests runs several budgeted Map calls at
+// once over one shared pool (the service sharing pattern).
+func TestBudgetedConcurrentRequests(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for r := 0; r < 6; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var ran atomic.Int64
+			Budgeted(p, 2).Map(40, func(int) { ran.Add(1) })
+			if ran.Load() != 40 {
+				t.Error("budgeted map lost tasks")
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"parbem/internal/geom"
+	"parbem/internal/geomio"
+	"strings"
+)
+
+// BenchmarkServeExtract measures end-to-end /extract request
+// throughput: cold is a fresh server (and engine) per request — the
+// one-shot CLI cost the service exists to amortize — and warm is the
+// steady state against a long-running server whose plan cache is hot.
+// The warm/cold ratio is the service-layer amortization the ROADMAP
+// benchmark record tracks.
+func BenchmarkServeExtract(b *testing.B) {
+	var sb strings.Builder
+	if err := geomio.Write(&sb, geom.DefaultCrossingPair().Build(), 0); err != nil {
+		b.Fatal(err)
+	}
+	req := &ExtractRequest{
+		Geometry: sb.String(), EdgeM: 0.4e-6,
+		Backend: "fastcap", Precond: "block", Tol: 1e-6,
+	}
+	ctx := context.Background()
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := New(Options{Workers: 2})
+			hs := httptest.NewServer(s.Handler())
+			if _, err := NewClient(hs.URL).Extract(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+			hs.Close()
+			s.Close()
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		s := New(Options{Workers: 2})
+		hs := httptest.NewServer(s.Handler())
+		defer hs.Close()
+		defer s.Close()
+		c := NewClient(hs.URL)
+		if _, err := c.Extract(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Extract(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

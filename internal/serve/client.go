@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is a thin typed client for a capxd server; capx -remote rides
+// it. The zero HTTPClient means http.DefaultClient.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8437".
+	BaseURL string
+	// HTTPClient optionally overrides the transport.
+	HTTPClient *http.Client
+}
+
+// NewClient creates a client for the given base URL.
+func NewClient(base string) *Client {
+	return &Client{BaseURL: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// post sends one JSON request and returns the raw response; non-2xx
+// responses are decoded into their structured error.
+func (c *Client) post(ctx context.Context, path string, body any) (*http.Response, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	return resp, nil
+}
+
+// get sends one GET and decodes the JSON response into v.
+func (c *Client) get(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return decodeError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// decodeError maps a non-2xx response to its *RequestError.
+func decodeError(resp *http.Response) error {
+	var env errorEnvelope
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(data, &env) == nil && env.Error != nil {
+		return env.Error
+	}
+	return fmt.Errorf("serve: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+}
+
+// Extract runs one synchronous extraction (req.Async must be false; use
+// ExtractAsync to enqueue).
+func (c *Client) Extract(ctx context.Context, req *ExtractRequest) (*ExtractResponse, error) {
+	resp, err := c.post(ctx, "/extract", req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out ExtractResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("serve: bad extract response: %w", err)
+	}
+	return &out, nil
+}
+
+// ExtractAsync enqueues an extraction and returns its job id.
+func (c *Client) ExtractAsync(ctx context.Context, req *ExtractRequest) (string, error) {
+	r := *req
+	r.Async = true
+	resp, err := c.post(ctx, "/extract", &r)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var out JobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", fmt.Errorf("serve: bad async response: %w", err)
+	}
+	return out.JobID, nil
+}
+
+// Job fetches the status (and result, when done) of a submitted job.
+func (c *Client) Job(ctx context.Context, id string) (*JobResponse, error) {
+	var out JobResponse
+	if err := c.get(ctx, "/jobs/"+id, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Sweep streams a sweep; point is called once per streamed point, in
+// order. The returned trailer summarizes the sweep (point errors do not
+// fail the call — inspect SweepPoint.Error).
+func (c *Client) Sweep(ctx context.Context, req *SweepRequest, point func(*SweepPoint)) (*SweepTrailer, error) {
+	resp, err := c.post(ctx, "/sweep", req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	// NDJSON is a stream of concatenated JSON values; a json.Decoder
+	// consumes it without any line-length cap (one point's c_farads for
+	// a large admissible conductor count can exceed tens of MB).
+	dec := json.NewDecoder(resp.Body)
+	first := true
+	for {
+		var line json.RawMessage
+		if err := dec.Decode(&line); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("serve: bad sweep stream: %w", err)
+		}
+		if first {
+			first = false
+			var hdr SweepHeader
+			if err := json.Unmarshal(line, &hdr); err != nil {
+				return nil, fmt.Errorf("serve: bad sweep header: %w", err)
+			}
+			continue
+		}
+		// A trailer line carries done=true; a whole-sweep failure
+		// arrives as a bare error envelope in its place. Point lines
+		// always carry "index" — a per-point error is not a sweep
+		// failure.
+		var probe struct {
+			Done  bool          `json:"done"`
+			Index *int          `json:"index"`
+			Error *RequestError `json:"error"`
+		}
+		if json.Unmarshal(line, &probe) == nil {
+			if probe.Done {
+				var tr SweepTrailer
+				if err := json.Unmarshal(line, &tr); err != nil {
+					return nil, fmt.Errorf("serve: bad sweep trailer: %w", err)
+				}
+				return &tr, nil
+			}
+			if probe.Index == nil && probe.Error != nil {
+				return nil, probe.Error
+			}
+		}
+		var p SweepPoint
+		if err := json.Unmarshal(line, &p); err != nil {
+			return nil, fmt.Errorf("serve: bad sweep point: %w", err)
+		}
+		if point != nil {
+			point(&p)
+		}
+	}
+	return nil, fmt.Errorf("serve: sweep stream ended without a trailer")
+}
+
+// Stats fetches the server's /stats snapshot.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	var out Stats
+	if err := c.get(ctx, "/stats", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	var out map[string]any
+	return c.get(ctx, "/healthz", &out)
+}

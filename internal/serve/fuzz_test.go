@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeRequest drives arbitrary bytes through both request decode
+// paths — the full HTTP JSON + geomio pipeline the server runs before
+// touching any solver state. The boundary's contract: every rejection
+// is a structured *RequestError, every acceptance satisfies the
+// admission invariants, and nothing panics or allocates unboundedly
+// (malformed panels, NaN coordinates, zero-area boxes, huge counts).
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte(`{"geometry":"conductor a\nbox 0 0 0 1 1 1\nconductor b\nbox 0 0 2 1 1 3","edge_m":5e-7,"backend":"fastcap","precond":"block","tol":1e-6}`))
+	f.Add([]byte(`{"geometry":"structure s\nunit 1e-6\nconductor a\nbox 0 0 0 1 1 1","edge_m":1e-6}`))
+	f.Add([]byte(`{"geometry":"conductor a\nbox nan 0 0 1 1 1","edge_m":1e-6}`))
+	f.Add([]byte(`{"geometry":"conductor a\nbox 0 0 0 1 1 0","edge_m":1e-6}`))
+	f.Add([]byte(`{"geometry":"conductor a\nbox 0 0 0 1e9 1e9 1e9","edge_m":1e-9}`))
+	f.Add([]byte(`{"geometry":"conductor a\nbox 0 0 0 inf 1 1","edge_m":1e-6}`))
+	f.Add([]byte(`{"geometry":"conductor a\nwire q 0 0 0 1 1 1","edge_m":1e-6}`))
+	f.Add([]byte(`{"edge_m":1e-6}`))
+	f.Add([]byte(`{"variants":["conductor a\nbox 0 0 0 1 1 1\nconductor b\nbox 0 0 2 1 1 3"],"edge_m":5e-7}`))
+	f.Add([]byte(`{"template_hs_m":[4e-7,6e-7],"edge_m":5e-7}`))
+	f.Add([]byte(`{"template_hs_m":[4e-7],"variants":["x"],"edge_m":5e-7}`))
+	f.Add([]byte(`{"template_hs_m":[-1],"edge_m":5e-7}`))
+	f.Add([]byte(`{"geometry":"conductor a\nbox 0 0 0 1 1 1","edge_m":1e-6,"backend":"cuda"}`))
+	f.Add([]byte(`{"geometry":"conductor a\nbox 0 0 0 1 1 1","edge_m":1e-6,"tol":1e308}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"geometry":1}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var l Limits
+		req, st, err := l.DecodeExtract(bytes.NewReader(data))
+		if err != nil {
+			re := new(RequestError)
+			if !errors.As(err, &re) {
+				t.Fatalf("extract decode rejected with unstructured error %T: %v", err, err)
+			}
+			if re.Code != CodeBadRequest {
+				t.Fatalf("decode rejection code %q, want bad_request", re.Code)
+			}
+		} else {
+			if req == nil || st == nil {
+				t.Fatal("accepted extract decode returned nil request or structure")
+			}
+			// Acceptance implies the admission invariants hold.
+			if err := checkStructure(st, req.EdgeM, l.withDefaults()); err != nil {
+				t.Fatalf("accepted structure fails its own admission check: %v", err)
+			}
+			if !isFinite(req.EdgeM) || req.EdgeM <= 0 {
+				t.Fatalf("accepted non-positive edge %v", req.EdgeM)
+			}
+		}
+
+		sreq, sts, err := l.DecodeSweep(bytes.NewReader(data))
+		if err != nil {
+			re := new(RequestError)
+			if !errors.As(err, &re) {
+				t.Fatalf("sweep decode rejected with unstructured error %T: %v", err, err)
+			}
+		} else {
+			if sreq == nil {
+				t.Fatal("accepted sweep decode returned nil request")
+			}
+			if (len(sreq.Variants) == 0) == (len(sreq.TemplateHs) == 0) {
+				t.Fatal("accepted sweep without exactly one mode")
+			}
+			for _, st := range sts {
+				if err := checkStructure(st, sreq.EdgeM, l.withDefaults()); err != nil {
+					t.Fatalf("accepted variant fails its own admission check: %v", err)
+				}
+			}
+			for _, h := range sreq.TemplateHs {
+				if !isFinite(h) || h <= 0 {
+					t.Fatalf("accepted non-finite template separation %v", h)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,483 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"parbem/internal/extract"
+	"parbem/internal/geom"
+	"parbem/internal/linalg"
+	"parbem/internal/plan"
+	"parbem/internal/report"
+)
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /extract", s.handleExtract)
+	mux.HandleFunc("POST /sweep", s.handleSweep)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// errorEnvelope is the JSON shape of every non-2xx response.
+type errorEnvelope struct {
+	Error *RequestError `json:"error"`
+}
+
+// writeJSON emits one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// asRequestError coerces any error to the structured shape, wrapping
+// foreign errors as extraction failures.
+func asRequestError(err error) *RequestError {
+	if re, ok := err.(*RequestError); ok {
+		return re
+	}
+	return &RequestError{Code: CodeExtractionFailed, Message: err.Error()}
+}
+
+// writeError wraps any error as a structured rejection.
+func writeError(w http.ResponseWriter, err error) {
+	re := asRequestError(err)
+	status := http.StatusBadRequest
+	switch re.Code {
+	case CodeQueueFull:
+		status = http.StatusTooManyRequests
+	case CodeNotFound:
+		status = http.StatusNotFound
+	case CodeExtractionFailed:
+		status = http.StatusUnprocessableEntity
+	case CodeShuttingDown:
+		status = http.StatusServiceUnavailable
+	case CodeInternal:
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, errorEnvelope{Error: re})
+}
+
+// ExtractResponse is the POST /extract result: the capx -json pipeline
+// telemetry schema plus the job id and the plan-stage reuse marker.
+type ExtractResponse struct {
+	JobID      string  `json:"job_id"`
+	Structure  string  `json:"structure"`
+	Backend    string  `json:"backend"`
+	Requested  string  `json:"requested"`
+	Precond    string  `json:"precond"`
+	NumPanels  int     `json:"num_panels"`
+	EdgeM      float64 `json:"edge_m"`
+	Tol        float64 `json:"tol"`
+	Iterations int     `json:"iterations"`
+	// Reused reports the plan-stage reuse of the build that produced
+	// this result ("none", "near-field", "near-field+factors"); an
+	// identical-geometry cache hit repeats the original build's flags.
+	Reused     string      `json:"reused"`
+	SetupMs    float64     `json:"setup_ms"`
+	SolveMs    float64     `json:"solve_ms"`
+	TotalMs    float64     `json:"total_ms"`
+	Conductors []string    `json:"conductors"`
+	CFarads    [][]float64 `json:"c_farads"`
+	Warnings   []string    `json:"maxwell_warnings,omitempty"`
+}
+
+// JobResponse is the GET /jobs/{id} payload; Result is set once done.
+type JobResponse struct {
+	JobID    string           `json:"job_id"`
+	Kind     string           `json:"kind"`
+	Status   string           `json:"status"`
+	QueuedMs float64          `json:"queued_ms"`
+	RunMs    float64          `json:"run_ms,omitempty"`
+	Result   *ExtractResponse `json:"result,omitempty"`
+	Error    *RequestError    `json:"error,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.limits.MaxBodyBytes)
+	req, st, err := s.limits.DecodeExtract(body)
+	if err != nil {
+		s.c.badRequests.Add(1)
+		writeError(w, err)
+		return
+	}
+	// Async jobs deliberately detach from the submitting request;
+	// synchronous jobs carry the client's context so a queued job
+	// whose client gave up is skipped instead of burning the pool.
+	ctx := r.Context()
+	if req.Async {
+		ctx = context.Background()
+	}
+	j := s.newExtractJob(ctx, req, st)
+	if err := s.admit(j); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Async {
+		writeJSON(w, http.StatusAccepted, JobResponse{
+			JobID: j.id, Kind: j.kind, Status: jobState(j.state.Load()).String(),
+		})
+		return
+	}
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		// Client gone; a job already running completes into the /jobs
+		// history, a queued one is skipped when popped.
+		return
+	}
+	if j.err != nil {
+		writeError(w, j.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.result)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, &RequestError{Code: CodeNotFound, Message: "unknown job id"})
+		return
+	}
+	state := jobState(j.state.Load())
+	resp := JobResponse{JobID: j.id, Kind: j.kind, Status: state.String()}
+	switch state {
+	case jobDone, jobFailed:
+		resp.QueuedMs = j.started.Sub(j.enqueued).Seconds() * 1e3
+		resp.RunMs = j.finished.Sub(j.started).Seconds() * 1e3
+		if j.err != nil {
+			resp.Error = asRequestError(j.err)
+		} else if res, ok := j.result.(*ExtractResponse); ok {
+			resp.Result = res
+		}
+	case jobRunning:
+		resp.QueuedMs = j.started.Sub(j.enqueued).Seconds() * 1e3
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runExtract executes one admitted extract job on the shared engine.
+func (s *Server) runExtract(id string, req *ExtractRequest, st *geom.Structure) (*ExtractResponse, error) {
+	opt, err := PipelineOptions(req.Backend, req.Precond, req.Tol)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	res, err := s.eng.ExtractPipeline(st, req.EdgeM, opt)
+	if err != nil {
+		return nil, &RequestError{Code: CodeExtractionFailed, Message: err.Error()}
+	}
+	total := time.Since(t0)
+	setup := res.Stages.Discretize + res.Stages.Topology + res.Stages.NearField + res.Stages.Factorize
+	return &ExtractResponse{
+		JobID:      id,
+		Structure:  st.Name,
+		Backend:    res.Backend.String(),
+		Requested:  requestedName(req.Backend),
+		Precond:    requestedName(req.Precond),
+		NumPanels:  res.NumPanels,
+		EdgeM:      req.EdgeM,
+		Tol:        req.Tol,
+		Iterations: res.Iterations,
+		Reused:     reusedName(res.Reused),
+		SetupMs:    setup.Seconds() * 1e3,
+		SolveMs:    res.Stages.Solve.Seconds() * 1e3,
+		TotalMs:    total.Seconds() * 1e3,
+		Conductors: conductorNames(st),
+		CFarads:    matrixRows(res.C),
+		Warnings:   report.CheckMaxwell(res.C, 0),
+	}, nil
+}
+
+// SweepHeader is the first NDJSON line of a /sweep response.
+type SweepHeader struct {
+	JobID   string  `json:"job_id"`
+	Mode    string  `json:"mode"` // "variants" | "template"
+	Points  int     `json:"points"`
+	Backend string  `json:"backend"`
+	Precond string  `json:"precond"`
+	EdgeM   float64 `json:"edge_m"`
+	Tol     float64 `json:"tol"`
+}
+
+// SweepFit is the template-mode payload of one point: the fitted
+// flat/arch decomposition of extract.FitArch.
+type SweepFit struct {
+	Flat    float64 `json:"flat"`
+	Peak    float64 `json:"peak"`
+	PeakPos float64 `json:"peak_pos"`
+	Decay   float64 `json:"decay"`
+}
+
+// SweepPoint is one NDJSON line of a /sweep response. A failed point
+// carries Error and no result fields — mid-sweep failures surface as
+// per-point entries, never dropped points.
+type SweepPoint struct {
+	Index      int           `json:"index"`
+	Structure  string        `json:"structure,omitempty"`
+	HM         float64       `json:"h_m,omitempty"`
+	Backend    string        `json:"backend,omitempty"`
+	Iterations int           `json:"iterations,omitempty"`
+	Reused     string        `json:"reused,omitempty"`
+	TotalMs    float64       `json:"total_ms,omitempty"`
+	CFarads    [][]float64   `json:"c_farads,omitempty"`
+	Conductors []string      `json:"conductors,omitempty"`
+	Fit        *SweepFit     `json:"fit,omitempty"`
+	Error      *RequestError `json:"error,omitempty"`
+}
+
+// SweepTrailer is the final NDJSON line of a /sweep response.
+type SweepTrailer struct {
+	Done    bool    `json:"done"`
+	Points  int     `json:"points"`
+	Failed  int     `json:"failed"`
+	TotalMs float64 `json:"total_ms"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.limits.MaxBodyBytes)
+	req, sts, err := s.limits.DecodeSweep(body)
+	if err != nil {
+		s.c.badRequests.Add(1)
+		writeError(w, err)
+		return
+	}
+	j := s.newSweepJob(r.Context(), req, sts)
+	if err := s.admit(j); err != nil {
+		writeError(w, err)
+		return
+	}
+
+	mode := "variants"
+	points := len(sts)
+	if len(req.TemplateHs) > 0 {
+		mode, points = "template", len(req.TemplateHs)
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(v any) {
+		enc.Encode(v)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	emit(SweepHeader{
+		JobID: j.id, Mode: mode, Points: points,
+		Backend: requestedName(req.Backend), Precond: requestedName(req.Precond),
+		EdgeM: req.EdgeM, Tol: req.Tol,
+	})
+	for msg := range j.stream {
+		emit(msg)
+	}
+	<-j.done
+	if t, ok := j.result.(*SweepTrailer); ok && j.err == nil {
+		emit(t)
+	} else if j.err != nil {
+		// A whole-sweep failure (not a per-point one) ends the stream
+		// with an error line in place of the trailer.
+		emit(errorEnvelope{Error: asRequestError(j.err)})
+	}
+}
+
+// runSweep executes an admitted sweep job, emitting one SweepPoint per
+// point onto the job's stream. A client disconnect cancels the sweep
+// between points (solves in flight finish; the engine has no interior
+// cancellation points).
+func (s *Server) runSweep(j *job, req *SweepRequest, sts []*geom.Structure) (any, error) {
+	t0 := time.Now()
+	failed := 0
+	emit := func(p *SweepPoint) bool {
+		s.c.sweepPoints.Add(1)
+		if p.Error != nil {
+			failed++
+			s.c.sweepPointErrors.Add(1)
+		}
+		select {
+		case j.stream <- p:
+			return true
+		case <-j.ctx.Done():
+			return false
+		}
+	}
+	if len(req.TemplateHs) > 0 {
+		s.runTemplateSweep(j, req, emit)
+	} else {
+		s.runVariantSweep(j, req, sts, emit)
+	}
+	if err := j.ctx.Err(); err != nil {
+		return nil, &RequestError{Code: CodeCancelled, Message: "client went away mid-sweep"}
+	}
+	n := len(sts) + len(req.TemplateHs)
+	return &SweepTrailer{
+		Done: true, Points: n, Failed: failed,
+		TotalMs: time.Since(t0).Seconds() * 1e3,
+	}, nil
+}
+
+// runVariantSweep streams each geometry through the engine's
+// family-keyed plan cache; a failing point becomes an error entry and
+// the sweep continues.
+func (s *Server) runVariantSweep(j *job, req *SweepRequest, sts []*geom.Structure, emit func(*SweepPoint) bool) {
+	opt, err := PipelineOptions(req.Backend, req.Precond, req.Tol)
+	if err != nil {
+		// Unreachable: DecodeSweep validated the options.
+		for i := range sts {
+			if !emit(&SweepPoint{Index: i, Error: &RequestError{Code: CodePointFailed, Message: err.Error()}}) {
+				return
+			}
+		}
+		return
+	}
+	for i, st := range sts {
+		if j.ctx.Err() != nil {
+			return
+		}
+		t0 := time.Now()
+		res, err := s.eng.ExtractPipeline(st, req.EdgeM, opt)
+		if err != nil {
+			if !emit(&SweepPoint{
+				Index: i, Structure: st.Name,
+				Error: &RequestError{Code: CodePointFailed, Message: err.Error()},
+			}) {
+				return
+			}
+			continue
+		}
+		if !emit(&SweepPoint{
+			Index: i, Structure: st.Name,
+			Backend:    res.Backend.String(),
+			Iterations: res.Iterations,
+			Reused:     reusedName(res.Reused),
+			TotalMs:    time.Since(t0).Seconds() * 1e3,
+			CFarads:    matrixRows(res.C),
+			Conductors: conductorNames(st),
+		}) {
+			return
+		}
+	}
+}
+
+// runTemplateSweep runs the template-extraction h-sweep of the
+// elementary crossing pair. extract.SweepH keeps healthy points on a
+// mid-sweep failure and joins one PointError per failed separation;
+// here, at the service edge, each failure becomes that point's error
+// entry in the stream.
+func (s *Server) runTemplateSweep(j *job, req *SweepRequest, emit func(*SweepPoint) bool) {
+	// Template sweeps run outside the budgeted engine pool
+	// (extract.SweepH owns its GOMAXPROCS fan-out and per-chunk
+	// plans), so they serialize on a dedicated slot instead of
+	// multiplying the whole machine by the runner count.
+	select {
+	case s.tmplSem <- struct{}{}:
+		defer func() { <-s.tmplSem }()
+	case <-j.ctx.Done():
+		return
+	}
+	if j.ctx.Err() != nil {
+		return
+	}
+	hs := req.TemplateHs
+	fits, err := s.sweepH(geom.DefaultCrossingPair(), hs, req.EdgeM)
+	if len(fits) < len(hs) {
+		fits = append(fits, make([]*extract.ArchFit, len(hs)-len(fits))...)
+	}
+	perr := perPointErrors(err, hs)
+	for i, h := range hs {
+		p := &SweepPoint{Index: i, HM: h}
+		switch {
+		case fits[i] != nil:
+			p.Fit = &SweepFit{
+				Flat: fits[i].Flat, Peak: fits[i].Peak,
+				PeakPos: fits[i].PeakPos, Decay: fits[i].Decay,
+			}
+		case perr[i] != nil:
+			p.Error = &RequestError{Code: CodePointFailed, Message: perr[i].Error()}
+		default:
+			p.Error = &RequestError{Code: CodePointFailed, Message: "point produced no fit"}
+		}
+		if !emit(p) {
+			return
+		}
+	}
+}
+
+// perPointErrors maps a joined SweepH error back onto the h indices it
+// belongs to. Separations are matched bitwise so duplicate h values
+// claim one error each, in order.
+func perPointErrors(err error, hs []float64) []error {
+	out := make([]error, len(hs))
+	if err == nil {
+		return out
+	}
+	pes := extract.PointErrors(err)
+	claimed := make([]bool, len(pes))
+	for i, h := range hs {
+		for k, pe := range pes {
+			if claimed[k] || !sameFloat(pe.H, h) {
+				continue
+			}
+			out[i], claimed[k] = pe.Err, true
+			break
+		}
+	}
+	return out
+}
+
+// sameFloat is bitwise float equality (NaN-safe).
+func sameFloat(a, b float64) bool {
+	return a == b || (a != a && b != b)
+}
+
+// requestedName normalizes an empty selector to "auto" for telemetry.
+func requestedName(s string) string {
+	if s == "" {
+		return "auto"
+	}
+	return s
+}
+
+// reusedName renders plan stage reuse the way capx -sweep does.
+func reusedName(r plan.StageReuse) string {
+	if !r.NearField {
+		return "none"
+	}
+	if r.Factorization {
+		return "near-field+factors"
+	}
+	return "near-field"
+}
+
+// conductorNames lists the structure's conductor names.
+func conductorNames(st *geom.Structure) []string {
+	names := make([]string, len(st.Conductors))
+	for i, c := range st.Conductors {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// matrixRows flattens a capacitance matrix for JSON output (the
+// c_farads field of capx -json).
+func matrixRows(c *linalg.Dense) [][]float64 {
+	rows := make([][]float64, c.Rows)
+	for i := range rows {
+		rows[i] = append([]float64(nil), c.Row(i)...)
+	}
+	return rows
+}

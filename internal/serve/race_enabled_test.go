@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports that this binary was built with the race
+// detector, whose instrumentation distorts the timing ratios the
+// speedup tests assert on.
+const raceEnabled = true

@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"parbem/internal/geom"
+	"parbem/internal/geomio"
+	"parbem/internal/op"
+)
+
+// RequestError is the structured rejection every bad request gets: a
+// stable machine-readable code plus a human-readable message. It is the
+// only error shape the service emits on its JSON boundary.
+type RequestError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *RequestError) Error() string { return e.Code + ": " + e.Message }
+
+// Rejection codes.
+const (
+	// CodeBadRequest: malformed JSON, bad geometry text, invalid
+	// options, or a geometry outside the admission limits.
+	CodeBadRequest = "bad_request"
+	// CodeQueueFull: the bounded job queue rejected the request.
+	CodeQueueFull = "queue_full"
+	// CodeNotFound: unknown job id.
+	CodeNotFound = "not_found"
+	// CodeExtractionFailed: the solver rejected or failed the geometry.
+	CodeExtractionFailed = "extraction_failed"
+	// CodePointFailed: one sweep point failed (per-point stream entry).
+	CodePointFailed = "point_failed"
+	// CodeShuttingDown: the server is closing and admits no new jobs.
+	CodeShuttingDown = "shutting_down"
+	// CodeCancelled: the requester disconnected before the job ran.
+	CodeCancelled = "cancelled"
+	// CodeInternal: a contained panic inside the solver stack.
+	CodeInternal = "internal_error"
+)
+
+func badRequest(format string, args ...any) *RequestError {
+	return &RequestError{Code: CodeBadRequest, Message: fmt.Sprintf(format, args...)}
+}
+
+// Limits bound what one request may ask of the server; everything over
+// a limit is rejected at decode time with a structured error, before
+// any solver state is touched. The zero value selects the defaults.
+type Limits struct {
+	// MaxBodyBytes caps the request body (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxConductors caps conductors per structure (default 1024).
+	MaxConductors int
+	// MaxBoxes caps total boxes per structure (default 16384).
+	MaxBoxes int
+	// MaxPanels caps the estimated panel count of geometry/edge_m
+	// (default 200000): the admission guard against a tiny edge on a
+	// large structure allocating unbounded memory.
+	MaxPanels int
+	// MaxSweepPoints caps variants/template points per sweep
+	// (default 256).
+	MaxSweepPoints int
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxBodyBytes == 0 {
+		l.MaxBodyBytes = 8 << 20
+	}
+	if l.MaxConductors == 0 {
+		l.MaxConductors = 1024
+	}
+	if l.MaxBoxes == 0 {
+		l.MaxBoxes = 16384
+	}
+	if l.MaxPanels == 0 {
+		l.MaxPanels = 200000
+	}
+	if l.MaxSweepPoints == 0 {
+		l.MaxSweepPoints = 256
+	}
+	return l
+}
+
+// ExtractRequest is the POST /extract payload: one geometry in the
+// geomio text format plus the pipeline options of parbem.ExtractPipeline
+// (the same selectors as capx -backend/-precond/-tol/-edge).
+type ExtractRequest struct {
+	// Geometry is the structure in geomio text format (required).
+	Geometry string `json:"geometry"`
+	// EdgeM is the max panel edge in meters (required, > 0).
+	EdgeM float64 `json:"edge_m"`
+	// Backend: auto | dense | fastcap | fmm | pfft ("" = auto).
+	Backend string `json:"backend,omitempty"`
+	// Precond: auto | none | jacobi | block ("" = auto).
+	Precond string `json:"precond,omitempty"`
+	// Tol is the Krylov relative tolerance (0 = 1e-4).
+	Tol float64 `json:"tol,omitempty"`
+	// Async enqueues the job and returns its id immediately; poll
+	// GET /jobs/{id} for the result.
+	Async bool `json:"async,omitempty"`
+}
+
+// SweepRequest is the POST /sweep payload. Exactly one of Variants and
+// TemplateHs must be set:
+//
+//   - Variants streams each geometry through the engine's family-keyed
+//     plan cache (parbem.NewPlan semantics): variants of one structural
+//     family reuse each other's near-field integrals, factorizations
+//     and warm starts, exactly like capx -sweep.
+//   - TemplateHs runs the template-extraction h-sweep (extract.SweepH)
+//     of the elementary crossing pair and streams the fitted a(h), b(h)
+//     decompositions. Backend/Precond/Tol are ignored: the template
+//     pipeline owns its solver configuration.
+type SweepRequest struct {
+	// Variants are geomio text geometries, extracted in order.
+	Variants []string `json:"variants,omitempty"`
+	// TemplateHs are crossing-pair separations in meters.
+	TemplateHs []float64 `json:"template_hs_m,omitempty"`
+	// EdgeM is the max panel edge in meters (required, > 0).
+	EdgeM float64 `json:"edge_m"`
+	// Backend, Precond, Tol: as in ExtractRequest (variants mode only).
+	Backend string  `json:"backend,omitempty"`
+	Precond string  `json:"precond,omitempty"`
+	Tol     float64 `json:"tol,omitempty"`
+}
+
+// decodeJSON unmarshals one JSON value from r under the body cap,
+// rejecting trailing garbage.
+func decodeJSON(r io.Reader, maxBytes int64, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r, maxBytes))
+	if err := dec.Decode(v); err != nil {
+		return badRequest("invalid JSON: %v", err)
+	}
+	if dec.More() {
+		return badRequest("trailing data after JSON body")
+	}
+	return nil
+}
+
+// DecodeExtract parses and fully validates an /extract body: JSON
+// shape, geometry text, finite coordinates, positive box volumes,
+// option names and the admission limits. It never panics on malformed
+// input (FuzzDecodeRequest) and every rejection is a *RequestError.
+func (l Limits) DecodeExtract(r io.Reader) (*ExtractRequest, *geom.Structure, error) {
+	l = l.withDefaults()
+	var req ExtractRequest
+	if err := decodeJSON(r, l.MaxBodyBytes, &req); err != nil {
+		return nil, nil, err
+	}
+	if err := l.validateSolve(req.EdgeM, req.Backend, req.Precond, req.Tol); err != nil {
+		return nil, nil, err
+	}
+	st, err := l.parseGeometry(req.Geometry, req.EdgeM)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &req, st, nil
+}
+
+// DecodeSweep parses and fully validates a /sweep body; all variant
+// geometries (or template separations) are validated up front so a
+// malformed point rejects the request instead of failing mid-stream.
+func (l Limits) DecodeSweep(r io.Reader) (*SweepRequest, []*geom.Structure, error) {
+	l = l.withDefaults()
+	var req SweepRequest
+	if err := decodeJSON(r, l.MaxBodyBytes, &req); err != nil {
+		return nil, nil, err
+	}
+	if (len(req.Variants) == 0) == (len(req.TemplateHs) == 0) {
+		return nil, nil, badRequest("exactly one of variants and template_hs_m must be non-empty")
+	}
+	if n := len(req.Variants) + len(req.TemplateHs); n > l.MaxSweepPoints {
+		return nil, nil, badRequest("%d sweep points exceed the limit of %d", n, l.MaxSweepPoints)
+	}
+	if err := l.validateSolve(req.EdgeM, req.Backend, req.Precond, req.Tol); err != nil {
+		return nil, nil, err
+	}
+	if len(req.TemplateHs) > 0 {
+		for i, h := range req.TemplateHs {
+			if !isFinite(h) || h <= 0 {
+				return nil, nil, badRequest("template_hs_m[%d] = %v is not a positive finite separation", i, h)
+			}
+		}
+		return &req, nil, nil
+	}
+	sts := make([]*geom.Structure, len(req.Variants))
+	for i, g := range req.Variants {
+		st, err := l.parseGeometry(g, req.EdgeM)
+		if err != nil {
+			msg := err.Error()
+			if re, ok := err.(*RequestError); ok {
+				msg = re.Message
+			}
+			return nil, nil, badRequest("variants[%d]: %s", i, msg)
+		}
+		sts[i] = st
+	}
+	return &req, sts, nil
+}
+
+// validateSolve checks the option fields shared by both request kinds.
+func (l Limits) validateSolve(edge float64, backend, precond string, tol float64) error {
+	if !isFinite(edge) || edge <= 0 {
+		return badRequest("edge_m = %v is not a positive finite panel edge", edge)
+	}
+	if _, err := PipelineOptions(backend, precond, tol); err != nil {
+		return err
+	}
+	return nil
+}
+
+// parseGeometry parses geomio text and enforces the geometry limits.
+func (l Limits) parseGeometry(text string, edge float64) (*geom.Structure, error) {
+	if text == "" {
+		return nil, badRequest("geometry is required (geomio text format)")
+	}
+	if int64(len(text)) > l.MaxBodyBytes {
+		return nil, badRequest("geometry text exceeds %d bytes", l.MaxBodyBytes)
+	}
+	st, err := geomio.Read(strings.NewReader(text))
+	if err != nil {
+		return nil, badRequest("bad geometry: %v", err)
+	}
+	if err := checkStructure(st, edge, l); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// checkStructure enforces the admission limits on a parsed structure:
+// coordinate sanity (geom.Validate accepts NaN sizes, the service must
+// not), count caps and the estimated panel budget.
+func checkStructure(st *geom.Structure, edge float64, l Limits) error {
+	if len(st.Conductors) > l.MaxConductors {
+		return badRequest("%d conductors exceed the limit of %d", len(st.Conductors), l.MaxConductors)
+	}
+	boxes := 0
+	var panels float64
+	for ci, c := range st.Conductors {
+		boxes += len(c.Boxes)
+		if boxes > l.MaxBoxes {
+			return badRequest("more than %d boxes", l.MaxBoxes)
+		}
+		for bi, b := range c.Boxes {
+			for _, v := range [6]float64{b.Min.X, b.Min.Y, b.Min.Z, b.Max.X, b.Max.Y, b.Max.Z} {
+				if !isFinite(v) {
+					return badRequest("conductor %d (%q) box %d has a non-finite coordinate", ci, c.Name, bi)
+				}
+			}
+			sz := b.Size()
+			if !(sz.X > 0 && sz.Y > 0 && sz.Z > 0) {
+				return badRequest("conductor %d (%q) box %d has non-positive size (zero-area or inverted)", ci, c.Name, bi)
+			}
+			panels += estimatePanels(sz, edge)
+			if panels > float64(l.MaxPanels) {
+				return badRequest("geometry at edge_m=%g estimates over %d panels (limit %d)",
+					edge, int64(panels), l.MaxPanels)
+			}
+		}
+	}
+	// Validate still runs for everything it checks beyond the above
+	// (empty conductor lists etc.).
+	if err := st.Validate(); err != nil {
+		return badRequest("bad geometry: %v", err)
+	}
+	return nil
+}
+
+// estimatePanels approximates the panel count of one box at the given
+// edge: each of the six faces splits into ceil(a/edge) x ceil(b/edge)
+// panels, exactly like geom.Panelize.
+func estimatePanels(sz geom.Vec3, edge float64) float64 {
+	nx := math.Ceil(sz.X / edge)
+	ny := math.Ceil(sz.Y / edge)
+	nz := math.Ceil(sz.Z / edge)
+	return 2 * (nx*ny + nx*nz + ny*nz)
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// PipelineOptions maps the wire-format backend/precond/tol selectors
+// onto op.Options, with the same semantics as the capx command line: an
+// explicit preconditioner on the dense backend selects the iterative
+// path, the default dense solve is the direct factorization.
+func PipelineOptions(backend, precond string, tol float64) (op.Options, error) {
+	if tol != 0 && (!isFinite(tol) || tol < 0 || tol >= 1) {
+		return op.Options{}, badRequest("tol = %v is not in (0, 1)", tol)
+	}
+	opt := op.Options{Tol: tol}
+	switch backend {
+	case "", "auto":
+		opt.Backend = op.BackendAuto
+	case "fastcap", "fmm":
+		opt.Backend = op.BackendFMM
+	case "pfft":
+		opt.Backend = op.BackendPFFT
+	case "dense":
+		opt.Backend = op.BackendDense
+		opt.Direct = precond == "" || precond == "auto"
+	default:
+		return op.Options{}, badRequest("unknown backend %q (want auto, dense, fastcap or pfft)", backend)
+	}
+	switch precond {
+	case "", "auto":
+		opt.Precond = op.PrecondAuto
+	case "none":
+		opt.Precond = op.PrecondNone
+	case "jacobi":
+		opt.Precond = op.PrecondJacobi
+	case "block":
+		opt.Precond = op.PrecondBlockJacobi
+	default:
+		return op.Options{}, badRequest("unknown preconditioner %q (want auto, none, jacobi or block)", precond)
+	}
+	return opt, nil
+}

@@ -1,0 +1,445 @@
+// Package serve implements the long-running extraction service behind
+// the capxd daemon: an HTTP/JSON front end over one shared
+// batch.Engine, so the plan, basis, kernel-table and pair-integral
+// caches built up by PRs 1-4 amortize across requests and process
+// lifetime instead of dying with each CLI invocation.
+//
+// # Endpoints
+//
+//	POST /extract   one geometry through the unified operator pipeline
+//	                (parbem.ExtractPipeline semantics, geomio payload);
+//	                async=true enqueues and returns a job id
+//	POST /sweep     a stream of geometry variants through the engine's
+//	                family-keyed plan cache, or a template a(h), b(h)
+//	                h-sweep (extract.SweepH); responds with NDJSON,
+//	                one point per line, errors as per-point entries
+//	GET  /jobs/{id} status and result of a submitted job
+//	GET  /healthz   liveness
+//	GET  /stats     queue gauges, job counters, engine cache counters
+//
+// The response schema matches capx -json (snake_case telemetry fields,
+// c_farads matrix rows), so serving and CLI tooling share consumers;
+// capx -remote http://... rides this API directly.
+//
+// # Admission control and worker budgeting
+//
+// Every solve enters a bounded job queue; when the queue is full the
+// server rejects immediately with a structured queue_full error (HTTP
+// 429) instead of building unbounded backlog. A fixed set of runner
+// goroutines drains the queue, and each running job's stage builds and
+// operator applies execute on a sched.Budgeted view of the engine's
+// persistent worker pool, capped at WorkerBudget workers per request —
+// concurrent requests divide the pool instead of each spawning
+// GOMAXPROCS goroutines on top of one another. The one exception is
+// template sweeps: extract.SweepH owns its machine-wide fan-out outside
+// the engine pool, so those serialize on a dedicated single slot
+// instead.
+//
+// Malformed input (bad JSON, bad geometry text, NaN coordinates,
+// zero-area boxes, over-limit panel estimates) is rejected at decode
+// time with a *RequestError before any solver state is touched; the
+// boundary is fuzzed (FuzzDecodeRequest) to never panic.
+//
+// # Cache sharing
+//
+// All requests share the engine's state LRU and plan cache: identical
+// geometries are pure cache hits, and geometry variants of one
+// structural family — an h-sweep arriving as separate HTTP requests —
+// reuse each other's near-field integrals, block factorizations and
+// warm starts exactly as an explicit parbem.Plan sweep would
+// (TestServeWarmCacheSpeedup pins the amortization at >= 2x).
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parbem/internal/batch"
+	"parbem/internal/extract"
+	"parbem/internal/geom"
+)
+
+// Options configures a Server. The zero value serves with a fresh
+// GOMAXPROCS engine, a queue of 64, one runner and no worker budget
+// (each job may use the whole pool).
+type Options struct {
+	// Engine optionally supplies the batch engine; nil creates one
+	// owned by the server (closed by Close) from the fields below.
+	Engine *batch.Engine
+	// Workers sizes an owned engine's persistent pool (0 = GOMAXPROCS).
+	Workers int
+	// WorkerBudget caps how many pool workers one job occupies
+	// (0 = the whole pool) via the engine's PlanWorkers budget. It
+	// applies to an owned engine only; a supplied Engine keeps its own
+	// PlanWorkers setting, which becomes the server's effective budget
+	// (reported by /stats and used to derive Runners).
+	WorkerBudget int
+	// QueueDepth bounds the admission queue (0 = 64).
+	QueueDepth int
+	// Runners is the number of concurrent jobs (0 = pool/budget when a
+	// budget is set, else 1).
+	Runners int
+	// CacheEntries / PairCacheEntries size an owned engine's caches
+	// (0 = engine defaults).
+	CacheEntries     int
+	PairCacheEntries int
+	// Limits bound individual requests (zero value = defaults).
+	Limits Limits
+	// JobHistory is how many finished jobs stay queryable via
+	// GET /jobs/{id} (0 = 256).
+	JobHistory int
+}
+
+// Server is the extraction service. Create with New, expose with
+// Handler, release with Close. Safe for concurrent use.
+type Server struct {
+	opt    Options
+	limits Limits
+	eng    *batch.Engine
+	ownEng bool
+
+	queue   chan *job
+	runners int
+	wg      sync.WaitGroup
+	// tmplSem serializes template sweeps: extract.SweepH fans out to
+	// GOMAXPROCS solver goroutines with its own per-chunk plans,
+	// outside the engine pool the per-job worker budget bounds, so at
+	// most one such sweep may use the machine at a time.
+	tmplSem chan struct{}
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	hist   []string // finished job ids in retirement order
+	seq    uint64
+	closed bool
+
+	start time.Time
+	c     counters
+
+	// sweepH runs the template h-sweep (extract.SweepH); tests inject
+	// mid-sweep failures through it to pin the per-point error
+	// reporting at the service edge.
+	sweepH func(geom.CrossingPairSpec, []float64, float64) ([]*extract.ArchFit, error)
+}
+
+// counters are the monotonic job/request counters of /stats. Queued and
+// Running are gauges.
+type counters struct {
+	accepted     atomic.Uint64
+	rejectedFull atomic.Uint64
+	badRequests  atomic.Uint64
+	completed    atomic.Uint64
+	failed       atomic.Uint64
+	queued       atomic.Int64
+	running      atomic.Int64
+
+	extracts         atomic.Uint64
+	sweeps           atomic.Uint64
+	sweepPoints      atomic.Uint64
+	sweepPointErrors atomic.Uint64
+}
+
+// jobState is the lifecycle of a job.
+type jobState int32
+
+const (
+	jobQueued jobState = iota
+	jobRunning
+	jobDone
+	jobFailed
+)
+
+func (s jobState) String() string {
+	switch s {
+	case jobQueued:
+		return "queued"
+	case jobRunning:
+		return "running"
+	case jobDone:
+		return "done"
+	case jobFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("jobState(%d)", int32(s))
+}
+
+// job is one admitted request. run executes on a runner goroutine;
+// stream, when non-nil, receives per-point sweep messages and is closed
+// by the runner when the job finishes. ctx is the requester's context:
+// a job whose client has gone is skipped when popped (a solve already
+// in flight runs to completion — the engine has no cancellation points
+// — but sweeps stop between points). Async jobs carry the background
+// context; they deliberately outlive their submitting request.
+type job struct {
+	id    string
+	kind  string // "extract" | "sweep"
+	state atomic.Int32
+	ctx   context.Context
+
+	run    func() (any, error)
+	stream chan any
+
+	result any
+	err    error
+	done   chan struct{}
+
+	enqueued time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// New creates a server and starts its runner goroutines.
+func New(opt Options) *Server {
+	s := &Server{
+		opt:     opt,
+		limits:  opt.Limits.withDefaults(),
+		eng:     opt.Engine,
+		jobs:    make(map[string]*job),
+		start:   time.Now(),
+		sweepH:  extract.SweepH,
+		tmplSem: make(chan struct{}, 1),
+	}
+	if s.eng == nil {
+		s.eng = batch.New(batch.Options{
+			Workers:          opt.Workers,
+			PlanWorkers:      opt.WorkerBudget,
+			CacheEntries:     opt.CacheEntries,
+			PairCacheEntries: opt.PairCacheEntries,
+		})
+		s.ownEng = true
+	}
+	// The effective budget is whatever the engine actually enforces: a
+	// supplied engine keeps its own PlanWorkers, and deriving runner
+	// counts (or reporting /stats) from an unenforced request-level
+	// budget would oversubscribe the pool.
+	s.opt.WorkerBudget = s.eng.PlanWorkers()
+	depth := opt.QueueDepth
+	if depth <= 0 {
+		depth = 64
+	}
+	s.queue = make(chan *job, depth)
+	s.runners = opt.Runners
+	if s.runners <= 0 {
+		if s.opt.WorkerBudget > 0 {
+			s.runners = s.eng.Workers() / s.opt.WorkerBudget
+		}
+		if s.runners < 1 {
+			s.runners = 1
+		}
+	}
+	s.wg.Add(s.runners)
+	for i := 0; i < s.runners; i++ {
+		go s.runner()
+	}
+	return s
+}
+
+// Engine exposes the shared batch engine (for tests and embedding).
+func (s *Server) Engine() *batch.Engine { return s.eng }
+
+// Close stops admitting jobs, drains the queue, waits for running jobs
+// and closes an owned engine.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+	if s.ownEng {
+		s.eng.Close()
+	}
+}
+
+// admit registers and enqueues a job; a full queue or closing server
+// rejects with a structured error.
+func (s *Server) admit(j *job) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return &RequestError{Code: CodeShuttingDown, Message: "server is shutting down"}
+	}
+	s.seq++
+	j.id = fmt.Sprintf("j%06d", s.seq)
+	j.enqueued = time.Now()
+	// Count before enqueueing: a runner may pop and decrement the
+	// queued gauge the instant the send succeeds.
+	s.c.accepted.Add(1)
+	s.c.queued.Add(1)
+	select {
+	case s.queue <- j:
+	default:
+		s.c.accepted.Add(^uint64(0))
+		s.c.queued.Add(-1)
+		s.mu.Unlock()
+		s.c.rejectedFull.Add(1)
+		return &RequestError{
+			Code:    CodeQueueFull,
+			Message: fmt.Sprintf("job queue full (%d pending)", cap(s.queue)),
+		}
+	}
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	return nil
+}
+
+// runner drains the queue until Close.
+func (s *Server) runner() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.c.queued.Add(-1)
+		s.c.running.Add(1)
+		j.started = time.Now()
+		j.state.Store(int32(jobRunning))
+
+		var v any
+		var err error
+		if j.ctx != nil && j.ctx.Err() != nil {
+			// The requester is gone (disconnect or timeout while the
+			// job sat in the queue): don't burn pool workers on a
+			// result nobody will read.
+			err = &RequestError{Code: CodeCancelled, Message: "client went away before the job started"}
+			if j.stream != nil {
+				close(j.stream)
+			}
+		} else {
+			v, err = runJob(j)
+		}
+
+		j.result, j.err = v, err
+		j.finished = time.Now()
+		if err != nil {
+			j.state.Store(int32(jobFailed))
+			s.c.failed.Add(1)
+		} else {
+			j.state.Store(int32(jobDone))
+			s.c.completed.Add(1)
+		}
+		s.c.running.Add(-1)
+		close(j.done)
+		s.retire(j)
+	}
+}
+
+// runJob executes one job with panic containment: jobs run on raw
+// runner goroutines (not HTTP handler goroutines), so without a recover
+// here one latent solver panic would kill the whole daemon and every
+// queued job. A sweep job's own deferred close(stream) runs during the
+// unwind, so the streaming handler cannot hang on a panicked job.
+func runJob(j *job) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			v = nil
+			err = &RequestError{Code: CodeInternal, Message: fmt.Sprintf("internal panic: %v", r)}
+		}
+	}()
+	return j.run()
+}
+
+// retire keeps the finished-job history bounded.
+func (s *Server) retire(j *job) {
+	limit := s.opt.JobHistory
+	if limit <= 0 {
+		limit = 256
+	}
+	s.mu.Lock()
+	s.hist = append(s.hist, j.id)
+	for len(s.hist) > limit {
+		delete(s.jobs, s.hist[0])
+		s.hist = s.hist[1:]
+	}
+	s.mu.Unlock()
+}
+
+// lookup returns a registered job.
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// newExtractJob wraps an extract request as a queue job.
+func (s *Server) newExtractJob(ctx context.Context, req *ExtractRequest, st *geom.Structure) *job {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	j := &job{kind: "extract", done: make(chan struct{}), ctx: ctx}
+	j.run = func() (any, error) {
+		s.c.extracts.Add(1)
+		res, err := s.runExtract(j.id, req, st)
+		return res, err
+	}
+	return j
+}
+
+// newSweepJob wraps a sweep request as a streaming queue job.
+func (s *Server) newSweepJob(ctx context.Context, req *SweepRequest, sts []*geom.Structure) *job {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	j := &job{kind: "sweep", done: make(chan struct{}), stream: make(chan any, 16), ctx: ctx}
+	j.run = func() (any, error) {
+		s.c.sweeps.Add(1)
+		defer close(j.stream)
+		return s.runSweep(j, req, sts)
+	}
+	return j
+}
+
+// Stats is the /stats payload.
+type Stats struct {
+	UptimeSec    float64 `json:"uptime_sec"`
+	QueueDepth   int     `json:"queue_depth"`
+	QueueCap     int     `json:"queue_cap"`
+	Runners      int     `json:"runners"`
+	PoolWorkers  int     `json:"pool_workers"`
+	WorkerBudget int     `json:"worker_budget"`
+
+	Accepted          uint64 `json:"jobs_accepted"`
+	RejectedQueueFull uint64 `json:"jobs_rejected_queue_full"`
+	BadRequests       uint64 `json:"bad_requests"`
+	Completed         uint64 `json:"jobs_completed"`
+	Failed            uint64 `json:"jobs_failed"`
+	Queued            int64  `json:"jobs_queued"`
+	Running           int64  `json:"jobs_running"`
+
+	Extracts         uint64 `json:"extracts"`
+	Sweeps           uint64 `json:"sweeps"`
+	SweepPoints      uint64 `json:"sweep_points"`
+	SweepPointErrors uint64 `json:"sweep_point_errors"`
+
+	Engine batch.Stats `json:"engine"`
+}
+
+// Stats snapshots the server and engine counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		UptimeSec:    time.Since(s.start).Seconds(),
+		QueueDepth:   len(s.queue),
+		QueueCap:     cap(s.queue),
+		Runners:      s.runners,
+		PoolWorkers:  s.eng.Workers(),
+		WorkerBudget: s.opt.WorkerBudget,
+
+		Accepted:          s.c.accepted.Load(),
+		RejectedQueueFull: s.c.rejectedFull.Load(),
+		BadRequests:       s.c.badRequests.Load(),
+		Completed:         s.c.completed.Load(),
+		Failed:            s.c.failed.Load(),
+		Queued:            s.c.queued.Load(),
+		Running:           s.c.running.Load(),
+
+		Extracts:         s.c.extracts.Load(),
+		Sweeps:           s.c.sweeps.Load(),
+		SweepPoints:      s.c.sweepPoints.Load(),
+		SweepPointErrors: s.c.sweepPointErrors.Load(),
+
+		Engine: s.eng.Stats(),
+	}
+}

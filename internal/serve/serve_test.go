@@ -1,0 +1,518 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"parbem/internal/extract"
+	"parbem/internal/geom"
+	"parbem/internal/geomio"
+	"parbem/internal/op"
+	"parbem/internal/pcbem"
+)
+
+// geoText serializes a structure to the wire format.
+func geoText(t testing.TB, st *geom.Structure) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := geomio.Write(&sb, st, 0); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// crossingAt builds a crossing-pair variant at separation h.
+func crossingAt(h float64) *geom.Structure {
+	sp := geom.DefaultCrossingPair()
+	sp.H = h
+	return sp.Build()
+}
+
+// capError is the conventional relative matrix error (parbem.CapError).
+func capError(got, ref [][]float64) float64 {
+	var maxRel float64
+	for i := range ref {
+		den := ref[i][i]
+		if den < 0 {
+			den = -den
+		}
+		for j := range ref[i] {
+			d := got[i][j] - ref[i][j]
+			if d < 0 {
+				d = -d
+			}
+			if rel := d / den; rel > maxRel {
+				maxRel = rel
+			}
+		}
+	}
+	return maxRel
+}
+
+// denseRows flattens a linalg matrix result for comparison.
+func denseRows(rows [][]float64) [][]float64 { return rows }
+
+// startServer spins up a Server over httptest and returns a client.
+func startServer(t testing.TB, opt Options) (*Server, *Client) {
+	t.Helper()
+	s := New(opt)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return s, NewClient(hs.URL)
+}
+
+func TestServeExtractAndJobs(t *testing.T) {
+	s, c := startServer(t, Options{Workers: 2})
+	ctx := context.Background()
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+
+	st := crossingAt(geom.DefaultCrossingPair().H)
+	const edge = 0.5e-6
+	req := &ExtractRequest{Geometry: geoText(t, st), EdgeM: edge, Backend: "dense"}
+	res, err := c.Extract(ctx, req)
+	if err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	if res.Backend != "dense" || res.NumPanels == 0 || len(res.CFarads) != 2 {
+		t.Fatalf("bad response: backend %q, %d panels, %d rows",
+			res.Backend, res.NumPanels, len(res.CFarads))
+	}
+	if res.JobID == "" {
+		t.Error("response carries no job id")
+	}
+
+	// The service must agree with a one-shot pipeline solve.
+	prob, err := pcbem.NewProblem(st, edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := prob.SolvePipeline(op.Options{Backend: op.BackendDense, Direct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRows := make([][]float64, ref.C.Rows)
+	for i := range refRows {
+		refRows[i] = ref.C.Row(i)
+	}
+	if e := capError(res.CFarads, refRows); e > 1e-10 {
+		t.Errorf("served result deviates from one-shot dense by %.3g (tol 1e-10)", e)
+	}
+
+	// Async submission round-trips through GET /jobs/{id}.
+	id, err := c.ExtractAsync(ctx, req)
+	if err != nil {
+		t.Fatalf("async extract: %v", err)
+	}
+	var jr *JobResponse
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		jr, err = c.Job(ctx, id)
+		if err != nil {
+			t.Fatalf("job %s: %v", id, err)
+		}
+		if jr.Status == "done" || jr.Status == "failed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, jr.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if jr.Status != "done" || jr.Result == nil {
+		t.Fatalf("async job: status %s, result %v, err %v", jr.Status, jr.Result, jr.Error)
+	}
+	if e := capError(jr.Result.CFarads, refRows); e > 1e-10 {
+		t.Errorf("async result deviates by %.3g", e)
+	}
+	if _, err := c.Job(ctx, "j999999"); err == nil {
+		t.Error("unknown job id did not 404")
+	} else if re := new(RequestError); !errors.As(err, &re) || re.Code != CodeNotFound {
+		t.Errorf("unknown job error = %v, want not_found", err)
+	}
+
+	stats := s.Stats()
+	if stats.Accepted != 2 || stats.Completed != 2 || stats.Failed != 0 {
+		t.Errorf("stats: %d accepted, %d completed, %d failed; want 2/2/0",
+			stats.Accepted, stats.Completed, stats.Failed)
+	}
+}
+
+// TestServeWarmCacheSpeedup is the acceptance criterion of the service
+// layer: identical-family requests against a warm capxd share the plan
+// cache across HTTP requests, so the 2nd..Nth variant completes at
+// least 2x faster than the first while agreeing with one-shot
+// ExtractPipeline solves to < 1e-10.
+func TestServeWarmCacheSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 2x4 medium extractions")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation distorts the cold/warm timing ratio")
+	}
+	const edge = 0.25e-6
+	hs := []float64{0.35e-6, 0.40e-6, 0.45e-6, 0.50e-6}
+	// Tight tolerance so plan warm starts are invisible next to the
+	// 1e-10 agreement bound (the TestSweepIncrementalSpeedup setup).
+	popt := op.Options{Backend: op.BackendFMM, Precond: op.PrecondBlockJacobi, Tol: 1e-12}
+
+	_, c := startServer(t, Options{Workers: 2})
+	ctx := context.Background()
+
+	times := make([]time.Duration, len(hs))
+	results := make([][][]float64, len(hs))
+	for i, h := range hs {
+		req := &ExtractRequest{
+			Geometry: geoText(t, crossingAt(h)),
+			EdgeM:    edge, Backend: "fastcap", Precond: "block", Tol: 1e-12,
+		}
+		t0 := time.Now()
+		res, err := c.Extract(ctx, req)
+		if err != nil {
+			t.Fatalf("h=%g: %v", h, err)
+		}
+		times[i] = time.Since(t0)
+		results[i] = res.CFarads
+	}
+
+	// Every served matrix agrees with an independent one-shot solve.
+	for i, h := range hs {
+		prob, err := pcbem.NewProblem(crossingAt(h), edge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := prob.SolvePipeline(popt)
+		if err != nil {
+			t.Fatalf("one-shot h=%g: %v", h, err)
+		}
+		refRows := make([][]float64, ref.C.Rows)
+		for r := range refRows {
+			refRows[r] = ref.C.Row(r)
+		}
+		if e := capError(results[i], refRows); e > 1e-10 {
+			t.Errorf("h=%g: served deviates from one-shot by %.3g (tol 1e-10)", h, e)
+		}
+	}
+
+	warm := times[1]
+	for _, d := range times[2:] {
+		if d < warm {
+			warm = d
+		}
+	}
+	speedup := float64(times[0]) / float64(warm)
+	t.Logf("cold %v, warm %v (best of %d), speedup %.2fx (times %v)",
+		times[0], warm, len(hs)-1, speedup, times)
+	if speedup < 2 {
+		t.Errorf("warm-cache speedup %.2fx, want >= 2x (cold %v, warm %v)",
+			speedup, times[0], warm)
+	}
+}
+
+// TestServeSweepVariants streams a variant sweep and checks the
+// family-plan reuse markers and per-point payloads.
+func TestServeSweepVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several extractions")
+	}
+	_, c := startServer(t, Options{Workers: 2})
+	hs := []float64{0.4e-6, 0.5e-6, 0.6e-6}
+	req := &SweepRequest{EdgeM: 0.5e-6, Backend: "fastcap", Precond: "block"}
+	for _, h := range hs {
+		req.Variants = append(req.Variants, geoText(t, crossingAt(h)))
+	}
+	var pts []*SweepPoint
+	tr, err := c.Sweep(context.Background(), req, func(p *SweepPoint) { pts = append(pts, p) })
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if tr.Points != len(hs) || tr.Failed != 0 {
+		t.Fatalf("trailer: %+v", tr)
+	}
+	if len(pts) != len(hs) {
+		t.Fatalf("streamed %d points, want %d", len(pts), len(hs))
+	}
+	for i, p := range pts {
+		if p.Index != i || p.Error != nil || len(p.CFarads) != 2 {
+			t.Errorf("point %d: %+v", i, p)
+		}
+	}
+	for _, p := range pts[1:] {
+		if p.Reused == "none" {
+			t.Errorf("warm point %d reused nothing (family plan not shared)", p.Index)
+		}
+	}
+}
+
+// TestServeSweepTemplatePointError pins the service-edge fix for
+// extract.SweepH partial failures: a mid-sweep PointError surfaces as
+// that point's error entry in the streamed JSON — tagged with its h —
+// while the healthy points still stream their fits. No dropped points.
+func TestServeSweepTemplatePointError(t *testing.T) {
+	s, c := startServer(t, Options{Workers: 2})
+	hs := []float64{0.4e-6, 0.5e-6, 0.6e-6}
+	// Inject the exact failure shape SweepH produces when a point dies
+	// mid-sweep: fits[i] nil for the failed point, the joined error
+	// carrying one PointError per failure.
+	s.sweepH = func(base geom.CrossingPairSpec, in []float64, maxEdge float64) ([]*extract.ArchFit, error) {
+		fits := make([]*extract.ArchFit, len(in))
+		var errs []error
+		for i, h := range in {
+			if i == 1 {
+				errs = append(errs, &extract.PointError{H: h, Err: fmt.Errorf("injected mid-sweep failure")})
+				continue
+			}
+			fits[i] = &extract.ArchFit{Flat: 1 + float64(i), Peak: 2, PeakPos: 0, Decay: 1e-7}
+		}
+		return fits, errors.Join(errs...)
+	}
+
+	var pts []*SweepPoint
+	tr, err := c.Sweep(context.Background(), &SweepRequest{EdgeM: 0.5e-6, TemplateHs: hs},
+		func(p *SweepPoint) { pts = append(pts, p) })
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if len(pts) != len(hs) {
+		t.Fatalf("streamed %d points, want %d — the failed point must not be dropped", len(pts), len(hs))
+	}
+	if tr.Failed != 1 || tr.Points != len(hs) {
+		t.Errorf("trailer: %+v, want 3 points 1 failed", tr)
+	}
+	for i, p := range pts {
+		if p.Index != i || p.HM != hs[i] {
+			t.Errorf("point %d: index %d h %g, want h %g", i, p.Index, p.HM, hs[i])
+		}
+	}
+	if pts[0].Fit == nil || pts[2].Fit == nil {
+		t.Error("healthy points lost their fits")
+	}
+	if pts[1].Error == nil || pts[1].Error.Code != CodePointFailed {
+		t.Errorf("failed point streamed %+v, want a point_failed error entry", pts[1])
+	}
+	if pts[1].Fit != nil {
+		t.Error("failed point carries a fit")
+	}
+	if !strings.Contains(pts[1].Error.Message, "injected mid-sweep failure") {
+		t.Errorf("error entry lost the cause: %q", pts[1].Error.Message)
+	}
+}
+
+// TestServeTemplateSweepEndToEnd runs a real (uninjected) template
+// sweep through the HTTP boundary.
+func TestServeTemplateSweepEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solves crossing problems")
+	}
+	_, c := startServer(t, Options{Workers: 2})
+	hs := []float64{0.4e-6, 0.6e-6}
+	var pts []*SweepPoint
+	tr, err := c.Sweep(context.Background(), &SweepRequest{EdgeM: 0.5e-6, TemplateHs: hs},
+		func(p *SweepPoint) { pts = append(pts, p) })
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if tr.Failed != 0 || len(pts) != 2 {
+		t.Fatalf("trailer %+v, %d points", tr, len(pts))
+	}
+	for i, p := range pts {
+		if p.Fit == nil {
+			t.Fatalf("point %d has no fit: %+v", i, p)
+		}
+		if p.Fit.Flat == 0 || p.Fit.Peak == 0 {
+			t.Errorf("point %d fit degenerate: %+v", i, p.Fit)
+		}
+	}
+	// Closer wires induce a stronger arch: |b(h)| decreases with h.
+	if math.Abs(pts[0].Fit.Peak) <= math.Abs(pts[1].Fit.Peak) {
+		t.Errorf("|b(h)| not decreasing: %g at h=%g vs %g at h=%g",
+			pts[0].Fit.Peak, hs[0], pts[1].Fit.Peak, hs[1])
+	}
+}
+
+// TestServeAdmissionControl fills the queue and expects structured
+// queue_full rejections rather than unbounded backlog.
+func TestServeAdmissionControl(t *testing.T) {
+	s, c := startServer(t, Options{Workers: 1, QueueDepth: 1, Runners: 1})
+	ctx := context.Background()
+
+	// Occupy the single runner with a blocking job, then fill the
+	// depth-1 queue so the next request must be rejected.
+	started := make(chan struct{})
+	block := make(chan struct{})
+	slow := &job{kind: "extract", done: make(chan struct{})}
+	slow.run = func() (any, error) { close(started); <-block; return nil, fmt.Errorf("cancelled") }
+	if err := s.admit(slow); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	filler := &job{kind: "extract", done: make(chan struct{})}
+	filler.run = func() (any, error) { return nil, fmt.Errorf("cancelled") }
+	if err := s.admit(filler); err != nil {
+		t.Fatalf("queue slot should be free: %v", err)
+	}
+
+	_, err := c.Extract(ctx, &ExtractRequest{
+		Geometry: geoText(t, crossingAt(0.5e-6)), EdgeM: 0.5e-6, Backend: "dense",
+	})
+	re := new(RequestError)
+	if !errors.As(err, &re) || re.Code != CodeQueueFull {
+		t.Errorf("full queue returned %v, want queue_full", err)
+	}
+	if s.Stats().RejectedQueueFull == 0 {
+		t.Error("rejection not counted")
+	}
+	close(block)
+}
+
+// TestServeBadRequests checks the structured-rejection boundary over
+// real HTTP for the malformed shapes the fuzzer explores.
+func TestServeBadRequests(t *testing.T) {
+	s, c := startServer(t, Options{Workers: 1})
+	cases := []struct {
+		name string
+		req  *ExtractRequest
+	}{
+		{"empty geometry", &ExtractRequest{EdgeM: 1e-6}},
+		{"bad geometry text", &ExtractRequest{Geometry: "box 1 2 3", EdgeM: 1e-6}},
+		{"zero edge", &ExtractRequest{Geometry: "conductor a\nbox 0 0 0 1 1 1", EdgeM: 0}},
+		{"zero-area box", &ExtractRequest{Geometry: "conductor a\nbox 0 0 0 1 1 0", EdgeM: 1e-6}},
+		{"nan coordinate", &ExtractRequest{Geometry: "conductor a\nbox nan 0 0 1 1 1", EdgeM: 1e-6}},
+		{"huge panel count", &ExtractRequest{Geometry: "conductor a\nbox 0 0 0 1000 1000 1000", EdgeM: 1e-9}},
+		{"bad backend", &ExtractRequest{Geometry: "conductor a\nbox 0 0 0 1 1 1", EdgeM: 1e-6, Backend: "cuda"}},
+		{"bad tol", &ExtractRequest{Geometry: "conductor a\nbox 0 0 0 1 1 1", EdgeM: 1e-6, Tol: 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := c.Extract(context.Background(), tc.req)
+			re := new(RequestError)
+			if !errors.As(err, &re) || re.Code != CodeBadRequest {
+				t.Errorf("got %v, want a bad_request rejection", err)
+			}
+		})
+	}
+	if got := s.Stats().BadRequests; got != uint64(len(cases)) {
+		t.Errorf("bad request counter %d, want %d", got, len(cases))
+	}
+	if got := s.Stats().Accepted; got != 0 {
+		t.Errorf("rejected requests were admitted: %d", got)
+	}
+}
+
+// TestServeCancelledQueuedJobSkipped pins the dead-client behavior: a
+// synchronous job whose requester disconnects while it is still queued
+// is skipped when popped (marked failed with code "cancelled") instead
+// of burning pool workers on a result nobody will read.
+func TestServeCancelledQueuedJobSkipped(t *testing.T) {
+	s, c := startServer(t, Options{Workers: 1, QueueDepth: 4, Runners: 1})
+
+	// Occupy the single runner so the next request queues.
+	started := make(chan struct{})
+	block := make(chan struct{})
+	blocker := &job{kind: "extract", done: make(chan struct{})}
+	blocker.run = func() (any, error) { close(started); <-block; return nil, fmt.Errorf("done") }
+	if err := s.admit(blocker); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// Queue a job whose context is already cancelled (the deterministic
+	// equivalent of a client that hung up while queued — server-side
+	// context propagation from a real disconnect is asynchronous).
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dead := s.newExtractJob(ctx, &ExtractRequest{EdgeM: 0.5e-6, Backend: "dense"}, crossingAt(0.5e-6))
+	if err := s.admit(dead); err != nil {
+		t.Fatal(err)
+	}
+
+	// A live HTTP client cancelling mid-queue gets an error promptly
+	// instead of waiting out the queue.
+	hctx, hcancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Extract(hctx, &ExtractRequest{
+			Geometry: geoText(t, crossingAt(0.5e-6)), EdgeM: 0.5e-6, Backend: "dense",
+		})
+		errCh <- err
+	}()
+	for deadline := time.Now().Add(5 * time.Second); s.Stats().Queued < 2; {
+		if time.Now().After(deadline) {
+			t.Fatal("request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	hcancel()
+	if err := <-errCh; err == nil {
+		t.Fatal("cancelled client got a response")
+	}
+	close(block)
+
+	// The dead job must be retired as cancelled without running.
+	<-dead.done
+	if got := jobState(dead.state.Load()); got != jobFailed {
+		t.Errorf("dead job state %v, want failed", got)
+	}
+	re, ok := dead.err.(*RequestError)
+	if !ok || re.Code != CodeCancelled {
+		t.Errorf("dead job error %v, want code cancelled", dead.err)
+	}
+	if dead.result != nil {
+		t.Error("dead job produced a result")
+	}
+	// The solver may legitimately have run once for the live client's
+	// job (its cancellation is asynchronous), but never for dead.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		st := s.Stats()
+		if st.Completed+st.Failed == st.Accepted {
+			if st.Extracts > 2 {
+				t.Errorf("%d solver runs for 1 live + 1 blocker + 1 dead job", st.Extracts)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs never drained: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestServePanicContainment pins the runner's panic recovery: a panic
+// deep in the solver stack fails that one job with internal_error, and
+// the daemon keeps serving.
+func TestServePanicContainment(t *testing.T) {
+	s, c := startServer(t, Options{Workers: 1})
+	s.sweepH = func(geom.CrossingPairSpec, []float64, float64) ([]*extract.ArchFit, error) {
+		panic("injected solver panic")
+	}
+	_, err := c.Sweep(context.Background(),
+		&SweepRequest{EdgeM: 0.5e-6, TemplateHs: []float64{0.4e-6}}, nil)
+	re := new(RequestError)
+	if !errors.As(err, &re) || re.Code != CodeInternal {
+		t.Fatalf("panicked sweep returned %v, want internal_error", err)
+	}
+	// The server must still be alive and serving.
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("server dead after contained panic: %v", err)
+	}
+	res, err := c.Extract(context.Background(), &ExtractRequest{
+		Geometry: geoText(t, crossingAt(0.5e-6)), EdgeM: 0.5e-6, Backend: "dense",
+	})
+	if err != nil || len(res.CFarads) != 2 {
+		t.Fatalf("extraction after contained panic: %v", err)
+	}
+	st := s.Stats()
+	if st.Failed != 1 || st.Completed != 1 {
+		t.Errorf("stats after panic: failed %d completed %d, want 1/1", st.Failed, st.Completed)
+	}
+}

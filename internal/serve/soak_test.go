@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"parbem/internal/geom"
+)
+
+// TestServeConcurrentSoak fires concurrent mixed-backend /extract and
+// /sweep traffic at one server (run under -race in CI) and asserts
+//
+//   - every request succeeds and each goroutine's repeated identical
+//     request returns bitwise-identical results (the plan cache serves
+//     the same artifacts; dense-direct sweep reuse is exact), and
+//   - the /stats counters balance: nothing lost, nothing double-counted.
+//
+// Family-plan interleaving hazards are part of the design: two
+// goroutines share the dense sweep family on purpose, and the fmm
+// extract goroutines use distinct tolerances so each owns its family
+// plan (same-family alternation would legitimately warm-start to
+// different-in-the-ulps results).
+func TestServeConcurrentSoak(t *testing.T) {
+	repeats := 3
+	if testing.Short() {
+		repeats = 2
+	}
+	s, c := startServer(t, Options{Workers: 2, WorkerBudget: 1, Runners: 2, QueueDepth: 128})
+	ctx := context.Background()
+
+	bus := geom.DefaultBus(2, 2).Build()
+
+	// Bodies run on spawned goroutines, so they report failures as
+	// errors instead of calling t.Fatal.
+	extractBody := func(req *ExtractRequest) func() (string, error) {
+		return func() (string, error) {
+			res, err := c.Extract(ctx, req)
+			if err != nil {
+				return "", fmt.Errorf("extract: %w", err)
+			}
+			buf, _ := json.Marshal(res.CFarads)
+			return string(buf), nil
+		}
+	}
+	asyncBody := func(req *ExtractRequest) func() (string, error) {
+		return func() (string, error) {
+			id, err := c.ExtractAsync(ctx, req)
+			if err != nil {
+				return "", fmt.Errorf("async: %w", err)
+			}
+			for deadline := time.Now().Add(time.Minute); ; {
+				jr, err := c.Job(ctx, id)
+				if err != nil {
+					return "", fmt.Errorf("poll: %w", err)
+				}
+				if jr.Status == "failed" {
+					return "", fmt.Errorf("job failed: %v", jr.Error)
+				}
+				if jr.Status == "done" {
+					buf, _ := json.Marshal(jr.Result.CFarads)
+					return string(buf), nil
+				}
+				if time.Now().After(deadline) {
+					return "", fmt.Errorf("job stuck")
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+	}
+	sweepBody := func(req *SweepRequest) func() (string, error) {
+		return func() (string, error) {
+			var pts []*SweepPoint
+			tr, err := c.Sweep(ctx, req, func(p *SweepPoint) { pts = append(pts, p) })
+			if err != nil {
+				return "", fmt.Errorf("sweep: %w", err)
+			}
+			if tr.Failed != 0 {
+				return "", fmt.Errorf("sweep failed points: %+v", tr)
+			}
+			comparable := make([]any, 0, len(pts))
+			for _, p := range pts {
+				comparable = append(comparable, []any{p.Index, p.CFarads, p.Fit})
+			}
+			buf, _ := json.Marshal(comparable)
+			return string(buf), nil
+		}
+	}
+
+	const edge = 0.5e-6
+	clients := []struct {
+		name string
+		body func() (string, error)
+	}{
+		{"dense-direct", extractBody(&ExtractRequest{
+			Geometry: geoText(t, crossingAt(0.5e-6)), EdgeM: edge, Backend: "dense"})},
+		{"dense-direct-twin", extractBody(&ExtractRequest{
+			Geometry: geoText(t, crossingAt(0.5e-6)), EdgeM: edge, Backend: "dense"})},
+		{"fmm-block", extractBody(&ExtractRequest{
+			Geometry: geoText(t, crossingAt(0.5e-6)), EdgeM: edge,
+			Backend: "fastcap", Precond: "block", Tol: 1e-6})},
+		{"fmm-block-h7", extractBody(&ExtractRequest{
+			Geometry: geoText(t, crossingAt(0.7e-6)), EdgeM: edge,
+			Backend: "fastcap", Precond: "block", Tol: 2e-6})},
+		{"auto-bus-async", asyncBody(&ExtractRequest{
+			Geometry: geoText(t, bus), EdgeM: 1e-6, Backend: "auto"})},
+		{"dense-sweep", sweepBody(&SweepRequest{
+			EdgeM: edge, Backend: "dense",
+			Variants: []string{geoText(t, crossingAt(0.45e-6)), geoText(t, crossingAt(0.55e-6))}})},
+		{"dense-sweep-twin", sweepBody(&SweepRequest{
+			EdgeM: edge, Backend: "dense",
+			Variants: []string{geoText(t, crossingAt(0.45e-6)), geoText(t, crossingAt(0.55e-6))}})},
+		{"template-sweep", sweepBody(&SweepRequest{
+			EdgeM: edge, TemplateHs: []float64{0.4e-6, 0.6e-6}})},
+	}
+
+	var wg sync.WaitGroup
+	for _, cl := range clients {
+		wg.Add(1)
+		go func(name string, body func() (string, error)) {
+			defer wg.Done()
+			var first string
+			for rep := 0; rep < repeats; rep++ {
+				payload, err := body()
+				if err != nil {
+					t.Errorf("%s repeat %d: %v", name, rep, err)
+					return
+				}
+				if rep == 0 {
+					first = payload
+					continue
+				}
+				if payload != first {
+					t.Errorf("%s: repeat %d not bitwise-stable:\nfirst %s\n now  %s",
+						name, rep, first, payload)
+				}
+			}
+		}(cl.name, cl.body)
+	}
+	wg.Wait()
+
+	stats := s.Stats()
+	wantJobs := uint64(len(clients) * repeats)
+	if stats.Accepted != wantJobs {
+		t.Errorf("accepted %d jobs, want %d (lost or double-counted admissions)", stats.Accepted, wantJobs)
+	}
+	if stats.Completed != wantJobs || stats.Failed != 0 {
+		t.Errorf("completed %d / failed %d, want %d / 0", stats.Completed, stats.Failed, wantJobs)
+	}
+	if stats.Queued != 0 || stats.Running != 0 {
+		t.Errorf("gauges not drained: queued %d running %d", stats.Queued, stats.Running)
+	}
+	if stats.Extracts+stats.Sweeps != wantJobs {
+		t.Errorf("extracts %d + sweeps %d != %d", stats.Extracts, stats.Sweeps, wantJobs)
+	}
+	wantPoints := uint64(3 * repeats * 2) // three sweep clients x two points
+	if stats.SweepPoints != wantPoints {
+		t.Errorf("sweep points %d, want %d (dropped or duplicated points)", stats.SweepPoints, wantPoints)
+	}
+	if stats.SweepPointErrors != 0 {
+		t.Errorf("%d sweep point errors on healthy traffic", stats.SweepPointErrors)
+	}
+	if stats.Engine.StateHits == 0 {
+		t.Error("engine state cache never hit: requests are not sharing the plan cache")
+	}
+	if stats.RejectedQueueFull != 0 {
+		t.Errorf("%d rejections with an empty 128-deep queue", stats.RejectedQueueFull)
+	}
+}

@@ -97,6 +97,42 @@
 // (TestSweepIncrementalSpeedup); SweepH and the capx -sweep flag run on
 // plans internally. Results must be treated as read-only — cache hits
 // return the cached object and warm starts read the stored charges.
+//
+// # Running as a service
+//
+// All of the above amortization — the engine's basis/table/pair caches,
+// the family-keyed plan cache, the persistent worker pool — pays off
+// most when it survives process lifetime. The capxd daemon
+// (cmd/capxd, implemented in internal/serve) serves extractions over
+// HTTP/JSON from exactly that shared state:
+//
+//	capxd -addr :8437 -workers 8 -budget 2 -queue 128
+//
+// The API surface:
+//
+//   - POST /extract solves one geomio-format geometry through the
+//     unified pipeline (backend/precond/tol/edge_m request fields map
+//     onto ExtractPipeline); async=true enqueues and returns a job id
+//     for GET /jobs/{id}.
+//   - POST /sweep streams geometry variants through the family-keyed
+//     plan cache (or a template a(h), b(h) h-sweep via SweepH) as
+//     NDJSON, one point per line; a failing point becomes a per-point
+//     error entry, never a dropped point.
+//   - GET /healthz and GET /stats expose liveness, queue gauges, job
+//     counters and the engine cache counters.
+//
+// Admission control keeps the daemon stable under heavy traffic: a
+// bounded job queue rejects overload immediately (HTTP 429, structured
+// queue_full error), a fixed runner count bounds concurrent solves, and
+// each job's parallel work runs on a budgeted view of the shared worker
+// pool (-budget workers per job) so concurrent requests divide the
+// machine instead of oversubscribing it. Responses carry the same
+// telemetry schema as capx -json, and capx -remote http://... rides a
+// warm server from the command line. Identical-family requests hit the
+// shared plan cache across HTTP requests (TestServeWarmCacheSpeedup
+// enforces the >= 2x warm amortization); the golden-corpus harness
+// (TestGoldenCorpus) pins every backend against stored reference
+// matrices so service refactors cannot silently drift the physics.
 package parbem
 
 import (
@@ -195,6 +231,10 @@ const (
 
 // Eps0 is the vacuum permittivity (F/m).
 const Eps0 = kernel.Eps0
+
+// NewMatrix allocates a zeroed rows x cols dense matrix (the type
+// capacitance results use).
+func NewMatrix(rows, cols int) *Matrix { return linalg.NewDense(rows, cols) }
 
 // DefaultKernelConfig returns the standard integration configuration.
 func DefaultKernelConfig() *KernelConfig { return kernel.DefaultConfig() }

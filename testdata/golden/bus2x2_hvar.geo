@@ -1,0 +1,10 @@
+structure bus-2x2
+unit 1e-06
+conductor mx0
+box -3.5 -1.5 -0.25 3.5 -0.5 0.25
+conductor mx1
+box -3.5 0.5 -0.25 3.5 1.5 0.25
+conductor my0
+box -1.5 -3.5 1.75 -0.5 3.5 2.25
+conductor my1
+box 0.5 -3.5 1.75 1.5 3.5 2.25

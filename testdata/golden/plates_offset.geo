@@ -1,0 +1,6 @@
+structure plates
+unit 1e-06
+conductor bot
+box 0 0 0 6 6 0.2
+conductor top
+box 2 2 0.7 8 8 0.9
