@@ -6,15 +6,25 @@
 //	capxd -addr :8437 -workers 8 -budget 2 -queue 128
 //
 // Endpoints: POST /extract, POST /sweep (NDJSON stream), GET /jobs/{id},
-// GET /healthz, GET /stats. The capx CLI rides the same API:
+// GET /healthz, GET /stats (JSON), GET /metrics (Prometheus text
+// exposition: every /stats counter plus queue-wait and per-stage
+// latency histograms). The capx CLI rides the same API:
 //
 //	capx -remote http://localhost:8437 -structure bus -backend fastcap
 //	capx -remote http://localhost:8437 -structure crossing -sweep 8
 //
-// Admission control: requests beyond -queue pending jobs are rejected
-// immediately with HTTP 429 and a structured queue_full error; -budget
-// caps how many pool workers any single job occupies, so -runners
-// concurrent jobs share the persistent pool instead of oversubscribing.
+// Admission control: extracts and sweeps queue separately (-queue and
+// -sweep-queue) and runners always take a waiting extract before the
+// next sweep, so bulk traffic cannot starve interactive requests.
+// Requests beyond the class queue depth are rejected immediately with
+// HTTP 429 and a structured queue_full error; -budget caps how many
+// pool workers any single job occupies, so -runners concurrent jobs
+// share the persistent pool instead of oversubscribing. With
+// -tenant-rate set, each tenant (X-Tenant request header) is admitted
+// through its own token bucket and rejected with a structured 429 when
+// over its rate. Requests may carry timeout_ms; expiry returns a
+// structured deadline_exceeded error (HTTP 504) with the stage,
+// elapsed time and iterations completed when the deadline fired.
 package main
 
 import (
@@ -33,16 +43,19 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8437", "listen address")
-		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		budget    = flag.Int("budget", 0, "max pool workers per job (0 = whole pool)")
-		runners   = flag.Int("runners", 0, "concurrent jobs (0 = workers/budget, min 1)")
-		queue     = flag.Int("queue", 64, "admission queue depth")
-		cache     = flag.Int("cache", 0, "state/plan LRU entries (0 = default 64)")
-		pairCache = flag.Int("paircache", 0, "pair-integral cache entries (0 = default)")
-		maxBody   = flag.Int64("maxbody", 0, "request body cap in bytes (0 = default 8 MiB)")
-		maxPanels = flag.Int("maxpanels", 0, "per-request estimated panel cap (0 = default 200000)")
-		history   = flag.Int("jobhistory", 0, "finished jobs kept for GET /jobs/{id} (0 = default 256)")
+		addr        = flag.String("addr", ":8437", "listen address")
+		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		budget      = flag.Int("budget", 0, "max pool workers per job (0 = whole pool)")
+		runners     = flag.Int("runners", 0, "concurrent jobs (0 = workers/budget, min 1)")
+		queue       = flag.Int("queue", 64, "interactive (extract) admission queue depth")
+		sweepQueue  = flag.Int("sweep-queue", 0, "bulk (sweep) admission queue depth (0 = same as -queue)")
+		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant admitted requests/sec via X-Tenant header (0 = unlimited)")
+		tenantBurst = flag.Int("tenant-burst", 0, "per-tenant burst capacity (0 = ceil(rate))")
+		cache       = flag.Int("cache", 0, "state/plan LRU entries (0 = default 64)")
+		pairCache   = flag.Int("paircache", 0, "pair-integral cache entries (0 = default)")
+		maxBody     = flag.Int64("maxbody", 0, "request body cap in bytes (0 = default 8 MiB)")
+		maxPanels   = flag.Int("maxpanels", 0, "per-request estimated panel cap (0 = default 200000)")
+		history     = flag.Int("jobhistory", 0, "finished jobs kept for GET /jobs/{id} (0 = default 256)")
 	)
 	flag.Parse()
 
@@ -51,6 +64,9 @@ func main() {
 		WorkerBudget:     *budget,
 		Runners:          *runners,
 		QueueDepth:       *queue,
+		SweepQueueDepth:  *sweepQueue,
+		TenantRate:       *tenantRate,
+		TenantBurst:      *tenantBurst,
 		CacheEntries:     *cache,
 		PairCacheEntries: *pairCache,
 		JobHistory:       *history,

@@ -1,0 +1,288 @@
+// Capxload is the load harness for capxd: it drives the golden-corpus
+// geometries (testdata/golden) at a configurable concurrency and
+// reports the sustained request rate, latency percentiles and
+// rejection rates the service holds under that load.
+//
+//	capxload -addr http://localhost:8437 -c 8 -d 30s
+//	capxload -inprocess -c 4 -d 10s -workers 4 -budget 1
+//
+// Each worker loops over the corpus round-robin issuing synchronous
+// POST /extract requests (optionally mixing in a variants sweep every
+// -sweep-every requests); -timeout-ms attaches a per-request deadline
+// and -tenant an X-Tenant header, so the daemon's QoS machinery —
+// deadline_exceeded 504s, per-tenant 429s, queue_full backpressure —
+// is exercised exactly as production traffic would. Rejections and
+// deadline expiries are expected outcomes under saturation and are
+// tallied, not treated as harness failures; transport errors and
+// malformed responses are.
+//
+// With -inprocess the harness embeds a serve.Server over a loopback
+// listener instead of dialing a daemon, giving CI a deterministic
+// smoke run with no process orchestration.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parbem/internal/serve"
+)
+
+// corpusCase is one golden-corpus geometry with its reference edge.
+type corpusCase struct {
+	name string
+	geo  string
+	edge float64
+}
+
+// loadCorpus reads every *.geo in dir, taking edge_m from the matching
+// *.json reference.
+func loadCorpus(dir string) ([]corpusCase, error) {
+	geos, err := filepath.Glob(filepath.Join(dir, "*.geo"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(geos)
+	var cases []corpusCase
+	for _, g := range geos {
+		text, err := os.ReadFile(g)
+		if err != nil {
+			return nil, err
+		}
+		ref := strings.TrimSuffix(g, ".geo") + ".json"
+		raw, err := os.ReadFile(ref)
+		if err != nil {
+			return nil, fmt.Errorf("%s has no reference json: %w", g, err)
+		}
+		var meta struct {
+			Name  string  `json:"name"`
+			EdgeM float64 `json:"edge_m"`
+		}
+		if err := json.Unmarshal(raw, &meta); err != nil {
+			return nil, fmt.Errorf("%s: %w", ref, err)
+		}
+		if meta.EdgeM <= 0 {
+			return nil, fmt.Errorf("%s: missing edge_m", ref)
+		}
+		cases = append(cases, corpusCase{name: meta.Name, geo: string(text), edge: meta.EdgeM})
+	}
+	if len(cases) == 0 {
+		return nil, fmt.Errorf("no *.geo cases under %s", dir)
+	}
+	return cases, nil
+}
+
+// tally accumulates one worker's outcomes; workers own their tally and
+// the main goroutine merges after the barrier, so no locking.
+type tally struct {
+	ok        int
+	rejected  int             // queue_full + rate_limited backpressure
+	deadline  int             // deadline_exceeded (timeout_ms fired)
+	failed    int             // everything else: transport errors, solver failures
+	latencies []time.Duration // successful requests only
+}
+
+func (t *tally) merge(o *tally) {
+	t.ok += o.ok
+	t.rejected += o.rejected
+	t.deadline += o.deadline
+	t.failed += o.failed
+	t.latencies = append(t.latencies, o.latencies...)
+}
+
+// classify books one request outcome.
+func (t *tally) classify(err error, elapsed time.Duration) {
+	if err == nil {
+		t.ok++
+		t.latencies = append(t.latencies, elapsed)
+		return
+	}
+	var re *serve.RequestError
+	if asRE(err, &re) {
+		switch re.Code {
+		case serve.CodeQueueFull, serve.CodeRateLimited:
+			t.rejected++
+			return
+		case serve.CodeDeadlineExceeded:
+			t.deadline++
+			return
+		}
+	}
+	t.failed++
+}
+
+// asRE unwraps err to a *serve.RequestError.
+func asRE(err error, re **serve.RequestError) bool {
+	for err != nil {
+		if r, ok := err.(*serve.RequestError); ok {
+			*re = r
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// percentile returns the p-th percentile (0-100) of sorted latencies.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p / 100 * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// summary is the machine-readable report (-json).
+type summary struct {
+	Requests   int     `json:"requests"`
+	DurationS  float64 `json:"duration_s"`
+	ReqPerSec  float64 `json:"req_per_sec"`
+	OK         int     `json:"ok"`
+	Rejected   int     `json:"rejected"`
+	Deadline   int     `json:"deadline_exceeded"`
+	Failed     int     `json:"failed"`
+	RejectRate float64 `json:"reject_rate"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	MaxMs      float64 `json:"max_ms"`
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", "", "capxd base URL (empty with -inprocess)")
+		inproc     = flag.Bool("inprocess", false, "embed the server over a loopback listener instead of dialing -addr")
+		corpus     = flag.String("corpus", "testdata/golden", "golden corpus directory")
+		conc       = flag.Int("c", 4, "concurrent client workers")
+		dur        = flag.Duration("d", 10*time.Second, "load duration")
+		timeoutMs  = flag.Float64("timeout-ms", 0, "per-request timeout_ms (0 = none)")
+		tenant     = flag.String("tenant", "", "X-Tenant header value")
+		backend    = flag.String("backend", "", "backend selector (empty = auto)")
+		sweepEvery = flag.Int("sweep-every", 0, "every Nth request per worker is a variants sweep (0 = extracts only)")
+		jsonOut    = flag.Bool("json", false, "emit the summary as JSON")
+		// in-process server shape
+		workers = flag.Int("workers", 0, "in-process: engine pool size (0 = GOMAXPROCS)")
+		budget  = flag.Int("budget", 0, "in-process: pool workers per job (0 = whole pool)")
+		runners = flag.Int("runners", 0, "in-process: concurrent jobs (0 = derived)")
+		queue   = flag.Int("queue", 64, "in-process: interactive queue depth")
+		rate    = flag.Float64("tenant-rate", 0, "in-process: per-tenant requests/sec (0 = unlimited)")
+	)
+	flag.Parse()
+
+	cases, err := loadCorpus(*corpus)
+	if err != nil {
+		log.Fatalf("capxload: %v", err)
+	}
+
+	base := *addr
+	if *inproc {
+		s := serve.New(serve.Options{
+			Workers: *workers, WorkerBudget: *budget,
+			Runners: *runners, QueueDepth: *queue, TenantRate: *rate,
+		})
+		defer s.Close()
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		base = ts.URL
+	}
+	if base == "" {
+		log.Fatal("capxload: -addr or -inprocess required")
+	}
+
+	c := serve.NewClient(base)
+	c.Tenant = *tenant
+	if err := c.Health(context.Background()); err != nil {
+		log.Fatalf("capxload: server not healthy: %v", err)
+	}
+
+	// Warm the engine caches once per case so the measured window
+	// reflects steady-state serving, not first-touch plan builds.
+	for _, cc := range cases {
+		_, _ = c.Extract(context.Background(), &serve.ExtractRequest{
+			Geometry: cc.geo, EdgeM: cc.edge, Backend: *backend,
+		})
+	}
+
+	deadline := time.Now().Add(*dur)
+	var next atomic.Uint64
+	tallies := make([]tally, *conc)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(t *tally) {
+			defer wg.Done()
+			for n := 1; time.Now().Before(deadline); n++ {
+				cc := cases[int(next.Add(1))%len(cases)]
+				start := time.Now()
+				var err error
+				if *sweepEvery > 0 && n%*sweepEvery == 0 {
+					_, err = c.Sweep(context.Background(), &serve.SweepRequest{
+						Variants: []string{cc.geo}, EdgeM: cc.edge,
+						Backend: *backend, TimeoutMs: *timeoutMs,
+					}, nil)
+				} else {
+					_, err = c.Extract(context.Background(), &serve.ExtractRequest{
+						Geometry: cc.geo, EdgeM: cc.edge,
+						Backend: *backend, TimeoutMs: *timeoutMs,
+					})
+				}
+				t.classify(err, time.Since(start))
+			}
+		}(&tallies[w])
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	var all tally
+	for i := range tallies {
+		all.merge(&tallies[i])
+	}
+	sort.Slice(all.latencies, func(i, j int) bool { return all.latencies[i] < all.latencies[j] })
+	total := all.ok + all.rejected + all.deadline + all.failed
+	sum := summary{
+		Requests:  total,
+		DurationS: elapsed.Seconds(),
+		ReqPerSec: float64(total) / elapsed.Seconds(),
+		OK:        all.ok, Rejected: all.rejected,
+		Deadline: all.deadline, Failed: all.failed,
+		P50Ms: percentile(all.latencies, 50).Seconds() * 1e3,
+		P99Ms: percentile(all.latencies, 99).Seconds() * 1e3,
+	}
+	if total > 0 {
+		sum.RejectRate = float64(all.rejected) / float64(total)
+	}
+	if n := len(all.latencies); n > 0 {
+		sum.MaxMs = all.latencies[n-1].Seconds() * 1e3
+	}
+
+	if *jsonOut {
+		json.NewEncoder(os.Stdout).Encode(sum)
+	} else {
+		fmt.Printf("capxload: %d requests in %.1fs (%.1f req/s sustained, %d workers, %d corpus cases)\n",
+			sum.Requests, sum.DurationS, sum.ReqPerSec, *conc, len(cases))
+		fmt.Printf("  ok %d, rejected %d (%.1f%%), deadline_exceeded %d, failed %d\n",
+			sum.OK, sum.Rejected, sum.RejectRate*100, sum.Deadline, sum.Failed)
+		fmt.Printf("  latency ms: p50 %.2f  p99 %.2f  max %.2f\n", sum.P50Ms, sum.P99Ms, sum.MaxMs)
+	}
+	// Saturation outcomes (rejections, deadline expiries) are data, not
+	// failures; a harness run fails only when requests error outright
+	// or nothing completed at all.
+	if all.failed > 0 || all.ok == 0 {
+		os.Exit(1)
+	}
+}

@@ -34,6 +34,7 @@
 package batch
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -347,6 +348,17 @@ func (e *Engine) ExtractAll(sts []*geom.Structure) ([]*solver.Result, error) {
 // kernel.Config.Ops providers share one key tag; callers varying those
 // per request should use explicit parbem.NewPlan instances instead.
 func (e *Engine) ExtractPipeline(st *geom.Structure, maxEdge float64, opt op.Options) (*plan.Result, error) {
+	return e.ExtractPipelineCtx(context.Background(), st, maxEdge, opt)
+}
+
+// ExtractPipelineCtx is ExtractPipeline bounded by a context: the
+// plan's stage boundaries and the GMRES iteration loop observe ctx, so
+// a request deadline (or a client cancellation) stops the extraction at
+// the next checkpoint with a *plan.Interrupted error instead of running
+// to completion. An interrupted extraction never corrupts the cached
+// family plan — the previous variant's artifacts stay installed and the
+// next request proceeds normally. A nil ctx means context.Background().
+func (e *Engine) ExtractPipelineCtx(ctx context.Context, st *geom.Structure, maxEdge float64, opt op.Options) (*plan.Result, error) {
 	if err := st.Validate(); err != nil {
 		return nil, err
 	}
@@ -358,7 +370,7 @@ func (e *Engine) ExtractPipeline(st *geom.Structure, maxEdge float64, opt op.Opt
 		if err != nil {
 			return nil, err
 		}
-		return p.Extract(st)
+		return p.ExtractCtx(ctx, st)
 	}
 	v, _, err := e.state.GetOrCompute(planSignature(st, maxEdge, opt), func() (any, error) {
 		return mk()
@@ -366,7 +378,7 @@ func (e *Engine) ExtractPipeline(st *geom.Structure, maxEdge float64, opt op.Opt
 	if err != nil {
 		return nil, err
 	}
-	return v.(*plan.Plan).Extract(st)
+	return v.(*plan.Plan).ExtractCtx(ctx, st)
 }
 
 // planSignature keys a plan by structural family: conductor/box counts

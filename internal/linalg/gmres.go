@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -47,6 +48,13 @@ type GMRESOptions struct {
 	Restart int                    // Krylov subspace size before restart (default 50)
 	MaxIter int                    // total iteration cap (default 10 * Dim)
 	Precond func(dst, r []float64) // optional right preconditioner M^{-1}
+	// Ctx optionally bounds the solve: it is checked once per Arnoldi
+	// iteration (each iteration is dominated by a matvec, so the check
+	// is noise) and once per restart cycle. A done context stops the
+	// solve at the next checkpoint and GMRESWith returns ctx.Err() with
+	// the iterations completed so far — a deadline-aware early exit,
+	// not a converged solution.
+	Ctx context.Context
 }
 
 // GMRESResult reports convergence statistics.
@@ -168,6 +176,11 @@ func GMRESWith(ws *GMRESWorkspace, a Matvec, x, b []float64, opt GMRESOptions) (
 
 	total := 0
 	for {
+		if opt.Ctx != nil {
+			if err := opt.Ctx.Err(); err != nil {
+				return GMRESResult{Iterations: total}, err
+			}
+		}
 		// r = b - A x.
 		a.Apply(r, x)
 		for i := range r {
@@ -190,6 +203,11 @@ func GMRESWith(ws *GMRESWorkspace, a Matvec, x, b []float64, opt GMRESOptions) (
 
 		k := 0
 		for ; k < m && total < opt.MaxIter; k++ {
+			if opt.Ctx != nil {
+				if err := opt.Ctx.Err(); err != nil {
+					return GMRESResult{Iterations: total}, err
+				}
+			}
 			total++
 			// w = A M^{-1} v_k.
 			src := v[k]

@@ -1,6 +1,7 @@
 package op
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -107,6 +108,27 @@ func (o Options) withDefaults() Options {
 	}
 	return o
 }
+
+// Interrupted reports a solve stopped at a context checkpoint (deadline
+// or cancellation) rather than by convergence or failure. Iterations is
+// the total Krylov work completed before the stop — the partial
+// telemetry a deadline-aware service surfaces to the client. Unwrap
+// exposes the context error, so errors.Is(err, context.DeadlineExceeded)
+// distinguishes a deadline from a client cancellation.
+type Interrupted struct {
+	// Iterations completed across all RHS columns before the stop.
+	Iterations int
+	// Err is the context error (context.DeadlineExceeded or Canceled).
+	Err error
+}
+
+// Error implements the error interface.
+func (e *Interrupted) Error() string {
+	return fmt.Sprintf("op: solve interrupted after %d iterations: %v", e.Iterations, e.Err)
+}
+
+// Unwrap exposes the underlying context error.
+func (e *Interrupted) Unwrap() error { return e.Err }
 
 // Result is a completed extraction through the pipeline.
 type Result struct {
@@ -440,21 +462,29 @@ func (p *Pipeline) Extract() (*Result, error) {
 // ignores it. The warm start changes iteration counts, never the
 // converged solution (which is determined by the tolerance).
 func (p *Pipeline) ExtractWarm(x0 *linalg.Dense) (*Result, error) {
+	return p.ExtractWarmCtx(context.Background(), x0)
+}
+
+// ExtractWarmCtx is ExtractWarm bounded by a context: the GMRES
+// iteration loop observes ctx at every checkpoint, so a deadline or
+// cancellation stops the solve early with an *Interrupted error carrying
+// the iterations completed. A nil ctx means context.Background().
+func (p *Pipeline) ExtractWarmCtx(ctx context.Context, x0 *linalg.Dense) (*Result, error) {
 	if p.spec.NumConductors == 0 {
 		return nil, errors.New("op: pipeline has no spec (use ExtractRHS)")
 	}
-	return p.extractRHS(p.spec.RHS(), x0)
+	return p.extractRHS(ctx, p.spec.RHS(), x0)
 }
 
 // ExtractRHS solves P Rho = Phi for a caller-built right-hand-side
 // matrix and reduces C = Phi^T Rho (symmetrized).
 func (p *Pipeline) ExtractRHS(phi *linalg.Dense) (*Result, error) {
-	return p.extractRHS(phi, nil)
+	return p.extractRHS(context.Background(), phi, nil)
 }
 
-func (p *Pipeline) extractRHS(phi, x0 *linalg.Dense) (*Result, error) {
+func (p *Pipeline) extractRHS(ctx context.Context, phi, x0 *linalg.Dense) (*Result, error) {
 	t0 := time.Now()
-	rho, iters, err := p.SolveRHSWarm(phi, x0)
+	rho, iters, err := p.SolveRHSWarmCtx(ctx, phi, x0)
 	if err != nil {
 		return nil, err
 	}
@@ -481,9 +511,24 @@ func (p *Pipeline) SolveRHS(phi *linalg.Dense) (*linalg.Dense, int, error) {
 // SolveRHSWarm is SolveRHS with per-column initial guesses from x0
 // (see ExtractWarm).
 func (p *Pipeline) SolveRHSWarm(phi, x0 *linalg.Dense) (*linalg.Dense, int, error) {
+	return p.SolveRHSWarmCtx(context.Background(), phi, x0)
+}
+
+// SolveRHSWarmCtx is SolveRHSWarm bounded by a context (nil = no
+// bound): every column's GMRES observes ctx per iteration, and a done
+// context returns an *Interrupted error with the partial iteration
+// count. The direct path checks ctx once before factorizing (a dense
+// factorization has no interior checkpoints).
+func (p *Pipeline) SolveRHSWarmCtx(ctx context.Context, phi, x0 *linalg.Dense) (*linalg.Dense, int, error) {
 	n := p.a.Dim()
 	if phi.Rows != n {
 		return nil, 0, errors.New("op: RHS dimension mismatch")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, &Interrupted{Err: err}
 	}
 	if p.opt.Direct {
 		rho, err := SolveSPD(p.dense, phi)
@@ -524,7 +569,11 @@ func (p *Pipeline) SolveRHSWarm(phi, x0 *linalg.Dense) (*linalg.Dense, int, erro
 				Tol:     p.opt.Tol,
 				Restart: p.opt.Restart,
 				Precond: pre,
+				Ctx:     ctx,
 			})
+			// Record partial iteration counts even on failure: an
+			// interrupted solve reports the work it completed.
+			iters[j] = res.Iterations
 			if err != nil {
 				errs[j] = fmt.Errorf("op: GMRES failed on column %d: %w", j, err)
 				return
@@ -533,7 +582,6 @@ func (p *Pipeline) SolveRHSWarm(phi, x0 *linalg.Dense) (*linalg.Dense, int, erro
 				errs[j] = fmt.Errorf("op: GMRES stalled on column %d (res %g)", j, res.Residual)
 				return
 			}
-			iters[j] = res.Iterations
 			for i := 0; i < n; i++ {
 				rho.Set(i, j, x[i])
 			}
@@ -542,10 +590,15 @@ func (p *Pipeline) SolveRHSWarm(phi, x0 *linalg.Dense) (*linalg.Dense, int, erro
 	wg.Wait()
 	total := 0
 	for j := 0; j < nc; j++ {
-		if errs[j] != nil {
-			return nil, 0, errs[j]
-		}
 		total += iters[j]
+	}
+	for j := 0; j < nc; j++ {
+		if errs[j] != nil {
+			if cerr := ctx.Err(); cerr != nil && errors.Is(errs[j], cerr) {
+				return nil, total, &Interrupted{Iterations: total, Err: cerr}
+			}
+			return nil, total, errs[j]
+		}
 	}
 	return rho, total, nil
 }

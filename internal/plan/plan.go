@@ -56,8 +56,10 @@
 package plan
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -145,6 +147,40 @@ type Result struct {
 	Total         time.Duration
 }
 
+// Interrupted reports an extraction stopped at a context checkpoint:
+// the stage boundaries of the build chain and the per-iteration GMRES
+// checkpoints all observe the caller's context, so a deadline or client
+// cancellation exits early instead of completing work nobody will read.
+// Stage names the stage that was running (or about to run) when the
+// context fired; Iterations is the Krylov work completed before the
+// stop. Unwrap exposes the context error, so
+// errors.Is(err, context.DeadlineExceeded) distinguishes a deadline
+// from a cancellation.
+//
+// An interrupted extraction never corrupts the plan: stage artifacts of
+// the previous variant stay installed, so a later retry (or the next
+// request of the family) proceeds as if the interrupted call never
+// happened.
+type Interrupted struct {
+	// Stage is the interrupted stage: "discretize", "topology",
+	// "near-field", "factorize" or "solve".
+	Stage string
+	// Elapsed is the wall time spent in this extraction before the stop.
+	Elapsed time.Duration
+	// Iterations is the Krylov iteration count completed (solve stage).
+	Iterations int
+	// Err is the context error.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *Interrupted) Error() string {
+	return fmt.Sprintf("plan: %s stage interrupted after %v: %v", e.Stage, e.Elapsed, e.Err)
+}
+
+// Unwrap exposes the underlying context error.
+func (e *Interrupted) Unwrap() error { return e.Err }
+
 // Plan caches stage artifacts across geometry variants. Create with
 // New; Extract may be called concurrently (calls serialize).
 type Plan struct {
@@ -225,6 +261,19 @@ func (p *Plan) Stats() Stats {
 // Extract runs one extraction, reusing every stage artifact of the
 // previous variant that the geometry delta leaves valid.
 func (p *Plan) Extract(st *geom.Structure) (*Result, error) {
+	return p.ExtractCtx(context.Background(), st)
+}
+
+// ExtractCtx is Extract bounded by a context: the stage boundaries of
+// the build chain and the solve's GMRES iterations observe ctx, so a
+// deadline or cancellation stops the extraction early with an
+// *Interrupted error instead of completing work nobody will read. A nil
+// ctx means context.Background(). Identical-geometry cache hits and
+// rescales are served regardless (they cost microseconds).
+func (p *Plan) ExtractCtx(ctx context.Context, st *geom.Structure) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.stats.Extracts++
@@ -243,7 +292,7 @@ func (p *Plan) Extract(st *geom.Structure) (*Result, error) {
 		// cur.eps) first, then rescale if the dielectric differs too —
 		// rescales must always derive from a result at the configured
 		// tolerance.
-		if _, err := p.resolve(cur); err != nil {
+		if _, err := p.resolve(ctx, cur); err != nil {
 			return nil, err
 		}
 		if p.eps == cur.eps {
@@ -251,7 +300,7 @@ func (p *Plan) Extract(st *geom.Structure) (*Result, error) {
 		}
 		return p.rescale(cur)
 	}
-	return p.build(st)
+	return p.build(ctx, st)
 }
 
 // tolEqual reports whether the configured tolerance matches the one a
@@ -266,7 +315,7 @@ func tolEqual(o op.Options, tol float64) bool {
 
 // resolve re-runs the solve stage on fully reused artifacts (tolerance
 // change on unchanged geometry).
-func (p *Plan) resolve(cur *variant) (*Result, error) {
+func (p *Plan) resolve(ctx context.Context, cur *variant) (*Result, error) {
 	p.stats.Resolves++
 	t0 := time.Now()
 	var x0 *linalg.Dense
@@ -274,9 +323,9 @@ func (p *Plan) resolve(cur *variant) (*Result, error) {
 		x0 = cur.res.Rho
 		p.stats.WarmStarts++
 	}
-	opres, err := cur.pipe.ExtractWarm(x0)
+	opres, err := cur.pipe.ExtractWarmCtx(ctx, x0)
 	if err != nil {
-		return nil, err
+		return nil, interrupted(err, "solve", time.Since(t0))
 	}
 	res := p.wrap(cur, opres, StageReuse{true, true, true, true}, StageTimings{Solve: time.Since(t0)}, t0)
 	cur.res = res
@@ -328,10 +377,41 @@ func solvedTol(o op.Options) float64 {
 	return o.Tol
 }
 
+// interrupted wraps a context-checkpoint error from the solve layer as
+// a stage-tagged *Interrupted; non-context errors pass through
+// unchanged.
+func interrupted(err error, stage string, elapsed time.Duration) error {
+	var oi *op.Interrupted
+	if errors.As(err, &oi) {
+		return &Interrupted{Stage: stage, Elapsed: elapsed, Iterations: oi.Iterations, Err: oi.Err}
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		cause := context.Canceled
+		if errors.Is(err, context.DeadlineExceeded) {
+			cause = context.DeadlineExceeded
+		}
+		return &Interrupted{Stage: stage, Elapsed: elapsed, Err: cause}
+	}
+	return err
+}
+
 // build runs the staged chain for a new geometry variant.
-func (p *Plan) build(st *geom.Structure) (*Result, error) {
+func (p *Plan) build(ctx context.Context, st *geom.Structure) (*Result, error) {
 	t0 := time.Now()
 	cur := p.cur
+	// check is the stage-boundary context checkpoint: the expensive
+	// stages (near-field integration, factorization, solve) never start
+	// once the deadline has passed. An interrupted build leaves p.cur on
+	// the previous variant — no partial artifacts are ever installed.
+	check := func(stage string) error {
+		if err := ctx.Err(); err != nil {
+			return &Interrupted{Stage: stage, Elapsed: time.Since(t0), Err: err}
+		}
+		return nil
+	}
+	if err := check("discretize"); err != nil {
+		return nil, err
+	}
 
 	// Discretization.
 	tD := time.Now()
@@ -369,6 +449,9 @@ func (p *Plan) build(st *geom.Structure) (*Result, error) {
 		},
 	}
 	res.Stages.Discretize = dDisc
+	if err := check("topology"); err != nil {
+		return nil, err
+	}
 
 	// Topology + NearField per backend.
 	var pb op.Prebuilt
@@ -393,6 +476,9 @@ func (p *Plan) build(st *geom.Structure) (*Result, error) {
 		topo := fmm.NewTopology(spec.Panels, fo)
 		p.stats.TopoBuilds++
 		res.Stages.Topology = time.Since(tT)
+		if err := check("near-field"); err != nil {
+			return nil, err
+		}
 		var r *fmm.Reuse
 		if res.Reused.NearField && cur.fmmOp != nil {
 			r = &fmm.Reuse{Prev: cur.fmmOp, Class: class}
@@ -427,6 +513,9 @@ func (p *Plan) build(st *geom.Structure) (*Result, error) {
 	}
 
 	// Factorization: adopt unchanged blocks' Cholesky factors.
+	if err := check("factorize"); err != nil {
+		return nil, err
+	}
 	pb.Factors = factorLookup(cur, class)
 	tF := time.Now()
 	popt := p.opt.Pipeline
@@ -445,6 +534,9 @@ func (p *Plan) build(st *geom.Structure) (*Result, error) {
 	}
 
 	// Solve (warm-started from the previous variant when aligned).
+	if err := check("solve"); err != nil {
+		return nil, err
+	}
 	tS := time.Now()
 	var x0 *linalg.Dense
 	if !p.opt.NoWarmStart && !popt.Direct && cur != nil && cur.res != nil &&
@@ -452,9 +544,9 @@ func (p *Plan) build(st *geom.Structure) (*Result, error) {
 		x0 = cur.res.Rho
 		p.stats.WarmStarts++
 	}
-	opres, err := pipe.ExtractWarm(x0)
+	opres, err := pipe.ExtractWarmCtx(ctx, x0)
 	if err != nil {
-		return nil, err
+		return nil, interrupted(err, "solve", time.Since(t0))
 	}
 	res.Stages.Solve = time.Since(tS)
 	res.C, res.Rho = opres.C, opres.Rho

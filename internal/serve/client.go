@@ -17,6 +17,9 @@ type Client struct {
 	BaseURL string
 	// HTTPClient optionally overrides the transport.
 	HTTPClient *http.Client
+	// Tenant, when set, is sent as the X-Tenant header so the server's
+	// per-tenant rate limits attribute this client's traffic.
+	Tenant string
 }
 
 // NewClient creates a client for the given base URL.
@@ -43,6 +46,9 @@ func (c *Client) post(ctx context.Context, path string, body any) (*http.Respons
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if c.Tenant != "" {
+		req.Header.Set("X-Tenant", c.Tenant)
+	}
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return nil, err

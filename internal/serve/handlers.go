@@ -3,6 +3,8 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"time"
 
@@ -21,6 +23,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
@@ -50,8 +53,10 @@ func writeError(w http.ResponseWriter, err error) {
 	re := asRequestError(err)
 	status := http.StatusBadRequest
 	switch re.Code {
-	case CodeQueueFull:
+	case CodeQueueFull, CodeRateLimited:
 		status = http.StatusTooManyRequests
+	case CodeDeadlineExceeded:
+		status = http.StatusGatewayTimeout
 	case CodeNotFound:
 		status = http.StatusNotFound
 	case CodeExtractionFailed:
@@ -107,7 +112,29 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+// admitTenant applies the per-tenant token bucket (X-Tenant header;
+// absent headers share one anonymous bucket) before any decode work is
+// spent on the request. Nil limiter admits everything.
+func (s *Server) admitTenant(r *http.Request) error {
+	if s.limiter == nil {
+		return nil
+	}
+	tenant := r.Header.Get("X-Tenant")
+	if !s.limiter.allow(tenant, time.Now()) {
+		s.c.rejectedRate.Add(1)
+		return &RequestError{
+			Code:    CodeRateLimited,
+			Message: fmt.Sprintf("tenant %q over its request rate; retry later", tenant),
+		}
+	}
+	return nil
+}
+
 func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	if err := s.admitTenant(r); err != nil {
+		writeError(w, err)
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, s.limits.MaxBodyBytes)
 	req, st, err := s.limits.DecodeExtract(body)
 	if err != nil {
@@ -156,7 +183,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	state := jobState(j.state.Load())
 	resp := JobResponse{JobID: j.id, Kind: j.kind, Status: state.String()}
 	switch state {
-	case jobDone, jobFailed:
+	case jobDone, jobFailed, jobCancelled:
 		resp.QueuedMs = j.started.Sub(j.enqueued).Seconds() * 1e3
 		resp.RunMs = j.finished.Sub(j.started).Seconds() * 1e3
 		if j.err != nil {
@@ -170,21 +197,51 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// runExtract executes one admitted extract job on the shared engine.
-func (s *Server) runExtract(id string, req *ExtractRequest, st *geom.Structure) (*ExtractResponse, error) {
+// requestErrorFor maps an engine error onto the structured service
+// shape. A plan.Interrupted — the deadline or disconnect observed at a
+// stage boundary or GMRES iteration checkpoint — keeps its partial
+// telemetry: the stage that was running, elapsed wall time of the
+// request and Krylov iterations completed before the stop.
+func requestErrorFor(err error, elapsed time.Duration) *RequestError {
+	var pi *plan.Interrupted
+	code, stage, iters := "", "", 0
+	if errors.As(err, &pi) {
+		stage, iters = pi.Stage, pi.Iterations
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		code = CodeDeadlineExceeded
+	case errors.Is(err, context.Canceled):
+		code = CodeCancelled
+	default:
+		return &RequestError{Code: CodeExtractionFailed, Message: err.Error()}
+	}
+	return &RequestError{
+		Code:       code,
+		Message:    err.Error(),
+		Stage:      stage,
+		ElapsedMs:  elapsed.Seconds() * 1e3,
+		Iterations: iters,
+	}
+}
+
+// runExtract executes one admitted extract job on the shared engine,
+// bounded by the job's deadline/cancellation context.
+func (s *Server) runExtract(j *job, req *ExtractRequest, st *geom.Structure) (*ExtractResponse, error) {
 	opt, err := PipelineOptions(req.Backend, req.Precond, req.Tol)
 	if err != nil {
 		return nil, err
 	}
 	t0 := time.Now()
-	res, err := s.eng.ExtractPipeline(st, req.EdgeM, opt)
+	res, err := s.eng.ExtractPipelineCtx(j.ctx, st, req.EdgeM, opt)
 	if err != nil {
-		return nil, &RequestError{Code: CodeExtractionFailed, Message: err.Error()}
+		return nil, requestErrorFor(err, time.Since(t0))
 	}
 	total := time.Since(t0)
+	s.m.observeStages(res.Backend.String(), res.Stages, total)
 	setup := res.Stages.Discretize + res.Stages.Topology + res.Stages.NearField + res.Stages.Factorize
 	return &ExtractResponse{
-		JobID:      id,
+		JobID:      j.id,
 		Structure:  st.Name,
 		Backend:    res.Backend.String(),
 		Requested:  requestedName(req.Backend),
@@ -227,13 +284,17 @@ type SweepFit struct {
 // carries Error and no result fields — mid-sweep failures surface as
 // per-point entries, never dropped points.
 type SweepPoint struct {
-	Index      int           `json:"index"`
-	Structure  string        `json:"structure,omitempty"`
-	HM         float64       `json:"h_m,omitempty"`
+	Index     int    `json:"index"`
+	Structure string `json:"structure,omitempty"`
+	// HM, Iterations and TotalMs carry no omitempty: a zero there is a
+	// legitimate value (h=0 contact sweeps, direct solves with zero
+	// Krylov iterations, sub-millisecond cache hits rounding to 0) and
+	// must survive the round trip to capx -remote.
+	HM         float64       `json:"h_m"`
 	Backend    string        `json:"backend,omitempty"`
-	Iterations int           `json:"iterations,omitempty"`
+	Iterations int           `json:"iterations"`
 	Reused     string        `json:"reused,omitempty"`
-	TotalMs    float64       `json:"total_ms,omitempty"`
+	TotalMs    float64       `json:"total_ms"`
 	CFarads    [][]float64   `json:"c_farads,omitempty"`
 	Conductors []string      `json:"conductors,omitempty"`
 	Fit        *SweepFit     `json:"fit,omitempty"`
@@ -249,6 +310,10 @@ type SweepTrailer struct {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if err := s.admitTenant(r); err != nil {
+		writeError(w, err)
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, s.limits.MaxBodyBytes)
 	req, sts, err := s.limits.DecodeSweep(body)
 	if err != nil {
@@ -296,24 +361,27 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 // runSweep executes an admitted sweep job, emitting one SweepPoint per
-// point onto the job's stream. A client disconnect cancels the sweep
-// between points (solves in flight finish; the engine has no interior
-// cancellation points).
+// point onto the job's stream. A client disconnect or deadline expiry
+// cancels the sweep between points, and variant solves in flight stop
+// at the engine's interior checkpoints.
 func (s *Server) runSweep(j *job, req *SweepRequest, sts []*geom.Structure) (any, error) {
 	t0 := time.Now()
 	failed := 0
 	emit := func(p *SweepPoint) bool {
+		select {
+		case j.stream <- p:
+		case <-j.ctx.Done():
+			return false
+		}
+		// Count after the send: a point that never reached the stream
+		// (client gone, sweep abandoned) must not inflate the
+		// delivered-point counters.
 		s.c.sweepPoints.Add(1)
 		if p.Error != nil {
 			failed++
 			s.c.sweepPointErrors.Add(1)
 		}
-		select {
-		case j.stream <- p:
-			return true
-		case <-j.ctx.Done():
-			return false
-		}
+		return true
 	}
 	if len(req.TemplateHs) > 0 {
 		s.runTemplateSweep(j, req, emit)
@@ -321,6 +389,13 @@ func (s *Server) runSweep(j *job, req *SweepRequest, sts []*geom.Structure) (any
 		s.runVariantSweep(j, req, sts, emit)
 	}
 	if err := j.ctx.Err(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return nil, &RequestError{
+				Code:      CodeDeadlineExceeded,
+				Message:   "sweep deadline exceeded",
+				ElapsedMs: time.Since(t0).Seconds() * 1e3,
+			}
+		}
 		return nil, &RequestError{Code: CodeCancelled, Message: "client went away mid-sweep"}
 	}
 	n := len(sts) + len(req.TemplateHs)
@@ -349,8 +424,14 @@ func (s *Server) runVariantSweep(j *job, req *SweepRequest, sts []*geom.Structur
 			return
 		}
 		t0 := time.Now()
-		res, err := s.eng.ExtractPipeline(st, req.EdgeM, opt)
+		res, err := s.eng.ExtractPipelineCtx(j.ctx, st, req.EdgeM, opt)
 		if err != nil {
+			if j.ctx.Err() != nil {
+				// Deadline or disconnect observed inside the solve:
+				// the whole sweep is over, not just this point —
+				// runSweep reports it in place of the trailer.
+				return
+			}
 			if !emit(&SweepPoint{
 				Index: i, Structure: st.Name,
 				Error: &RequestError{Code: CodePointFailed, Message: err.Error()},
@@ -359,12 +440,14 @@ func (s *Server) runVariantSweep(j *job, req *SweepRequest, sts []*geom.Structur
 			}
 			continue
 		}
+		total := time.Since(t0)
+		s.m.observeStages(res.Backend.String(), res.Stages, total)
 		if !emit(&SweepPoint{
 			Index: i, Structure: st.Name,
 			Backend:    res.Backend.String(),
 			Iterations: res.Iterations,
 			Reused:     reusedName(res.Reused),
-			TotalMs:    time.Since(t0).Seconds() * 1e3,
+			TotalMs:    total.Seconds() * 1e3,
 			CFarads:    matrixRows(res.C),
 			Conductors: conductorNames(st),
 		}) {

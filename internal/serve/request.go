@@ -14,10 +14,21 @@ import (
 
 // RequestError is the structured rejection every bad request gets: a
 // stable machine-readable code plus a human-readable message. It is the
-// only error shape the service emits on its JSON boundary.
+// only error shape the service emits on its JSON boundary. A
+// deadline_exceeded rejection additionally carries partial telemetry:
+// the pipeline stage the deadline interrupted, the wall time burned and
+// the Krylov iterations completed before the early exit.
 type RequestError struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// Stage is the pipeline stage the deadline interrupted
+	// ("discretize", "topology", "near-field", "factorize", "solve", or
+	// "queued" when it expired before the job started).
+	Stage string `json:"stage,omitempty"`
+	// ElapsedMs is the wall time spent on the request before the stop.
+	ElapsedMs float64 `json:"elapsed_ms,omitempty"`
+	// Iterations is the Krylov work completed before the stop.
+	Iterations int `json:"iterations,omitempty"`
 }
 
 // Error implements the error interface.
@@ -38,8 +49,15 @@ const (
 	CodePointFailed = "point_failed"
 	// CodeShuttingDown: the server is closing and admits no new jobs.
 	CodeShuttingDown = "shutting_down"
-	// CodeCancelled: the requester disconnected before the job ran.
+	// CodeCancelled: the requester disconnected before the job ran (or
+	// mid-sweep).
 	CodeCancelled = "cancelled"
+	// CodeDeadlineExceeded: the request's timeout_ms expired before the
+	// solve converged; the error carries partial telemetry (stage,
+	// elapsed_ms, iterations).
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeRateLimited: the tenant's token bucket rejected the request.
+	CodeRateLimited = "rate_limited"
 	// CodeInternal: a contained panic inside the solver stack.
 	CodeInternal = "internal_error"
 )
@@ -103,6 +121,13 @@ type ExtractRequest struct {
 	// Async enqueues the job and returns its id immediately; poll
 	// GET /jobs/{id} for the result.
 	Async bool `json:"async,omitempty"`
+	// TimeoutMs is the request deadline in milliseconds (0 = none).
+	// The clock starts at admission, so time spent queued counts; the
+	// deadline propagates into the solver as a context observed at the
+	// plan stage boundaries and every GMRES iteration. An exceeded
+	// deadline returns a structured deadline_exceeded error (HTTP 504)
+	// with partial telemetry instead of burning pool workers.
+	TimeoutMs float64 `json:"timeout_ms,omitempty"`
 }
 
 // SweepRequest is the POST /sweep payload. Exactly one of Variants and
@@ -127,6 +152,10 @@ type SweepRequest struct {
 	Backend string  `json:"backend,omitempty"`
 	Precond string  `json:"precond,omitempty"`
 	Tol     float64 `json:"tol,omitempty"`
+	// TimeoutMs bounds the whole sweep (0 = none); see
+	// ExtractRequest.TimeoutMs. An expiring sweep ends its stream with
+	// a deadline_exceeded error line in place of the trailer.
+	TimeoutMs float64 `json:"timeout_ms,omitempty"`
 }
 
 // decodeJSON unmarshals one JSON value from r under the body cap,
@@ -155,6 +184,9 @@ func (l Limits) DecodeExtract(r io.Reader) (*ExtractRequest, *geom.Structure, er
 	if err := l.validateSolve(req.EdgeM, req.Backend, req.Precond, req.Tol); err != nil {
 		return nil, nil, err
 	}
+	if err := validateTimeout(req.TimeoutMs); err != nil {
+		return nil, nil, err
+	}
 	st, err := l.parseGeometry(req.Geometry, req.EdgeM)
 	if err != nil {
 		return nil, nil, err
@@ -180,6 +212,9 @@ func (l Limits) DecodeSweep(r io.Reader) (*SweepRequest, []*geom.Structure, erro
 	if err := l.validateSolve(req.EdgeM, req.Backend, req.Precond, req.Tol); err != nil {
 		return nil, nil, err
 	}
+	if err := validateTimeout(req.TimeoutMs); err != nil {
+		return nil, nil, err
+	}
 	if len(req.TemplateHs) > 0 {
 		for i, h := range req.TemplateHs {
 			if !isFinite(h) || h <= 0 {
@@ -201,6 +236,14 @@ func (l Limits) DecodeSweep(r io.Reader) (*SweepRequest, []*geom.Structure, erro
 		sts[i] = st
 	}
 	return &req, sts, nil
+}
+
+// validateTimeout rejects non-finite or negative deadlines (0 = none).
+func validateTimeout(ms float64) error {
+	if ms != 0 && (!isFinite(ms) || ms < 0) {
+		return badRequest("timeout_ms = %v is not a non-negative finite duration", ms)
+	}
+	return nil
 }
 
 // validateSolve checks the option fields shared by both request kinds.

@@ -16,6 +16,9 @@
 //	GET  /jobs/{id} status and result of a submitted job
 //	GET  /healthz   liveness
 //	GET  /stats     queue gauges, job counters, engine cache counters
+//	GET  /metrics   the same counters in Prometheus text exposition
+//	                format, plus queue-wait and per-stage latency
+//	                histograms (see metrics.go for the name inventory)
 //
 // The response schema matches capx -json (snake_case telemetry fields,
 // c_farads matrix rows), so serving and CLI tooling share consumers;
@@ -25,20 +28,52 @@
 //
 // Every solve enters a bounded job queue; when the queue is full the
 // server rejects immediately with a structured queue_full error (HTTP
-// 429) instead of building unbounded backlog. A fixed set of runner
-// goroutines drains the queue, and each running job's stage builds and
-// operator applies execute on a sched.Budgeted view of the engine's
-// persistent worker pool, capped at WorkerBudget workers per request —
-// concurrent requests divide the pool instead of each spawning
-// GOMAXPROCS goroutines on top of one another. The one exception is
-// template sweeps: extract.SweepH owns its machine-wide fan-out outside
-// the engine pool, so those serialize on a dedicated single slot
-// instead.
+// 429) instead of building unbounded backlog. Admission is two-tier:
+// interactive extracts and bulk sweeps queue separately, and runners
+// take any waiting extract before the next sweep, so a burst of bulk
+// traffic cannot starve latency-sensitive requests (it can only delay
+// other bulk work). A fixed set of runner goroutines drains the
+// queues, and each running job's stage builds and operator applies
+// execute on a sched.Budgeted view of the engine's persistent worker
+// pool, capped at WorkerBudget workers per request — concurrent
+// requests divide the pool instead of each spawning GOMAXPROCS
+// goroutines on top of one another. The one exception is template
+// sweeps: extract.SweepH owns its machine-wide fan-out outside the
+// engine pool, so those serialize on a dedicated single slot instead.
+//
+// # Deadlines
+//
+// A request may carry timeout_ms; the clock starts at admission, so
+// queue time counts against it. The deadline propagates as a
+// context.Context through the engine, the plan-stage builds and the
+// per-iteration GMRES checkpoints, so an expired request stops inside
+// the solver instead of completing work nobody will read. Expiry
+// surfaces as a structured deadline_exceeded error (HTTP 504 on a
+// synchronous /extract) carrying partial telemetry: the stage that
+// was running, elapsed milliseconds and Krylov iterations completed.
+//
+// # Tenant fairness
+//
+// When Options.TenantRate is set, each tenant — identified by the
+// X-Tenant request header; absent headers share one anonymous bucket —
+// is admitted through its own token bucket (TenantRate requests/sec
+// sustained, TenantBurst burst). Requests over the limit are rejected
+// with a structured rate_limited error (HTTP 429) before decode-time
+// work is spent on them.
 //
 // Malformed input (bad JSON, bad geometry text, NaN coordinates,
 // zero-area boxes, over-limit panel estimates) is rejected at decode
 // time with a *RequestError before any solver state is touched; the
 // boundary is fuzzed (FuzzDecodeRequest) to never panic.
+//
+// # Job accounting
+//
+// Every admitted job ends in exactly one of three monotonic counters:
+// jobs_completed, jobs_failed or jobs_cancelled (the client went away
+// — disconnect or abandoned stream — before or during the run), so
+// jobs_accepted == completed + failed + cancelled holds at every
+// quiescent point. Deadline expiries count as failures and are
+// additionally tallied by the deadline_exceeded counter.
 //
 // # Cache sharing
 //
@@ -52,6 +87,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -63,8 +99,8 @@ import (
 )
 
 // Options configures a Server. The zero value serves with a fresh
-// GOMAXPROCS engine, a queue of 64, one runner and no worker budget
-// (each job may use the whole pool).
+// GOMAXPROCS engine, queues of 64, one runner, no worker budget (each
+// job may use the whole pool) and no tenant rate limits.
 type Options struct {
 	// Engine optionally supplies the batch engine; nil creates one
 	// owned by the server (closed by Close) from the fields below.
@@ -77,11 +113,21 @@ type Options struct {
 	// PlanWorkers setting, which becomes the server's effective budget
 	// (reported by /stats and used to derive Runners).
 	WorkerBudget int
-	// QueueDepth bounds the admission queue (0 = 64).
+	// QueueDepth bounds the interactive (extract) admission queue
+	// (0 = 64).
 	QueueDepth int
+	// SweepQueueDepth bounds the bulk (sweep) admission queue
+	// (0 = QueueDepth).
+	SweepQueueDepth int
 	// Runners is the number of concurrent jobs (0 = pool/budget when a
 	// budget is set, else 1).
 	Runners int
+	// TenantRate enables per-tenant token-bucket admission limits:
+	// each tenant (X-Tenant header) sustains TenantRate requests/sec
+	// with bursts of TenantBurst (0 burst = ceil(rate), min 1).
+	// TenantRate 0 disables tenant limiting.
+	TenantRate  float64
+	TenantBurst int
 	// CacheEntries / PairCacheEntries size an owned engine's caches
 	// (0 = engine defaults).
 	CacheEntries     int
@@ -93,15 +139,30 @@ type Options struct {
 	JobHistory int
 }
 
+// Job priority classes. Interactive jobs (extract) are popped with
+// strict priority over bulk jobs (sweep): a runner drains every
+// waiting interactive job before taking the next bulk one.
+const (
+	classInteractive = iota // extract: latency-sensitive
+	classBulk               // sweep: throughput traffic
+	numClasses
+)
+
+// classNames are the metric label values of the priority classes.
+var classNames = [numClasses]string{"interactive", "bulk"}
+
 // Server is the extraction service. Create with New, expose with
 // Handler, release with Close. Safe for concurrent use.
 type Server struct {
-	opt    Options
-	limits Limits
-	eng    *batch.Engine
-	ownEng bool
+	opt     Options
+	limits  Limits
+	eng     *batch.Engine
+	ownEng  bool
+	limiter *tenantLimiter
 
-	queue   chan *job
+	// queues[classInteractive] holds extracts, queues[classBulk]
+	// sweeps; runners pop interactive-first (see nextJob).
+	queues  [numClasses]chan *job
 	runners int
 	wg      sync.WaitGroup
 	// tmplSem serializes template sweeps: extract.SweepH fans out to
@@ -118,6 +179,7 @@ type Server struct {
 
 	start time.Time
 	c     counters
+	m     *metrics
 
 	// sweepH runs the template h-sweep (extract.SweepH); tests inject
 	// mid-sweep failures through it to pin the per-point error
@@ -125,15 +187,20 @@ type Server struct {
 	sweepH func(geom.CrossingPairSpec, []float64, float64) ([]*extract.ArchFit, error)
 }
 
-// counters are the monotonic job/request counters of /stats. Queued and
-// Running are gauges.
+// counters are the monotonic job/request counters of /stats. Queued
+// (total and per class) and Running are gauges. Every accepted job
+// lands in exactly one of completed/failed/cancelled.
 type counters struct {
 	accepted     atomic.Uint64
 	rejectedFull atomic.Uint64
+	rejectedRate atomic.Uint64
 	badRequests  atomic.Uint64
 	completed    atomic.Uint64
 	failed       atomic.Uint64
+	cancelled    atomic.Uint64
+	deadline     atomic.Uint64
 	queued       atomic.Int64
+	queuedClass  [numClasses]atomic.Int64
 	running      atomic.Int64
 
 	extracts         atomic.Uint64
@@ -150,6 +217,7 @@ const (
 	jobRunning
 	jobDone
 	jobFailed
+	jobCancelled
 )
 
 func (s jobState) String() string {
@@ -162,22 +230,30 @@ func (s jobState) String() string {
 		return "done"
 	case jobFailed:
 		return "failed"
+	case jobCancelled:
+		return "cancelled"
 	}
 	return fmt.Sprintf("jobState(%d)", int32(s))
 }
 
 // job is one admitted request. run executes on a runner goroutine;
 // stream, when non-nil, receives per-point sweep messages and is closed
-// by the runner when the job finishes. ctx is the requester's context:
-// a job whose client has gone is skipped when popped (a solve already
-// in flight runs to completion — the engine has no cancellation points
-// — but sweeps stop between points). Async jobs carry the background
-// context; they deliberately outlive their submitting request.
+// by the runner when the job finishes. ctx is the requester's context,
+// bounded by the request's timeout_ms deadline when one was set (the
+// clock starts at admission): a job whose context has fired is skipped
+// when popped, and one in flight is stopped at the next plan-stage or
+// GMRES-iteration checkpoint. Async jobs derive from the background
+// context; they deliberately outlive their submitting request but
+// still honor their own deadline.
 type job struct {
 	id    string
 	kind  string // "extract" | "sweep"
+	class int    // classInteractive | classBulk
 	state atomic.Int32
 	ctx   context.Context
+	// cancel releases the timeout_ms deadline timer; nil when the
+	// request carried none.
+	cancel context.CancelFunc
 
 	run    func() (any, error)
 	stream chan any
@@ -191,6 +267,13 @@ type job struct {
 	finished time.Time
 }
 
+// release frees the job's deadline timer, if any.
+func (j *job) release() {
+	if j.cancel != nil {
+		j.cancel()
+	}
+}
+
 // New creates a server and starts its runner goroutines.
 func New(opt Options) *Server {
 	s := &Server{
@@ -199,6 +282,7 @@ func New(opt Options) *Server {
 		eng:     opt.Engine,
 		jobs:    make(map[string]*job),
 		start:   time.Now(),
+		m:       newMetrics(),
 		sweepH:  extract.SweepH,
 		tmplSem: make(chan struct{}, 1),
 	}
@@ -220,7 +304,15 @@ func New(opt Options) *Server {
 	if depth <= 0 {
 		depth = 64
 	}
-	s.queue = make(chan *job, depth)
+	sweepDepth := opt.SweepQueueDepth
+	if sweepDepth <= 0 {
+		sweepDepth = depth
+	}
+	s.queues[classInteractive] = make(chan *job, depth)
+	s.queues[classBulk] = make(chan *job, sweepDepth)
+	if opt.TenantRate > 0 {
+		s.limiter = newTenantLimiter(opt.TenantRate, opt.TenantBurst)
+	}
 	s.runners = opt.Runners
 	if s.runners <= 0 {
 		if s.opt.WorkerBudget > 0 {
@@ -240,8 +332,8 @@ func New(opt Options) *Server {
 // Engine exposes the shared batch engine (for tests and embedding).
 func (s *Server) Engine() *batch.Engine { return s.eng }
 
-// Close stops admitting jobs, drains the queue, waits for running jobs
-// and closes an owned engine.
+// Close stops admitting jobs, drains the queues, waits for running
+// jobs and closes an owned engine.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -250,19 +342,23 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
-	close(s.queue)
+	for _, q := range s.queues {
+		close(q)
+	}
 	s.wg.Wait()
 	if s.ownEng {
 		s.eng.Close()
 	}
 }
 
-// admit registers and enqueues a job; a full queue or closing server
-// rejects with a structured error.
+// admit registers and enqueues a job on its class queue; a full queue
+// or closing server rejects with a structured error.
 func (s *Server) admit(j *job) error {
+	q := s.queues[j.class]
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		j.release()
 		return &RequestError{Code: CodeShuttingDown, Message: "server is shutting down"}
 	}
 	s.seq++
@@ -272,16 +368,19 @@ func (s *Server) admit(j *job) error {
 	// queued gauge the instant the send succeeds.
 	s.c.accepted.Add(1)
 	s.c.queued.Add(1)
+	s.c.queuedClass[j.class].Add(1)
 	select {
-	case s.queue <- j:
+	case q <- j:
 	default:
 		s.c.accepted.Add(^uint64(0))
 		s.c.queued.Add(-1)
+		s.c.queuedClass[j.class].Add(-1)
 		s.mu.Unlock()
 		s.c.rejectedFull.Add(1)
+		j.release()
 		return &RequestError{
 			Code:    CodeQueueFull,
-			Message: fmt.Sprintf("job queue full (%d pending)", cap(s.queue)),
+			Message: fmt.Sprintf("%s job queue full (%d pending)", classNames[j.class], cap(q)),
 		}
 	}
 	s.jobs[j.id] = j
@@ -289,42 +388,113 @@ func (s *Server) admit(j *job) error {
 	return nil
 }
 
-// runner drains the queue until Close.
+// runner drains the queues until Close, interactive jobs first.
 func (s *Server) runner() {
 	defer s.wg.Done()
-	for j := range s.queue {
-		s.c.queued.Add(-1)
-		s.c.running.Add(1)
-		j.started = time.Now()
-		j.state.Store(int32(jobRunning))
+	hi, lo := s.queues[classInteractive], s.queues[classBulk]
+	for {
+		j, ok := nextJob(&hi, &lo)
+		if !ok {
+			return
+		}
+		s.dispatch(j)
+	}
+}
 
-		var v any
-		var err error
-		if j.ctx != nil && j.ctx.Err() != nil {
-			// The requester is gone (disconnect or timeout while the
-			// job sat in the queue): don't burn pool workers on a
-			// result nobody will read.
-			err = &RequestError{Code: CodeCancelled, Message: "client went away before the job started"}
-			if j.stream != nil {
-				close(j.stream)
+// nextJob pops the next job with strict priority: any waiting
+// interactive job is taken before a bulk one; when the interactive
+// queue is empty the runner blocks on both. Closed queues are nil-ed
+// out (a nil channel never selects); ok=false once both are closed and
+// drained.
+func nextJob(hi, lo *chan *job) (*job, bool) {
+	for {
+		if *hi != nil {
+			select {
+			case j, ok := <-*hi:
+				if !ok {
+					*hi = nil
+					continue
+				}
+				return j, true
+			default:
+			}
+		}
+		if *hi == nil && *lo == nil {
+			return nil, false
+		}
+		select {
+		case j, ok := <-*hi:
+			if !ok {
+				*hi = nil
+				continue
+			}
+			return j, true
+		case j, ok := <-*lo:
+			if !ok {
+				*lo = nil
+				continue
+			}
+			return j, true
+		}
+	}
+}
+
+// dispatch runs one popped job and books its outcome into exactly one
+// of completed/failed/cancelled (jobs_accepted == the sum of the
+// three): a client that went away books cancelled, a deadline expiry
+// books failed plus the deadline_exceeded tally, everything else
+// follows the job error.
+func (s *Server) dispatch(j *job) {
+	s.c.queued.Add(-1)
+	s.c.queuedClass[j.class].Add(-1)
+	s.c.running.Add(1)
+	j.started = time.Now()
+	s.m.queueWait[j.class].observe(j.started.Sub(j.enqueued))
+	j.state.Store(int32(jobRunning))
+
+	var v any
+	var err error
+	if j.ctx != nil && j.ctx.Err() != nil {
+		// The requester is gone — or its deadline expired — while the
+		// job sat in the queue: don't burn pool workers on a result
+		// nobody will read.
+		if errors.Is(j.ctx.Err(), context.DeadlineExceeded) {
+			err = &RequestError{
+				Code:      CodeDeadlineExceeded,
+				Message:   "deadline expired while the job was queued",
+				Stage:     "queued",
+				ElapsedMs: time.Since(j.enqueued).Seconds() * 1e3,
 			}
 		} else {
-			v, err = runJob(j)
+			err = &RequestError{Code: CodeCancelled, Message: "client went away before the job started"}
 		}
-
-		j.result, j.err = v, err
-		j.finished = time.Now()
-		if err != nil {
-			j.state.Store(int32(jobFailed))
-			s.c.failed.Add(1)
-		} else {
-			j.state.Store(int32(jobDone))
-			s.c.completed.Add(1)
+		if j.stream != nil {
+			close(j.stream)
 		}
-		s.c.running.Add(-1)
-		close(j.done)
-		s.retire(j)
+	} else {
+		v, err = runJob(j)
 	}
+
+	j.result, j.err = v, err
+	j.finished = time.Now()
+	j.release()
+	switch {
+	case err == nil:
+		j.state.Store(int32(jobDone))
+		s.c.completed.Add(1)
+	case asRequestError(err).Code == CodeCancelled:
+		j.state.Store(int32(jobCancelled))
+		s.c.cancelled.Add(1)
+	default:
+		if asRequestError(err).Code == CodeDeadlineExceeded {
+			s.c.deadline.Add(1)
+		}
+		j.state.Store(int32(jobFailed))
+		s.c.failed.Add(1)
+	}
+	s.c.running.Add(-1)
+	close(j.done)
+	s.retire(j)
 }
 
 // runJob executes one job with panic containment: jobs run on raw
@@ -364,26 +534,38 @@ func (s *Server) lookup(id string) *job {
 	return s.jobs[id]
 }
 
-// newExtractJob wraps an extract request as a queue job.
+// withDeadline bounds ctx by the request's timeout_ms, if any. The
+// deadline clock starts here — at admission — so queue wait counts
+// against the budget.
+func withDeadline(ctx context.Context, timeoutMs float64) (context.Context, context.CancelFunc) {
+	if timeoutMs <= 0 {
+		return ctx, nil
+	}
+	return context.WithTimeout(ctx, time.Duration(timeoutMs*float64(time.Millisecond)))
+}
+
+// newExtractJob wraps an extract request as an interactive queue job.
 func (s *Server) newExtractJob(ctx context.Context, req *ExtractRequest, st *geom.Structure) *job {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	j := &job{kind: "extract", done: make(chan struct{}), ctx: ctx}
+	j := &job{kind: "extract", class: classInteractive, done: make(chan struct{})}
+	j.ctx, j.cancel = withDeadline(ctx, req.TimeoutMs)
 	j.run = func() (any, error) {
 		s.c.extracts.Add(1)
-		res, err := s.runExtract(j.id, req, st)
+		res, err := s.runExtract(j, req, st)
 		return res, err
 	}
 	return j
 }
 
-// newSweepJob wraps a sweep request as a streaming queue job.
+// newSweepJob wraps a sweep request as a streaming bulk queue job.
 func (s *Server) newSweepJob(ctx context.Context, req *SweepRequest, sts []*geom.Structure) *job {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	j := &job{kind: "sweep", done: make(chan struct{}), stream: make(chan any, 16), ctx: ctx}
+	j := &job{kind: "sweep", class: classBulk, done: make(chan struct{}), stream: make(chan any, 16)}
+	j.ctx, j.cancel = withDeadline(ctx, req.TimeoutMs)
 	j.run = func() (any, error) {
 		s.c.sweeps.Add(1)
 		defer close(j.stream)
@@ -401,13 +583,18 @@ type Stats struct {
 	PoolWorkers  int     `json:"pool_workers"`
 	WorkerBudget int     `json:"worker_budget"`
 
-	Accepted          uint64 `json:"jobs_accepted"`
-	RejectedQueueFull uint64 `json:"jobs_rejected_queue_full"`
-	BadRequests       uint64 `json:"bad_requests"`
-	Completed         uint64 `json:"jobs_completed"`
-	Failed            uint64 `json:"jobs_failed"`
-	Queued            int64  `json:"jobs_queued"`
-	Running           int64  `json:"jobs_running"`
+	Accepted            uint64 `json:"jobs_accepted"`
+	RejectedQueueFull   uint64 `json:"jobs_rejected_queue_full"`
+	RejectedRateLimited uint64 `json:"jobs_rejected_rate_limited"`
+	BadRequests         uint64 `json:"bad_requests"`
+	Completed           uint64 `json:"jobs_completed"`
+	Failed              uint64 `json:"jobs_failed"`
+	Cancelled           uint64 `json:"jobs_cancelled"`
+	DeadlineExceeded    uint64 `json:"deadline_exceeded"`
+	Queued              int64  `json:"jobs_queued"`
+	QueuedInteractive   int64  `json:"jobs_queued_interactive"`
+	QueuedBulk          int64  `json:"jobs_queued_bulk"`
+	Running             int64  `json:"jobs_running"`
 
 	Extracts         uint64 `json:"extracts"`
 	Sweeps           uint64 `json:"sweeps"`
@@ -421,19 +608,24 @@ type Stats struct {
 func (s *Server) Stats() Stats {
 	return Stats{
 		UptimeSec:    time.Since(s.start).Seconds(),
-		QueueDepth:   len(s.queue),
-		QueueCap:     cap(s.queue),
+		QueueDepth:   len(s.queues[classInteractive]) + len(s.queues[classBulk]),
+		QueueCap:     cap(s.queues[classInteractive]) + cap(s.queues[classBulk]),
 		Runners:      s.runners,
 		PoolWorkers:  s.eng.Workers(),
 		WorkerBudget: s.opt.WorkerBudget,
 
-		Accepted:          s.c.accepted.Load(),
-		RejectedQueueFull: s.c.rejectedFull.Load(),
-		BadRequests:       s.c.badRequests.Load(),
-		Completed:         s.c.completed.Load(),
-		Failed:            s.c.failed.Load(),
-		Queued:            s.c.queued.Load(),
-		Running:           s.c.running.Load(),
+		Accepted:            s.c.accepted.Load(),
+		RejectedQueueFull:   s.c.rejectedFull.Load(),
+		RejectedRateLimited: s.c.rejectedRate.Load(),
+		BadRequests:         s.c.badRequests.Load(),
+		Completed:           s.c.completed.Load(),
+		Failed:              s.c.failed.Load(),
+		Cancelled:           s.c.cancelled.Load(),
+		DeadlineExceeded:    s.c.deadline.Load(),
+		Queued:              s.c.queued.Load(),
+		QueuedInteractive:   s.c.queuedClass[classInteractive].Load(),
+		QueuedBulk:          s.c.queuedClass[classBulk].Load(),
+		Running:             s.c.running.Load(),
 
 		Extracts:         s.c.extracts.Load(),
 		Sweeps:           s.c.sweeps.Load(),

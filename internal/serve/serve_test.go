@@ -411,7 +411,7 @@ func TestServeBadRequests(t *testing.T) {
 
 // TestServeCancelledQueuedJobSkipped pins the dead-client behavior: a
 // synchronous job whose requester disconnects while it is still queued
-// is skipped when popped (marked failed with code "cancelled") instead
+// is skipped when popped (retired as cancelled, not failed) instead
 // of burning pool workers on a result nobody will read.
 func TestServeCancelledQueuedJobSkipped(t *testing.T) {
 	s, c := startServer(t, Options{Workers: 1, QueueDepth: 4, Runners: 1})
@@ -460,8 +460,8 @@ func TestServeCancelledQueuedJobSkipped(t *testing.T) {
 
 	// The dead job must be retired as cancelled without running.
 	<-dead.done
-	if got := jobState(dead.state.Load()); got != jobFailed {
-		t.Errorf("dead job state %v, want failed", got)
+	if got := jobState(dead.state.Load()); got != jobCancelled {
+		t.Errorf("dead job state %v, want cancelled", got)
 	}
 	re, ok := dead.err.(*RequestError)
 	if !ok || re.Code != CodeCancelled {
@@ -472,9 +472,10 @@ func TestServeCancelledQueuedJobSkipped(t *testing.T) {
 	}
 	// The solver may legitimately have run once for the live client's
 	// job (its cancellation is asynchronous), but never for dead.
+	var st Stats
 	for deadline := time.Now().Add(5 * time.Second); ; {
-		st := s.Stats()
-		if st.Completed+st.Failed == st.Accepted {
+		st = s.Stats()
+		if st.Completed+st.Failed+st.Cancelled == st.Accepted {
 			if st.Extracts > 2 {
 				t.Errorf("%d solver runs for 1 live + 1 blocker + 1 dead job", st.Extracts)
 			}
@@ -484,6 +485,15 @@ func TestServeCancelledQueuedJobSkipped(t *testing.T) {
 			t.Fatalf("jobs never drained: %+v", st)
 		}
 		time.Sleep(time.Millisecond)
+	}
+	// Client-gone jobs book as cancelled, not failed: the blocker's
+	// injected error is the only legitimate failure, and the dead job
+	// plus (depending on timing) the live client's land in cancelled.
+	if st.Failed != 1 {
+		t.Errorf("failed = %d, want 1 (the blocker)", st.Failed)
+	}
+	if st.Cancelled < 1 {
+		t.Errorf("cancelled = %d, want >= 1 (the dead job)", st.Cancelled)
 	}
 }
 

@@ -117,7 +117,29 @@ func TestServeConcurrentSoak(t *testing.T) {
 			EdgeM: edge, TemplateHs: []float64{0.4e-6, 0.6e-6}})},
 	}
 
+	// Disconnecting clients run alongside the healthy traffic: each
+	// fires a synchronous request and hangs up after a staggered few
+	// milliseconds. Their jobs may complete (solve won the race) or
+	// book as cancelled — never as failed — and the admission counters
+	// must still balance exactly.
+	chaos := 6
 	var wg sync.WaitGroup
+	for i := 0; i < chaos; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(ctx, time.Duration(2+3*i)*time.Millisecond)
+			defer cancel()
+			if i%2 == 0 {
+				_, _ = c.Extract(cctx, &ExtractRequest{
+					Geometry: geoText(t, crossingAt(0.5e-6)), EdgeM: edge, Backend: "dense"})
+			} else {
+				_, _ = c.Sweep(cctx, &SweepRequest{
+					EdgeM: edge, Backend: "dense",
+					Variants: []string{geoText(t, crossingAt(0.45e-6)), geoText(t, crossingAt(0.55e-6))}}, nil)
+			}
+		}(i)
+	}
 	for _, cl := range clients {
 		wg.Add(1)
 		go func(name string, body func() (string, error)) {
@@ -142,23 +164,48 @@ func TestServeConcurrentSoak(t *testing.T) {
 	}
 	wg.Wait()
 
-	stats := s.Stats()
-	wantJobs := uint64(len(clients) * repeats)
-	if stats.Accepted != wantJobs {
-		t.Errorf("accepted %d jobs, want %d (lost or double-counted admissions)", stats.Accepted, wantJobs)
+	// A disconnecting client's job can still be queued (HTTP handler
+	// returned; the job is skipped when popped); wait for the gauges
+	// to drain before balancing the books.
+	var stats Stats
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		stats = s.Stats()
+		if stats.Queued == 0 && stats.Running == 0 &&
+			stats.Completed+stats.Failed+stats.Cancelled == stats.Accepted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs never drained: %+v", stats)
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
-	if stats.Completed != wantJobs || stats.Failed != 0 {
-		t.Errorf("completed %d / failed %d, want %d / 0", stats.Completed, stats.Failed, wantJobs)
+
+	// A disconnecting client may hang up before its request body even
+	// finishes uploading, in which case the job is never admitted — so
+	// chaos admissions are an upper bound, healthy ones exact.
+	healthy, maxJobs := uint64(len(clients)*repeats), uint64(len(clients)*repeats+chaos)
+	if stats.Accepted < healthy || stats.Accepted > maxJobs {
+		t.Errorf("accepted %d jobs, want in [%d, %d] (lost or double-counted admissions)",
+			stats.Accepted, healthy, maxJobs)
 	}
-	if stats.Queued != 0 || stats.Running != 0 {
-		t.Errorf("gauges not drained: queued %d running %d", stats.Queued, stats.Running)
+	if stats.Completed+stats.Failed+stats.Cancelled != stats.Accepted {
+		t.Errorf("accepted %d != completed %d + failed %d + cancelled %d",
+			stats.Accepted, stats.Completed, stats.Failed, stats.Cancelled)
 	}
-	if stats.Extracts+stats.Sweeps != wantJobs {
-		t.Errorf("extracts %d + sweeps %d != %d", stats.Extracts, stats.Sweeps, wantJobs)
+	// Healthy traffic all completes; disconnects book as cancelled or
+	// completed depending on the race — never failed.
+	if stats.Completed < healthy {
+		t.Errorf("completed %d, want >= %d (healthy traffic lost)", stats.Completed, healthy)
 	}
-	wantPoints := uint64(3 * repeats * 2) // three sweep clients x two points
-	if stats.SweepPoints != wantPoints {
-		t.Errorf("sweep points %d, want %d (dropped or duplicated points)", stats.SweepPoints, wantPoints)
+	if stats.Failed != 0 {
+		t.Errorf("failed %d, want 0 (client disconnects must book as cancelled)", stats.Failed)
+	}
+	if stats.Extracts+stats.Sweeps > stats.Accepted {
+		t.Errorf("extracts %d + sweeps %d > %d admitted", stats.Extracts, stats.Sweeps, stats.Accepted)
+	}
+	wantPoints := uint64(3 * repeats * 2) // three healthy sweep clients x two points
+	if stats.SweepPoints < wantPoints {
+		t.Errorf("sweep points %d, want >= %d (dropped points on healthy traffic)", stats.SweepPoints, wantPoints)
 	}
 	if stats.SweepPointErrors != 0 {
 		t.Errorf("%d sweep point errors on healthy traffic", stats.SweepPointErrors)

@@ -120,19 +120,44 @@
 //     error entry, never a dropped point.
 //   - GET /healthz and GET /stats expose liveness, queue gauges, job
 //     counters and the engine cache counters.
+//   - GET /metrics exposes the same counters plus queue-wait and
+//     per-stage latency histograms in Prometheus text exposition
+//     format, ready for a standard scrape config.
 //
-// Admission control keeps the daemon stable under heavy traffic: a
-// bounded job queue rejects overload immediately (HTTP 429, structured
-// queue_full error), a fixed runner count bounds concurrent solves, and
-// each job's parallel work runs on a budgeted view of the shared worker
-// pool (-budget workers per job) so concurrent requests divide the
-// machine instead of oversubscribing it. Responses carry the same
-// telemetry schema as capx -json, and capx -remote http://... rides a
-// warm server from the command line. Identical-family requests hit the
-// shared plan cache across HTTP requests (TestServeWarmCacheSpeedup
-// enforces the >= 2x warm amortization); the golden-corpus harness
-// (TestGoldenCorpus) pins every backend against stored reference
-// matrices so service refactors cannot silently drift the physics.
+// Admission control keeps the daemon stable under heavy traffic.
+// Extracts and sweeps are admitted into separate interactive and bulk
+// queues served strict-priority by a fixed runner count, so a bulk
+// sweep backlog cannot starve interactive extracts; a full queue
+// rejects immediately (HTTP 429, structured queue_full error), and
+// per-tenant token buckets (-tenant-rate/-tenant-burst, keyed on the
+// X-Tenant header) turn one chatty client's overload into its own 429s
+// instead of everyone's queue delay. Each job's parallel work runs on
+// a budgeted view of the shared worker pool (-budget workers per job)
+// so concurrent requests divide the machine instead of
+// oversubscribing it.
+//
+// Requests carry their own deadlines: a timeout_ms field is propagated
+// as a context through the engine, the plan stage builds and the GMRES
+// iteration loop, so an expired deadline stops the solve within one
+// Krylov iteration and returns a structured deadline_exceeded error
+// (HTTP 504) with partial telemetry — the stage reached, elapsed
+// milliseconds and iterations completed. Every job lands in exactly
+// one of jobs_completed, jobs_failed or jobs_cancelled (client
+// disconnects book as cancelled, never failed), so
+// accepted == completed + failed + cancelled holds at every /stats
+// snapshot.
+//
+// Responses carry the same telemetry schema as capx -json, and capx
+// -remote http://... rides a warm server from the command line.
+// Identical-family requests hit the shared plan cache across HTTP
+// requests (TestServeWarmCacheSpeedup enforces the >= 2x warm
+// amortization); the golden-corpus harness (TestGoldenCorpus) pins
+// every backend against stored reference matrices so service
+// refactors cannot silently drift the physics. The capxload harness
+// (cmd/capxload) drives the golden corpus at configurable concurrency
+// against a live daemon — or an in-process server with -inprocess —
+// and reports sustained req/s, latency percentiles and rejection
+// rates.
 package parbem
 
 import (
