@@ -3,7 +3,7 @@
 // pair-integral caches amortize across requests instead of dying with
 // each capx invocation (see internal/serve for the API).
 //
-//	capxd -addr :8437 -workers 8 -budget 2 -queue 128
+//	capxd -addr :8437 -workers 8 -budget 2 -queue 128 -data-dir /var/lib/capxd
 //
 // Endpoints: POST /extract, POST /sweep (NDJSON stream), GET /jobs/{id},
 // GET /healthz, GET /stats (JSON), GET /metrics (Prometheus text
@@ -17,14 +17,38 @@
 // -sweep-queue) and runners always take a waiting extract before the
 // next sweep, so bulk traffic cannot starve interactive requests.
 // Requests beyond the class queue depth are rejected immediately with
-// HTTP 429 and a structured queue_full error; -budget caps how many
-// pool workers any single job occupies, so -runners concurrent jobs
-// share the persistent pool instead of oversubscribing. With
-// -tenant-rate set, each tenant (X-Tenant request header) is admitted
-// through its own token bucket and rejected with a structured 429 when
+// HTTP 429 and a structured queue_full error carrying Retry-After
+// advice; -budget caps how many pool workers any single job occupies,
+// so -runners concurrent jobs share the persistent pool instead of
+// oversubscribing. With -tenant-rate set, each tenant (X-Tenant request
+// header) is admitted through its own token bucket and rejected with a
+// structured 429 (plus Retry-After computed from the refill rate) when
 // over its rate. Requests may carry timeout_ms; expiry returns a
-// structured deadline_exceeded error (HTTP 504) with the stage,
-// elapsed time and iterations completed when the deadline fired.
+// structured deadline_exceeded error (HTTP 504) with the stage, elapsed
+// time, iterations completed — and, when the solve got far enough, the
+// last GMRES iterates' residual and best-effort capacitance estimate.
+//
+// # Durability and restarts
+//
+// With -data-dir set, async extract jobs are journaled to
+// <dir>/jobs.journal, fsync'd at every state edge: a 202 acknowledgment
+// means the job survives SIGKILL or power loss. On startup capxd
+// replays the journal — finished jobs stay queryable via GET /jobs/{id}
+// with their persisted results, unfinished ones (including jobs an
+// overrun drain interrupted) are re-enqueued and run again, with
+// client-supplied idempotency keys deduplicating retried submissions.
+//
+// SIGTERM/SIGINT triggers a graceful drain: admission rejects new work
+// with a structured 503 draining error (Retry-After attached), /healthz
+// flips to 503 so load balancers rotate the replica out, and running
+// jobs get -drain-timeout to finish. Past the timeout they are
+// context-cancelled at their next solver checkpoint and journaled as
+// interrupted — the next lifetime owes them a run. The journal is
+// compacted and the process exits 0.
+//
+// -faults arms the fault-injection hooks (internal/faultpoint; also via
+// the CAPXD_FAULTS environment variable) for crash-safety testing, e.g.
+// "journal.sync@3:crash" kills the process on the third journal fsync.
 package main
 
 import (
@@ -32,34 +56,55 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"parbem/internal/faultpoint"
 	"parbem/internal/serve"
 )
 
 func main() {
-	var (
-		addr        = flag.String("addr", ":8437", "listen address")
-		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		budget      = flag.Int("budget", 0, "max pool workers per job (0 = whole pool)")
-		runners     = flag.Int("runners", 0, "concurrent jobs (0 = workers/budget, min 1)")
-		queue       = flag.Int("queue", 64, "interactive (extract) admission queue depth")
-		sweepQueue  = flag.Int("sweep-queue", 0, "bulk (sweep) admission queue depth (0 = same as -queue)")
-		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant admitted requests/sec via X-Tenant header (0 = unlimited)")
-		tenantBurst = flag.Int("tenant-burst", 0, "per-tenant burst capacity (0 = ceil(rate))")
-		cache       = flag.Int("cache", 0, "state/plan LRU entries (0 = default 64)")
-		pairCache   = flag.Int("paircache", 0, "pair-integral cache entries (0 = default)")
-		maxBody     = flag.Int64("maxbody", 0, "request body cap in bytes (0 = default 8 MiB)")
-		maxPanels   = flag.Int("maxpanels", 0, "per-request estimated panel cap (0 = default 200000)")
-		history     = flag.Int("jobhistory", 0, "finished jobs kept for GET /jobs/{id} (0 = default 256)")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:]))
+}
 
-	s := serve.New(serve.Options{
+// run is the daemon body, factored from main so the kill-and-recover
+// test can re-exec the test binary as a real capxd process.
+func run(args []string) int {
+	fs := flag.NewFlagSet("capxd", flag.ExitOnError)
+	var (
+		addr         = fs.String("addr", ":8437", "listen address")
+		addrFile     = fs.String("addr-file", "", "write the bound listen address to this file (for :0 callers)")
+		workers      = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		budget       = fs.Int("budget", 0, "max pool workers per job (0 = whole pool)")
+		runners      = fs.Int("runners", 0, "concurrent jobs (0 = workers/budget, min 1)")
+		queue        = fs.Int("queue", 64, "interactive (extract) admission queue depth")
+		sweepQueue   = fs.Int("sweep-queue", 0, "bulk (sweep) admission queue depth (0 = same as -queue)")
+		tenantRate   = fs.Float64("tenant-rate", 0, "per-tenant admitted requests/sec via X-Tenant header (0 = unlimited)")
+		tenantBurst  = fs.Int("tenant-burst", 0, "per-tenant burst capacity (0 = ceil(rate))")
+		cache        = fs.Int("cache", 0, "state/plan LRU entries (0 = default 64)")
+		pairCache    = fs.Int("paircache", 0, "pair-integral cache entries (0 = default)")
+		maxBody      = fs.Int64("maxbody", 0, "request body cap in bytes (0 = default 8 MiB)")
+		maxPanels    = fs.Int("maxpanels", 0, "per-request estimated panel cap (0 = default 200000)")
+		history      = fs.Int("jobhistory", 0, "finished jobs kept for GET /jobs/{id} (0 = default 256)")
+		dataDir      = fs.String("data-dir", "", "durable job journal directory (empty = no persistence)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGTERM/SIGINT before running jobs are interrupted")
+		faults       = fs.String("faults", os.Getenv("CAPXD_FAULTS"), "fault-injection spec, e.g. journal.sync@3:crash (testing only)")
+	)
+	fs.Parse(args)
+
+	if *faults != "" {
+		if err := faultpoint.Configure(*faults); err != nil {
+			log.Printf("capxd: -faults: %v", err)
+			return 2
+		}
+		log.Printf("capxd: fault injection armed: %s", *faults)
+	}
+
+	s, err := serve.Open(serve.Options{
 		Workers:          *workers,
 		WorkerBudget:     *budget,
 		Runners:          *runners,
@@ -70,17 +115,36 @@ func main() {
 		CacheEntries:     *cache,
 		PairCacheEntries: *pairCache,
 		JobHistory:       *history,
+		DataDir:          *dataDir,
+		Logf:             log.Printf,
 		Limits: serve.Limits{
 			MaxBodyBytes: *maxBody,
 			MaxPanels:    *maxPanels,
 		},
 	})
+	if err != nil {
+		log.Printf("capxd: %v", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Printf("capxd: %v", err)
+		s.Close()
+		return 1
+	}
+	if *addrFile != "" {
+		if err := writeAddrFile(*addrFile, ln.Addr().String()); err != nil {
+			log.Printf("capxd: %v", err)
+			s.Close()
+			return 1
+		}
+	}
 
 	// Header/idle timeouts close the slow-client hole that would bypass
 	// the bounded-queue admission control (no WriteTimeout: sweep
 	// responses are long-lived NDJSON streams).
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
@@ -91,19 +155,42 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Print("capxd: shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		// Drain while still serving: in-flight and retrying clients see
+		// structured 503 draining responses (and /healthz flips) instead
+		// of connection resets, and running jobs get -drain-timeout to
+		// finish before being interrupted.
+		log.Printf("capxd: draining (timeout %v)", *drainTimeout)
+		if err := s.Drain(*drainTimeout); err != nil {
+			log.Printf("capxd: %v", err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Printf("capxd: shutdown: %v", err)
 		}
 	}()
 
-	log.Printf("capxd: listening on %s (pool %d workers, budget %d/job, queue %d)",
-		*addr, s.Engine().Workers(), *budget, *queue)
-	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+	log.Printf("capxd: listening on %s (pool %d workers, budget %d/job, queue %d, data-dir %q)",
+		ln.Addr(), s.Engine().Workers(), *budget, *queue, *dataDir)
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Print(err)
+		s.Close()
+		return 1
 	}
 	<-done
+	// Close compacts the journal; an interrupted backlog stays
+	// re-runnable for the next lifetime.
 	s.Close()
+	log.Print("capxd: drained, exiting")
+	return 0
+}
+
+// writeAddrFile publishes the bound address atomically (temp + rename)
+// so a parent polling the file never reads a partial write.
+func writeAddrFile(path, addr string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }

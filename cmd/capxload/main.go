@@ -19,6 +19,15 @@
 // With -inprocess the harness embeds a serve.Server over a loopback
 // listener instead of dialing a daemon, giving CI a deterministic
 // smoke run with no process orchestration.
+//
+// -chaos (in-process only) turns the run into a resilience smoke: a
+// chaos goroutine drains, closes and reopens the embedded server on the
+// same journal directory every -chaos-every while the workers keep
+// firing. The client retries backpressure with the serve.RetryPolicy
+// backoff, so a healthy run rides through every restart; the summary
+// reports how many requests were retried, how many waits honored server
+// Retry-After advice (tallied separately from failures), and how many
+// restarts the load survived.
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -111,7 +121,10 @@ func (t *tally) classify(err error, elapsed time.Duration) {
 	var re *serve.RequestError
 	if asRE(err, &re) {
 		switch re.Code {
-		case serve.CodeQueueFull, serve.CodeRateLimited:
+		case serve.CodeQueueFull, serve.CodeRateLimited,
+			serve.CodeDraining, serve.CodeShuttingDown:
+			// Backpressure, including a drain window the retry budget
+			// could not outlast: expected under chaos, not a failure.
 			t.rejected++
 			return
 		case serve.CodeDeadlineExceeded:
@@ -160,6 +173,22 @@ type summary struct {
 	P50Ms      float64 `json:"p50_ms"`
 	P99Ms      float64 `json:"p99_ms"`
 	MaxMs      float64 `json:"max_ms"`
+	// Resilience tallies: backoff retries the client absorbed (not
+	// failures), how many of those waits honored server Retry-After
+	// advice, and how many chaos restarts the load rode through.
+	Retried      int `json:"retried,omitempty"`
+	HonoredWaits int `json:"honored_waits,omitempty"`
+	Restarts     int `json:"restarts,omitempty"`
+}
+
+// swapHandler lets the chaos loop replace the live server's handler
+// atomically while the listener (and client connections) stay up.
+type swapHandler struct{ h atomic.Value }
+
+func (s *swapHandler) set(h http.Handler) { s.h.Store(h) }
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.h.Load().(http.Handler).ServeHTTP(w, r)
 }
 
 func main() {
@@ -180,8 +209,15 @@ func main() {
 		runners = flag.Int("runners", 0, "in-process: concurrent jobs (0 = derived)")
 		queue   = flag.Int("queue", 64, "in-process: interactive queue depth")
 		rate    = flag.Float64("tenant-rate", 0, "in-process: per-tenant requests/sec (0 = unlimited)")
+		// chaos mode
+		chaos      = flag.Bool("chaos", false, "in-process: drain and restart the embedded server mid-load (resilience smoke)")
+		chaosEvery = flag.Duration("chaos-every", 2*time.Second, "in-process: interval between chaos restarts")
+		dataDir    = flag.String("data-dir", "", "in-process: journal directory (-chaos default: a temp dir)")
 	)
 	flag.Parse()
+	if *chaos && !*inproc {
+		log.Fatal("capxload: -chaos requires -inprocess")
+	}
 
 	cases, err := loadCorpus(*corpus)
 	if err != nil {
@@ -189,13 +225,35 @@ func main() {
 	}
 
 	base := *addr
+	var (
+		inOpts serve.Options
+		inSrv  *serve.Server
+		sw     *swapHandler
+	)
 	if *inproc {
-		s := serve.New(serve.Options{
+		inOpts = serve.Options{
 			Workers: *workers, WorkerBudget: *budget,
 			Runners: *runners, QueueDepth: *queue, TenantRate: *rate,
-		})
-		defer s.Close()
-		ts := httptest.NewServer(s.Handler())
+			DataDir: *dataDir,
+		}
+		if *chaos && inOpts.DataDir == "" {
+			dir, err := os.MkdirTemp("", "capxload-chaos-")
+			if err != nil {
+				log.Fatalf("capxload: %v", err)
+			}
+			defer os.RemoveAll(dir)
+			inOpts.DataDir = dir
+		}
+		s, err := serve.Open(inOpts)
+		if err != nil {
+			log.Fatalf("capxload: %v", err)
+		}
+		inSrv = s
+		// The chaos loop swaps inSrv; close whichever is live at exit.
+		defer func() { inSrv.Close() }()
+		sw = &swapHandler{}
+		sw.set(s.Handler())
+		ts := httptest.NewServer(sw)
 		defer ts.Close()
 		base = ts.URL
 	}
@@ -205,6 +263,16 @@ func main() {
 
 	c := serve.NewClient(base)
 	c.Tenant = *tenant
+	var retried, honored atomic.Int64
+	if *chaos {
+		c.Retry = serve.DefaultRetry
+	}
+	c.OnRetry = func(attempt int, wait time.Duration, hon bool, err error) {
+		retried.Add(1)
+		if hon {
+			honored.Add(1)
+		}
+	}
 	if err := c.Health(context.Background()); err != nil {
 		log.Fatalf("capxload: server not healthy: %v", err)
 	}
@@ -218,6 +286,40 @@ func main() {
 	}
 
 	deadline := time.Now().Add(*dur)
+	stopChaos := make(chan struct{})
+	var chaosWG sync.WaitGroup
+	restarts := 0
+	if *chaos {
+		chaosWG.Add(1)
+		go func() {
+			defer chaosWG.Done()
+			tick := time.NewTicker(*chaosEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopChaos:
+					return
+				case <-tick.C:
+				}
+				// Drain (in-flight requests finish, new ones bounce with
+				// 503 draining + Retry-After), close — compacting the
+				// journal — and reopen on the same data dir. Requests
+				// that land on the dead server's handler in the gap get
+				// a retryable shutting_down rejection.
+				if err := inSrv.Drain(10 * time.Second); err != nil {
+					log.Printf("capxload: chaos drain: %v", err)
+				}
+				inSrv.Close()
+				ns, err := serve.Open(inOpts)
+				if err != nil {
+					log.Fatalf("capxload: chaos reopen: %v", err)
+				}
+				inSrv = ns
+				sw.set(ns.Handler())
+				restarts++
+			}
+		}()
+	}
 	var next atomic.Uint64
 	tallies := make([]tally, *conc)
 	var wg sync.WaitGroup
@@ -246,6 +348,8 @@ func main() {
 		}(&tallies[w])
 	}
 	wg.Wait()
+	close(stopChaos)
+	chaosWG.Wait()
 	elapsed := time.Since(t0)
 
 	var all tally
@@ -263,6 +367,9 @@ func main() {
 		P50Ms: percentile(all.latencies, 50).Seconds() * 1e3,
 		P99Ms: percentile(all.latencies, 99).Seconds() * 1e3,
 	}
+	sum.Retried = int(retried.Load())
+	sum.HonoredWaits = int(honored.Load())
+	sum.Restarts = restarts
 	if total > 0 {
 		sum.RejectRate = float64(all.rejected) / float64(total)
 	}
@@ -278,6 +385,10 @@ func main() {
 		fmt.Printf("  ok %d, rejected %d (%.1f%%), deadline_exceeded %d, failed %d\n",
 			sum.OK, sum.Rejected, sum.RejectRate*100, sum.Deadline, sum.Failed)
 		fmt.Printf("  latency ms: p50 %.2f  p99 %.2f  max %.2f\n", sum.P50Ms, sum.P99Ms, sum.MaxMs)
+		if *chaos || sum.Retried > 0 {
+			fmt.Printf("  resilience: %d retried (%d honored Retry-After), %d restarts survived\n",
+				sum.Retried, sum.HonoredWaits, sum.Restarts)
+		}
 	}
 	// Saturation outcomes (rejections, deadline expiries) are data, not
 	// failures; a harness run fails only when requests error outright

@@ -175,10 +175,14 @@ func GMRESWith(ws *GMRESWorkspace, a Matvec, x, b []float64, opt GMRESOptions) (
 	r, w, z := ws.r[:n], ws.w[:n], ws.z[:n]
 
 	total := 0
+	// lastRel is the most recent relative residual estimate, reported
+	// on a context interruption so an early exit still tells the caller
+	// how far the last iterate got (1 = no progress beyond the guess).
+	lastRel := 1.0
 	for {
 		if opt.Ctx != nil {
 			if err := opt.Ctx.Err(); err != nil {
-				return GMRESResult{Iterations: total}, err
+				return GMRESResult{Iterations: total, Residual: lastRel}, err
 			}
 		}
 		// r = b - A x.
@@ -188,6 +192,7 @@ func GMRESWith(ws *GMRESWorkspace, a Matvec, x, b []float64, opt GMRESOptions) (
 		}
 		beta := Norm2(r)
 		rel := beta / bnorm
+		lastRel = rel
 		if rel <= opt.Tol {
 			return GMRESResult{Iterations: total, Residual: rel, Converged: true}, nil
 		}
@@ -205,7 +210,9 @@ func GMRESWith(ws *GMRESWorkspace, a Matvec, x, b []float64, opt GMRESOptions) (
 		for ; k < m && total < opt.MaxIter; k++ {
 			if opt.Ctx != nil {
 				if err := opt.Ctx.Err(); err != nil {
-					return GMRESResult{Iterations: total}, err
+					// Mid-cycle stop: x still holds the last restart's
+					// iterate; lastRel is its Givens residual estimate.
+					return GMRESResult{Iterations: total, Residual: lastRel}, err
 				}
 			}
 			total++
@@ -246,6 +253,7 @@ func GMRESWith(ws *GMRESWorkspace, a Matvec, x, b []float64, opt GMRESOptions) (
 			g[k+1] = -sn[k] * g[k]
 			g[k] *= cs[k]
 			rel = math.Abs(g[k+1]) / bnorm
+			lastRel = rel
 			if rel <= opt.Tol {
 				k++
 				break

@@ -118,6 +118,20 @@ func (o Options) withDefaults() Options {
 type Interrupted struct {
 	// Iterations completed across all RHS columns before the stop.
 	Iterations int
+	// Residual is the worst (largest) relative residual across the RHS
+	// columns at the stop — the convergence state of the last iterate
+	// (1 = no progress beyond the initial guess, 0 = unknown).
+	Residual float64
+	// Partial is the best-effort charge solution assembled from each
+	// column's last GMRES iterate (nil when the stop preceded any
+	// iterate). Converged columns carry their solution; interrupted
+	// columns whatever their last restart cycle produced.
+	Partial *linalg.Dense
+	// PartialC is the capacitance matrix reduced from Partial — the
+	// deadline-aware partial result a service surfaces alongside the
+	// error telemetry. Best-effort only: its accuracy is bounded by
+	// Residual, not by the requested tolerance.
+	PartialC *linalg.Dense
 	// Err is the context error (context.DeadlineExceeded or Canceled).
 	Err error
 }
@@ -486,6 +500,14 @@ func (p *Pipeline) extractRHS(ctx context.Context, phi, x0 *linalg.Dense) (*Resu
 	t0 := time.Now()
 	rho, iters, err := p.SolveRHSWarmCtx(ctx, phi, x0)
 	if err != nil {
+		// A context interruption still reduces whatever iterate the
+		// solve reached into a best-effort capacitance estimate, so a
+		// deadline-aware caller can return a partial result instead of
+		// nothing.
+		var oi *Interrupted
+		if errors.As(err, &oi) && oi.Partial != nil {
+			oi.PartialC = Reduce(p.spec.exec(), phi, oi.Partial)
+		}
 		return nil, err
 	}
 	c := Reduce(p.spec.exec(), phi, rho)
@@ -543,6 +565,7 @@ func (p *Pipeline) SolveRHSWarmCtx(ctx context.Context, phi, x0 *linalg.Dense) (
 	}
 	rho := linalg.NewDense(n, nc)
 	iters := make([]int, nc)
+	resids := make([]float64, nc)
 	errs := make([]error, nc)
 	var pre func(dst, r []float64)
 	if p.pre != nil {
@@ -571,19 +594,23 @@ func (p *Pipeline) SolveRHSWarmCtx(ctx context.Context, phi, x0 *linalg.Dense) (
 				Precond: pre,
 				Ctx:     ctx,
 			})
-			// Record partial iteration counts even on failure: an
-			// interrupted solve reports the work it completed.
+			// Record partial iteration counts, residuals and the last
+			// iterate even on failure: an interrupted solve reports the
+			// work it completed, and the partial charges feed the
+			// best-effort capacitance estimate of a deadline-aware
+			// early exit. Columns write disjoint entries, so the shared
+			// matrix needs no locking.
 			iters[j] = res.Iterations
+			resids[j] = res.Residual
+			for i := 0; i < n; i++ {
+				rho.Set(i, j, x[i])
+			}
 			if err != nil {
 				errs[j] = fmt.Errorf("op: GMRES failed on column %d: %w", j, err)
 				return
 			}
 			if !res.Converged {
 				errs[j] = fmt.Errorf("op: GMRES stalled on column %d (res %g)", j, res.Residual)
-				return
-			}
-			for i := 0; i < n; i++ {
-				rho.Set(i, j, x[i])
 			}
 		}(j)
 	}
@@ -595,7 +622,15 @@ func (p *Pipeline) SolveRHSWarmCtx(ctx context.Context, phi, x0 *linalg.Dense) (
 	for j := 0; j < nc; j++ {
 		if errs[j] != nil {
 			if cerr := ctx.Err(); cerr != nil && errors.Is(errs[j], cerr) {
-				return nil, total, &Interrupted{Iterations: total, Err: cerr}
+				worst := 0.0
+				for _, r := range resids {
+					if r > worst {
+						worst = r
+					}
+				}
+				return nil, total, &Interrupted{
+					Iterations: total, Residual: worst, Partial: rho, Err: cerr,
+				}
 			}
 			return nil, total, errs[j]
 		}

@@ -169,6 +169,14 @@ type Interrupted struct {
 	Elapsed time.Duration
 	// Iterations is the Krylov iteration count completed (solve stage).
 	Iterations int
+	// Residual is the worst relative GMRES residual at the stop (solve
+	// stage; 0 = unknown, 1 = no progress beyond the initial guess).
+	Residual float64
+	// PartialC is the best-effort capacitance matrix reduced from the
+	// last GMRES iterates (solve stage only; nil when the stop landed
+	// before any iterate). Its accuracy is bounded by Residual, not the
+	// requested tolerance.
+	PartialC *linalg.Dense
 	// Err is the context error.
 	Err error
 }
@@ -383,7 +391,10 @@ func solvedTol(o op.Options) float64 {
 func interrupted(err error, stage string, elapsed time.Duration) error {
 	var oi *op.Interrupted
 	if errors.As(err, &oi) {
-		return &Interrupted{Stage: stage, Elapsed: elapsed, Iterations: oi.Iterations, Err: oi.Err}
+		return &Interrupted{
+			Stage: stage, Elapsed: elapsed, Iterations: oi.Iterations,
+			Residual: oi.Residual, PartialC: oi.PartialC, Err: oi.Err,
+		}
 	}
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		cause := context.Canceled

@@ -1,0 +1,323 @@
+package serve
+
+// Durability and restarts.
+//
+// When Options.DataDir is set, the server keeps an append-only journal
+// (journal package) of every async extract job's state edges: accepted
+// (with the wire payload and idempotency key), running, and a terminal
+// or interrupted outcome. Appends are fsync'd, so once POST /extract
+// returns 202 the job survives a SIGKILL or power loss. Open replays
+// the journal: finished jobs come back queryable via GET /jobs/{id}
+// with their persisted result or error, unfinished ones (accepted,
+// running, or interrupted by an overrun drain) are re-enqueued and run
+// again — at-least-once for the work, exactly-once for the terminal
+// outcome, with client-supplied idempotency keys deduplicating retried
+// submissions on both the live path and replay. Synchronous requests
+// never touch the journal: their results die with the connection.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"time"
+
+	"parbem/internal/serve/journal"
+)
+
+// drainingRetryAfterSec is the Retry-After advice attached to draining
+// rejections: long enough for a restart supervisor to swap the process,
+// short enough that a waiting client notices the replacement quickly.
+const drainingRetryAfterSec = 5
+
+// drainGrace bounds how long Drain waits, after cancelling the base
+// context, for runners to observe the cancellation and journal their
+// interrupted records.
+const drainGrace = 5 * time.Second
+
+// openJournal opens and replays the durable job log under dir, then
+// compacts it so the transition history of past lifetimes does not
+// accumulate across restarts.
+func (s *Server) openJournal(dir string) error {
+	jr, entries, stats, err := journal.Open(dir)
+	if err != nil {
+		return err
+	}
+	jr.Logf = s.logf
+	s.jrnl = jr
+	if stats.Corrupt > 0 || stats.TornBytes > 0 {
+		s.logf("serve: journal replay: %d records, %d corrupt skipped, %d torn tail bytes truncated",
+			stats.Records, stats.Corrupt, stats.TornBytes)
+	}
+	if err := jr.Compact(entries); err != nil {
+		s.logf("serve: compacting journal after replay: %v", err)
+	}
+	for _, e := range entries {
+		s.replayEntry(e)
+	}
+	return nil
+}
+
+// replayEntry restores one journaled job: terminal entries become
+// queryable history, non-terminal ones re-enqueue under their original
+// job id.
+func (s *Server) replayEntry(e journal.Entry) {
+	if e.Kind != "extract" || e.JobID == "" {
+		return
+	}
+	if n := numericID(e.JobID); n > s.seq {
+		s.seq = n
+	}
+	if e.IdemKey != "" {
+		s.idem[e.IdemKey] = e.JobID
+	}
+	if journal.Terminal(e.State) {
+		s.restoreFinished(e)
+		return
+	}
+	s.reenqueue(e)
+}
+
+// restoreFinished registers a replayed terminal job so GET /jobs/{id}
+// keeps answering for it across restarts. Restored jobs touch no
+// counters: they were accounted by the lifetime that ran them.
+func (s *Server) restoreFinished(e journal.Entry) {
+	j := &job{
+		id: e.JobID, kind: e.Kind, class: classInteractive,
+		journaled: true, idemKey: e.IdemKey,
+		done: make(chan struct{}),
+	}
+	switch e.State {
+	case journal.StateCompleted:
+		var res ExtractResponse
+		if err := json.Unmarshal(e.Result, &res); err != nil {
+			j.state.Store(int32(jobFailed))
+			j.err = &RequestError{Code: CodeInternal,
+				Message: fmt.Sprintf("journaled result no longer decodes: %v", err)}
+		} else {
+			j.state.Store(int32(jobDone))
+			j.result = &res
+		}
+	case journal.StateCancelled:
+		j.state.Store(int32(jobCancelled))
+		j.err = replayedError(e.Error, CodeCancelled, "job cancelled (replayed)")
+	default: // failed
+		j.state.Store(int32(jobFailed))
+		j.err = replayedError(e.Error, CodeExtractionFailed, "job failed (replayed)")
+	}
+	close(j.done)
+	s.jobs[j.id] = j
+	s.hist = append(s.hist, j.id)
+}
+
+// replayedError decodes a journaled error payload, falling back to a
+// generic error of the given code.
+func replayedError(raw json.RawMessage, code, msg string) error {
+	var re RequestError
+	if len(raw) > 0 && json.Unmarshal(raw, &re) == nil && re.Code != "" {
+		return &re
+	}
+	return &RequestError{Code: code, Message: msg}
+}
+
+// reenqueue puts a replayed non-terminal job back on the interactive
+// queue under its original id. Runs only from Open, before the runner
+// goroutines start, so direct channel sends cannot race dispatch.
+func (s *Server) reenqueue(e journal.Entry) {
+	j := &job{
+		id: e.JobID, kind: "extract", class: classInteractive,
+		journaled: true, idemKey: e.IdemKey, reqJSON: e.Request,
+		done: make(chan struct{}),
+	}
+	fail := func(err *RequestError) {
+		j.state.Store(int32(jobFailed))
+		j.err = err
+		close(j.done)
+		s.jobs[j.id] = j
+		s.hist = append(s.hist, j.id)
+		s.c.accepted.Add(1)
+		s.c.failed.Add(1)
+		raw, _ := json.Marshal(err)
+		s.journal(journal.Record{JobID: j.id, State: journal.StateFailed, Error: raw})
+	}
+	req, st, err := s.limits.DecodeExtract(bytes.NewReader(e.Request))
+	if err != nil {
+		// The persisted payload no longer admits (tightened limits, or a
+		// record damaged beyond its CRC): terminal failure, not a panic
+		// and not a silent drop.
+		s.logf("serve: replayed job %s no longer decodes: %v", e.JobID, err)
+		fail(&RequestError{Code: CodeExtractionFailed,
+			Message: fmt.Sprintf("journaled request no longer decodes: %v", err)})
+		return
+	}
+	q := s.queues[classInteractive]
+	if s.c.queuedClass[classInteractive].Load() >= int64(cap(q)) {
+		s.logf("serve: replayed job %s overflows the queue (cap %d)", e.JobID, cap(q))
+		fail(&RequestError{Code: CodeQueueFull,
+			Message: "replayed backlog exceeds the admission queue"})
+		return
+	}
+	j.ctx, j.cancel = s.jobContext(s.baseCtx, req.TimeoutMs)
+	j.run = func() (any, error) {
+		s.c.extracts.Add(1)
+		return s.runExtract(j, req, st)
+	}
+	j.enqueued = time.Now()
+	s.jobs[j.id] = j
+	s.c.accepted.Add(1)
+	s.c.replayed.Add(1)
+	s.c.queued.Add(1)
+	s.c.queuedClass[classInteractive].Add(1)
+	q <- j
+}
+
+// numericID parses the numeric suffix of a "j%06d" job id (0 when the
+// id has another shape) so replay can advance the sequence past every
+// restored job.
+func numericID(id string) uint64 {
+	if len(id) < 2 || id[0] != 'j' {
+		return 0
+	}
+	n, err := strconv.ParseUint(id[1:], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// journal appends one record, logging rather than failing on error: by
+// the time a state edge is journaled mid-run, the transition already
+// happened in memory and the log is best-effort behind it. (Admission
+// is the exception — admit rejects the job when its accepted record
+// cannot be made durable.)
+func (s *Server) journal(rec journal.Record) {
+	if s.jrnl == nil {
+		return
+	}
+	if err := s.jrnl.Append(rec); err != nil {
+		s.logf("serve: journal append (job %s -> %s): %v", rec.JobID, rec.State, err)
+	}
+}
+
+// journalOutcome writes a finished job's terminal record. A job
+// cancelled by an overrun drain (the base context fired) is journaled
+// as interrupted — a non-terminal state — so the next lifetime re-runs
+// it; async jobs have no client to go away, so any other cancellation
+// cannot reach here.
+func (s *Server) journalOutcome(j *job) {
+	rec := journal.Record{JobID: j.id}
+	switch jobState(j.state.Load()) {
+	case jobDone:
+		rec.State = journal.StateCompleted
+		if res, ok := j.result.(*ExtractResponse); ok {
+			rec.Result, _ = json.Marshal(res)
+		}
+	case jobCancelled:
+		if s.baseCtx.Err() != nil {
+			s.c.interrupted.Add(1)
+			rec.State = journal.StateInterrupted
+		} else {
+			rec.State = journal.StateCancelled
+			rec.Error, _ = json.Marshal(asRequestError(j.err))
+		}
+	default:
+		rec.State = journal.StateFailed
+		rec.Error, _ = json.Marshal(asRequestError(j.err))
+	}
+	s.journal(rec)
+}
+
+// compactJournal rewrites the journal as one folded record per
+// journaled job still in memory. Called from Close with the runners
+// stopped; a job cancelled by the drain is folded as interrupted so the
+// next lifetime picks it up.
+func (s *Server) compactJournal() {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.jobs))
+	for id, j := range s.jobs {
+		if j.journaled {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	entries := make([]journal.Entry, 0, len(ids))
+	for _, id := range ids {
+		j := s.jobs[id]
+		e := journal.Entry{JobID: j.id, Kind: j.kind, IdemKey: j.idemKey, Request: j.reqJSON}
+		switch jobState(j.state.Load()) {
+		case jobDone:
+			e.State = journal.StateCompleted
+			if res, ok := j.result.(*ExtractResponse); ok {
+				e.Result, _ = json.Marshal(res)
+			}
+		case jobCancelled:
+			if s.baseCtx.Err() != nil {
+				e.State = journal.StateInterrupted
+			} else {
+				e.State = journal.StateCancelled
+				e.Error, _ = json.Marshal(asRequestError(j.err))
+			}
+		case jobFailed:
+			e.State = journal.StateFailed
+			e.Error, _ = json.Marshal(asRequestError(j.err))
+		default:
+			// Queued or running jobs cannot exist here (runners have
+			// exited), but fold defensively as accepted.
+			e.State = journal.StateAccepted
+		}
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	if err := s.jrnl.Compact(entries); err != nil {
+		s.logf("serve: compacting journal on close: %v", err)
+	}
+}
+
+// Draining reports whether Drain has started (exposed to /healthz).
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain puts the server into draining mode — admission rejects with a
+// structured 503 draining error and /healthz flips to 503 — and waits
+// up to timeout for the queued and running backlog to finish. Past the
+// timeout it cancels every job context: running jobs stop at their next
+// plan-stage or GMRES checkpoint and are journaled as interrupted, so a
+// durable server re-runs them on the next start. Drain returns nil on a
+// clean drain and an error when it had to interrupt; either way the
+// server is quiescent afterwards and Close completes promptly.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.draining.Store(true)
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if s.c.queued.Load() == 0 && s.c.running.Load() == 0 {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	n := s.c.queued.Load() + s.c.running.Load()
+	if n == 0 {
+		return nil
+	}
+	s.baseCancel()
+	grace := time.Now().Add(drainGrace)
+	for time.Now().Before(grace) {
+		if s.c.queued.Load() == 0 && s.c.running.Load() == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("serve: drain overran its %v timeout; interrupted %d jobs", timeout, n)
+}
+
+// queueRetryAfter advises a queue_full rejection's Retry-After from the
+// queue depth, runner parallelism and smoothed job run time, clamped to
+// [1s, 60s]. With no history yet, one second per queue slot per runner.
+func (s *Server) queueRetryAfter(class int) float64 {
+	per := float64(s.ewmaRunNs.Load()) / 1e9
+	if per <= 0 {
+		per = 1
+	}
+	depth := float64(s.c.queuedClass[class].Load())
+	return math.Min(60, math.Max(1, depth/float64(s.runners)*per))
+}

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"parbem/internal/extract"
@@ -48,7 +50,10 @@ func asRequestError(err error) *RequestError {
 	return &RequestError{Code: CodeExtractionFailed, Message: err.Error()}
 }
 
-// writeError wraps any error as a structured rejection.
+// writeError wraps any error as a structured rejection. Backpressure
+// rejections carrying RetryAfterSec additionally set the HTTP
+// Retry-After header (whole seconds, rounded up) so generic clients and
+// proxies can honor the advice without parsing the body.
 func writeError(w http.ResponseWriter, err error) {
 	re := asRequestError(err)
 	status := http.StatusBadRequest
@@ -61,10 +66,13 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case CodeExtractionFailed:
 		status = http.StatusUnprocessableEntity
-	case CodeShuttingDown:
+	case CodeShuttingDown, CodeDraining:
 		status = http.StatusServiceUnavailable
 	case CodeInternal:
 		status = http.StatusInternalServerError
+	}
+	if re.RetryAfterSec > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(re.RetryAfterSec))))
 	}
 	writeJSON(w, status, errorEnvelope{Error: re})
 }
@@ -105,7 +113,14 @@ type JobResponse struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	if s.Draining() {
+		// 503 flips load-balancer health checks away from a replica
+		// that is about to go down while its backlog finishes.
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"ok": false, "status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "status": "ok"})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -120,11 +135,12 @@ func (s *Server) admitTenant(r *http.Request) error {
 		return nil
 	}
 	tenant := r.Header.Get("X-Tenant")
-	if !s.limiter.allow(tenant, time.Now()) {
+	if ok, wait := s.limiter.allow(tenant, time.Now()); !ok {
 		s.c.rejectedRate.Add(1)
 		return &RequestError{
-			Code:    CodeRateLimited,
-			Message: fmt.Sprintf("tenant %q over its request rate; retry later", tenant),
+			Code:          CodeRateLimited,
+			Message:       fmt.Sprintf("tenant %q over its request rate; retry later", tenant),
+			RetryAfterSec: wait.Seconds(),
 		}
 	}
 	return nil
@@ -150,8 +166,17 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		ctx = context.Background()
 	}
 	j := s.newExtractJob(ctx, req, st)
-	if err := s.admit(j); err != nil {
+	dup, err := s.admit(j)
+	if err != nil {
 		writeError(w, err)
+		return
+	}
+	if dup != nil {
+		// The idempotency key matched a live job: the retried submit
+		// observes its original instead of enqueueing a twin.
+		writeJSON(w, http.StatusAccepted, JobResponse{
+			JobID: dup.id, Kind: dup.kind, Status: jobState(dup.state.Load()).String(),
+		})
 		return
 	}
 	if req.Async {
@@ -200,13 +225,22 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // requestErrorFor maps an engine error onto the structured service
 // shape. A plan.Interrupted — the deadline or disconnect observed at a
 // stage boundary or GMRES iteration checkpoint — keeps its partial
-// telemetry: the stage that was running, elapsed wall time of the
-// request and Krylov iterations completed before the stop.
+// telemetry (the stage that was running, elapsed wall time of the
+// request, Krylov iterations completed) and, when the solve stage got
+// far enough to produce one, the best-effort partial result: the last
+// iterates' worst relative residual and the capacitance matrix reduced
+// from them, accurate only to that residual.
 func requestErrorFor(err error, elapsed time.Duration) *RequestError {
 	var pi *plan.Interrupted
 	code, stage, iters := "", "", 0
+	residual := 0.0
+	var partial [][]float64
 	if errors.As(err, &pi) {
 		stage, iters = pi.Stage, pi.Iterations
+		residual = pi.Residual
+		if pi.PartialC != nil {
+			partial = matrixRows(pi.PartialC)
+		}
 	}
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
@@ -217,11 +251,13 @@ func requestErrorFor(err error, elapsed time.Duration) *RequestError {
 		return &RequestError{Code: CodeExtractionFailed, Message: err.Error()}
 	}
 	return &RequestError{
-		Code:       code,
-		Message:    err.Error(),
-		Stage:      stage,
-		ElapsedMs:  elapsed.Seconds() * 1e3,
-		Iterations: iters,
+		Code:           code,
+		Message:        err.Error(),
+		Stage:          stage,
+		ElapsedMs:      elapsed.Seconds() * 1e3,
+		Iterations:     iters,
+		Residual:       residual,
+		PartialCFarads: partial,
 	}
 }
 
@@ -322,7 +358,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j := s.newSweepJob(r.Context(), req, sts)
-	if err := s.admit(j); err != nil {
+	if _, err := s.admit(j); err != nil {
 		writeError(w, err)
 		return
 	}

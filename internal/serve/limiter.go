@@ -45,8 +45,10 @@ func newTenantLimiter(rate float64, burst int) *tenantLimiter {
 }
 
 // allow reports whether tenant may admit one request at time now,
-// consuming a token when it may.
-func (l *tenantLimiter) allow(tenant string, now time.Time) bool {
+// consuming a token when it may. On denial it also returns how long
+// until the bucket refills the missing fraction of a token — the
+// Retry-After advice for the rejection.
+func (l *tenantLimiter) allow(tenant string, now time.Time) (bool, time.Duration) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	b := l.buckets[tenant]
@@ -62,9 +64,9 @@ func (l *tenantLimiter) allow(tenant string, now time.Time) bool {
 	}
 	if b.tokens >= 1 {
 		b.tokens--
-		return true
+		return true, 0
 	}
-	return false
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
 }
 
 // evictFull drops tenants whose buckets have refilled completely —

@@ -32,6 +32,11 @@ import (
 //	parbem_jobs_running                       gauge
 //	parbem_extracts_total / parbem_sweeps_total counters
 //	parbem_sweep_points_total / parbem_sweep_point_errors_total counters
+//	parbem_draining                           gauge (0/1)
+//	parbem_jobs_rejected_draining_total       counter
+//	parbem_jobs_replayed_total                counter
+//	parbem_jobs_interrupted_total             counter
+//	parbem_idempotent_hits_total              counter
 //	parbem_engine_state_hits_total / _misses_total counters
 //	parbem_engine_pair_hits_total / _misses_total  counters
 //	parbem_engine_pair_entries                gauge
@@ -197,6 +202,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeCounter(&b, "parbem_sweeps_total", "Sweep jobs started.", st.Sweeps)
 	writeCounter(&b, "parbem_sweep_points_total", "Sweep points delivered to clients.", st.SweepPoints)
 	writeCounter(&b, "parbem_sweep_point_errors_total", "Delivered sweep points carrying a per-point error.", st.SweepPointErrors)
+
+	draining := 0.0
+	if st.Draining {
+		draining = 1
+	}
+	writeGauge(&b, "parbem_draining", "1 while the server drains for shutdown.", draining)
+	writeCounter(&b, "parbem_jobs_rejected_draining_total", "Jobs rejected because the server was draining.", st.RejectedDraining)
+	writeCounter(&b, "parbem_jobs_replayed_total", "Unfinished journaled jobs re-enqueued at startup.", st.Replayed)
+	writeCounter(&b, "parbem_jobs_interrupted_total", "Running jobs cut short by an overrun drain.", st.Interrupted)
+	writeCounter(&b, "parbem_idempotent_hits_total", "Async submissions deduplicated by idempotency key.", st.IdempotentHits)
 
 	writeCounter(&b, "parbem_engine_state_hits_total", "Engine basis/table/quad/plan LRU hits.", st.Engine.StateHits)
 	writeCounter(&b, "parbem_engine_state_misses_total", "Engine basis/table/quad/plan LRU misses.", st.Engine.StateMisses)

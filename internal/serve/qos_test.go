@@ -82,7 +82,7 @@ func TestServePriorityOrdering(t *testing.T) {
 	release := make(chan struct{})
 	blocker := &job{kind: "extract", class: classInteractive, done: make(chan struct{})}
 	blocker.run = func() (any, error) { close(started); <-release; return nil, nil }
-	if err := s.admit(blocker); err != nil {
+	if _, err := s.admit(blocker); err != nil {
 		t.Fatal(err)
 	}
 	<-started
@@ -97,7 +97,7 @@ func TestServePriorityOrdering(t *testing.T) {
 	jobs := []*job{mk("bulk1", classBulk), mk("bulk2", classBulk),
 		mk("hi1", classInteractive), mk("hi2", classInteractive)}
 	for _, j := range jobs {
-		if err := s.admit(j); err != nil {
+		if _, err := s.admit(j); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -146,25 +146,33 @@ func TestServeTenantRateLimit(t *testing.T) {
 	}
 }
 
-// TestTenantLimiter pins the token-bucket math with synthetic clocks.
+// TestTenantLimiter pins the token-bucket math — and the Retry-After
+// advice computed from the refill rate — with synthetic clocks.
 func TestTenantLimiter(t *testing.T) {
 	l := newTenantLimiter(2, 2) // 2 req/s, burst 2
 	t0 := time.Unix(1000, 0)
-	if !l.allow("a", t0) || !l.allow("a", t0) {
+	ok1, _ := l.allow("a", t0)
+	ok2, _ := l.allow("a", t0)
+	if !ok1 || !ok2 {
 		t.Fatal("burst of 2 rejected")
 	}
-	if l.allow("a", t0) {
+	if ok, wait := l.allow("a", t0); ok {
 		t.Fatal("third immediate request admitted over burst")
+	} else if wait != 500*time.Millisecond {
+		// Empty bucket at 2 tokens/s: one token refills in 500ms.
+		t.Fatalf("retry-after = %v, want 500ms", wait)
 	}
-	if !l.allow("b", t0) {
+	if ok, _ := l.allow("b", t0); !ok {
 		t.Fatal("separate tenant shares a bucket")
 	}
 	// After 500ms one token (rate 2/s) has refilled.
-	if !l.allow("a", t0.Add(500*time.Millisecond)) {
+	if ok, _ := l.allow("a", t0.Add(500*time.Millisecond)); !ok {
 		t.Fatal("refilled token rejected")
 	}
-	if l.allow("a", t0.Add(500*time.Millisecond)) {
+	if ok, wait := l.allow("a", t0.Add(500*time.Millisecond)); ok {
 		t.Fatal("second token admitted before it refilled")
+	} else if wait != 500*time.Millisecond {
+		t.Fatalf("retry-after = %v, want 500ms", wait)
 	}
 }
 
@@ -196,7 +204,7 @@ func TestServeSweepPointsCountDelivered(t *testing.T) {
 		return fits, nil
 	}
 	j := s.newSweepJob(ctx, &SweepRequest{EdgeM: 0.5e-6, TemplateHs: hs}, nil)
-	if err := s.admit(j); err != nil {
+	if _, err := s.admit(j); err != nil {
 		t.Fatal(err)
 	}
 	<-j.done

@@ -1,0 +1,377 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"parbem/internal/serve/journal"
+)
+
+// pollJob waits until the job reaches a terminal status.
+func pollJob(t *testing.T, c *Client, id string) *JobResponse {
+	t.Helper()
+	ctx := context.Background()
+	for deadline := time.Now().Add(30 * time.Second); time.Now().Before(deadline); {
+		jr, err := c.Job(ctx, id)
+		if err != nil {
+			t.Fatalf("job %s: %v", id, err)
+		}
+		switch jr.Status {
+		case "done", "failed", "cancelled":
+			return jr
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return nil
+}
+
+// TestServeJournalRestartRestoresResults pins the durability contract:
+// an async job completed before a restart stays queryable — same id,
+// same capacitance matrix — from a fresh server over the same data dir.
+func TestServeJournalRestartRestoresResults(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	req := &ExtractRequest{Geometry: geoText(t, crossingAt(0.5e-6)), EdgeM: 0.5e-6, Backend: "dense"}
+
+	s1, err := Open(Options{Workers: 2, DataDir: dir})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	hs1 := httptest.NewServer(s1.Handler())
+	c1 := NewClient(hs1.URL)
+	id, err := c1.ExtractAsync(ctx, req)
+	if err != nil {
+		t.Fatalf("async extract: %v", err)
+	}
+	jr := pollJob(t, c1, id)
+	if jr.Status != "done" || jr.Result == nil {
+		t.Fatalf("job finished as %q (result %v)", jr.Status, jr.Result)
+	}
+	hs1.Close()
+	s1.Close()
+
+	// A fresh lifetime over the same data dir still answers for the job.
+	s2, err := Open(Options{Workers: 2, DataDir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	hs2 := httptest.NewServer(s2.Handler())
+	defer func() { hs2.Close(); s2.Close() }()
+	c2 := NewClient(hs2.URL)
+	jr2, err := c2.Job(ctx, id)
+	if err != nil {
+		t.Fatalf("job after restart: %v", err)
+	}
+	if jr2.Status != "done" || jr2.Result == nil {
+		t.Fatalf("restored job is %q (result %v), want done", jr2.Status, jr2.Result)
+	}
+	if e := capError(jr2.Result.CFarads, jr.Result.CFarads); e > 0 {
+		t.Errorf("restored result deviates from the original by %.3g", e)
+	}
+}
+
+// TestServeJournalReenqueueUnfinished pins replay of a job a crash left
+// unfinished: an accepted record with no terminal outcome (exactly what
+// a SIGKILL between admission and completion leaves behind) is re-run
+// on the next start and ends terminal exactly once, preserving
+// accepted == completed + failed + cancelled.
+func TestServeJournalReenqueueUnfinished(t *testing.T) {
+	dir := t.TempDir()
+	req := &ExtractRequest{Geometry: geoText(t, crossingAt(0.5e-6)), EdgeM: 0.5e-6,
+		Backend: "dense", Async: true}
+	raw, _ := json.Marshal(req)
+
+	j, _, _, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(journal.Record{JobID: "j000007", State: journal.StateAccepted,
+		Kind: "extract", IdemKey: "crashed-submit", Request: raw}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(journal.Record{JobID: "j000007", State: journal.StateRunning}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	s, err := Open(Options{Workers: 2, DataDir: dir})
+	if err != nil {
+		t.Fatalf("Open over crashed journal: %v", err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer func() { hs.Close(); s.Close() }()
+	c := NewClient(hs.URL)
+	jr := pollJob(t, c, "j000007")
+	if jr.Status != "done" || jr.Result == nil {
+		t.Fatalf("replayed job finished as %q, want done", jr.Status)
+	}
+	st := s.Stats()
+	if st.Replayed != 1 {
+		t.Errorf("jobs_replayed = %d, want 1", st.Replayed)
+	}
+	if st.Accepted != st.Completed+st.Failed+st.Cancelled {
+		t.Errorf("accounting broken after replay: accepted %d != %d+%d+%d",
+			st.Accepted, st.Completed, st.Failed, st.Cancelled)
+	}
+	// A retried submit carrying the crashed job's idempotency key must
+	// observe the replayed job, not enqueue a twin.
+	r2 := *req
+	r2.IdempotencyKey = "crashed-submit"
+	id, err := c.ExtractAsync(context.Background(), &r2)
+	if err != nil {
+		t.Fatalf("idempotent resubmit: %v", err)
+	}
+	if id != "j000007" {
+		t.Errorf("resubmit created job %s, want the replayed j000007", id)
+	}
+	if got := s.Stats().IdempotentHits; got != 1 {
+		t.Errorf("idempotent_hits = %d, want 1", got)
+	}
+	// New ids must not collide with replayed ones.
+	id2, err := c.ExtractAsync(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 <= "j000007" {
+		t.Errorf("fresh job id %s did not advance past the replayed j000007", id2)
+	}
+}
+
+// TestServeDrain pins graceful drain: during a drain, /healthz flips to
+// 503 draining, admission rejects with a structured draining error
+// carrying Retry-After, and Drain returns cleanly once the backlog
+// finishes.
+func TestServeDrain(t *testing.T) {
+	s, c := startServer(t, Options{Workers: 1, Runners: 1})
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	blocker := &job{kind: "extract", class: classInteractive, done: make(chan struct{})}
+	blocker.run = func() (any, error) { close(started); <-release; return nil, nil }
+	if _, err := s.admit(blocker); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(30 * time.Second) }()
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Health flips to 503 draining.
+	resp, err := http.Get(c.BaseURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || health["status"] != "draining" {
+		t.Errorf("healthz during drain: HTTP %d %v, want 503 draining", resp.StatusCode, health)
+	}
+
+	// Admission rejects with draining + Retry-After.
+	req := &ExtractRequest{Geometry: geoText(t, crossingAt(0.5e-6)), EdgeM: 0.5e-6, Backend: "dense"}
+	buf, _ := json.Marshal(req)
+	post, err := http.Post(c.BaseURL+"/extract", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env errorEnvelope
+	json.NewDecoder(post.Body).Decode(&env)
+	post.Body.Close()
+	if post.StatusCode != http.StatusServiceUnavailable || env.Error == nil || env.Error.Code != CodeDraining {
+		t.Fatalf("admission during drain: HTTP %d %+v, want 503 draining", post.StatusCode, env.Error)
+	}
+	if post.Header.Get("Retry-After") == "" || env.Error.RetryAfterSec <= 0 {
+		t.Errorf("draining rejection carries no Retry-After (header %q, body %v)",
+			post.Header.Get("Retry-After"), env.Error.RetryAfterSec)
+	}
+	if got := s.Stats().RejectedDraining; got != 1 {
+		t.Errorf("jobs_rejected_draining = %d, want 1", got)
+	}
+
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("clean drain returned %v", err)
+	}
+	st := s.Stats()
+	if st.Queued != 0 || st.Running != 0 {
+		t.Errorf("post-drain backlog: %d queued, %d running", st.Queued, st.Running)
+	}
+}
+
+// TestServeDrainForceInterrupts pins the overrun path: a job that
+// outlives the drain timeout is cancelled through the base context and
+// journaled as interrupted — a non-terminal state the next lifetime
+// re-enqueues.
+func TestServeDrainForceInterrupts(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Workers: 1, Runners: 1, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &ExtractRequest{Geometry: geoText(t, crossingAt(0.5e-6)), EdgeM: 0.5e-6,
+		Backend: "dense", Async: true}
+	raw, _ := json.Marshal(req)
+
+	started := make(chan struct{})
+	j := &job{kind: "extract", class: classInteractive, done: make(chan struct{}),
+		journaled: true, reqJSON: raw}
+	j.ctx, j.cancel = s.jobContext(context.Background(), 0)
+	j.run = func() (any, error) {
+		close(started)
+		<-j.ctx.Done() // honors cancellation like a GMRES checkpoint
+		return nil, requestErrorFor(j.ctx.Err(), time.Millisecond)
+	}
+	if _, err := s.admit(j); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	if err := s.Drain(50 * time.Millisecond); err == nil {
+		t.Fatal("overrun drain reported a clean stop")
+	}
+	if got := s.Stats().Interrupted; got != 1 {
+		t.Errorf("jobs_interrupted = %d, want 1", got)
+	}
+	s.Close()
+
+	// The journal must hold the job in a non-terminal state: the next
+	// lifetime owes it a run.
+	jj, entries, _, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jj.Close()
+	if len(entries) != 1 {
+		t.Fatalf("journal holds %d entries, want 1", len(entries))
+	}
+	if e := entries[0]; e.State != journal.StateInterrupted || journal.Terminal(e.State) {
+		t.Errorf("interrupted job journaled as %q, want interrupted", e.State)
+	}
+}
+
+// TestServeQueueFullRetryAfter pins backpressure advice: a queue_full
+// rejection carries a positive RetryAfterSec and the HTTP header.
+func TestServeQueueFullRetryAfter(t *testing.T) {
+	s, c := startServer(t, Options{Workers: 1, Runners: 1, QueueDepth: 1})
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+	}()
+	blocker := &job{kind: "extract", class: classInteractive, done: make(chan struct{})}
+	blocker.run = func() (any, error) { close(started); <-release; return nil, nil }
+	if _, err := s.admit(blocker); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	filler := &job{kind: "extract", class: classInteractive, done: make(chan struct{})}
+	filler.run = func() (any, error) { return nil, nil }
+	if _, err := s.admit(filler); err != nil {
+		t.Fatal(err)
+	}
+
+	req := &ExtractRequest{Geometry: geoText(t, crossingAt(0.5e-6)), EdgeM: 0.5e-6, Backend: "dense"}
+	buf, _ := json.Marshal(req)
+	resp, err := http.Post(c.BaseURL+"/extract", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env errorEnvelope
+	json.NewDecoder(resp.Body).Decode(&env)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || env.Error == nil || env.Error.Code != CodeQueueFull {
+		t.Fatalf("full-queue submit: HTTP %d %+v, want 429 queue_full", resp.StatusCode, env.Error)
+	}
+	if env.Error.RetryAfterSec < 1 {
+		t.Errorf("queue_full retry_after_sec = %v, want >= 1", env.Error.RetryAfterSec)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("queue_full response carries no Retry-After header")
+	}
+	var re *RequestError
+	if _, err := c.Extract(context.Background(), req); !errors.As(err, &re) || re.RetryAfterSec < 1 {
+		t.Errorf("client-decoded queue_full error = %v, want RetryAfterSec >= 1", err)
+	}
+}
+
+// TestClientRetryBackoff pins the client's resilience loop: retryable
+// 503s are retried under the policy, server retry advice is honored,
+// and the call succeeds once the server recovers.
+func TestClientRetryBackoff(t *testing.T) {
+	var mu sync.Mutex
+	fails := 2
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		if fails > 0 {
+			fails--
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(errorEnvelope{Error: &RequestError{
+				Code: CodeDraining, Message: "draining", RetryAfterSec: 0.02}})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"ok": true})
+	}))
+	defer hs.Close()
+
+	c := NewClient(hs.URL)
+	c.Retry = &RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 100 * time.Millisecond}
+	retries, honored := 0, 0
+	c.OnRetry = func(attempt int, wait time.Duration, h bool, err error) {
+		retries++
+		if h {
+			honored++
+		}
+	}
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("health through two 503s: %v", err)
+	}
+	if retries != 2 {
+		t.Errorf("retries = %d, want 2", retries)
+	}
+	// 20ms advice always exceeds the 1-2ms backoff: both waits honored.
+	if honored != 2 {
+		t.Errorf("honored Retry-After waits = %d, want 2", honored)
+	}
+}
+
+// TestClientRetrySkipsPermanentErrors pins that non-retryable
+// rejections (bad request) fail immediately, with no backoff burned.
+func TestClientRetrySkipsPermanentErrors(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(errorEnvelope{Error: &RequestError{
+			Code: CodeBadRequest, Message: "no"}})
+	}))
+	defer hs.Close()
+
+	c := NewClient(hs.URL)
+	c.Retry = DefaultRetry
+	retries := 0
+	c.OnRetry = func(int, time.Duration, bool, error) { retries++ }
+	var re *RequestError
+	if err := c.Health(context.Background()); !errors.As(err, &re) || re.Code != CodeBadRequest {
+		t.Fatalf("got %v, want structured bad_request", err)
+	}
+	if retries != 0 {
+		t.Errorf("permanent error was retried %d times", retries)
+	}
+}

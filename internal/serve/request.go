@@ -29,6 +29,21 @@ type RequestError struct {
 	ElapsedMs float64 `json:"elapsed_ms,omitempty"`
 	// Iterations is the Krylov work completed before the stop.
 	Iterations int `json:"iterations,omitempty"`
+	// Residual is the worst relative GMRES residual of the last iterate
+	// when a deadline interrupted the solve stage (0 = unknown, 1 = no
+	// progress beyond the initial guess). It bounds the accuracy of
+	// PartialCFarads.
+	Residual float64 `json:"residual,omitempty"`
+	// PartialCFarads is the best-effort capacitance matrix reduced from
+	// the last GMRES iterates when a deadline interrupted the solve —
+	// a partial result alongside the telemetry, accurate only to
+	// Residual, never to the requested tolerance.
+	PartialCFarads [][]float64 `json:"partial_c_farads,omitempty"`
+	// RetryAfterSec, on backpressure rejections (queue_full,
+	// rate_limited, draining), is the server's advice on how long to
+	// wait before retrying; it is also sent as the HTTP Retry-After
+	// header. Zero means no advice.
+	RetryAfterSec float64 `json:"retry_after_sec,omitempty"`
 }
 
 // Error implements the error interface.
@@ -49,6 +64,9 @@ const (
 	CodePointFailed = "point_failed"
 	// CodeShuttingDown: the server is closing and admits no new jobs.
 	CodeShuttingDown = "shutting_down"
+	// CodeDraining: the server is draining ahead of a shutdown or
+	// restart; retry against another replica (or after Retry-After).
+	CodeDraining = "draining"
 	// CodeCancelled: the requester disconnected before the job ran (or
 	// mid-sweep).
 	CodeCancelled = "cancelled"
@@ -121,6 +139,13 @@ type ExtractRequest struct {
 	// Async enqueues the job and returns its id immediately; poll
 	// GET /jobs/{id} for the result.
 	Async bool `json:"async,omitempty"`
+	// IdempotencyKey deduplicates async submissions: two async requests
+	// carrying the same key return the same job id, and a key replayed
+	// from the journal after a crash folds onto its original job — so a
+	// client retrying a submit it never saw acknowledged can never
+	// double-run the work. Ignored for synchronous requests. Max 128
+	// bytes; the client generates one automatically for ExtractAsync.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 	// TimeoutMs is the request deadline in milliseconds (0 = none).
 	// The clock starts at admission, so time spent queued counts; the
 	// deadline propagates into the solver as a context observed at the
@@ -186,6 +211,9 @@ func (l Limits) DecodeExtract(r io.Reader) (*ExtractRequest, *geom.Structure, er
 	}
 	if err := validateTimeout(req.TimeoutMs); err != nil {
 		return nil, nil, err
+	}
+	if len(req.IdempotencyKey) > 128 {
+		return nil, nil, badRequest("idempotency_key exceeds 128 bytes")
 	}
 	st, err := l.parseGeometry(req.Geometry, req.EdgeM)
 	if err != nil {

@@ -75,6 +75,21 @@
 // quiescent point. Deadline expiries count as failures and are
 // additionally tallied by the deadline_exceeded counter.
 //
+// # Durability and restarts
+//
+// With Options.DataDir set, async extract jobs are journaled (see
+// durable.go and the journal package): the accepted record — wire
+// payload, idempotency key — is fsync'd before POST /extract returns
+// 202, and every later state edge follows it, so a SIGKILL or power
+// loss loses no acknowledged job. Open replays the journal: finished
+// jobs stay queryable via GET /jobs/{id}, unfinished ones re-run.
+// Drain puts the server into a graceful stop: admission rejects with a
+// structured 503 draining error (Retry-After attached), /healthz flips
+// to 503, running jobs get a bounded time to finish and are interrupted
+// — journaled as re-runnable — past it. Backpressure rejections
+// (queue_full, rate_limited, draining) carry Retry-After advice in
+// both the error body (retry_after_sec) and the HTTP header.
+//
 // # Cache sharing
 //
 // All requests share the engine's state LRU and plan cache: identical
@@ -87,6 +102,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -95,7 +111,9 @@ import (
 
 	"parbem/internal/batch"
 	"parbem/internal/extract"
+	"parbem/internal/faultpoint"
 	"parbem/internal/geom"
+	"parbem/internal/serve/journal"
 )
 
 // Options configures a Server. The zero value serves with a fresh
@@ -137,6 +155,17 @@ type Options struct {
 	// JobHistory is how many finished jobs stay queryable via
 	// GET /jobs/{id} (0 = 256).
 	JobHistory int
+	// DataDir, when set, enables the durable job journal
+	// (DataDir/jobs.journal): async extract jobs are fsync'd at every
+	// state edge, replayed on the next Open — finished results stay
+	// queryable across restarts, unfinished jobs re-run — and
+	// deduplicated by idempotency key. Empty disables durability.
+	// Synchronous requests never touch the journal either way: their
+	// results die with the connection, so the fsyncs would buy nothing.
+	DataDir string
+	// Logf receives replay, drain and journal diagnostics
+	// (nil = discard).
+	Logf func(format string, args ...any)
 }
 
 // Job priority classes. Interactive jobs (extract) are popped with
@@ -159,6 +188,26 @@ type Server struct {
 	eng     *batch.Engine
 	ownEng  bool
 	limiter *tenantLimiter
+	logf    func(format string, args ...any)
+
+	// jrnl is the durable job log (nil without Options.DataDir); idem
+	// maps live idempotency keys to job ids (guarded by mu).
+	jrnl *journal.Journal
+	idem map[string]string
+
+	// draining gates admission once Drain starts; baseCtx is the
+	// ancestor of every job context and is cancelled when a drain
+	// overruns its timeout, stopping in-flight jobs at their next
+	// checkpoint.
+	draining   atomic.Bool
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	// admitWG tracks admits between id reservation and channel send
+	// (the send happens outside mu so the accepted journal record can
+	// precede poppability); Close waits on it before closing the queues.
+	admitWG sync.WaitGroup
+	// ewmaRunNs smooths job run time for queue_full Retry-After advice.
+	ewmaRunNs atomic.Int64
 
 	// queues[classInteractive] holds extracts, queues[classBulk]
 	// sweeps; runners pop interactive-first (see nextJob).
@@ -207,6 +256,11 @@ type counters struct {
 	sweeps           atomic.Uint64
 	sweepPoints      atomic.Uint64
 	sweepPointErrors atomic.Uint64
+
+	rejectedDraining atomic.Uint64
+	replayed         atomic.Uint64
+	interrupted      atomic.Uint64
+	idemHits         atomic.Uint64
 }
 
 // jobState is the lifecycle of a job.
@@ -258,6 +312,13 @@ type job struct {
 	run    func() (any, error)
 	stream chan any
 
+	// journaled jobs (async extracts on a durable server) write their
+	// state edges to the journal; reqJSON is the wire payload persisted
+	// with the accepted record, idemKey the client's dedup key.
+	journaled bool
+	reqJSON   json.RawMessage
+	idemKey   string
+
 	result any
 	err    error
 	done   chan struct{}
@@ -274,18 +335,37 @@ func (j *job) release() {
 	}
 }
 
-// New creates a server and starts its runner goroutines.
+// New creates a server and starts its runner goroutines. It panics when
+// the journal under Options.DataDir cannot be opened or replayed; use
+// Open to handle that error. Without a DataDir, New cannot fail.
 func New(opt Options) *Server {
+	s, err := Open(opt)
+	if err != nil {
+		panic(fmt.Sprintf("serve: %v", err))
+	}
+	return s
+}
+
+// Open creates a server, replaying the durable job journal under
+// Options.DataDir when one is configured: finished async jobs come back
+// queryable via GET /jobs/{id}, unfinished ones are re-enqueued.
+func Open(opt Options) (*Server, error) {
 	s := &Server{
 		opt:     opt,
 		limits:  opt.Limits.withDefaults(),
 		eng:     opt.Engine,
 		jobs:    make(map[string]*job),
+		idem:    make(map[string]string),
 		start:   time.Now(),
 		m:       newMetrics(),
 		sweepH:  extract.SweepH,
 		tmplSem: make(chan struct{}, 1),
+		logf:    opt.Logf,
 	}
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	if s.eng == nil {
 		s.eng = batch.New(batch.Options{
 			Workers:          opt.Workers,
@@ -322,18 +402,30 @@ func New(opt Options) *Server {
 			s.runners = 1
 		}
 	}
+	// Replay before starting runners so re-enqueued jobs cannot race the
+	// registration of restored ones.
+	if opt.DataDir != "" {
+		if err := s.openJournal(opt.DataDir); err != nil {
+			if s.ownEng {
+				s.eng.Close()
+			}
+			return nil, err
+		}
+	}
 	s.wg.Add(s.runners)
 	for i := 0; i < s.runners; i++ {
 		go s.runner()
 	}
-	return s
+	return s, nil
 }
 
 // Engine exposes the shared batch engine (for tests and embedding).
 func (s *Server) Engine() *batch.Engine { return s.eng }
 
 // Close stops admitting jobs, drains the queues, waits for running
-// jobs and closes an owned engine.
+// jobs, compacts and closes the journal, and closes an owned engine.
+// Call Drain first for a graceful stop that bounds how long running
+// jobs may take.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -342,50 +434,125 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	// Admits that passed the closed check still hold a send in flight;
+	// wait them out before closing the queues.
+	s.admitWG.Wait()
 	for _, q := range s.queues {
 		close(q)
 	}
 	s.wg.Wait()
+	s.baseCancel()
+	if s.jrnl != nil {
+		s.compactJournal()
+		if err := s.jrnl.Close(); err != nil {
+			s.logf("serve: closing journal: %v", err)
+		}
+	}
 	if s.ownEng {
 		s.eng.Close()
 	}
 }
 
-// admit registers and enqueues a job on its class queue; a full queue
-// or closing server rejects with a structured error.
-func (s *Server) admit(j *job) error {
+// admit registers and enqueues a job on its class queue; a full queue,
+// draining or closing server rejects with a structured error (full and
+// draining rejections carry Retry-After advice). When the job's
+// idempotency key matches a live job, that job is returned as dup and
+// nothing is enqueued — the retried submit observes its original.
+func (s *Server) admit(j *job) (dup *job, err error) {
+	if ferr := faultpoint.Hit("serve.admit"); ferr != nil {
+		j.release()
+		return nil, &RequestError{Code: CodeInternal, Message: ferr.Error()}
+	}
 	q := s.queues[j.class]
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		j.release()
-		return &RequestError{Code: CodeShuttingDown, Message: "server is shutting down"}
+		return nil, &RequestError{Code: CodeShuttingDown, Message: "server is shutting down"}
+	}
+	if s.draining.Load() {
+		s.mu.Unlock()
+		s.c.rejectedDraining.Add(1)
+		j.release()
+		return nil, &RequestError{
+			Code:          CodeDraining,
+			Message:       "server is draining for shutdown; retry against another replica or after Retry-After",
+			RetryAfterSec: drainingRetryAfterSec,
+		}
+	}
+	if j.idemKey != "" {
+		if prev, ok := s.idem[j.idemKey]; ok {
+			dup := s.jobs[prev]
+			s.mu.Unlock()
+			s.c.idemHits.Add(1)
+			j.release()
+			if dup == nil {
+				// The original retired out of the bounded history; its
+				// work ran exactly once, but the result is gone.
+				return nil, &RequestError{
+					Code:    CodeNotFound,
+					Message: fmt.Sprintf("idempotency key maps to job %s, which has been retired from history", prev),
+				}
+			}
+			return dup, nil
+		}
+	}
+	// Capacity is checked against the queued gauge rather than len(q):
+	// the channel send happens after mu is released (the accepted
+	// journal record must be durable before a runner can pop the job),
+	// so the gauge is the reservation and the send below cannot block.
+	if s.c.queuedClass[j.class].Load() >= int64(cap(q)) {
+		retry := s.queueRetryAfter(j.class)
+		s.mu.Unlock()
+		s.c.rejectedFull.Add(1)
+		j.release()
+		return nil, &RequestError{
+			Code:          CodeQueueFull,
+			Message:       fmt.Sprintf("%s job queue full (%d pending)", classNames[j.class], cap(q)),
+			RetryAfterSec: retry,
+		}
 	}
 	s.seq++
 	j.id = fmt.Sprintf("j%06d", s.seq)
 	j.enqueued = time.Now()
-	// Count before enqueueing: a runner may pop and decrement the
-	// queued gauge the instant the send succeeds.
+	if j.idemKey != "" {
+		s.idem[j.idemKey] = j.id
+	}
+	s.jobs[j.id] = j
 	s.c.accepted.Add(1)
 	s.c.queued.Add(1)
 	s.c.queuedClass[j.class].Add(1)
-	select {
-	case q <- j:
-	default:
-		s.c.accepted.Add(^uint64(0))
-		s.c.queued.Add(-1)
-		s.c.queuedClass[j.class].Add(-1)
-		s.mu.Unlock()
-		s.c.rejectedFull.Add(1)
-		j.release()
-		return &RequestError{
-			Code:    CodeQueueFull,
-			Message: fmt.Sprintf("%s job queue full (%d pending)", classNames[j.class], cap(q)),
+	s.admitWG.Add(1)
+	s.mu.Unlock()
+	defer s.admitWG.Done()
+	if j.journaled {
+		// Durability before poppability: a 202 must mean the job
+		// survives a crash, and the accepted record must hit disk
+		// before any runner can journal the running edge.
+		jerr := s.jrnl.Append(journal.Record{
+			JobID: j.id, State: journal.StateAccepted, Kind: j.kind,
+			IdemKey: j.idemKey, Request: j.reqJSON,
+		})
+		if jerr != nil {
+			s.mu.Lock()
+			delete(s.jobs, j.id)
+			if j.idemKey != "" {
+				delete(s.idem, j.idemKey)
+			}
+			s.mu.Unlock()
+			s.c.accepted.Add(^uint64(0))
+			s.c.queued.Add(-1)
+			s.c.queuedClass[j.class].Add(-1)
+			j.release()
+			s.logf("serve: journaling admission of %s: %v", j.id, jerr)
+			return nil, &RequestError{
+				Code:    CodeInternal,
+				Message: fmt.Sprintf("journaling admission: %v", jerr),
+			}
 		}
 	}
-	s.jobs[j.id] = j
-	s.mu.Unlock()
-	return nil
+	q <- j
+	return nil, nil
 }
 
 // runner drains the queues until Close, interactive jobs first.
@@ -451,6 +618,9 @@ func (s *Server) dispatch(j *job) {
 	j.started = time.Now()
 	s.m.queueWait[j.class].observe(j.started.Sub(j.enqueued))
 	j.state.Store(int32(jobRunning))
+	if j.journaled {
+		s.journal(journal.Record{JobID: j.id, State: journal.StateRunning})
+	}
 
 	var v any
 	var err error
@@ -468,6 +638,11 @@ func (s *Server) dispatch(j *job) {
 		} else {
 			err = &RequestError{Code: CodeCancelled, Message: "client went away before the job started"}
 		}
+		if j.stream != nil {
+			close(j.stream)
+		}
+	} else if ferr := faultpoint.Hit("serve.run"); ferr != nil {
+		err = &RequestError{Code: CodeInternal, Message: ferr.Error()}
 		if j.stream != nil {
 			close(j.stream)
 		}
@@ -492,9 +667,24 @@ func (s *Server) dispatch(j *job) {
 		j.state.Store(int32(jobFailed))
 		s.c.failed.Add(1)
 	}
+	s.observeRun(j.finished.Sub(j.started))
+	if j.journaled {
+		s.journalOutcome(j)
+	}
 	s.c.running.Add(-1)
 	close(j.done)
 	s.retire(j)
+}
+
+// observeRun folds one job's run time into the EWMA behind queue_full
+// Retry-After advice (load/store races just blur the smoothing).
+func (s *Server) observeRun(d time.Duration) {
+	old := s.ewmaRunNs.Load()
+	if old == 0 {
+		s.ewmaRunNs.Store(int64(d))
+		return
+	}
+	s.ewmaRunNs.Store(old - old/5 + int64(d)/5)
 }
 
 // runJob executes one job with panic containment: jobs run on raw
@@ -521,6 +711,9 @@ func (s *Server) retire(j *job) {
 	s.mu.Lock()
 	s.hist = append(s.hist, j.id)
 	for len(s.hist) > limit {
+		if old := s.jobs[s.hist[0]]; old != nil && old.idemKey != "" {
+			delete(s.idem, old.idemKey)
+		}
 		delete(s.jobs, s.hist[0])
 		s.hist = s.hist[1:]
 	}
@@ -544,13 +737,40 @@ func withDeadline(ctx context.Context, timeoutMs float64) (context.Context, cont
 	return context.WithTimeout(ctx, time.Duration(timeoutMs*float64(time.Millisecond)))
 }
 
+// jobContext derives a job's context: bounded by the request's
+// timeout_ms and additionally cancelled by the server's drain context,
+// so an overrun drain can stop every job at its next checkpoint. The
+// returned cancel releases the merge and any deadline timer.
+func (s *Server) jobContext(ctx context.Context, timeoutMs float64) (context.Context, context.CancelFunc) {
+	mctx, mcancel := context.WithCancel(ctx)
+	stop := context.AfterFunc(s.baseCtx, mcancel)
+	dctx, dcancel := withDeadline(mctx, timeoutMs)
+	return dctx, func() {
+		stop()
+		if dcancel != nil {
+			dcancel()
+		}
+		mcancel()
+	}
+}
+
 // newExtractJob wraps an extract request as an interactive queue job.
+// On a durable server, async jobs are journaled: their wire payload is
+// persisted with the accepted record and their idempotency key (when
+// the client sent one) dedups retried submissions.
 func (s *Server) newExtractJob(ctx context.Context, req *ExtractRequest, st *geom.Structure) *job {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	j := &job{kind: "extract", class: classInteractive, done: make(chan struct{})}
-	j.ctx, j.cancel = withDeadline(ctx, req.TimeoutMs)
+	if req.Async {
+		j.idemKey = req.IdempotencyKey
+		if s.jrnl != nil {
+			j.journaled = true
+			j.reqJSON, _ = json.Marshal(req)
+		}
+	}
+	j.ctx, j.cancel = s.jobContext(ctx, req.TimeoutMs)
 	j.run = func() (any, error) {
 		s.c.extracts.Add(1)
 		res, err := s.runExtract(j, req, st)
@@ -565,7 +785,7 @@ func (s *Server) newSweepJob(ctx context.Context, req *SweepRequest, sts []*geom
 		ctx = context.Background()
 	}
 	j := &job{kind: "sweep", class: classBulk, done: make(chan struct{}), stream: make(chan any, 16)}
-	j.ctx, j.cancel = withDeadline(ctx, req.TimeoutMs)
+	j.ctx, j.cancel = s.jobContext(ctx, req.TimeoutMs)
 	j.run = func() (any, error) {
 		s.c.sweeps.Add(1)
 		defer close(j.stream)
@@ -601,6 +821,13 @@ type Stats struct {
 	SweepPoints      uint64 `json:"sweep_points"`
 	SweepPointErrors uint64 `json:"sweep_point_errors"`
 
+	// Durability and drain telemetry (see Options.DataDir and Drain).
+	Draining         bool   `json:"draining"`
+	RejectedDraining uint64 `json:"jobs_rejected_draining"`
+	Replayed         uint64 `json:"jobs_replayed"`
+	Interrupted      uint64 `json:"jobs_interrupted"`
+	IdempotentHits   uint64 `json:"idempotent_hits"`
+
 	Engine batch.Stats `json:"engine"`
 }
 
@@ -631,6 +858,12 @@ func (s *Server) Stats() Stats {
 		Sweeps:           s.c.sweeps.Load(),
 		SweepPoints:      s.c.sweepPoints.Load(),
 		SweepPointErrors: s.c.sweepPointErrors.Load(),
+
+		Draining:         s.draining.Load(),
+		RejectedDraining: s.c.rejectedDraining.Load(),
+		Replayed:         s.c.replayed.Load(),
+		Interrupted:      s.c.interrupted.Load(),
+		IdempotentHits:   s.c.idemHits.Load(),
 
 		Engine: s.eng.Stats(),
 	}

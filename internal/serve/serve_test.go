@@ -352,13 +352,13 @@ func TestServeAdmissionControl(t *testing.T) {
 	block := make(chan struct{})
 	slow := &job{kind: "extract", done: make(chan struct{})}
 	slow.run = func() (any, error) { close(started); <-block; return nil, fmt.Errorf("cancelled") }
-	if err := s.admit(slow); err != nil {
+	if _, err := s.admit(slow); err != nil {
 		t.Fatal(err)
 	}
 	<-started
 	filler := &job{kind: "extract", done: make(chan struct{})}
 	filler.run = func() (any, error) { return nil, fmt.Errorf("cancelled") }
-	if err := s.admit(filler); err != nil {
+	if _, err := s.admit(filler); err != nil {
 		t.Fatalf("queue slot should be free: %v", err)
 	}
 
@@ -421,7 +421,7 @@ func TestServeCancelledQueuedJobSkipped(t *testing.T) {
 	block := make(chan struct{})
 	blocker := &job{kind: "extract", done: make(chan struct{})}
 	blocker.run = func() (any, error) { close(started); <-block; return nil, fmt.Errorf("done") }
-	if err := s.admit(blocker); err != nil {
+	if _, err := s.admit(blocker); err != nil {
 		t.Fatal(err)
 	}
 	<-started
@@ -432,7 +432,7 @@ func TestServeCancelledQueuedJobSkipped(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	dead := s.newExtractJob(ctx, &ExtractRequest{EdgeM: 0.5e-6, Backend: "dense"}, crossingAt(0.5e-6))
-	if err := s.admit(dead); err != nil {
+	if _, err := s.admit(dead); err != nil {
 		t.Fatal(err)
 	}
 
