@@ -1,0 +1,281 @@
+// Benchscale measures multi-core scaling of the hot extraction paths:
+// the fmm near-field fill, the fmm and pfft steady-state matvecs (fp64
+// and mixed) and the end-to-end iterative solve, each at worker counts
+// 1, 2, 4, ... up to GOMAXPROCS (always through 4 so the rig exercises
+// the multi-worker code paths even on small runners). Results go to
+// stdout as a table and to -out as JSON (the PR benchmark record):
+//
+//	benchscale -bus 8 -edge 0.5e-6 -reps 3 -out BENCH_pr8.json
+//
+// Each point is the best of -reps runs; speedup and parallel efficiency
+// are relative to the 1-worker point of the same path. num_cpu is
+// recorded next to the curves: points with workers > num_cpu are
+// oversubscribed and measure scheduling overhead, not scaling.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"parbem"
+	"parbem/internal/fmm"
+	"parbem/internal/pcbem"
+	"parbem/internal/pfft"
+)
+
+func main() {
+	var (
+		busM  = flag.Int("bus", 8, "bus structure size (m = n wires per layer)")
+		edge  = flag.Float64("edge", 0.5e-6, "max panel edge (m)")
+		reps  = flag.Int("reps", 3, "repetitions per point (best kept)")
+		maxW  = flag.Int("maxworkers", 0, "largest worker count (0 = max(GOMAXPROCS, 4))")
+		out   = flag.String("out", "", "also write the JSON report to this file")
+		quick = flag.Bool("quick", false, "tiny geometry for smoke runs")
+	)
+	flag.Parse()
+
+	m := *busM
+	if *quick {
+		m = 2
+	}
+	rep, err := runScaling(m, *edge, *reps, workerCounts(*maxW))
+	if err != nil {
+		log.Fatal(err)
+	}
+	printReport(rep)
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+}
+
+// Point is one worker count of one path's scaling curve.
+type Point struct {
+	Workers int   `json:"workers"`
+	NS      int64 `json:"ns"`
+	// MixedNS is the float32-operator matvec at the same worker count
+	// (apply paths only).
+	MixedNS int64 `json:"mixed_ns,omitempty"`
+	// Speedup and Efficiency are relative to this path's 1-worker point.
+	Speedup    float64 `json:"speedup"`
+	Efficiency float64 `json:"efficiency"`
+}
+
+// Path is the scaling curve of one hot path.
+type Path struct {
+	Name   string  `json:"name"`
+	Desc   string  `json:"desc"`
+	Points []Point `json:"points"`
+}
+
+// Report is the BENCH_pr8.json payload.
+type Report struct {
+	GeneratedBy string  `json:"generated_by"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	NumCPU      int     `json:"num_cpu"`
+	Reps        int     `json:"reps"`
+	Bus         int     `json:"bus"`
+	EdgeM       float64 `json:"edge_m"`
+	NumPanels   int     `json:"num_panels"`
+	Paths       []Path  `json:"paths"`
+}
+
+// workerCounts is 1, 2, 4, ... up to max (max itself always included).
+// The default runs through at least 4 so the multi-worker paths are
+// exercised even on 1-CPU runners (those points are oversubscribed).
+func workerCounts(max int) []int {
+	if max <= 0 {
+		max = runtime.GOMAXPROCS(0)
+		if max < 4 {
+			max = 4
+		}
+	}
+	var ws []int
+	for w := 1; w < max; w *= 2 {
+		ws = append(ws, w)
+	}
+	return append(ws, max)
+}
+
+// runScaling measures every path at every worker count and assembles
+// the report. Factored from main so the scaling smoke test drives it.
+func runScaling(busM int, edge float64, reps int, workers []int) (*Report, error) {
+	st := parbem.NewBus(busM, busM).Build()
+	prob, err := pcbem.NewProblem(st, edge)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		GeneratedBy: "cmd/benchscale",
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Reps:        reps,
+		Bus:         busM,
+		EdgeM:       edge,
+		NumPanels:   len(prob.Panels),
+	}
+
+	rep.Paths = append(rep.Paths, scaleNearFill(prob, reps, workers))
+	rep.Paths = append(rep.Paths, scaleFMMApply(prob, reps, workers))
+	rep.Paths = append(rep.Paths, scalePFFTApply(prob, reps, workers))
+	solve, err := scaleSolve(prob, reps, workers)
+	if err != nil {
+		return nil, err
+	}
+	rep.Paths = append(rep.Paths, solve)
+	return rep, nil
+}
+
+// scaleNearFill times the fmm near-field fill (operator construction on
+// a shared topology, the direct-interaction Galerkin integrals).
+func scaleNearFill(prob *pcbem.Problem, reps int, workers []int) Path {
+	p := Path{Name: "fmm_near_fill", Desc: "fmm near-field fill (NewOperatorWith on shared topology)"}
+	for _, d := range workers {
+		opt := fmm.Options{Workers: d}
+		topo := fmm.NewTopology(prob.Panels, opt)
+		ns := bestOf(reps, func() int64 {
+			t0 := time.Now()
+			fmm.NewOperatorWith(topo, prob.Panels, opt, nil)
+			return time.Since(t0).Nanoseconds()
+		})
+		p.Points = append(p.Points, Point{Workers: d, NS: ns})
+	}
+	finish(&p)
+	return p
+}
+
+// scaleFMMApply times the steady-state fmm matvec (fp64 and mixed).
+func scaleFMMApply(prob *pcbem.Problem, reps int, workers []int) Path {
+	p := Path{Name: "fmm_apply", Desc: "fmm steady-state matvec"}
+	for _, d := range workers {
+		op := fmm.NewOperator(prob.Panels, fmm.Options{Workers: d})
+		x, y := ones(len(prob.Panels)), make([]float64, len(prob.Panels))
+		pt := Point{
+			Workers: d,
+			NS:      bestOf(reps, func() int64 { return timeApply(op.Apply, y, x) }),
+			MixedNS: bestOf(reps, func() int64 { return timeApply(op.ApplyMixed, y, x) }),
+		}
+		p.Points = append(p.Points, pt)
+	}
+	finish(&p)
+	return p
+}
+
+// scalePFFTApply times the steady-state pfft matvec (fp64 and mixed).
+func scalePFFTApply(prob *pcbem.Problem, reps int, workers []int) Path {
+	p := Path{Name: "pfft_apply", Desc: "pfft steady-state matvec"}
+	for _, d := range workers {
+		op := pfft.NewOperator(prob.Panels, pfft.Options{Workers: d})
+		x, y := ones(len(prob.Panels)), make([]float64, len(prob.Panels))
+		pt := Point{
+			Workers: d,
+			NS:      bestOf(reps, func() int64 { return timeApply(op.Apply, y, x) }),
+			MixedNS: bestOf(reps, func() int64 { return timeApply(op.ApplyMixed, y, x) }),
+		}
+		p.Points = append(p.Points, pt)
+	}
+	finish(&p)
+	return p
+}
+
+// scaleSolve times the preconditioned GMRES solve on a prebuilt fmm
+// operator (the pipeline solve stage; setup excluded).
+func scaleSolve(prob *pcbem.Problem, reps int, workers []int) (Path, error) {
+	p := Path{Name: "pipeline_solve", Desc: "GMRES solve on prebuilt fmm operator (tol 1e-4)"}
+	for _, d := range workers {
+		op := fmm.NewOperator(prob.Panels, fmm.Options{Workers: d})
+		var solveErr error
+		ns := bestOf(reps, func() int64 {
+			t0 := time.Now()
+			if _, err := prob.SolveIterative(op, 1e-4); err != nil {
+				solveErr = err
+			}
+			return time.Since(t0).Nanoseconds()
+		})
+		if solveErr != nil {
+			return p, solveErr
+		}
+		p.Points = append(p.Points, Point{Workers: d, NS: ns})
+	}
+	finish(&p)
+	return p, nil
+}
+
+// timeApply measures one matvec in ns, iterating short applies until
+// the sample is long enough to trust the clock.
+func timeApply(apply func(dst, x []float64), y, x []float64) int64 {
+	apply(y, x) // warm (mixed builds its float32 mirror lazily)
+	const minSample = 20 * time.Millisecond
+	iters := 1
+	for {
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			apply(y, x)
+		}
+		if el := time.Since(t0); el >= minSample || iters >= 1<<20 {
+			return el.Nanoseconds() / int64(iters)
+		}
+		iters *= 2
+	}
+}
+
+// bestOf keeps the fastest of reps runs.
+func bestOf(reps int, f func() int64) int64 {
+	best := int64(math.MaxInt64)
+	for r := 0; r < reps; r++ {
+		if ns := f(); ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// finish fills the speedup/efficiency columns from the 1-worker point.
+func finish(p *Path) {
+	if len(p.Points) == 0 || p.Points[0].Workers != 1 {
+		return
+	}
+	base := float64(p.Points[0].NS)
+	for i := range p.Points {
+		pt := &p.Points[i]
+		pt.Speedup = base / float64(pt.NS)
+		pt.Efficiency = pt.Speedup / float64(pt.Workers)
+	}
+}
+
+func ones(n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	return x
+}
+
+func printReport(rep *Report) {
+	fmt.Printf("scaling: %dx%d bus, %d panels, edge %g m, best of %d, GOMAXPROCS %d, %d CPUs\n",
+		rep.Bus, rep.Bus, rep.NumPanels, rep.EdgeM, rep.Reps, rep.GOMAXPROCS, rep.NumCPU)
+	for _, p := range rep.Paths {
+		fmt.Printf("\n%s — %s\n", p.Name, p.Desc)
+		fmt.Printf("%8s %14s %14s %9s %6s\n", "workers", "ns", "mixed ns", "speedup", "eff")
+		for _, pt := range p.Points {
+			mixed := "-"
+			if pt.MixedNS > 0 {
+				mixed = fmt.Sprintf("%d", pt.MixedNS)
+			}
+			fmt.Printf("%8d %14d %14s %8.2fx %5.0f%%\n",
+				pt.Workers, pt.NS, mixed, pt.Speedup, 100*pt.Efficiency)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestScalingSmoke drives the full rig on a tiny geometry at 1 and 2
+// workers: every path must produce a monotone worker list with positive
+// times and a sane speedup column. On single-CPU runners a 2-worker
+// point would measure goroutine timesharing, not scaling, so the test
+// skips there (CI logs the skip line).
+func TestScalingSmoke(t *testing.T) {
+	if runtime.NumCPU() < 2 {
+		t.Skip("scaling smoke needs >= 2 CPUs; single-CPU runner measures timesharing, not scaling")
+	}
+	rep, err := runScaling(2, 1e-6, 1, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"fmm_near_fill", "fmm_apply", "pfft_apply", "pipeline_solve"}
+	if len(rep.Paths) != len(want) {
+		t.Fatalf("got %d paths, want %d", len(rep.Paths), len(want))
+	}
+	for i, p := range rep.Paths {
+		if p.Name != want[i] {
+			t.Errorf("path %d = %q, want %q", i, p.Name, want[i])
+		}
+		if len(p.Points) != 2 {
+			t.Fatalf("%s: %d points, want 2", p.Name, len(p.Points))
+		}
+		for _, pt := range p.Points {
+			if pt.NS <= 0 {
+				t.Errorf("%s@%d: non-positive time %d", p.Name, pt.Workers, pt.NS)
+			}
+			if pt.Speedup <= 0 {
+				t.Errorf("%s@%d: non-positive speedup %g", p.Name, pt.Workers, pt.Speedup)
+			}
+		}
+		if p.Points[0].Workers != 1 || p.Points[1].Workers != 2 {
+			t.Errorf("%s: worker counts %d/%d, want 1/2", p.Name, p.Points[0].Workers, p.Points[1].Workers)
+		}
+	}
+}
+
+// TestWorkerCounts pins the 1/2/4/.../max ladder.
+func TestWorkerCounts(t *testing.T) {
+	for _, tc := range []struct {
+		max  int
+		want []int
+	}{
+		{1, []int{1}},
+		{2, []int{1, 2}},
+		{4, []int{1, 2, 4}},
+		{6, []int{1, 2, 4, 6}},
+		{8, []int{1, 2, 4, 8}},
+	} {
+		got := workerCounts(tc.max)
+		if len(got) != len(tc.want) {
+			t.Errorf("workerCounts(%d) = %v, want %v", tc.max, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("workerCounts(%d) = %v, want %v", tc.max, got, tc.want)
+				break
+			}
+		}
+	}
+}

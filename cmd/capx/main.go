@@ -69,6 +69,7 @@ func main() {
 		n         = flag.Int("n", 8, "bus: upper-layer wire count")
 		backend   = flag.String("backend", "serial", "instantiable solver: serial | shared | mpi; piecewise-constant pipeline: auto | dense | fastcap | pfft")
 		precond   = flag.String("precond", "auto", "pipeline preconditioner: auto | none | jacobi | block")
+		precision = flag.String("precision", "auto", "pipeline matvec arithmetic: auto | fp64 | mixed (float32 operator inside float64 refinement)")
 		workers   = flag.Int("workers", 4, "parallel nodes D")
 		accel     = flag.Bool("accel", false, "enable tabulated elementary functions (Section 4.2.3)")
 		units     = flag.Float64("unit", 1e15, "output scale (1e15 = fF)")
@@ -105,10 +106,10 @@ func main() {
 			log.Fatal("-sweep varies the built-in crossing/bus separation and does not support -input")
 		}
 		if *remote != "" {
-			runRemoteSweep(*remote, *structure, *m, *n, *sweep, *hmin, *hmax, *backend, *precond, *edge, *tol, *jsonOut)
+			runRemoteSweep(*remote, *structure, *m, *n, *sweep, *hmin, *hmax, *backend, *precond, *precision, *edge, *tol, *jsonOut)
 			return
 		}
-		runSweep(*structure, *m, *n, *sweep, *hmin, *hmax, *backend, *precond, *edge, *tol, *workers, *jsonOut)
+		runSweep(*structure, *m, *n, *sweep, *hmin, *hmax, *backend, *precond, *precision, *edge, *tol, *workers, *jsonOut)
 		return
 	}
 
@@ -136,15 +137,15 @@ func main() {
 		if !isPipelineBackend(kind) {
 			log.Fatalf("-remote needs a pipeline backend (auto|dense|fastcap|pfft), got %q", kind)
 		}
-		runRemote(*remote, st, kind, *precond, *edge, *tol, *units, *maxPrint, *check, *jsonOut)
+		runRemote(*remote, st, kind, *precond, *precision, *edge, *tol, *units, *maxPrint, *check, *jsonOut)
 		return
 	}
 	if *baseline != "" {
-		runPipeline(st, *baseline, *precond, *edge, *tol, *workers, *units, *maxPrint, *check, *jsonOut)
+		runPipeline(st, *baseline, *precond, *precision, *edge, *tol, *workers, *units, *maxPrint, *check, *jsonOut)
 		return
 	}
 	if isPipelineBackend(*backend) {
-		runPipeline(st, *backend, *precond, *edge, *tol, *workers, *units, *maxPrint, *check, *jsonOut)
+		runPipeline(st, *backend, *precond, *precision, *edge, *tol, *workers, *units, *maxPrint, *check, *jsonOut)
 		return
 	}
 	if *jsonOut {
@@ -246,10 +247,14 @@ func isPipelineBackend(name string) bool {
 	return false
 }
 
-// pipelineOptions maps the -backend/-precond/-tol/-workers flags to
-// pipeline options (shared by the single-shot and sweep modes).
-func pipelineOptions(kind, precond string, tol float64, workers int) parbem.PipelineOptions {
-	opt := parbem.PipelineOptions{Tol: tol}
+// pipelineOptions maps the -backend/-precond/-precision/-tol/-workers
+// flags to pipeline options (shared by the single-shot and sweep modes).
+func pipelineOptions(kind, precond, precision string, tol float64, workers int) parbem.PipelineOptions {
+	prec, err := parbem.ParsePrecision(precision)
+	if err != nil {
+		log.Fatalf("unknown precision %q (want auto, fp64 or mixed)", precision)
+	}
+	opt := parbem.PipelineOptions{Tol: tol, Precision: prec}
 	switch kind {
 	case "auto":
 		opt.Backend = parbem.BackendAuto
@@ -317,8 +322,8 @@ func emitJSON(v any) {
 // runPipeline solves the structure through the unified operator pipeline
 // and reports the resolved backend, panel counts, Krylov iterations and
 // timing next to the capacitance matrix.
-func runPipeline(st *parbem.Structure, kind, precond string, edge, tol float64, workers int, units float64, maxPrint int, check bool, jsonOut bool) {
-	opt := pipelineOptions(kind, precond, tol, workers)
+func runPipeline(st *parbem.Structure, kind, precond, precision string, edge, tol float64, workers int, units float64, maxPrint int, check bool, jsonOut bool) {
+	opt := pipelineOptions(kind, precond, precision, tol, workers)
 
 	t0 := time.Now()
 	res, err := parbem.ExtractPipeline(st, edge, opt)
@@ -333,6 +338,7 @@ func runPipeline(st *parbem.Structure, kind, precond string, edge, tol float64, 
 			Backend    string      `json:"backend"`
 			Requested  string      `json:"requested"`
 			Precond    string      `json:"precond"`
+			Precision  string      `json:"precision"`
 			NumPanels  int         `json:"num_panels"`
 			Edge       float64     `json:"edge_m"`
 			Tol        float64     `json:"tol"`
@@ -345,7 +351,8 @@ func runPipeline(st *parbem.Structure, kind, precond string, edge, tol float64, 
 			Warnings   []string    `json:"maxwell_warnings,omitempty"`
 		}{
 			Structure: st.Name, Backend: res.Backend.String(), Requested: kind,
-			Precond: precond, NumPanels: res.NumPanels, Edge: edge, Tol: tol,
+			Precond: precond, Precision: res.Precision.String(),
+			NumPanels: res.NumPanels, Edge: edge, Tol: tol,
 			Iterations: res.Iterations,
 			SetupMs:    res.SetupTime.Seconds() * 1e3,
 			SolveMs:    res.SolveTime.Seconds() * 1e3,
@@ -360,8 +367,8 @@ func runPipeline(st *parbem.Structure, kind, precond string, edge, tol float64, 
 	fmt.Printf("backend   : %v (requested %s), N = %d panels, edge = %g m\n",
 		res.Backend, kind, res.NumPanels, edge)
 	if res.Iterations > 0 {
-		fmt.Printf("krylov    : %d GMRES iterations total (tol %g, precond %s, all conductors concurrent)\n",
-			res.Iterations, tol, precond)
+		fmt.Printf("krylov    : %d GMRES iterations total (tol %g, precond %s, precision %s, all conductors concurrent)\n",
+			res.Iterations, tol, precond, res.Precision)
 	}
 	fmt.Printf("timing    : setup %v | solve %v | total %v\n\n", res.SetupTime, res.SolveTime, total)
 
@@ -400,7 +407,7 @@ type sweepPoint struct {
 // runSweep extracts a separation sweep through one staged plan
 // (parbem.NewPlan) and reports per-point timings, reuse and the
 // cold-vs-warm amortization.
-func runSweep(structure string, m, n, points int, hmin, hmax float64, backend, precond string, edge, tol float64, workers int, jsonOut bool) {
+func runSweep(structure string, m, n, points int, hmin, hmax float64, backend, precond, precision string, edge, tol float64, workers int, jsonOut bool) {
 	if !isPipelineBackend(backend) {
 		log.Fatalf("-sweep needs a pipeline backend (auto|dense|fastcap|pfft), got %q", backend)
 	}
@@ -437,7 +444,7 @@ func runSweep(structure string, m, n, points int, hmin, hmax float64, backend, p
 
 	p, err := parbem.NewPlan(parbem.PlanOptions{
 		MaxEdge:  edge,
-		Pipeline: pipelineOptions(backend, precond, tol, workers),
+		Pipeline: pipelineOptions(backend, precond, precision, tol, workers),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -486,6 +493,7 @@ func runSweep(structure string, m, n, points int, hmin, hmax float64, backend, p
 			Structure string           `json:"structure"`
 			Backend   string           `json:"backend"`
 			Precond   string           `json:"precond"`
+			Precision string           `json:"precision"`
 			Edge      float64          `json:"edge_m"`
 			Tol       float64          `json:"tol"`
 			Points    []sweepPoint     `json:"points"`
@@ -495,7 +503,7 @@ func runSweep(structure string, m, n, points int, hmin, hmax float64, backend, p
 			Stats     parbem.PlanStats `json:"stats"`
 		}{
 			Structure: structure, Backend: backend, Precond: precond,
-			Edge: edge, Tol: tol, Points: recs,
+			Precision: precision, Edge: edge, Tol: tol, Points: recs,
 			ColdMs: coldMs, WarmMs: warmPer, TotalMs: total.Seconds() * 1e3,
 			Stats: stats,
 		})
@@ -528,14 +536,15 @@ func geometryText(st *parbem.Structure) string {
 
 // runRemote sends one pipeline extraction to a capxd daemon and prints
 // the response in the local runPipeline formats.
-func runRemote(base string, st *parbem.Structure, kind, precond string, edge, tol, units float64, maxPrint int, check, jsonOut bool) {
+func runRemote(base string, st *parbem.Structure, kind, precond, precision string, edge, tol, units float64, maxPrint int, check, jsonOut bool) {
 	c := serve.NewClient(base)
 	res, err := c.Extract(context.Background(), &serve.ExtractRequest{
-		Geometry: geometryText(st),
-		EdgeM:    edge,
-		Backend:  kind,
-		Precond:  precond,
-		Tol:      tol,
+		Geometry:  geometryText(st),
+		EdgeM:     edge,
+		Backend:   kind,
+		Precond:   precond,
+		Precision: precision,
+		Tol:       tol,
 	})
 	if err != nil {
 		log.Fatalf("remote extract: %v", err)
@@ -549,8 +558,8 @@ func runRemote(base string, st *parbem.Structure, kind, precond string, edge, to
 	fmt.Printf("backend   : %s (requested %s), N = %d panels, edge = %g m, reused %s\n",
 		res.Backend, res.Requested, res.NumPanels, res.EdgeM, res.Reused)
 	if res.Iterations > 0 {
-		fmt.Printf("krylov    : %d GMRES iterations total (tol %g, precond %s)\n",
-			res.Iterations, tol, precond)
+		fmt.Printf("krylov    : %d GMRES iterations total (tol %g, precond %s, precision %s)\n",
+			res.Iterations, tol, precond, res.Precision)
 	}
 	fmt.Printf("timing    : setup %.2f ms | solve %.2f ms | total %.2f ms\n\n",
 		res.SetupMs, res.SolveMs, res.TotalMs)
@@ -569,7 +578,7 @@ func runRemote(base string, st *parbem.Structure, kind, precond string, edge, to
 // runRemoteSweep streams an h-sweep through a capxd daemon: the variant
 // geometries are built locally (same range logic as runSweep) and ride
 // the server's family-keyed plan cache.
-func runRemoteSweep(base, structure string, m, n, points int, hmin, hmax float64, backend, precond string, edge, tol float64, jsonOut bool) {
+func runRemoteSweep(base, structure string, m, n, points int, hmin, hmax float64, backend, precond, precision string, edge, tol float64, jsonOut bool) {
 	if !isPipelineBackend(backend) {
 		log.Fatalf("-sweep needs a pipeline backend (auto|dense|fastcap|pfft), got %q", backend)
 	}
@@ -604,7 +613,7 @@ func runRemoteSweep(base, structure string, m, n, points int, hmin, hmax float64
 		log.Fatalf("bad sweep range: %d points over [%g, %g]", points, hmin, hmax)
 	}
 
-	req := &serve.SweepRequest{EdgeM: edge, Backend: backend, Precond: precond, Tol: tol}
+	req := &serve.SweepRequest{EdgeM: edge, Backend: backend, Precond: precond, Precision: precision, Tol: tol}
 	hs := make([]float64, points)
 	for i := range hs {
 		hs[i] = hmin + (hmax-hmin)*float64(i)/float64(points-1)
@@ -622,11 +631,12 @@ func runRemoteSweep(base, structure string, m, n, points int, hmin, hmax float64
 			Structure string              `json:"structure"`
 			Backend   string              `json:"backend"`
 			Precond   string              `json:"precond"`
+			Precision string              `json:"precision"`
 			EdgeM     float64             `json:"edge_m"`
 			Tol       float64             `json:"tol"`
 			Points    []*serve.SweepPoint `json:"points"`
 			Trailer   *serve.SweepTrailer `json:"trailer"`
-		}{structure, backend, precond, edge, tol, pts, tr})
+		}{structure, backend, precond, precision, edge, tol, pts, tr})
 		return
 	}
 	fmt.Printf("sweep     : %s, %d points over H = [%g, %g] m via %s, backend %s, edge %g m\n",

@@ -46,6 +46,23 @@
 // interrupted — the next lifetime owes them a run. The journal is
 // compacted and the process exits 0.
 //
+// # Precision
+//
+// Requests may carry a "precision" selector (auto | fp64 | mixed); the
+// mixed setting runs the accelerated matvec through a float32 operator
+// inside float64 iterative refinement (capx -precision). -precision
+// sets the daemon-wide default applied to requests that leave theirs
+// empty or on auto; the response reports the arithmetic that actually
+// ran.
+//
+// # Profiling
+//
+// -pprof addr serves the net/http/pprof handlers (goroutine, heap, CPU
+// profiles) on a separate side listener, e.g. -pprof localhost:6060,
+// then `go tool pprof http://localhost:6060/debug/pprof/profile`. It is
+// deliberately a second listener so profiling never shares the public
+// service address; bind it to localhost.
+//
 // -faults arms the fault-injection hooks (internal/faultpoint; also via
 // the CAPXD_FAULTS environment variable) for crash-safety testing, e.g.
 // "journal.sync@3:crash" kills the process on the third journal fsync.
@@ -58,11 +75,13 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // profiling handlers for the -pprof side listener
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"parbem"
 	"parbem/internal/faultpoint"
 	"parbem/internal/serve"
 )
@@ -92,9 +111,34 @@ func run(args []string) int {
 		history      = fs.Int("jobhistory", 0, "finished jobs kept for GET /jobs/{id} (0 = default 256)")
 		dataDir      = fs.String("data-dir", "", "durable job journal directory (empty = no persistence)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGTERM/SIGINT before running jobs are interrupted")
+		precision    = fs.String("precision", "auto", "default matvec arithmetic for requests that leave theirs on auto: auto | fp64 | mixed")
+		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof on this side listener (empty = disabled; keep it off the public address)")
 		faults       = fs.String("faults", os.Getenv("CAPXD_FAULTS"), "fault-injection spec, e.g. journal.sync@3:crash (testing only)")
 	)
 	fs.Parse(args)
+
+	defPrec, err := parbem.ParsePrecision(*precision)
+	if err != nil {
+		log.Printf("capxd: -precision: %v", err)
+		return 2
+	}
+
+	if *pprofAddr != "" {
+		// The profiling handlers live on the default mux of a separate
+		// listener, so they never share a port (or an exposure surface)
+		// with the service API.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Printf("capxd: -pprof: %v", err)
+			return 2
+		}
+		go func() {
+			if err := http.Serve(pln, nil); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("capxd: pprof: %v", err)
+			}
+		}()
+		log.Printf("capxd: pprof listening on %s", pln.Addr())
+	}
 
 	if *faults != "" {
 		if err := faultpoint.Configure(*faults); err != nil {
@@ -116,6 +160,7 @@ func run(args []string) int {
 		PairCacheEntries: *pairCache,
 		JobHistory:       *history,
 		DataDir:          *dataDir,
+		DefaultPrecision: defPrec,
 		Logf:             log.Printf,
 		Limits: serve.Limits{
 			MaxBodyBytes: *maxBody,

@@ -94,6 +94,48 @@ func TestPipelineBackendConsistency(t *testing.T) {
 	}
 }
 
+// TestPipelinePrecisionConsistency asserts that forcing the mixed
+// (float32 operator + float64 iterative refinement) matvec changes the
+// accelerated backends' capacitance matrices by at most 5e-3 relative
+// against their own fp64 solves — the refinement loop converges the
+// outer residual in float64, so the float32 storage must not leak into
+// the answer beyond the solver tolerance. The warm ApplyMixed paths are
+// separately pinned allocation-free by the AllocsPerRun guards in the
+// fmm and pfft package tests.
+func TestPipelinePrecisionConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several full piecewise-constant solves")
+	}
+	st := NewBus(3, 3).Build()
+	const edge = 1e-6
+
+	for _, backend := range []PipelineOptions{
+		{Backend: BackendFMM, Tol: 1e-6},
+		{Backend: BackendPFFT, Tol: 1e-6},
+	} {
+		opt := backend
+		opt.Precision = PrecisionFP64
+		ref, err := ExtractPipeline(st, edge, opt)
+		if err != nil {
+			t.Fatalf("%v fp64: %v", opt.Backend, err)
+		}
+		if ref.Precision != PrecisionFP64 {
+			t.Fatalf("%v: forced fp64 resolved to %v", opt.Backend, ref.Precision)
+		}
+		opt.Precision = PrecisionMixed
+		mix, err := ExtractPipeline(st, edge, opt)
+		if err != nil {
+			t.Fatalf("%v mixed: %v", opt.Backend, err)
+		}
+		if mix.Precision != PrecisionMixed {
+			t.Fatalf("%v: forced mixed resolved to %v", opt.Backend, mix.Precision)
+		}
+		if e := CapError(mix.C, ref.C); e > 5e-3 {
+			t.Errorf("%v: mixed deviates from fp64 by %.3g (tol 5e-3)", opt.Backend, e)
+		}
+	}
+}
+
 // TestBackendConsistency asserts that the Serial, SharedMem and
 // Distributed backends and the batch Engine produce capacitance matrices
 // agreeing within 1e-10 relative error on seeded-random structures.

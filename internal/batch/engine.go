@@ -395,6 +395,7 @@ func planSignature(st *geom.Structure, maxEdge float64, opt op.Options) string {
 	f(maxEdge)
 	u(uint64(opt.Backend))
 	u(uint64(opt.Precond))
+	u(uint64(opt.Precision))
 	f(opt.Tol)
 	u(uint64(opt.Restart))
 	if opt.Direct {

@@ -1,0 +1,58 @@
+package costmodel
+
+// Mixed-precision selection: the accelerated operators (fmm, pfft)
+// optionally run their matvec through a float32 storage mirror, wrapped
+// in float64 iterative refinement by the solve pipeline. The mirror
+// halves the bandwidth of the bandwidth-bound apply, but costs one-time
+// construction and two extra fp64 applies per refinement step — so it
+// only wins when the Krylov solve is long enough to amortize both, and
+// only when the requested tolerance is reachable through fp32 inner
+// arithmetic at all.
+
+// Mixed-precision thresholds. Exported for reporting and tests.
+const (
+	// MixedMinPanels is the smallest problem worth the float32 mirror:
+	// below it the whole solve completes in a handful of cheap applies
+	// and the mirror's construction dominates.
+	MixedMinPanels = 2048
+	// MixedMinTol is the tightest tolerance served by mixed precision.
+	// One fp32 apply carries ~1e-7 relative rounding, amplified by the
+	// system's conditioning in the inner solves; chasing residuals at or
+	// below this floor makes refinement stall and fall back, so full
+	// fp64 is chosen up front.
+	MixedMinTol = 1e-8
+)
+
+// PrecisionChoice is a matvec-arithmetic recommendation.
+type PrecisionChoice int
+
+// Precision recommendations.
+const (
+	ChooseFP64 PrecisionChoice = iota
+	ChooseMixed
+)
+
+// String implements fmt.Stringer.
+func (c PrecisionChoice) String() string {
+	switch c {
+	case ChooseFP64:
+		return "fp64"
+	case ChooseMixed:
+		return "mixed"
+	}
+	return "unknown"
+}
+
+// SelectPrecision recommends the matvec arithmetic for an accelerated
+// (non-dense) solve of the workload. Only Panels and Tol participate:
+// the decision is about solve length and reachable accuracy, not
+// geometry.
+func SelectPrecision(w Workload) PrecisionChoice {
+	if w.Panels < MixedMinPanels {
+		return ChooseFP64
+	}
+	if w.Tol > 0 && w.Tol <= MixedMinTol {
+		return ChooseFP64
+	}
+	return ChooseMixed
+}

@@ -311,6 +311,15 @@ func PointErrors(err error) []*PointError {
 // nil exactly for the failed points — callers keep the healthy part of
 // the sweep.
 func SweepH(base geom.CrossingPairSpec, hs []float64, maxEdge float64) ([]*ArchFit, error) {
+	return SweepHWorkers(base, hs, maxEdge, 0)
+}
+
+// SweepHWorkers is SweepH with an explicit fan-out bound: at most
+// workers point-solver goroutines run at once (0 = GOMAXPROCS). A
+// service embedding the sweep passes its per-job worker budget (the
+// engine's PlanWorkers) so template sweeps share the machine with the
+// pool-budgeted pipeline jobs instead of oversubscribing it.
+func SweepHWorkers(base geom.CrossingPairSpec, hs []float64, maxEdge float64, workers int) ([]*ArchFit, error) {
 	fits := make([]*ArchFit, len(hs))
 	errs := make([]error, len(hs))
 
@@ -322,7 +331,9 @@ func SweepH(base geom.CrossingPairSpec, hs []float64, maxEdge float64) ([]*ArchF
 	}
 	sort.Slice(order, func(a, b int) bool { return hs[order[a]] < hs[order[b]] })
 
-	workers := runtime.GOMAXPROCS(0)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(hs) {
 		workers = len(hs)
 	}

@@ -1,0 +1,210 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// Float32 mirror of the transform stack, the convolution engine of the
+// mixed-precision pfft apply path: complex64 grids halve the bandwidth of
+// the 3-D transforms that dominate the far-field matvec. Twiddle factors
+// are precomputed in float64 (per length, cached) and rounded once, so
+// the only extra error over complex128 is the fp32 rounding of the
+// butterflies themselves — about 1e-7 relative on the grid sizes pfft
+// uses, far below the iterative-refinement tolerance that consumes the
+// result.
+
+// twiddle32Cache holds the first-half roots of unity per (length, sign),
+// computed in float64 and rounded to complex64 once. The cache is tiny
+// (one entry per distinct grid edge and direction) and read-mostly;
+// sync.Map keeps concurrent pfft applies lock-free on the hit path.
+var twiddle32Cache sync.Map
+
+// twiddles32 returns w[k] = exp(sign * 2 pi i k / n) for k in [0, n/2).
+func twiddles32(n int, sign float64) []complex64 {
+	key := int64(n)
+	if sign > 0 {
+		key = -key
+	}
+	if w, ok := twiddle32Cache.Load(key); ok {
+		return w.([]complex64)
+	}
+	w := make([]complex64, n/2)
+	for k := range w {
+		s, c := math.Sincos(sign * 2 * math.Pi * float64(k) / float64(n))
+		w[k] = complex(float32(c), float32(s))
+	}
+	twiddle32Cache.Store(key, w)
+	return w
+}
+
+// revCache holds the bit-reversal permutation per length: rev[i] is the
+// bit-reverse of i. A table lookup per element beats recomputing
+// bits.Reverse64 per element across the thousands of short 1-D rows of
+// one 3-D transform.
+var revCache sync.Map
+
+func revTable(n int) []int32 {
+	if r, ok := revCache.Load(n); ok {
+		return r.([]int32)
+	}
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	rev := make([]int32, n)
+	for i := range rev {
+		rev[i] = int32(bits.Reverse64(uint64(i)) >> shift)
+	}
+	revCache.Store(n, rev)
+	return rev
+}
+
+// Forward32 computes the in-place forward DFT of x (power-of-two length).
+func Forward32(x []complex64) {
+	n := checkedLen(x)
+	transform32(x, twiddles32(n, -1), revTable(n))
+}
+
+// Inverse32 computes the in-place inverse DFT including the 1/n scaling.
+func Inverse32(x []complex64) {
+	n := checkedLen(x)
+	transform32(x, twiddles32(n, +1), revTable(n))
+	inv := float32(1) / float32(n)
+	for i := range x {
+		x[i] *= complex(inv, 0)
+	}
+}
+
+func checkedLen(x []complex64) int {
+	n := len(x)
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	return n
+}
+
+// transform32 is the iterative Cooley-Tukey radix-2 kernel on complex64
+// with table-driven twiddles (the recurrence w *= wStep used by the
+// complex128 kernel loses too many bits at fp32). The caller supplies
+// the twiddle and bit-reversal tables so the per-row lookups are hoisted
+// out of the 3-D transform's row loops.
+func transform32(x []complex64, w []complex64, rev []int32) {
+	n := len(x)
+	for i, j := range rev {
+		if int(j) > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		stride := n / size
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w[k*stride]
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+}
+
+// Grid3F32 is the complex64 twin of Grid3 (same x-major layout), used by
+// the mixed-precision pfft convolution.
+type Grid3F32 struct {
+	Nx, Ny, Nz int
+	Data       []complex64
+	bufY, bufX []complex64
+}
+
+// NewGrid3F32 allocates a zeroed complex64 grid.
+func NewGrid3F32(nx, ny, nz int) *Grid3F32 {
+	if !IsPow2(nx) || !IsPow2(ny) || !IsPow2(nz) {
+		panic("fft: grid dimensions must be powers of two")
+	}
+	return &Grid3F32{
+		Nx: nx, Ny: ny, Nz: nz,
+		Data: make([]complex64, nx*ny*nz),
+		bufY: make([]complex64, ny),
+		bufX: make([]complex64, nx),
+	}
+}
+
+// Idx returns the linear index of (ix, iy, iz).
+func (g *Grid3F32) Idx(ix, iy, iz int) int { return (ix*g.Ny+iy)*g.Nz + iz }
+
+// Forward3 transforms the grid in place along all three axes.
+func (g *Grid3F32) Forward3() { g.transformAll(-1) }
+
+// Inverse3 inverse-transforms the grid in place (scaled).
+func (g *Grid3F32) Inverse3() {
+	g.transformAll(+1)
+	// One fused 1/(nx*ny*nz) pass instead of a 1/n scaling inside each of
+	// the nx*ny + nx*nz + ny*nz row transforms.
+	inv := float32(1) / float32(g.Nx*g.Ny*g.Nz)
+	for i := range g.Data {
+		g.Data[i] *= complex(inv, 0)
+	}
+}
+
+// transformAll applies the unscaled 1-D transform along z, then y, then
+// x, with twiddle/reversal tables fetched once per axis and explicit
+// stride arithmetic in the gather/scatter loops.
+func (g *Grid3F32) transformAll(sign float64) {
+	data := g.Data
+	nx, ny, nz := g.Nx, g.Ny, g.Nz
+
+	wz, rz := twiddles32(nz, sign), revTable(nz)
+	for base := 0; base < len(data); base += nz {
+		transform32(data[base:base+nz], wz, rz)
+	}
+
+	wy, ry := twiddles32(ny, sign), revTable(ny)
+	buf := g.bufY
+	for ix := 0; ix < nx; ix++ {
+		plane := ix * ny * nz
+		for iz := 0; iz < nz; iz++ {
+			p := plane + iz
+			for iy := 0; iy < ny; iy++ {
+				buf[iy] = data[p]
+				p += nz
+			}
+			transform32(buf, wy, ry)
+			p = plane + iz
+			for iy := 0; iy < ny; iy++ {
+				data[p] = buf[iy]
+				p += nz
+			}
+		}
+	}
+
+	wx, rx := twiddles32(nx, sign), revTable(nx)
+	bufX := g.bufX
+	planeStride := ny * nz
+	for iy := 0; iy < ny; iy++ {
+		row := iy * nz
+		for iz := 0; iz < nz; iz++ {
+			p := row + iz
+			for ix := 0; ix < nx; ix++ {
+				bufX[ix] = data[p]
+				p += planeStride
+			}
+			transform32(bufX, wx, rx)
+			p = row + iz
+			for ix := 0; ix < nx; ix++ {
+				data[p] = bufX[ix]
+				p += planeStride
+			}
+		}
+	}
+}
+
+// MulPointwise multiplies g by h element-wise (same dimensions).
+func (g *Grid3F32) MulPointwise(h *Grid3F32) {
+	if g.Nx != h.Nx || g.Ny != h.Ny || g.Nz != h.Nz {
+		panic("fft: grid dimension mismatch")
+	}
+	for i, v := range h.Data {
+		g.Data[i] *= v
+	}
+}

@@ -1,0 +1,105 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+// lcg is a tiny deterministic generator for reproducible test data.
+type lcg uint64
+
+func (l *lcg) next() float64 {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return float64(*l>>11) / float64(1<<53)
+}
+
+// TestTransform32MatchesFloat64 checks the complex64 1-D transform
+// against the complex128 one on random data: relative error must stay at
+// fp32 rounding level (the fp64-twiddle table keeps it there even at the
+// largest length pfft uses).
+func TestTransform32MatchesFloat64(t *testing.T) {
+	rng := lcg(1)
+	for _, n := range []int{1, 2, 8, 64, 256} {
+		x64 := make([]complex128, n)
+		x32 := make([]complex64, n)
+		orig := make([]complex64, n)
+		for i := range x64 {
+			re, im := rng.next()-0.5, rng.next()-0.5
+			x64[i] = complex(re, im)
+			x32[i] = complex(float32(re), float32(im))
+			orig[i] = x32[i]
+		}
+		Forward(x64)
+		Forward32(x32)
+		var num, den float64
+		for i := range x64 {
+			num += cmplx.Abs(complex128(x32[i]) - x64[i])
+			den += cmplx.Abs(x64[i])
+		}
+		if rel := num / den; rel > 2e-6 {
+			t.Errorf("n=%d: forward fp32 relative error %.3g", n, rel)
+		}
+		// Round trip through the inverse must return the input.
+		Inverse32(x32)
+		for i := range x32 {
+			if d := cmplx.Abs(complex128(x32[i] - orig[i])); d > 1e-5 {
+				t.Fatalf("n=%d: round-trip error %.3g at %d", n, d, i)
+			}
+		}
+	}
+}
+
+// TestGrid3F32RoundTrip checks Forward3 followed by Inverse3 restores the
+// grid to fp32 accuracy, on the asymmetric dimensions pfft produces.
+func TestGrid3F32RoundTrip(t *testing.T) {
+	g := NewGrid3F32(8, 4, 16)
+	ref := make([]complex64, len(g.Data))
+	rng := lcg(7)
+	for i := range g.Data {
+		g.Data[i] = complex(float32(rng.next()-0.5), float32(rng.next()-0.5))
+		ref[i] = g.Data[i]
+	}
+	g.Forward3()
+	g.Inverse3()
+	var worst float64
+	for i := range g.Data {
+		if d := cmplx.Abs(complex128(g.Data[i] - ref[i])); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-5 {
+		t.Errorf("round-trip max abs error %.3g", worst)
+	}
+}
+
+// TestGrid3F32MatchesGrid3 runs the same 3-D convolution (forward, point-
+// wise multiply, inverse) through both precisions and compares.
+func TestGrid3F32MatchesGrid3(t *testing.T) {
+	const nx, ny, nz = 8, 8, 8
+	g64, h64 := NewGrid3(nx, ny, nz), NewGrid3(nx, ny, nz)
+	g32, h32 := NewGrid3F32(nx, ny, nz), NewGrid3F32(nx, ny, nz)
+	rng := lcg(42)
+	for i := range g64.Data {
+		a := complex(rng.next()-0.5, rng.next()-0.5)
+		b := complex(rng.next()-0.5, rng.next()-0.5)
+		g64.Data[i], h64.Data[i] = a, b
+		g32.Data[i], h32.Data[i] = complex64(a), complex64(b)
+	}
+	g64.Forward3()
+	h64.Forward3()
+	g64.MulPointwise(h64)
+	g64.Inverse3()
+	g32.Forward3()
+	h32.Forward3()
+	g32.MulPointwise(h32)
+	g32.Inverse3()
+	var num, den float64
+	for i := range g64.Data {
+		num += cmplx.Abs(complex128(g32.Data[i]) - g64.Data[i])
+		den += cmplx.Abs(g64.Data[i])
+	}
+	if rel := num / den; rel > 5e-6 || math.IsNaN(rel) {
+		t.Errorf("3-D convolution fp32 relative error %.3g", rel)
+	}
+}

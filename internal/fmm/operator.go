@@ -3,6 +3,8 @@ package fmm
 import (
 	"math"
 	"runtime"
+	"sort"
+	"sync"
 
 	"parbem/internal/geom"
 	"parbem/internal/kernel"
@@ -129,6 +131,11 @@ type Operator struct {
 	// scratch manages per-Apply buffers: warm dedicated value for the
 	// one-Apply-at-a-time case, pooled overflow for concurrent Applies.
 	scratch *sched.Scratch[*applyScratch]
+
+	// mixed is the float32 storage mirror driving ApplyMixed, built
+	// lazily by EnableMixed (nil until then).
+	mixed     *mixedState
+	mixedOnce sync.Once
 }
 
 // m2lChunk batches M2L node updates into executor tasks.
@@ -232,8 +239,13 @@ func (op *Operator) nearValue(pi, pj int32, galerkin bool) float64 {
 // scatters it into the CSR rows of both leaves. With a non-nil lookup,
 // exact-Galerkin entries whose panel pair is unchanged since the
 // previous variant are copied instead of integrated (point entries are
-// a single division and are always recomputed).
+// a single division and are always recomputed). Exact-Galerkin blocks
+// without a NearEval override go through the cache-blocked path.
 func (op *Operator) fillPair(pr *nearPair, look *nearLookup) {
+	if pr.galerkin && op.opt.NearEval == nil {
+		op.fillPairBatched(pr, look)
+		return
+	}
 	var copied, computed int64
 	value := func(pi, pj int32) float64 {
 		if !pr.galerkin {
@@ -281,6 +293,98 @@ func (op *Operator) fillPair(pr *nearPair, look *nearLookup) {
 		}
 	}
 	if look != nil && pr.galerkin {
+		look.copied.Add(copied)
+		look.computed.Add(computed)
+	}
+}
+
+// fillPairBatched is fillPair for exact-Galerkin blocks evaluated with
+// the closed-form kernel: one kernel.Batch per block amortizes the
+// target-side setup (axis extents, diameter, centroid and the
+// perpendicular quadrature tables) across each block row. Rows are
+// walked so that every fresh integral runs in nearValue's canonical
+// orientation — lower panel index as target — which makes the batch
+// target a function of the row alone and keeps the stored values
+// bitwise identical to the per-pair path (and therefore to the entries
+// Reuse copies across geometry variants).
+func (op *Operator) fillPairBatched(pr *nearPair, look *nearLookup) {
+	var copied, computed int64
+	var batch kernel.Batch
+	cfg := op.opt.Cfg
+	value := func(pi, pj int32, src geom.Rect) float64 {
+		if look != nil {
+			if v, ok := look.value(pi, pj); ok {
+				copied++
+				return v
+			}
+		}
+		computed++
+		return op.scale * batch.Eval(src)
+	}
+	na, nb := &op.t.nodes[pr.a], &op.t.nodes[pr.b]
+	pa := op.t.perm[na.lo:na.hi]
+	if pr.a == pr.b {
+		// Self block: leaf positions sorted by panel index turn the
+		// upper triangle into canonically-oriented rows.
+		ord := make([]int32, len(pa))
+		for k := range ord {
+			ord[k] = int32(k)
+		}
+		sort.Slice(ord, func(x, y int) bool { return pa[ord[x]] < pa[ord[y]] })
+		for oi, ia := range ord {
+			pi := pa[ia]
+			batch.Reset(cfg, op.panels[pi].Rect)
+			base := op.nearOff[pi] + int64(pr.offA)
+			for _, jb := range ord[oi:] {
+				pj := pa[jb]
+				v := value(pi, pj, op.panels[pj].Rect)
+				op.nearIdx[base+int64(jb)] = pj
+				op.nearVal[base+int64(jb)] = v
+				if jb != ia {
+					b2 := op.nearOff[pj] + int64(pr.offA) + int64(ia)
+					op.nearIdx[b2] = pi
+					op.nearVal[b2] = v
+				}
+			}
+		}
+	} else {
+		// Cross block, two passes: rows of a against higher-indexed
+		// sources in b, then rows of b against higher-indexed sources
+		// in a. Distinct leaves never share a panel, so every unordered
+		// pair is integrated exactly once.
+		pb := op.t.perm[nb.lo:nb.hi]
+		for ia, pi := range pa {
+			batch.Reset(cfg, op.panels[pi].Rect)
+			base := op.nearOff[pi] + int64(pr.offA)
+			for jb, pj := range pb {
+				if pj < pi {
+					continue
+				}
+				v := value(pi, pj, op.panels[pj].Rect)
+				op.nearIdx[base+int64(jb)] = pj
+				op.nearVal[base+int64(jb)] = v
+				b2 := op.nearOff[pj] + int64(pr.offB) + int64(ia)
+				op.nearIdx[b2] = pi
+				op.nearVal[b2] = v
+			}
+		}
+		for jb, pj := range pb {
+			batch.Reset(cfg, op.panels[pj].Rect)
+			base := op.nearOff[pj] + int64(pr.offB)
+			for ia, pi := range pa {
+				if pi < pj {
+					continue
+				}
+				v := value(pi, pj, op.panels[pi].Rect)
+				op.nearIdx[base+int64(ia)] = pi
+				op.nearVal[base+int64(ia)] = v
+				b2 := op.nearOff[pi] + int64(pr.offA) + int64(jb)
+				op.nearIdx[b2] = pj
+				op.nearVal[b2] = v
+			}
+		}
+	}
+	if look != nil {
 		look.copied.Add(copied)
 		look.computed.Add(computed)
 	}

@@ -108,20 +108,32 @@ func TestFMMOperatorSpeedup(t *testing.T) {
 	}
 }
 
-// BenchmarkFMMApply measures the steady-state list-driven matvec.
+// BenchmarkFMMApply measures the steady-state list-driven matvec in both
+// precisions on the same operator (the fp64/mixed delta is the headline
+// bandwidth win of the float32 mirror).
 func BenchmarkFMMApply(b *testing.B) {
 	panels := busPanels(b, 8, 8, 0.75e-6)
 	op := NewOperator(panels, Options{})
+	op.EnableMixed()
 	x := make([]float64, len(panels))
 	dst := make([]float64, len(panels))
 	for i := range x {
 		x[i] = 1
 	}
-	op.Apply(dst, x)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	b.Run("fp64", func(b *testing.B) {
 		op.Apply(dst, x)
-	}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op.Apply(dst, x)
+		}
+	})
+	b.Run("mixed", func(b *testing.B) {
+		op.ApplyMixed(dst, x)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op.ApplyMixed(dst, x)
+		}
+	})
 }
 
 // BenchmarkFMMApplySerial is the single-worker variant (the per-entry

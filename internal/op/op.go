@@ -49,6 +49,27 @@
 // Backend selection under Options.Backend == BackendAuto is delegated to
 // internal/costmodel.Select, which picks dense, fmm or pfft from the
 // panel count and grid fill factor.
+//
+// # Precision
+//
+// Options.Precision selects the arithmetic of the accelerated matvec.
+// PrecisionFP64 runs everything in float64. PrecisionMixed asks the fmm
+// and pfft operators for their float32 mirrors (ApplyMixed: float32
+// storage and arithmetic for the far field, float64 accumulation at the
+// interfaces) and wraps the Krylov solve in float64 iterative
+// refinement: the inner GMRES iterates against the float32 operator at
+// a loose inner tolerance while the outer loop computes true float64
+// residuals through the fp64 operator and re-solves for the correction,
+// so the float32 representation error never bounds the final accuracy —
+// only the requested Tol does. If the refinement stalls (the float32
+// operator cannot reduce the residual further), the pipeline finishes
+// the solve in pure fp64; correctness is never traded for speed.
+// PrecisionAuto (the default) delegates to costmodel.SelectPrecision,
+// which enables mixed only above a panel-count floor and below a
+// tolerance floor (tight tolerances near float32 epsilon gain nothing).
+// Dense backends ignore the knob (no float32 mirror). Result.Precision
+// and Pipeline.Precision report the arithmetic that actually ran, never
+// PrecisionAuto.
 package op
 
 import (
@@ -167,10 +188,12 @@ func (s *Spec) AssembleDense() *linalg.Dense {
 	ex := s.exec()
 	bounds := TriangularRowBounds(n, assembleChunks)
 	ex.Map(len(bounds)-1, func(t int) {
+		var batch kernel.Batch
 		for i := bounds[t]; i < bounds[t+1]; i++ {
 			row := m.Row(i)
+			batch.Reset(s.Cfg, s.Panels[i].Rect)
 			for j := i; j < n; j++ {
-				row[j] = s.Entry(i, j)
+				row[j] = kernel.Scale(batch.Eval(s.Panels[j].Rect), s.Eps)
 			}
 		}
 	})
@@ -210,16 +233,18 @@ func (s *Spec) AssembleDenseReuse(prev *linalg.Dense, class []int32) (*linalg.De
 	var reused atomic.Int64
 	ex.Map(len(bounds)-1, func(t int) {
 		var nr int64
+		var batch kernel.Batch
 		for i := bounds[t]; i < bounds[t+1]; i++ {
 			row := m.Row(i)
 			prow := prev.Row(i)
 			ci := class[i]
+			batch.Reset(s.Cfg, s.Panels[i].Rect)
 			for j := i; j < n; j++ {
 				if ci >= 0 && ci == class[j] {
 					row[j] = prow[j]
 					nr++
 				} else {
-					row[j] = s.Entry(i, j)
+					row[j] = kernel.Scale(batch.Eval(s.Panels[j].Rect), s.Eps)
 				}
 			}
 		}

@@ -91,6 +91,12 @@ type Options struct {
 	// LU fallback) instead of Krylov iteration; it requires the dense
 	// backend (auto resolving to dense is fine).
 	Direct bool
+	// Precision selects the matvec arithmetic of accelerated backends
+	// (default PrecisionAuto: the cost model enables the float32 mirror
+	// when the problem is large enough and the tolerance allows
+	// refinement to recover full fp64 accuracy). Dense and direct
+	// solves always run fp64.
+	Precision Precision
 	// FMM overrides the multipole operator options (nil = defaults;
 	// Eps/Cfg are filled from the Spec when zero).
 	FMM *fmm.Options
@@ -154,6 +160,8 @@ type Result struct {
 	SolveTime  time.Duration
 	// Backend is the resolved operator backend (never BackendAuto).
 	Backend Backend
+	// Precision is the resolved matvec arithmetic (never PrecisionAuto).
+	Precision Precision
 }
 
 // Pipeline is the unified solve path: one operator, one preconditioner,
@@ -174,6 +182,9 @@ type Pipeline struct {
 	ws      sync.Pool
 	// factors is the optional reused-block lookup of NewPrebuilt.
 	factors func(idx []int32) *linalg.Cholesky
+	// mixedA is non-nil when the resolved precision is mixed: the
+	// operator with its float32 mirror enabled (see precision.go).
+	mixedA MixedApplier
 }
 
 // New builds the pipeline for a panelized problem, constructing the
@@ -208,6 +219,7 @@ func New(spec Spec, opt Options) (*Pipeline, error) {
 	if err := p.buildPrecond(); err != nil {
 		return nil, err
 	}
+	p.resolvePrecision()
 	p.setup = time.Since(t0)
 	return p, nil
 }
@@ -229,6 +241,7 @@ func NewWithOperator(spec Spec, a Operator, opt Options) (*Pipeline, error) {
 	if err := p.buildPrecond(); err != nil {
 		return nil, err
 	}
+	p.resolvePrecision()
 	p.setup = time.Since(t0)
 	return p, nil
 }
@@ -359,6 +372,7 @@ func NewPrebuilt(spec Spec, opt Options, pb Prebuilt) (*Pipeline, error) {
 	if err := p.buildPrecond(); err != nil {
 		return nil, err
 	}
+	p.resolvePrecision()
 	p.setup = time.Since(t0)
 	return p, nil
 }
@@ -519,6 +533,7 @@ func (p *Pipeline) extractRHS(ctx context.Context, phi, x0 *linalg.Dense) (*Resu
 		SetupTime:  p.setup,
 		SolveTime:  time.Since(t0),
 		Backend:    p.backend,
+		Precision:  p.Precision(),
 	}, nil
 }
 
@@ -588,12 +603,18 @@ func (p *Pipeline) SolveRHSWarmCtx(ctx context.Context, phi, x0 *linalg.Dense) (
 					x[i] = x0.At(i, j)
 				}
 			}
-			res, err := linalg.GMRESWith(ws, p.a, x, b, linalg.GMRESOptions{
-				Tol:     p.opt.Tol,
-				Restart: p.opt.Restart,
-				Precond: pre,
-				Ctx:     ctx,
-			})
+			var res linalg.GMRESResult
+			var err error
+			if p.mixedA != nil {
+				res, err = p.solveRefined(ctx, ws, x, b, pre)
+			} else {
+				res, err = linalg.GMRESWith(ws, p.a, x, b, linalg.GMRESOptions{
+					Tol:     p.opt.Tol,
+					Restart: p.opt.Restart,
+					Precond: pre,
+					Ctx:     ctx,
+				})
+			}
 			// Record partial iteration counts, residuals and the last
 			// iterate even on failure: an interrupted solve reports the
 			// work it completed, and the partial charges feed the

@@ -1,0 +1,122 @@
+package op
+
+import (
+	"testing"
+
+	"parbem/internal/costmodel"
+)
+
+// TestPrecisionParseString pins the flag round trip.
+func TestPrecisionParseString(t *testing.T) {
+	for _, p := range []Precision{PrecisionAuto, PrecisionFP64, PrecisionMixed} {
+		got, err := ParsePrecision(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePrecision(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePrecision("fp16"); err == nil {
+		t.Error("ParsePrecision accepted fp16")
+	}
+	if p, err := ParsePrecision(""); err != nil || p != PrecisionAuto {
+		t.Errorf("empty precision = %v, %v; want auto", p, err)
+	}
+}
+
+// TestPipelineMixedMatchesFP64 runs the same extraction in both
+// precisions on each accelerated backend: the refined mixed solve must
+// reproduce the fp64 capacitance matrix to well within the consistency
+// budget (the refinement loop converges on true fp64 residuals, so the
+// remaining difference is bounded by the Krylov tolerance, not by fp32).
+func TestPipelineMixedMatchesFP64(t *testing.T) {
+	spec := busSpec(t, 4, 4, 1e-6)
+	for _, backend := range []Backend{BackendFMM, BackendPFFT} {
+		ref, err := New(spec, Options{Backend: backend, Tol: 1e-6, Precision: PrecisionFP64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Precision() != PrecisionFP64 {
+			t.Fatalf("%v: forced fp64 resolved to %v", backend, ref.Precision())
+		}
+		rres, err := ref.Extract()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mix, err := New(spec, Options{Backend: backend, Tol: 1e-6, Precision: PrecisionMixed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mix.Precision() != PrecisionMixed {
+			t.Fatalf("%v: forced mixed resolved to %v", backend, mix.Precision())
+		}
+		mres, err := mix.Extract()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mres.Precision != PrecisionMixed || rres.Precision != PrecisionFP64 {
+			t.Fatalf("%v: result precisions %v / %v", backend, mres.Precision, rres.Precision)
+		}
+		if d := capDiff(mres, rres); !(d <= 5e-5) {
+			t.Errorf("%v: mixed vs fp64 capacitance diff %.3e", backend, d)
+		} else {
+			t.Logf("%v: mixed vs fp64 capacitance diff %.3e (iters %d vs %d)",
+				backend, d, mres.Iterations, rres.Iterations)
+		}
+	}
+}
+
+// TestPipelineAutoPrecision pins the automatic selection: small
+// problems and dense backends stay fp64; the cost model's thresholds
+// are exercised directly on the workload summary.
+func TestPipelineAutoPrecision(t *testing.T) {
+	spec := busSpec(t, 2, 2, 1e-6) // few hundred panels, below MixedMinPanels
+	p, err := New(spec, Options{Backend: BackendFMM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Precision() != PrecisionFP64 {
+		t.Errorf("small fmm pipeline resolved to %v, want fp64", p.Precision())
+	}
+	d, err := New(spec, Options{Backend: BackendDense, Precision: PrecisionMixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Precision() != PrecisionFP64 {
+		t.Errorf("dense pipeline resolved to %v, want fp64 (no mirror)", d.Precision())
+	}
+
+	if c := costmodel.SelectPrecision(costmodel.Workload{Panels: 100000, Tol: 1e-4}); c != costmodel.ChooseMixed {
+		t.Errorf("large loose workload: %v, want mixed", c)
+	}
+	if c := costmodel.SelectPrecision(costmodel.Workload{Panels: 100, Tol: 1e-4}); c != costmodel.ChooseFP64 {
+		t.Errorf("small workload: %v, want fp64", c)
+	}
+	if c := costmodel.SelectPrecision(costmodel.Workload{Panels: 100000, Tol: 1e-9}); c != costmodel.ChooseFP64 {
+		t.Errorf("tight-tolerance workload: %v, want fp64", c)
+	}
+}
+
+// TestPipelineMixedTightTolerance forces mixed precision at a tolerance
+// below the fp32 noise floor: the refinement loop must detect the stall
+// and finish in full fp64, still converging to the requested residual.
+func TestPipelineMixedTightTolerance(t *testing.T) {
+	spec := busSpec(t, 4, 4, 1e-6)
+	ref, err := New(spec, Options{Backend: BackendFMM, Tol: 1e-10, Precision: PrecisionFP64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres, err := ref.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := New(spec, Options{Backend: BackendFMM, Tol: 1e-10, Precision: PrecisionMixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mres, err := mix.Extract()
+	if err != nil {
+		t.Fatalf("mixed solve at tight tolerance failed: %v", err)
+	}
+	if d := capDiff(mres, rres); !(d <= 1e-8) {
+		t.Errorf("tight-tolerance mixed vs fp64 diff %.3e", d)
+	}
+}

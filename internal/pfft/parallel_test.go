@@ -122,18 +122,30 @@ func TestNearBlocksPartition(t *testing.T) {
 	}
 }
 
-// BenchmarkPFFTApply measures the steady-state matvec (serial).
+// BenchmarkPFFTApply measures the steady-state matvec (serial) in both
+// precisions on the same operator (the fp64/mixed delta is the headline
+// bandwidth win of the float32 mirror).
 func BenchmarkPFFTApply(b *testing.B) {
 	panels := busPanels(b, 4, 4, 1e-6)
 	op := NewOperator(panels, Options{Workers: 1})
+	op.EnableMixed()
 	x := make([]float64, len(panels))
 	dst := make([]float64, len(panels))
 	for i := range x {
 		x[i] = 1
 	}
-	op.Apply(dst, x)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	b.Run("fp64", func(b *testing.B) {
 		op.Apply(dst, x)
-	}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op.Apply(dst, x)
+		}
+	})
+	b.Run("mixed", func(b *testing.B) {
+		op.ApplyMixed(dst, x)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op.ApplyMixed(dst, x)
+		}
+	})
 }

@@ -22,6 +22,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -151,6 +152,11 @@ type Operator struct {
 	// scratch manages per-Apply buffers: warm dedicated value for the
 	// one-Apply-at-a-time case, pooled overflow for concurrent Applies.
 	scratch *sched.Scratch[*applyScratch]
+
+	// mixed is the optional float32 mirror (see mixed.go), built once on
+	// the first EnableMixed call.
+	mixed     *mixedState
+	mixedOnce sync.Once
 }
 
 // Reuse requests delta-aware construction: the kernel transform is

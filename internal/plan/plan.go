@@ -142,6 +142,7 @@ type Result struct {
 	NumConductors int
 	Iterations    int // total Krylov iterations (0 for direct)
 	Backend       op.Backend
+	Precision     op.Precision // resolved matvec arithmetic (never auto)
 	Reused        StageReuse
 	Stages        StageTimings
 	Total         time.Duration
@@ -369,6 +370,7 @@ func (p *Plan) rescale(cur *variant) (*Result, error) {
 		NumConductors: base.NumConductors,
 		Iterations:    base.Iterations,
 		Backend:       base.Backend,
+		Precision:     base.Precision,
 		Reused:        StageReuse{true, true, true, true},
 		Stages:        StageTimings{Solve: time.Since(t0)},
 		Total:         time.Since(t0),
@@ -562,6 +564,7 @@ func (p *Plan) build(ctx context.Context, st *geom.Structure) (*Result, error) {
 	res.Stages.Solve = time.Since(tS)
 	res.C, res.Rho = opres.C, opres.Rho
 	res.Iterations = opres.Iterations
+	res.Precision = opres.Precision
 	res.Total = time.Since(t0)
 
 	nv.res = res
@@ -580,6 +583,7 @@ func (p *Plan) wrap(cur *variant, opres *op.Result, reused StageReuse, stages St
 		NumConductors: cur.spec.NumConductors,
 		Iterations:    opres.Iterations,
 		Backend:       cur.be,
+		Precision:     opres.Precision,
 		Reused:        reused,
 		Stages:        stages,
 		Total:         time.Since(t0),

@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // Executor runs n indexed tasks, distributing them over workers.
@@ -30,14 +31,29 @@ type Executor interface {
 	Map(n int, fn func(task int))
 }
 
-// deque holds a contiguous window of task indices still to run. The owner
-// pops from the front, thieves pop from the back; chunk granularity is
-// coarse (matrix-fill chunks), so a mutex is cheaper than a lock-free
+// falseSharingRange is the padding granularity separating per-worker
+// mutable state. 128 bytes covers the 64-byte cache lines of current
+// amd64/arm64 parts plus the adjacent-line spatial prefetcher, which
+// pulls line pairs and would otherwise re-couple neighbouring deques.
+const falseSharingRange = 128
+
+// dequeState holds a contiguous window of task indices still to run. The
+// owner pops from the front, thieves pop from the back; chunk granularity
+// is coarse (matrix-fill chunks), so a mutex is cheaper than a lock-free
 // deque and obviously correct.
-type deque struct {
+type dequeState struct {
 	mu     sync.Mutex
 	tasks  []int
 	lo, hi int // remaining window [lo, hi)
+}
+
+// deque pads the state to a cache-line-pair boundary: each worker hammers
+// its own deque's mutex and window bounds on every task claim, and the
+// thieves' remaining() scans read all of them, so two deques sharing a
+// line turn every pop into cross-core traffic (false sharing).
+type deque struct {
+	dequeState
+	_ [(falseSharingRange - unsafe.Sizeof(dequeState{})%falseSharingRange) % falseSharingRange]byte
 }
 
 func (d *deque) popFront() (int, bool) {
@@ -68,17 +84,24 @@ func (d *deque) remaining() int {
 }
 
 // job is one Map call in flight: tasks dealt across per-worker deques plus
-// a completion latch.
+// a completion latch. The pending counter is decremented by every worker
+// on every task completion, so it sits on its own cache-line pair away
+// from the read-mostly header fields (deques/fn/done) that take() reads
+// on each claim.
 type job struct {
 	deques  []*deque
 	fn      func(task int)
-	pending atomic.Int64
 	done    chan struct{}
+	_       [falseSharingRange]byte
+	pending atomic.Int64
+	_       [falseSharingRange - 8]byte
 }
 
 // newJob deals n tasks round-robin over nw deques. Round-robin (rather
 // than contiguous blocks) interleaves the cost profile across workers,
-// since cost-balanced chunk bounds are already contiguous in k.
+// since cost-balanced chunk bounds are already contiguous in k. Deques
+// are allocated individually (never as one array) so the padded type's
+// size keeps any two of them off shared cache lines.
 func newJob(n, nw int, fn func(task int)) *job {
 	j := &job{deques: make([]*deque, nw), fn: fn, done: make(chan struct{})}
 	for w := range j.deques {
@@ -86,7 +109,7 @@ func newJob(n, nw int, fn func(task int)) *job {
 		if w < n%nw {
 			cnt++
 		}
-		j.deques[w] = &deque{tasks: make([]int, 0, cnt)}
+		j.deques[w] = &deque{dequeState: dequeState{tasks: make([]int, 0, cnt)}}
 	}
 	for t := 0; t < n; t++ {
 		d := j.deques[t%nw]

@@ -26,7 +26,14 @@ func MapOrInline(ex Executor, n int, fn func(task int)) {
 type Scratch[T comparable] struct {
 	newFn func() T
 	own   T
+	// busy is CAS-hammered by every concurrent Acquire (one per operator
+	// Apply), so it lives on its own cache-line pair: sharing a line with
+	// newFn/own would invalidate those read-only fields on every CAS, and
+	// sharing with the sync.Pool header would contend with overflow
+	// Put/Get traffic.
+	_     [falseSharingRange]byte
 	busy  atomic.Bool
+	_     [falseSharingRange - 1]byte
 	extra sync.Pool
 }
 

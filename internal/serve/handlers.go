@@ -13,6 +13,7 @@ import (
 	"parbem/internal/extract"
 	"parbem/internal/geom"
 	"parbem/internal/linalg"
+	"parbem/internal/op"
 	"parbem/internal/plan"
 	"parbem/internal/report"
 )
@@ -80,11 +81,15 @@ func writeError(w http.ResponseWriter, err error) {
 // ExtractResponse is the POST /extract result: the capx -json pipeline
 // telemetry schema plus the job id and the plan-stage reuse marker.
 type ExtractResponse struct {
-	JobID      string  `json:"job_id"`
-	Structure  string  `json:"structure"`
-	Backend    string  `json:"backend"`
-	Requested  string  `json:"requested"`
-	Precond    string  `json:"precond"`
+	JobID     string `json:"job_id"`
+	Structure string `json:"structure"`
+	Backend   string `json:"backend"`
+	Requested string `json:"requested"`
+	Precond   string `json:"precond"`
+	// Precision is the resolved matvec arithmetic of the solve
+	// ("fp64" or "mixed"; auto requests report what the cost model
+	// picked).
+	Precision  string  `json:"precision"`
 	NumPanels  int     `json:"num_panels"`
 	EdgeM      float64 `json:"edge_m"`
 	Tol        float64 `json:"tol"`
@@ -264,9 +269,14 @@ func requestErrorFor(err error, elapsed time.Duration) *RequestError {
 // runExtract executes one admitted extract job on the shared engine,
 // bounded by the job's deadline/cancellation context.
 func (s *Server) runExtract(j *job, req *ExtractRequest, st *geom.Structure) (*ExtractResponse, error) {
-	opt, err := PipelineOptions(req.Backend, req.Precond, req.Tol)
+	opt, err := PipelineOptions(req.Backend, req.Precond, req.Precision, req.Tol)
 	if err != nil {
 		return nil, err
+	}
+	if opt.Precision == op.PrecisionAuto {
+		// A request that leaves the arithmetic to "auto" inherits the
+		// daemon-wide default (capxd -precision).
+		opt.Precision = s.opt.DefaultPrecision
 	}
 	t0 := time.Now()
 	res, err := s.eng.ExtractPipelineCtx(j.ctx, st, req.EdgeM, opt)
@@ -282,6 +292,7 @@ func (s *Server) runExtract(j *job, req *ExtractRequest, st *geom.Structure) (*E
 		Backend:    res.Backend.String(),
 		Requested:  requestedName(req.Backend),
 		Precond:    requestedName(req.Precond),
+		Precision:  res.Precision.String(),
 		NumPanels:  res.NumPanels,
 		EdgeM:      req.EdgeM,
 		Tol:        req.Tol,
@@ -445,7 +456,7 @@ func (s *Server) runSweep(j *job, req *SweepRequest, sts []*geom.Structure) (any
 // family-keyed plan cache; a failing point becomes an error entry and
 // the sweep continues.
 func (s *Server) runVariantSweep(j *job, req *SweepRequest, sts []*geom.Structure, emit func(*SweepPoint) bool) {
-	opt, err := PipelineOptions(req.Backend, req.Precond, req.Tol)
+	opt, err := PipelineOptions(req.Backend, req.Precond, req.Precision, req.Tol)
 	if err != nil {
 		// Unreachable: DecodeSweep validated the options.
 		for i := range sts {
@@ -454,6 +465,9 @@ func (s *Server) runVariantSweep(j *job, req *SweepRequest, sts []*geom.Structur
 			}
 		}
 		return
+	}
+	if opt.Precision == op.PrecisionAuto {
+		opt.Precision = s.opt.DefaultPrecision
 	}
 	for i, st := range sts {
 		if j.ctx.Err() != nil {
@@ -498,10 +512,11 @@ func (s *Server) runVariantSweep(j *job, req *SweepRequest, sts []*geom.Structur
 // here, at the service edge, each failure becomes that point's error
 // entry in the stream.
 func (s *Server) runTemplateSweep(j *job, req *SweepRequest, emit func(*SweepPoint) bool) {
-	// Template sweeps run outside the budgeted engine pool
-	// (extract.SweepH owns its GOMAXPROCS fan-out and per-chunk
-	// plans), so they serialize on a dedicated slot instead of
-	// multiplying the whole machine by the runner count.
+	// Template sweeps run outside the budgeted engine pool (the sweep
+	// owns its fan-out and per-chunk plans), so they serialize on a
+	// dedicated slot and are bounded to the server's per-job worker
+	// budget instead of multiplying the whole machine by the runner
+	// count.
 	select {
 	case s.tmplSem <- struct{}{}:
 		defer func() { <-s.tmplSem }()
@@ -512,7 +527,7 @@ func (s *Server) runTemplateSweep(j *job, req *SweepRequest, emit func(*SweepPoi
 		return
 	}
 	hs := req.TemplateHs
-	fits, err := s.sweepH(geom.DefaultCrossingPair(), hs, req.EdgeM)
+	fits, err := s.sweepH(geom.DefaultCrossingPair(), hs, req.EdgeM, s.opt.WorkerBudget)
 	if len(fits) < len(hs) {
 		fits = append(fits, make([]*extract.ArchFit, len(hs)-len(fits))...)
 	}

@@ -193,7 +193,7 @@ func TestServeSweepPointsCountDelivered(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	s.sweepH = func(_ geom.CrossingPairSpec, hs []float64, _ float64) ([]*extract.ArchFit, error) {
+	s.sweepH = func(_ geom.CrossingPairSpec, hs []float64, _ float64, _ int) ([]*extract.ArchFit, error) {
 		// The client vanishes while the solver is running; every point
 		// emitted afterwards races delivery against the dead context.
 		cancel()

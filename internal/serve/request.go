@@ -134,6 +134,10 @@ type ExtractRequest struct {
 	Backend string `json:"backend,omitempty"`
 	// Precond: auto | none | jacobi | block ("" = auto).
 	Precond string `json:"precond,omitempty"`
+	// Precision: auto | fp64 | mixed ("" = auto). Selects the matvec
+	// arithmetic of the accelerated backends; mixed runs a float32
+	// operator inside float64 iterative refinement (see op.Precision).
+	Precision string `json:"precision,omitempty"`
 	// Tol is the Krylov relative tolerance (0 = 1e-4).
 	Tol float64 `json:"tol,omitempty"`
 	// Async enqueues the job and returns its id immediately; poll
@@ -173,10 +177,12 @@ type SweepRequest struct {
 	TemplateHs []float64 `json:"template_hs_m,omitempty"`
 	// EdgeM is the max panel edge in meters (required, > 0).
 	EdgeM float64 `json:"edge_m"`
-	// Backend, Precond, Tol: as in ExtractRequest (variants mode only).
-	Backend string  `json:"backend,omitempty"`
-	Precond string  `json:"precond,omitempty"`
-	Tol     float64 `json:"tol,omitempty"`
+	// Backend, Precond, Precision, Tol: as in ExtractRequest (variants
+	// mode only).
+	Backend   string  `json:"backend,omitempty"`
+	Precond   string  `json:"precond,omitempty"`
+	Precision string  `json:"precision,omitempty"`
+	Tol       float64 `json:"tol,omitempty"`
 	// TimeoutMs bounds the whole sweep (0 = none); see
 	// ExtractRequest.TimeoutMs. An expiring sweep ends its stream with
 	// a deadline_exceeded error line in place of the trailer.
@@ -206,7 +212,7 @@ func (l Limits) DecodeExtract(r io.Reader) (*ExtractRequest, *geom.Structure, er
 	if err := decodeJSON(r, l.MaxBodyBytes, &req); err != nil {
 		return nil, nil, err
 	}
-	if err := l.validateSolve(req.EdgeM, req.Backend, req.Precond, req.Tol); err != nil {
+	if err := l.validateSolve(req.EdgeM, req.Backend, req.Precond, req.Precision, req.Tol); err != nil {
 		return nil, nil, err
 	}
 	if err := validateTimeout(req.TimeoutMs); err != nil {
@@ -237,7 +243,7 @@ func (l Limits) DecodeSweep(r io.Reader) (*SweepRequest, []*geom.Structure, erro
 	if n := len(req.Variants) + len(req.TemplateHs); n > l.MaxSweepPoints {
 		return nil, nil, badRequest("%d sweep points exceed the limit of %d", n, l.MaxSweepPoints)
 	}
-	if err := l.validateSolve(req.EdgeM, req.Backend, req.Precond, req.Tol); err != nil {
+	if err := l.validateSolve(req.EdgeM, req.Backend, req.Precond, req.Precision, req.Tol); err != nil {
 		return nil, nil, err
 	}
 	if err := validateTimeout(req.TimeoutMs); err != nil {
@@ -275,11 +281,11 @@ func validateTimeout(ms float64) error {
 }
 
 // validateSolve checks the option fields shared by both request kinds.
-func (l Limits) validateSolve(edge float64, backend, precond string, tol float64) error {
+func (l Limits) validateSolve(edge float64, backend, precond, precision string, tol float64) error {
 	if !isFinite(edge) || edge <= 0 {
 		return badRequest("edge_m = %v is not a positive finite panel edge", edge)
 	}
-	if _, err := PipelineOptions(backend, precond, tol); err != nil {
+	if _, err := PipelineOptions(backend, precond, precision, tol); err != nil {
 		return err
 	}
 	return nil
@@ -354,15 +360,20 @@ func estimatePanels(sz geom.Vec3, edge float64) float64 {
 
 func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
-// PipelineOptions maps the wire-format backend/precond/tol selectors
-// onto op.Options, with the same semantics as the capx command line: an
-// explicit preconditioner on the dense backend selects the iterative
-// path, the default dense solve is the direct factorization.
-func PipelineOptions(backend, precond string, tol float64) (op.Options, error) {
+// PipelineOptions maps the wire-format backend/precond/precision/tol
+// selectors onto op.Options, with the same semantics as the capx
+// command line: an explicit preconditioner on the dense backend selects
+// the iterative path, the default dense solve is the direct
+// factorization.
+func PipelineOptions(backend, precond, precision string, tol float64) (op.Options, error) {
 	if tol != 0 && (!isFinite(tol) || tol < 0 || tol >= 1) {
 		return op.Options{}, badRequest("tol = %v is not in (0, 1)", tol)
 	}
-	opt := op.Options{Tol: tol}
+	prec, err := op.ParsePrecision(precision)
+	if err != nil {
+		return op.Options{}, badRequest("unknown precision %q (want auto, fp64 or mixed)", precision)
+	}
+	opt := op.Options{Tol: tol, Precision: prec}
 	switch backend {
 	case "", "auto":
 		opt.Backend = op.BackendAuto

@@ -113,6 +113,7 @@ import (
 	"parbem/internal/extract"
 	"parbem/internal/faultpoint"
 	"parbem/internal/geom"
+	"parbem/internal/op"
 	"parbem/internal/serve/journal"
 )
 
@@ -150,6 +151,10 @@ type Options struct {
 	// (0 = engine defaults).
 	CacheEntries     int
 	PairCacheEntries int
+	// DefaultPrecision is the matvec arithmetic applied to requests that
+	// leave their precision selector empty or "auto" (capxd -precision).
+	// The zero value (op.PrecisionAuto) keeps the cost model in charge.
+	DefaultPrecision op.Precision
 	// Limits bound individual requests (zero value = defaults).
 	Limits Limits
 	// JobHistory is how many finished jobs stay queryable via
@@ -214,10 +219,11 @@ type Server struct {
 	queues  [numClasses]chan *job
 	runners int
 	wg      sync.WaitGroup
-	// tmplSem serializes template sweeps: extract.SweepH fans out to
-	// GOMAXPROCS solver goroutines with its own per-chunk plans,
+	// tmplSem serializes template sweeps: the sweep fans out to
+	// budget-many solver goroutines with their own per-chunk plans,
 	// outside the engine pool the per-job worker budget bounds, so at
-	// most one such sweep may use the machine at a time.
+	// most one such sweep runs at a time (its goroutines are extra
+	// threads beyond the pool even when budget-bounded).
 	tmplSem chan struct{}
 
 	mu     sync.Mutex
@@ -230,10 +236,10 @@ type Server struct {
 	c     counters
 	m     *metrics
 
-	// sweepH runs the template h-sweep (extract.SweepH); tests inject
-	// mid-sweep failures through it to pin the per-point error
-	// reporting at the service edge.
-	sweepH func(geom.CrossingPairSpec, []float64, float64) ([]*extract.ArchFit, error)
+	// sweepH runs the template h-sweep (extract.SweepHWorkers, bounded
+	// by the worker budget); tests inject mid-sweep failures through it
+	// to pin the per-point error reporting at the service edge.
+	sweepH func(geom.CrossingPairSpec, []float64, float64, int) ([]*extract.ArchFit, error)
 }
 
 // counters are the monotonic job/request counters of /stats. Queued
@@ -358,7 +364,7 @@ func Open(opt Options) (*Server, error) {
 		idem:    make(map[string]string),
 		start:   time.Now(),
 		m:       newMetrics(),
-		sweepH:  extract.SweepH,
+		sweepH:  extract.SweepHWorkers,
 		tmplSem: make(chan struct{}, 1),
 		logf:    opt.Logf,
 	}

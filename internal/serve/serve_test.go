@@ -254,6 +254,31 @@ func TestServeSweepVariants(t *testing.T) {
 	}
 }
 
+// TestServeSweepWorkerBudget pins that template sweeps receive the
+// server's effective per-job worker budget rather than fanning out
+// machine-wide (extract.SweepHWorkers treats it as its goroutine bound).
+func TestServeSweepWorkerBudget(t *testing.T) {
+	s, c := startServer(t, Options{Workers: 2, WorkerBudget: 1})
+	got := -1
+	s.sweepH = func(_ geom.CrossingPairSpec, in []float64, _ float64, workers int) ([]*extract.ArchFit, error) {
+		got = workers
+		fits := make([]*extract.ArchFit, len(in))
+		for i := range fits {
+			fits[i] = &extract.ArchFit{Flat: 1, Peak: 2, Decay: 1e-7}
+		}
+		return fits, nil
+	}
+	_, err := c.Sweep(context.Background(),
+		&SweepRequest{EdgeM: 0.5e-6, TemplateHs: []float64{0.4e-6}},
+		func(*SweepPoint) {})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if got != 1 {
+		t.Fatalf("template sweep ran with workers=%d, want the budget 1", got)
+	}
+}
+
 // TestServeSweepTemplatePointError pins the service-edge fix for
 // extract.SweepH partial failures: a mid-sweep PointError surfaces as
 // that point's error entry in the streamed JSON — tagged with its h —
@@ -264,7 +289,7 @@ func TestServeSweepTemplatePointError(t *testing.T) {
 	// Inject the exact failure shape SweepH produces when a point dies
 	// mid-sweep: fits[i] nil for the failed point, the joined error
 	// carrying one PointError per failure.
-	s.sweepH = func(base geom.CrossingPairSpec, in []float64, maxEdge float64) ([]*extract.ArchFit, error) {
+	s.sweepH = func(base geom.CrossingPairSpec, in []float64, maxEdge float64, workers int) ([]*extract.ArchFit, error) {
 		fits := make([]*extract.ArchFit, len(in))
 		var errs []error
 		for i, h := range in {
@@ -502,7 +527,7 @@ func TestServeCancelledQueuedJobSkipped(t *testing.T) {
 // the daemon keeps serving.
 func TestServePanicContainment(t *testing.T) {
 	s, c := startServer(t, Options{Workers: 1})
-	s.sweepH = func(geom.CrossingPairSpec, []float64, float64) ([]*extract.ArchFit, error) {
+	s.sweepH = func(geom.CrossingPairSpec, []float64, float64, int) ([]*extract.ArchFit, error) {
 		panic("injected solver panic")
 	}
 	_, err := c.Sweep(context.Background(),

@@ -68,6 +68,17 @@
 // accelerated backends. The same controls are available on the command
 // line via `capx -backend auto|dense|fastcap|pfft -precond auto|none|jacobi|block`.
 //
+// Orthogonally to the backend, PipelineOptions.Precision picks the
+// matvec arithmetic of the accelerated operators. PrecisionMixed runs
+// the Krylov applies through a float32 mirror of the fmm or pfft
+// operator — half the operator memory traffic — inside float64
+// iterative refinement, so the result still converges to the requested
+// tolerance in full precision; a stalling refinement falls back to pure
+// fp64 automatically. PrecisionAuto (default) enables mixed only where
+// the cost model expects it to win: large operators at moderate
+// tolerances. Dense solves always run fp64. On the command line:
+// `capx -precision auto|fp64|mixed`.
+//
 // # Sweeps and variants
 //
 // Design-loop workloads re-extract the same structure under small
@@ -319,7 +330,19 @@ const (
 	PrecondNone        = op.PrecondNone
 	PrecondJacobi      = op.PrecondJacobi
 	PrecondBlockJacobi = op.PrecondBlockJacobi
+	PrecisionAuto      = op.PrecisionAuto
+	PrecisionFP64      = op.PrecisionFP64
+	PrecisionMixed     = op.PrecisionMixed
 )
+
+// Precision selects the matvec arithmetic of the accelerated backends:
+// fp64, mixed (float32 operator inside float64 iterative refinement) or
+// auto (the cost model picks). See the "Choosing a backend" section.
+type Precision = op.Precision
+
+// ParsePrecision parses a -precision selector ("auto", "fp64",
+// "mixed"; "" = auto).
+func ParsePrecision(s string) (Precision, error) { return op.ParsePrecision(s) }
 
 // ExtractPipeline solves the structure with the unified operator
 // pipeline: panelize at maxEdge, build the selected (or cost-model
