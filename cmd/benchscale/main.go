@@ -24,9 +24,11 @@ import (
 	"time"
 
 	"parbem"
+	"parbem/internal/fft"
 	"parbem/internal/fmm"
 	"parbem/internal/pcbem"
 	"parbem/internal/pfft"
+	"parbem/internal/sched"
 )
 
 func main() {
@@ -130,6 +132,7 @@ func runScaling(busM int, edge float64, reps int, workers []int) (*Report, error
 	rep.Paths = append(rep.Paths, scaleNearFill(prob, reps, workers))
 	rep.Paths = append(rep.Paths, scaleFMMApply(prob, reps, workers))
 	rep.Paths = append(rep.Paths, scalePFFTApply(prob, reps, workers))
+	rep.Paths = append(rep.Paths, scaleFFTConvolve(reps, workers))
 	solve, err := scaleSolve(prob, reps, workers)
 	if err != nil {
 		return nil, err
@@ -188,6 +191,71 @@ func scalePFFTApply(prob *pcbem.Problem, reps int, workers []int) Path {
 	}
 	finish(&p)
 	return p
+}
+
+// scaleFFTConvolve times the fused r2c grid convolution (fp64 and
+// fp32) at a pfft-representative padded grid size: the line transforms
+// and the spectral multiply chunk over the executor, so this curve
+// isolates the FFT stage that used to be the serial bottleneck of the
+// pfft apply.
+func scaleFFTConvolve(reps int, workers []int) Path {
+	const cnx, cny, cnz = 64, 64, 32
+	p := Path{Name: "fft_convolve", Desc: fmt.Sprintf("fused r2c grid convolution (%dx%dx%d)", cnx, cny, cnz)}
+	for _, d := range workers {
+		var exec sched.Executor
+		var pool *sched.Pool
+		if d > 1 {
+			pool = sched.NewPool(d)
+			exec = pool
+		}
+		g := fft.NewRGrid3(cnx, cny, cnz)
+		kh := fft.NewRGrid3(cnx, cny, cnz)
+		g32 := fft.NewRGrid3F32(cnx, cny, cnz)
+		kh32 := fft.NewRGrid3F32(cnx, cny, cnz)
+		g.Exec, g32.Exec = exec, exec
+		for ix := 0; ix < cnx; ix++ {
+			for iy := 0; iy < cny; iy++ {
+				for iz := 0; iz < cnz; iz++ {
+					v := float64((ix*31+iy*17+iz*7)%101) / 101
+					g.Data[g.RIdx(ix, iy, iz)] = v
+					kh.Data[kh.RIdx(ix, iy, iz)] = 1 - v
+					g32.Data[g32.RIdx(ix, iy, iz)] = float32(v)
+					kh32.Data[kh32.RIdx(ix, iy, iz)] = float32(1 - v)
+				}
+			}
+		}
+		kh.ForwardReal()
+		kh32.ForwardReal()
+		pt := Point{
+			Workers: d,
+			NS:      bestOf(reps, func() int64 { return timeConvolve(func() { g.ConvolveInto(kh) }) }),
+			MixedNS: bestOf(reps, func() int64 { return timeConvolve(func() { g32.ConvolveInto(kh32) }) }),
+		}
+		p.Points = append(p.Points, pt)
+		if pool != nil {
+			pool.Close()
+		}
+	}
+	finish(&p)
+	return p
+}
+
+// timeConvolve measures one fused convolution in ns (same sampling
+// loop as timeApply).
+func timeConvolve(conv func()) int64 {
+	conv() // warm (twiddle/rev tables, line scratch)
+	const minSample = 20 * time.Millisecond
+	iters := 1
+	for {
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			conv()
+		}
+		if el := time.Since(t0); el >= minSample || iters >= 1<<20 {
+			return el.Nanoseconds() / int64(iters)
+		}
+		iters *= 2
+	}
 }
 
 // scaleSolve times the preconditioned GMRES solve on a prebuilt fmm

@@ -18,7 +18,7 @@ func TestScalingSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"fmm_near_fill", "fmm_apply", "pfft_apply", "pipeline_solve"}
+	want := []string{"fmm_near_fill", "fmm_apply", "pfft_apply", "fft_convolve", "pipeline_solve"}
 	if len(rep.Paths) != len(want) {
 		t.Fatalf("got %d paths, want %d", len(rep.Paths), len(want))
 	}

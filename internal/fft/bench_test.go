@@ -1,0 +1,75 @@
+package fft
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchDims is a pfft-representative padded grid (the 4x4 bus at
+// N=1088 pads to 64x64x32).
+const benchNx, benchNy, benchNz = 64, 64, 32
+
+// BenchmarkConvolve measures the fused grid convolution: the r2c
+// half-spectrum path (fp64 and fp32) against the c2c complex path it
+// replaced. The r2c/c2c fp64 delta is the headline transform win of
+// the real-input engine.
+func BenchmarkConvolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+
+	b.Run("r2c-fp64", func(b *testing.B) {
+		g := NewRGrid3(benchNx, benchNy, benchNz)
+		kh := NewRGrid3(benchNx, benchNy, benchNz)
+		fillRandReal(rng, g, nil)
+		fillRandReal(rng, kh, nil)
+		kh.ForwardReal()
+		g.ConvolveInto(kh)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.ConvolveInto(kh)
+		}
+	})
+	b.Run("r2c-fp32", func(b *testing.B) {
+		g := NewRGrid3F32(benchNx, benchNy, benchNz)
+		kh := NewRGrid3F32(benchNx, benchNy, benchNz)
+		for i := range g.Data {
+			g.Data[i] = rng.Float32()
+		}
+		for i := range kh.Data {
+			kh.Data[i] = rng.Float32()
+		}
+		kh.ForwardReal()
+		g.ConvolveInto(kh)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.ConvolveInto(kh)
+		}
+	})
+	b.Run("c2c-fp64", func(b *testing.B) {
+		g := NewGrid3(benchNx, benchNy, benchNz)
+		kh := NewGrid3(benchNx, benchNy, benchNz)
+		for i := range g.Data {
+			g.Data[i] = complex(rng.NormFloat64(), 0)
+			kh.Data[i] = complex(rng.NormFloat64(), 0)
+		}
+		kh.Forward3()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Forward3()
+			g.MulPointwise(kh)
+			g.Inverse3()
+		}
+	})
+}
+
+// BenchmarkForward1D measures the table-driven 1-D kernel on a typical
+// grid-edge length.
+func BenchmarkForward1D(b *testing.B) {
+	x := make([]complex128, 64)
+	for i := range x {
+		x[i] = complex(float64(i%7), float64(i%5))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Forward(x)
+	}
+}

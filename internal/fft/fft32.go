@@ -2,62 +2,18 @@ package fft
 
 import (
 	"fmt"
-	"math"
-	"math/bits"
-	"sync"
+
+	"parbem/internal/sched"
 )
 
 // Float32 mirror of the transform stack, the convolution engine of the
-// mixed-precision pfft apply path: complex64 grids halve the bandwidth of
-// the 3-D transforms that dominate the far-field matvec. Twiddle factors
-// are precomputed in float64 (per length, cached) and rounded once, so
-// the only extra error over complex128 is the fp32 rounding of the
-// butterflies themselves — about 1e-7 relative on the grid sizes pfft
-// uses, far below the iterative-refinement tolerance that consumes the
-// result.
-
-// twiddle32Cache holds the first-half roots of unity per (length, sign),
-// computed in float64 and rounded to complex64 once. The cache is tiny
-// (one entry per distinct grid edge and direction) and read-mostly;
-// sync.Map keeps concurrent pfft applies lock-free on the hit path.
-var twiddle32Cache sync.Map
-
-// twiddles32 returns w[k] = exp(sign * 2 pi i k / n) for k in [0, n/2).
-func twiddles32(n int, sign float64) []complex64 {
-	key := int64(n)
-	if sign > 0 {
-		key = -key
-	}
-	if w, ok := twiddle32Cache.Load(key); ok {
-		return w.([]complex64)
-	}
-	w := make([]complex64, n/2)
-	for k := range w {
-		s, c := math.Sincos(sign * 2 * math.Pi * float64(k) / float64(n))
-		w[k] = complex(float32(c), float32(s))
-	}
-	twiddle32Cache.Store(key, w)
-	return w
-}
-
-// revCache holds the bit-reversal permutation per length: rev[i] is the
-// bit-reverse of i. A table lookup per element beats recomputing
-// bits.Reverse64 per element across the thousands of short 1-D rows of
-// one 3-D transform.
-var revCache sync.Map
-
-func revTable(n int) []int32 {
-	if r, ok := revCache.Load(n); ok {
-		return r.([]int32)
-	}
-	shift := 64 - uint(bits.Len(uint(n-1)))
-	rev := make([]int32, n)
-	for i := range rev {
-		rev[i] = int32(bits.Reverse64(uint64(i)) >> shift)
-	}
-	revCache.Store(n, rev)
-	return rev
-}
+// mixed-precision pfft apply path: complex64 grids halve the bandwidth
+// of the 3-D transforms that dominate the far-field matvec. Twiddle
+// factors are precomputed in float64 (per length, cached) and rounded
+// once, so the only extra error over complex128 is the fp32 rounding
+// of the butterflies themselves — about 1e-7 relative on the grid
+// sizes pfft uses, far below the iterative-refinement tolerance that
+// consumes the result.
 
 // Forward32 computes the in-place forward DFT of x (power-of-two length).
 func Forward32(x []complex64) {
@@ -65,14 +21,12 @@ func Forward32(x []complex64) {
 	transform32(x, twiddles32(n, -1), revTable(n))
 }
 
-// Inverse32 computes the in-place inverse DFT including the 1/n scaling.
+// Inverse32 computes the in-place inverse DFT including the 1/n
+// scaling, folded into the final butterfly stage (no separate scaling
+// sweep).
 func Inverse32(x []complex64) {
 	n := checkedLen(x)
-	transform32(x, twiddles32(n, +1), revTable(n))
-	inv := float32(1) / float32(n)
-	for i := range x {
-		x[i] *= complex(inv, 0)
-	}
+	transformScaled32(x, twiddles32(n, +1), revTable(n), float32(1)/float32(n))
 }
 
 func checkedLen(x []complex64) int {
@@ -84,10 +38,10 @@ func checkedLen(x []complex64) int {
 }
 
 // transform32 is the iterative Cooley-Tukey radix-2 kernel on complex64
-// with table-driven twiddles (the recurrence w *= wStep used by the
+// with table-driven twiddles (the recurrence w *= wStep used by the old
 // complex128 kernel loses too many bits at fp32). The caller supplies
-// the twiddle and bit-reversal tables so the per-row lookups are hoisted
-// out of the 3-D transform's row loops.
+// the twiddle and bit-reversal tables so the per-row lookups are
+// hoisted out of the 3-D transform's row loops.
 func transform32(x []complex64, w []complex64, rev []int32) {
 	n := len(x)
 	for i, j := range rev {
@@ -109,12 +63,65 @@ func transform32(x []complex64, w []complex64, rev []int32) {
 	}
 }
 
-// Grid3F32 is the complex64 twin of Grid3 (same x-major layout), used by
-// the mixed-precision pfft convolution.
+// transformScaled32 is transform32 with a uniform output scaling folded
+// into the final butterfly stage (see transformScaled).
+func transformScaled32(x []complex64, w []complex64, rev []int32, scale float32) {
+	n := len(x)
+	if n == 1 {
+		if scale != 1 {
+			x[0] *= complex(scale, 0)
+		}
+		return
+	}
+	for i, j := range rev {
+		if int(j) > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size < n; size <<= 1 {
+		half := size >> 1
+		stride := n / size
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w[k*stride]
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+	half := n >> 1
+	s := complex(scale, 0)
+	for k := 0; k < half; k++ {
+		a := x[k]
+		b := x[k+half] * w[k]
+		x[k] = (a + b) * s
+		x[k+half] = (a - b) * s
+	}
+}
+
+func lineTransform32(x []complex64, w []complex64, rev []int32, scale float32) {
+	if scale == 1 {
+		transform32(x, w, rev)
+	} else {
+		transformScaled32(x, w, rev, scale)
+	}
+}
+
+// lineBuf32 is the complex64 twin of lineBuf.
+type lineBuf32 struct {
+	y, x []complex64
+}
+
+// Grid3F32 is the complex64 twin of Grid3 (same x-major layout), used
+// by the mixed-precision pfft convolution.
 type Grid3F32 struct {
 	Nx, Ny, Nz int
 	Data       []complex64
-	bufY, bufX []complex64
+	// Exec optionally parallelizes the line transforms and pointwise
+	// multiplies; nil runs inline (allocation-free when warm).
+	Exec  sched.Executor
+	lines *sched.Scratch[*lineBuf32]
 }
 
 // NewGrid3F32 allocates a zeroed complex64 grid.
@@ -125,8 +132,9 @@ func NewGrid3F32(nx, ny, nz int) *Grid3F32 {
 	return &Grid3F32{
 		Nx: nx, Ny: ny, Nz: nz,
 		Data: make([]complex64, nx*ny*nz),
-		bufY: make([]complex64, ny),
-		bufX: make([]complex64, nx),
+		lines: sched.NewScratch(func() *lineBuf32 {
+			return &lineBuf32{y: make([]complex64, ny), x: make([]complex64, nx)}
+		}),
 	}
 }
 
@@ -134,77 +142,122 @@ func NewGrid3F32(nx, ny, nz int) *Grid3F32 {
 func (g *Grid3F32) Idx(ix, iy, iz int) int { return (ix*g.Ny+iy)*g.Nz + iz }
 
 // Forward3 transforms the grid in place along all three axes.
-func (g *Grid3F32) Forward3() { g.transformAll(-1) }
+func (g *Grid3F32) Forward3() { g.transformAll(-1, false) }
 
-// Inverse3 inverse-transforms the grid in place (scaled).
-func (g *Grid3F32) Inverse3() {
-	g.transformAll(+1)
-	// One fused 1/(nx*ny*nz) pass instead of a 1/n scaling inside each of
-	// the nx*ny + nx*nz + ny*nz row transforms.
-	inv := float32(1) / float32(g.Nx*g.Ny*g.Nz)
-	for i := range g.Data {
-		g.Data[i] *= complex(inv, 0)
-	}
-}
+// Inverse3 inverse-transforms the grid in place; the 1/(Nx*Ny*Nz)
+// scaling is folded per axis into the final butterfly stages (each
+// per-axis factor is a power of two, so this is bit-identical to one
+// fused scaling pass, minus the extra sweep over the data).
+func (g *Grid3F32) Inverse3() { g.transformAll(+1, true) }
 
-// transformAll applies the unscaled 1-D transform along z, then y, then
-// x, with twiddle/reversal tables fetched once per axis and explicit
-// stride arithmetic in the gather/scatter loops.
-func (g *Grid3F32) transformAll(sign float64) {
-	data := g.Data
+// transformAll applies the 1-D transform along z, then y, then x, with
+// tables fetched once per axis and lines chunked over Exec when
+// present.
+func (g *Grid3F32) transformAll(sign float64, scaled bool) {
 	nx, ny, nz := g.Nx, g.Ny, g.Nz
-
 	wz, rz := twiddles32(nz, sign), revTable(nz)
-	for base := 0; base < len(data); base += nz {
-		transform32(data[base:base+nz], wz, rz)
-	}
-
 	wy, ry := twiddles32(ny, sign), revTable(ny)
-	buf := g.bufY
-	for ix := 0; ix < nx; ix++ {
-		plane := ix * ny * nz
-		for iz := 0; iz < nz; iz++ {
-			p := plane + iz
-			for iy := 0; iy < ny; iy++ {
-				buf[iy] = data[p]
-				p += nz
-			}
-			transform32(buf, wy, ry)
-			p = plane + iz
-			for iy := 0; iy < ny; iy++ {
-				data[p] = buf[iy]
-				p += nz
-			}
-		}
-	}
-
 	wx, rx := twiddles32(nx, sign), revTable(nx)
-	bufX := g.bufX
-	planeStride := ny * nz
-	for iy := 0; iy < ny; iy++ {
-		row := iy * nz
-		for iz := 0; iz < nz; iz++ {
-			p := row + iz
-			for ix := 0; ix < nx; ix++ {
-				bufX[ix] = data[p]
-				p += planeStride
-			}
-			transform32(bufX, wx, rx)
-			p = row + iz
-			for ix := 0; ix < nx; ix++ {
-				data[p] = bufX[ix]
-				p += planeStride
-			}
+	sz, sy, sx := float32(1), float32(1), float32(1)
+	if scaled {
+		sz, sy, sx = 1/float32(nz), 1/float32(ny), 1/float32(nx)
+	}
+	if g.Exec == nil {
+		b := g.lines.Acquire()
+		g.zLines(0, nx*ny, wz, rz, sz)
+		g.yLines(0, nx*nz, b.y, wy, ry, sy)
+		g.xLines(0, ny*nz, b.x, wx, rx, sx)
+		g.lines.Release(b)
+		return
+	}
+	g.Exec.Map(chunkTasks(nx*ny, lineChunk), func(t int) {
+		lo, hi := chunkSpan(t, nx*ny, lineChunk)
+		g.zLines(lo, hi, wz, rz, sz)
+	})
+	g.Exec.Map(chunkTasks(nx*nz, lineChunk), func(t int) {
+		lo, hi := chunkSpan(t, nx*nz, lineChunk)
+		b := g.lines.Acquire()
+		g.yLines(lo, hi, b.y, wy, ry, sy)
+		g.lines.Release(b)
+	})
+	g.Exec.Map(chunkTasks(ny*nz, lineChunk), func(t int) {
+		lo, hi := chunkSpan(t, ny*nz, lineChunk)
+		b := g.lines.Acquire()
+		g.xLines(lo, hi, b.x, wx, rx, sx)
+		g.lines.Release(b)
+	})
+}
+
+// zLines transforms contiguous z lines [lo, hi).
+func (g *Grid3F32) zLines(lo, hi int, w []complex64, rev []int32, scale float32) {
+	nz := g.Nz
+	for r := lo; r < hi; r++ {
+		base := r * nz
+		lineTransform32(g.Data[base:base+nz], w, rev, scale)
+	}
+}
+
+// yLines transforms strided y lines [lo, hi) (line t = ix*Nz + iz).
+func (g *Grid3F32) yLines(lo, hi int, buf []complex64, w []complex64, rev []int32, scale float32) {
+	data := g.Data
+	ny, nz := g.Ny, g.Nz
+	for t := lo; t < hi; t++ {
+		ix, iz := t/nz, t%nz
+		p := ix*ny*nz + iz
+		q := p
+		for iy := 0; iy < ny; iy++ {
+			buf[iy] = data[q]
+			q += nz
+		}
+		lineTransform32(buf, w, rev, scale)
+		q = p
+		for iy := 0; iy < ny; iy++ {
+			data[q] = buf[iy]
+			q += nz
 		}
 	}
 }
 
-// MulPointwise multiplies g by h element-wise (same dimensions).
+// xLines transforms strided x lines [lo, hi) (line t = iy*Nz + iz).
+func (g *Grid3F32) xLines(lo, hi int, buf []complex64, w []complex64, rev []int32, scale float32) {
+	data := g.Data
+	nx, nz := g.Nx, g.Nz
+	planeStride := g.Ny * nz
+	for t := lo; t < hi; t++ {
+		p := t
+		q := p
+		for ix := 0; ix < nx; ix++ {
+			buf[ix] = data[q]
+			q += planeStride
+		}
+		lineTransform32(buf, w, rev, scale)
+		q = p
+		for ix := 0; ix < nx; ix++ {
+			data[q] = buf[ix]
+			q += planeStride
+		}
+	}
+}
+
+// MulPointwise multiplies g by h element-wise (same dimensions),
+// chunked over the executor when present.
 func (g *Grid3F32) MulPointwise(h *Grid3F32) {
 	if g.Nx != h.Nx || g.Ny != h.Ny || g.Nz != h.Nz {
 		panic("fft: grid dimension mismatch")
 	}
-	for i, v := range h.Data {
-		g.Data[i] *= v
+	n := len(g.Data)
+	if g.Exec == nil {
+		mulRange64(g.Data, h.Data, 0, n)
+		return
+	}
+	g.Exec.Map(chunkTasks(n, elemChunk), func(t int) {
+		lo, hi := chunkSpan(t, n, elemChunk)
+		mulRange64(g.Data, h.Data, lo, hi)
+	})
+}
+
+func mulRange64(dst, src []complex64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] *= src[i]
 	}
 }

@@ -1,0 +1,258 @@
+package fft
+
+import (
+	"parbem/internal/sched"
+)
+
+// Float32 mirror of the real-input convolution grid (see rgrid.go),
+// the mixed-precision pfft convolution engine: float32 samples and a
+// complex64 half spectrum quarter the transform traffic of the
+// original complex128 c2c grid.
+
+// rlineBuf32 is the complex64 twin of rlineBuf.
+type rlineBuf32 struct {
+	z, y, x []complex64
+}
+
+// RGrid3F32 is the float32 twin of RGrid3 (same half-spectrum layout,
+// float32 slots).
+type RGrid3F32 struct {
+	Nx, Ny, Nz int
+	Hz         int // Nz/2 + 1 spectral bins along z
+	Data       []float32
+	// Exec optionally parallelizes the line transforms and the
+	// spectral multiply; nil runs inline (allocation-free when warm).
+	Exec  sched.Executor
+	lines *sched.Scratch[*rlineBuf32]
+}
+
+// NewRGrid3F32 allocates a zeroed float32 real convolution grid.
+func NewRGrid3F32(nx, ny, nz int) *RGrid3F32 {
+	if !IsPow2(nx) || !IsPow2(ny) || !IsPow2(nz) || nz < 2 {
+		panic("fft: real grid dimensions must be powers of two with Nz >= 2")
+	}
+	return &RGrid3F32{
+		Nx: nx, Ny: ny, Nz: nz, Hz: nz/2 + 1,
+		Data: make([]float32, nx*ny*(nz+2)),
+		lines: sched.NewScratch(func() *rlineBuf32 {
+			return &rlineBuf32{
+				z: make([]complex64, nz/2),
+				y: make([]complex64, ny),
+				x: make([]complex64, nx),
+			}
+		}),
+	}
+}
+
+// RIdx returns the float32 index of real sample (ix, iy, iz); the line
+// stride is Nz+2 (see RGrid3.RIdx).
+func (g *RGrid3F32) RIdx(ix, iy, iz int) int { return (ix*g.Ny+iy)*(g.Nz+2) + iz }
+
+// ForwardReal transforms the real grid in place into its half
+// spectrum.
+func (g *RGrid3F32) ForwardReal() { g.transformAll(false) }
+
+// InverseReal transforms the half spectrum in place back to real
+// samples, scaling folded into the final butterfly stages.
+func (g *RGrid3F32) InverseReal() { g.transformAll(true) }
+
+// ConvolveInto circularly convolves the grid's real data with the
+// kernel spectrum in place (see RGrid3.ConvolveInto).
+func (g *RGrid3F32) ConvolveInto(kernelHat *RGrid3F32) {
+	if g.Nx != kernelHat.Nx || g.Ny != kernelHat.Ny || g.Nz != kernelHat.Nz {
+		panic("fft: grid dimension mismatch")
+	}
+	g.ForwardReal()
+	g.mulSpectrum(kernelHat)
+	g.InverseReal()
+}
+
+// mulSpectrum multiplies the half spectra pointwise, chunked over the
+// executor.
+func (g *RGrid3F32) mulSpectrum(h *RGrid3F32) {
+	n := len(g.Data) / 2
+	if g.Exec == nil {
+		mulSpectrumRange32(g.Data, h.Data, 0, n)
+		return
+	}
+	g.Exec.Map(chunkTasks(n, elemChunk), func(t int) {
+		lo, hi := chunkSpan(t, n, elemChunk)
+		mulSpectrumRange32(g.Data, h.Data, lo, hi)
+	})
+}
+
+func mulSpectrumRange32(dst, src []float32, lo, hi int) {
+	for i := 2 * lo; i < 2*hi; i += 2 {
+		a, b := dst[i], dst[i+1]
+		c, d := src[i], src[i+1]
+		dst[i] = a*c - b*d
+		dst[i+1] = a*d + b*c
+	}
+}
+
+// transformAll runs the three axis passes (see RGrid3.transformAll).
+func (g *RGrid3F32) transformAll(inv bool) {
+	nx, ny, nz, hz := g.Nx, g.Ny, g.Nz, g.Hz
+	sign := -1.0
+	if inv {
+		sign = +1
+	}
+	m := nz / 2
+	wM, rM := twiddles32(m, sign), revTable(m)
+	wN := twiddles32(nz, sign)
+	wy, ry := twiddles32(ny, sign), revTable(ny)
+	wx, rx := twiddles32(nx, sign), revTable(nx)
+	sy, sx, sm := float32(1), float32(1), float32(1)
+	if inv {
+		sy, sx = 1/float32(ny), 1/float32(nx)
+		sm = 1 / float32(m)
+	}
+	if g.Exec == nil {
+		b := g.lines.Acquire()
+		if !inv {
+			g.zLinesReal(0, nx*ny, b.z, wM, rM, wN, false, sm)
+			g.yLinesR(0, nx*hz, b.y, wy, ry, sy)
+			g.xLinesR(0, ny*hz, b.x, wx, rx, sx)
+		} else {
+			g.xLinesR(0, ny*hz, b.x, wx, rx, sx)
+			g.yLinesR(0, nx*hz, b.y, wy, ry, sy)
+			g.zLinesReal(0, nx*ny, b.z, wM, rM, wN, true, sm)
+		}
+		g.lines.Release(b)
+		return
+	}
+	zPass := func() {
+		g.Exec.Map(chunkTasks(nx*ny, lineChunk), func(t int) {
+			lo, hi := chunkSpan(t, nx*ny, lineChunk)
+			b := g.lines.Acquire()
+			g.zLinesReal(lo, hi, b.z, wM, rM, wN, inv, sm)
+			g.lines.Release(b)
+		})
+	}
+	yPass := func() {
+		g.Exec.Map(chunkTasks(nx*hz, lineChunk), func(t int) {
+			lo, hi := chunkSpan(t, nx*hz, lineChunk)
+			b := g.lines.Acquire()
+			g.yLinesR(lo, hi, b.y, wy, ry, sy)
+			g.lines.Release(b)
+		})
+	}
+	xPass := func() {
+		g.Exec.Map(chunkTasks(ny*hz, lineChunk), func(t int) {
+			lo, hi := chunkSpan(t, ny*hz, lineChunk)
+			b := g.lines.Acquire()
+			g.xLinesR(lo, hi, b.x, wx, rx, sx)
+			g.lines.Release(b)
+		})
+	}
+	if !inv {
+		zPass()
+		yPass()
+		xPass()
+	} else {
+		xPass()
+		yPass()
+		zPass()
+	}
+}
+
+// zLinesReal runs the r2c (forward) or c2r (inverse) pass over z lines
+// [lo, hi).
+func (g *RGrid3F32) zLinesReal(lo, hi int, buf []complex64, wM []complex64, rM []int32, wN []complex64, inv bool, scale float32) {
+	ls := g.Nz + 2
+	for r := lo; r < hi; r++ {
+		d := g.Data[r*ls : r*ls+ls]
+		if inv {
+			inverseRealLine32(d, buf, wM, rM, wN, scale)
+		} else {
+			forwardRealLine32(d, buf, wM, rM, wN)
+		}
+	}
+}
+
+// forwardRealLine32 is the complex64 twin of forwardRealLine.
+func forwardRealLine32(d []float32, buf []complex64, wM []complex64, rM []int32, wN []complex64) {
+	m := len(buf)
+	for n := 0; n < m; n++ {
+		buf[n] = complex(d[2*n], d[2*n+1])
+	}
+	transform32(buf, wM, rM)
+	z0 := buf[0]
+	d[0] = real(z0) + imag(z0)
+	d[1] = 0
+	d[2*m] = real(z0) - imag(z0)
+	d[2*m+1] = 0
+	for k := 1; k < m; k++ {
+		zk := buf[k]
+		zn := buf[m-k]
+		fe := complex(real(zk)+real(zn), imag(zk)-imag(zn)) // Z[k] + conj(Z[m-k])
+		fo := complex(imag(zk)+imag(zn), real(zn)-real(zk)) // -i*(Z[k] - conj(Z[m-k]))
+		x := (fe + wN[k]*fo) * 0.5
+		d[2*k] = real(x)
+		d[2*k+1] = imag(x)
+	}
+}
+
+// inverseRealLine32 is the complex64 twin of inverseRealLine.
+func inverseRealLine32(d []float32, buf []complex64, wM []complex64, rM []int32, wN []complex64, scale float32) {
+	m := len(buf)
+	x0, xm := d[0], d[2*m]
+	buf[0] = complex((x0+xm)*0.5, (x0-xm)*0.5)
+	for k := 1; k < m; k++ {
+		xk := complex(d[2*k], d[2*k+1])
+		xn := complex(d[2*(m-k)], -d[2*(m-k)+1]) // conj(X[m-k])
+		fe := (xk + xn) * 0.5
+		fo := wN[k] * (xk - xn) * 0.5
+		buf[k] = complex(real(fe)-imag(fo), imag(fe)+real(fo)) // Fe + i*Fo
+	}
+	transformScaled32(buf, wM, rM, scale)
+	for n := 0; n < m; n++ {
+		d[2*n] = real(buf[n])
+		d[2*n+1] = imag(buf[n])
+	}
+}
+
+// yLinesR transforms strided y lines [lo, hi) of the half spectrum.
+func (g *RGrid3F32) yLinesR(lo, hi int, buf []complex64, w []complex64, rev []int32, scale float32) {
+	data := g.Data
+	ny, hz, ls := g.Ny, g.Hz, g.Nz+2
+	for t := lo; t < hi; t++ {
+		ix, k := t/hz, t%hz
+		p := ix*ny*ls + 2*k
+		q := p
+		for iy := 0; iy < ny; iy++ {
+			buf[iy] = complex(data[q], data[q+1])
+			q += ls
+		}
+		lineTransform32(buf, w, rev, scale)
+		q = p
+		for iy := 0; iy < ny; iy++ {
+			data[q] = real(buf[iy])
+			data[q+1] = imag(buf[iy])
+			q += ls
+		}
+	}
+}
+
+// xLinesR transforms strided x lines [lo, hi) of the half spectrum.
+func (g *RGrid3F32) xLinesR(lo, hi int, buf []complex64, w []complex64, rev []int32, scale float32) {
+	data := g.Data
+	nx, hz, ls := g.Nx, g.Hz, g.Nz+2
+	planeStride := g.Ny * ls
+	for t := lo; t < hi; t++ {
+		iy, k := t/hz, t%hz
+		p := iy*ls + 2*k
+		q := p
+		for ix := 0; ix < nx; ix++ {
+			buf[ix] = complex(data[q], data[q+1])
+			q += planeStride
+		}
+		lineTransform32(buf, w, rev, scale)
+		q = p
+		for ix := 0; ix < nx; ix++ {
+			data[q] = real(buf[ix])
+			data[q+1] = imag(buf[ix])
+			q += planeStride
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"parbem/internal/sched"
+)
+
+// fillRandReal fills an RGrid3's real samples (the padded spectral
+// slots stay zero) and mirrors them into a c2c reference grid.
+func fillRandReal(rng *rand.Rand, g *RGrid3, ref *Grid3) {
+	for ix := 0; ix < g.Nx; ix++ {
+		for iy := 0; iy < g.Ny; iy++ {
+			for iz := 0; iz < g.Nz; iz++ {
+				v := rng.NormFloat64()
+				g.Data[g.RIdx(ix, iy, iz)] = v
+				if ref != nil {
+					ref.Data[ref.Idx(ix, iy, iz)] = complex(v, 0)
+				}
+			}
+		}
+	}
+}
+
+var rgridDims = [][3]int{
+	{1, 1, 2}, {1, 1, 8}, {2, 2, 2}, {4, 4, 4}, {8, 4, 16}, {2, 8, 4}, {16, 2, 2},
+}
+
+// TestRGrid3SpectrumMatchesC2C pins the half spectrum to the full c2c
+// transform of the same real data: bin (ix, iy, k), k <= Nz/2, must
+// match the full spectrum exactly up to rounding.
+func TestRGrid3SpectrumMatchesC2C(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, dim := range rgridDims {
+		g := NewRGrid3(dim[0], dim[1], dim[2])
+		ref := NewGrid3(dim[0], dim[1], dim[2])
+		fillRandReal(rng, g, ref)
+		g.ForwardReal()
+		ref.Forward3()
+		for ix := 0; ix < g.Nx; ix++ {
+			for iy := 0; iy < g.Ny; iy++ {
+				for k := 0; k < g.Hz; k++ {
+					re := g.Data[g.RIdx(ix, iy, 2*k)]
+					im := g.Data[g.RIdx(ix, iy, 2*k+1)]
+					want := ref.Data[ref.Idx(ix, iy, k)]
+					if math.Abs(re-real(want)) > 1e-11 || math.Abs(im-imag(want)) > 1e-11 {
+						t.Fatalf("dims %v bin (%d,%d,%d): (%g,%g) want %v",
+							dim, ix, iy, k, re, im, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRGrid3ConjugateSymmetry verifies the invariant the half spectrum
+// relies on: for real input the full-spectrum bin (-ix, -iy, -k) is
+// the conjugate of bin (ix, iy, k), so the dropped z half is exactly
+// the conjugate mirror of the stored half (and the self-conjugate bins
+// like (0,0,0) are forced real).
+func TestRGrid3ConjugateSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := NewRGrid3(4, 8, 16)
+	ref := NewGrid3(4, 8, 16)
+	fillRandReal(rng, g, ref)
+	g.ForwardReal()
+	ref.Forward3()
+	mod := func(i, n int) int { return ((i % n) + n) % n }
+	for ix := 0; ix < g.Nx; ix++ {
+		for iy := 0; iy < g.Ny; iy++ {
+			for k := 0; k < g.Hz; k++ {
+				re := g.Data[g.RIdx(ix, iy, 2*k)]
+				im := g.Data[g.RIdx(ix, iy, 2*k+1)]
+				mirror := ref.Data[ref.Idx(mod(-ix, g.Nx), mod(-iy, g.Ny), mod(-k, g.Nz))]
+				if math.Abs(re-real(mirror)) > 1e-11 || math.Abs(im+imag(mirror)) > 1e-11 {
+					t.Fatalf("conjugate symmetry broken at (%d,%d,%d): (%g,%g) vs mirror %v",
+						ix, iy, k, re, im, mirror)
+				}
+			}
+		}
+	}
+}
+
+// TestRGrid3Roundtrip pins ForwardReal+InverseReal to the identity.
+func TestRGrid3Roundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, dim := range rgridDims {
+		g := NewRGrid3(dim[0], dim[1], dim[2])
+		fillRandReal(rng, g, nil)
+		orig := append([]float64(nil), g.Data...)
+		g.ForwardReal()
+		g.InverseReal()
+		for ix := 0; ix < g.Nx; ix++ {
+			for iy := 0; iy < g.Ny; iy++ {
+				for iz := 0; iz < g.Nz; iz++ {
+					i := g.RIdx(ix, iy, iz)
+					if math.Abs(g.Data[i]-orig[i]) > 1e-12 {
+						t.Fatalf("dims %v roundtrip[%d,%d,%d] = %g want %g",
+							dim, ix, iy, iz, g.Data[i], orig[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRGrid3ConvolveMatchesC2C is the headline property test: the
+// fused r2c convolution must match the existing c2c Grid3 path to
+// 1e-12 on random real grids and kernels.
+func TestRGrid3ConvolveMatchesC2C(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, dim := range rgridDims {
+		g := NewRGrid3(dim[0], dim[1], dim[2])
+		kh := NewRGrid3(dim[0], dim[1], dim[2])
+		cg := NewGrid3(dim[0], dim[1], dim[2])
+		ckh := NewGrid3(dim[0], dim[1], dim[2])
+		fillRandReal(rng, g, cg)
+		fillRandReal(rng, kh, ckh)
+		kh.ForwardReal()
+		ckh.Forward3()
+
+		g.ConvolveInto(kh)
+		cg.Forward3()
+		cg.MulPointwise(ckh)
+		cg.Inverse3()
+
+		var ref float64
+		for _, v := range cg.Data {
+			if a := math.Abs(real(v)); a > ref {
+				ref = a
+			}
+		}
+		for ix := 0; ix < g.Nx; ix++ {
+			for iy := 0; iy < g.Ny; iy++ {
+				for iz := 0; iz < g.Nz; iz++ {
+					got := g.Data[g.RIdx(ix, iy, iz)]
+					want := cg.Data[cg.Idx(ix, iy, iz)]
+					if math.Abs(got-real(want)) > 1e-12*math.Max(1, ref) {
+						t.Fatalf("dims %v conv[%d,%d,%d] = %g want %g",
+							dim, ix, iy, iz, got, real(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRGrid3ParallelMatchesSerial pins the executor-parallel transforms
+// to the serial path bit for bit: every line runs the same table-driven
+// kernel, so chunking must not change a single ulp.
+func TestRGrid3ParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	for _, dim := range [][3]int{{4, 4, 4}, {8, 16, 32}, {16, 8, 8}} {
+		ser := NewRGrid3(dim[0], dim[1], dim[2])
+		par := NewRGrid3(dim[0], dim[1], dim[2])
+		par.Exec = pool
+		kh := NewRGrid3(dim[0], dim[1], dim[2])
+		fillRandReal(rng, ser, nil)
+		copy(par.Data, ser.Data)
+		fillRandReal(rng, kh, nil)
+		kh.ForwardReal()
+
+		ser.ConvolveInto(kh)
+		par.ConvolveInto(kh)
+		for i := range ser.Data {
+			if ser.Data[i] != par.Data[i] {
+				t.Fatalf("dims %v parallel convolution differs at %d: %g vs %g",
+					dim, i, par.Data[i], ser.Data[i])
+			}
+		}
+	}
+}
+
+// TestGrid3ParallelMatchesSerial is the c2c analogue.
+func TestGrid3ParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	ser := NewGrid3(8, 16, 8)
+	par := NewGrid3(8, 16, 8)
+	par.Exec = pool
+	for i := range ser.Data {
+		ser.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		par.Data[i] = ser.Data[i]
+	}
+	ser.Forward3()
+	par.Forward3()
+	ser.Inverse3()
+	par.Inverse3()
+	for i := range ser.Data {
+		if ser.Data[i] != par.Data[i] {
+			t.Fatalf("parallel c2c differs at %d: %v vs %v", i, par.Data[i], ser.Data[i])
+		}
+	}
+}
+
+// TestRGrid3F32MatchesFP64 pins the float32 mirror to the fp64 path at
+// fp32 tolerance.
+func TestRGrid3F32MatchesFP64(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g64 := NewRGrid3(8, 4, 16)
+	kh64 := NewRGrid3(8, 4, 16)
+	g32 := NewRGrid3F32(8, 4, 16)
+	kh32 := NewRGrid3F32(8, 4, 16)
+	fillRandReal(rng, g64, nil)
+	fillRandReal(rng, kh64, nil)
+	for i, v := range g64.Data {
+		g32.Data[i] = float32(v)
+	}
+	for i, v := range kh64.Data {
+		kh32.Data[i] = float32(v)
+	}
+	kh64.ForwardReal()
+	kh32.ForwardReal()
+	g64.ConvolveInto(kh64)
+	g32.ConvolveInto(kh32)
+	var ref float64
+	for _, v := range g64.Data {
+		if a := math.Abs(v); a > ref {
+			ref = a
+		}
+	}
+	for ix := 0; ix < g64.Nx; ix++ {
+		for iy := 0; iy < g64.Ny; iy++ {
+			for iz := 0; iz < g64.Nz; iz++ {
+				a := g64.Data[g64.RIdx(ix, iy, iz)]
+				b := float64(g32.Data[g32.RIdx(ix, iy, iz)])
+				if math.Abs(a-b) > 1e-4*math.Max(1, ref) {
+					t.Fatalf("fp32 convolution deviates at (%d,%d,%d): %g vs %g",
+						ix, iy, iz, b, a)
+				}
+			}
+		}
+	}
+}
+
+// TestConvolveDimMismatchPanics pins the dimension check of the fused
+// convolve path.
+func TestConvolveDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for mismatched kernel dims")
+		}
+	}()
+	g := NewRGrid3(4, 4, 4)
+	kh := NewRGrid3(4, 4, 8)
+	g.ConvolveInto(kh)
+}
+
+// TestConvolveAllocFree proves the warm fused convolution allocates
+// nothing in serial mode, and only constant scheduler bookkeeping when
+// parallel (the precedent bound of the pfft Apply loops).
+func TestConvolveAllocFree(t *testing.T) {
+	kh := NewRGrid3(8, 8, 16)
+	kh.Data[kh.RIdx(0, 0, 0)] = 1
+	kh.ForwardReal()
+
+	ser := NewRGrid3(8, 8, 16)
+	ser.ConvolveInto(kh) // warm
+	if allocs := testing.AllocsPerRun(10, func() {
+		ser.ConvolveInto(kh)
+	}); allocs != 0 {
+		t.Fatalf("serial ConvolveInto allocates %.0f objects per call", allocs)
+	}
+
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	par := NewRGrid3(8, 8, 16)
+	par.Exec = pool
+	par.ConvolveInto(kh)
+	if allocs := testing.AllocsPerRun(10, func() {
+		par.ConvolveInto(kh)
+	}); allocs > 200 {
+		t.Fatalf("pooled ConvolveInto allocates %.0f objects per call; line loops are no longer allocation-free", allocs)
+	}
+
+	ser32 := NewRGrid3F32(8, 8, 16)
+	kh32 := NewRGrid3F32(8, 8, 16)
+	kh32.Data[kh32.RIdx(0, 0, 0)] = 1
+	kh32.ForwardReal()
+	ser32.ConvolveInto(kh32)
+	if allocs := testing.AllocsPerRun(10, func() {
+		ser32.ConvolveInto(kh32)
+	}); allocs != 0 {
+		t.Fatalf("serial fp32 ConvolveInto allocates %.0f objects per call", allocs)
+	}
+}

@@ -1,0 +1,81 @@
+package fft
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// Twiddle factors and bit-reversal permutations are precomputed per
+// length and cached for the life of the process: one 3-D transform runs
+// thousands of short 1-D line transforms, and a table lookup per
+// butterfly beats both recomputing cmplx.Exp per stage and the lossy
+// w *= wStep recurrence (which drifts by O(n eps) across a row). The
+// caches are tiny — one entry per distinct grid edge and direction —
+// and read-mostly; sync.Map keeps concurrent transforms lock-free on
+// the hit path.
+
+// twiddleCache holds the first-half roots of unity per (length, sign)
+// in complex128; twiddle32Cache the complex64 roundings of the same
+// float64 values (rounded once, so fp32 butterflies see the best
+// possible twiddles).
+var (
+	twiddleCache   sync.Map
+	twiddle32Cache sync.Map
+	revCache       sync.Map
+)
+
+func twiddleKey(n int, sign float64) int64 {
+	key := int64(n)
+	if sign > 0 {
+		key = -key
+	}
+	return key
+}
+
+// twiddles returns w[k] = exp(sign * 2 pi i k / n) for k in [0, n/2).
+func twiddles(n int, sign float64) []complex128 {
+	key := twiddleKey(n, sign)
+	if w, ok := twiddleCache.Load(key); ok {
+		return w.([]complex128)
+	}
+	w := make([]complex128, n/2)
+	for k := range w {
+		s, c := math.Sincos(sign * 2 * math.Pi * float64(k) / float64(n))
+		w[k] = complex(c, s)
+	}
+	twiddleCache.Store(key, w)
+	return w
+}
+
+// twiddles32 is the complex64 rounding of twiddles.
+func twiddles32(n int, sign float64) []complex64 {
+	key := twiddleKey(n, sign)
+	if w, ok := twiddle32Cache.Load(key); ok {
+		return w.([]complex64)
+	}
+	w := make([]complex64, n/2)
+	for k := range w {
+		s, c := math.Sincos(sign * 2 * math.Pi * float64(k) / float64(n))
+		w[k] = complex(float32(c), float32(s))
+	}
+	twiddle32Cache.Store(key, w)
+	return w
+}
+
+// revTable returns the bit-reversal permutation for length n: rev[i] is
+// the bit-reverse of i.
+func revTable(n int) []int32 {
+	if r, ok := revCache.Load(n); ok {
+		return r.([]int32)
+	}
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	rev := make([]int32, n)
+	if n > 1 {
+		for i := range rev {
+			rev[i] = int32(bits.Reverse64(uint64(i)) >> shift)
+		}
+	}
+	revCache.Store(n, rev)
+	return rev
+}

@@ -6,21 +6,21 @@ import (
 )
 
 // Mixed-precision apply path: a float32 mirror of the stencils, the
-// precorrection entries and the grid convolution (complex64 FFT through
-// fft.Grid3F32). The pFFT matvec is bandwidth-bound on the padded grid
-// and the correction CSR, so halving the element width roughly halves
-// the traffic per apply; the fp32 rounding is absorbed by the float64
-// iterative refinement wrapper in internal/op exactly as for the
-// multipole operator. Unlike the multipole mirror no rescaling is
-// needed: every pFFT intermediate is at most one power of 1/r, far
-// inside float32 range even for micron geometry.
+// precorrection entries and the grid convolution (half-spectrum r2c
+// FFT through fft.RGrid3F32). The pFFT matvec is bandwidth-bound on
+// the padded grid and the correction CSR, so halving the element width
+// roughly halves the traffic per apply; the fp32 rounding is absorbed
+// by the float64 iterative refinement wrapper in internal/op exactly
+// as for the multipole operator. Unlike the multipole mirror no
+// rescaling is needed: every pFFT intermediate is at most one power of
+// 1/r, far inside float32 range even for micron geometry.
 
 // mixedScratch is the per-ApplyMixed mutable state: fp32 charges and
-// the complex64 padded work grid.
+// the float32 padded work grid.
 type mixedScratch struct {
 	charges []float32
 	x       []float32
-	grid    *fft.Grid3F32
+	grid    *fft.RGrid3F32
 }
 
 // mixedState is the float32 storage mirror, built once by EnableMixed.
@@ -30,11 +30,12 @@ type mixedScratch struct {
 type mixedState struct {
 	areas     []float32
 	scale     float32
-	kernelHat *fft.Grid3F32
+	kernelHat *fft.RGrid3F32
 
 	// stenPad are the stencil node indices pre-linearized into the
-	// padded grid (the fp64 path re-derives padded coordinates from
-	// logical indices on every interpolation); stenW are the weights.
+	// padded half-spectrum grid, line stride pz+2 (the fp64 path
+	// re-derives padded coordinates from logical indices on every
+	// interpolation); stenW are the weights.
 	stenPad [][8]int32
 	stenW   [][8]float32
 	// activePad mirrors activeNodes in padded-grid linear indices.
@@ -57,7 +58,7 @@ func (op *Operator) EnableMixed() {
 		m := &mixedState{
 			areas:     make([]float32, n),
 			scale:     float32(op.scale),
-			kernelHat: fft.NewGrid3F32(op.px, op.py, op.pz),
+			kernelHat: fft.NewRGrid3F32(op.px, op.py, op.pz),
 			stenPad:   make([][8]int32, n),
 			stenW:     make([][8]float32, n),
 			activePad: make([]int32, len(op.activeNodes)),
@@ -67,20 +68,23 @@ func (op *Operator) EnableMixed() {
 		for i, a := range op.areas {
 			m.areas[i] = float32(a)
 		}
+		// The fp64 kernel spectrum shares the half-spectrum float
+		// layout, so the fp32 mirror is a plain element-wise narrowing.
 		for i, v := range op.kernelHat.Data {
-			m.kernelHat.Data[i] = complex64(v)
+			m.kernelHat.Data[i] = float32(v)
 		}
+		ls := op.pz + 2 // padded-line stride of the half-spectrum layout
 		for i := range op.sten {
 			s := &op.sten[i]
 			for k := 0; k < 8; k++ {
 				ix, iy, iz := op.nodeCoords(s.idx[k])
-				m.stenPad[i][k] = int32((ix*op.py+iy)*op.pz + iz)
+				m.stenPad[i][k] = int32((ix*op.py+iy)*ls + iz)
 				m.stenW[i][k] = float32(s.w[k])
 			}
 		}
 		for a, nd := range op.activeNodes {
 			ix, iy, iz := op.nodeCoords(nd)
-			m.activePad[a] = int32((ix*op.py+iy)*op.pz + iz)
+			m.activePad[a] = int32((ix*op.py+iy)*ls + iz)
 		}
 		for i, w := range op.nodeW {
 			m.nodeW[i] = float32(w)
@@ -100,10 +104,12 @@ func (op *Operator) EnableMixed() {
 			}
 		}
 		m.scratch = sched.NewScratch(func() *mixedScratch {
+			g := fft.NewRGrid3F32(op.px, op.py, op.pz)
+			g.Exec = op.exec
 			return &mixedScratch{
 				charges: make([]float32, n),
 				x:       make([]float32, n),
-				grid:    fft.NewGrid3F32(op.px, op.py, op.pz),
+				grid:    g,
 			}
 		})
 		op.mixed = m
@@ -114,10 +120,11 @@ func (op *Operator) EnableMixed() {
 func (op *Operator) MixedEnabled() bool { return op.mixed != nil }
 
 // ApplyMixed computes dst = P x through the float32 mirror: fp32
-// project, complex64 FFT convolution, fp32 interpolate + precorrect.
-// dst and x stay float64 at the interface (the refinement loop owns
-// them). Falls back to the fp64 Apply when EnableMixed has not run.
-// Safe for concurrent use and allocation-free after warmup.
+// project, half-spectrum complex64 FFT convolution, fp32 interpolate +
+// precorrect. dst and x stay float64 at the interface (the refinement
+// loop owns them). Falls back to the fp64 Apply when EnableMixed has
+// not run. Safe for concurrent use and allocation-free after warmup in
+// serial mode.
 func (op *Operator) ApplyMixed(dst, x []float64) {
 	m := op.mixed
 	if m == nil {
@@ -154,9 +161,7 @@ func (op *Operator) ApplyMixed(dst, x []float64) {
 		})
 	}
 
-	g.Forward3()
-	g.MulPointwise(m.kernelHat)
-	g.Inverse3()
+	g.ConvolveInto(m.kernelHat)
 
 	if op.exec == nil {
 		op.evalRange32(m, s, data, dst, 0, np)
@@ -170,26 +175,26 @@ func (op *Operator) ApplyMixed(dst, x []float64) {
 
 // projectRange32 accumulates fp32 charges onto active padded-grid nodes
 // [lo, hi) through the node-to-panel adjacency.
-func (op *Operator) projectRange32(m *mixedState, s *mixedScratch, data []complex64, lo, hi int) {
+func (op *Operator) projectRange32(m *mixedState, s *mixedScratch, data []float32, lo, hi int) {
 	for a := lo; a < hi; a++ {
 		var q float32
 		for p := op.nodeOff[a]; p < op.nodeOff[a+1]; p++ {
 			q += m.nodeW[p] * s.charges[op.nodePanel[p]]
 		}
-		data[m.activePad[a]] = complex(q, 0)
+		data[m.activePad[a]] = q
 	}
 }
 
 // evalRange32 interpolates fp32 grid potentials and applies the fp32
 // precorrection for panels [lo, hi).
-func (op *Operator) evalRange32(m *mixedState, s *mixedScratch, data []complex64, dst []float64, lo, hi int) {
+func (op *Operator) evalRange32(m *mixedState, s *mixedScratch, data []float32, dst []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		pad := &m.stenPad[i]
 		w := &m.stenW[i]
-		phi := w[0]*real(data[pad[0]]) + w[1]*real(data[pad[1]]) +
-			w[2]*real(data[pad[2]]) + w[3]*real(data[pad[3]]) +
-			w[4]*real(data[pad[4]]) + w[5]*real(data[pad[5]]) +
-			w[6]*real(data[pad[6]]) + w[7]*real(data[pad[7]])
+		phi := w[0]*data[pad[0]] + w[1]*data[pad[1]] +
+			w[2]*data[pad[2]] + w[3]*data[pad[3]] +
+			w[4]*data[pad[4]] + w[5]*data[pad[5]] +
+			w[6]*data[pad[6]] + w[7]*data[pad[7]]
 		y := m.scale * m.areas[i] * phi
 		nlo, nhi := m.nearOff[i], m.nearOff[i+1]
 		idx := m.nearIdx[nlo:nhi]

@@ -6,6 +6,13 @@
 // interactions are "precorrected" by replacing the inaccurate grid
 // contribution with exact Galerkin entries.
 //
+// The grid data this method convolves is real — charges in, potentials
+// out — so the convolution runs on internal/fft's real-to-complex
+// half-spectrum grids (fft.RGrid3/RGrid3F32): relative to the
+// complex-to-complex grids they replace, the work grid and the cached
+// kernel spectrum take half the memory and the transforms half the
+// flops.
+//
 // The operator matches the guarantees of its multipole sibling
 // (internal/fmm): Apply is safe for concurrent use (per-Apply scratch is
 // pooled, not locked), allocation-free after warmup in serial mode, and
@@ -13,9 +20,10 @@
 // Workers > 1 or a shared Pool is supplied. The grid projection is
 // parallelized over grid nodes through a precomputed node-to-panel
 // adjacency (no write conflicts), the interpolation/precorrection over
-// panel ranges. It also exposes its precorrection clusters as near-field
-// diagonal blocks for the pipeline's block-Jacobi preconditioner
-// (internal/op).
+// panel ranges, and the 3-D FFT convolution over independent grid lines
+// (the fft grids inherit the operator's executor). It also exposes its
+// precorrection clusters as near-field diagonal blocks for the
+// pipeline's block-Jacobi preconditioner (internal/op).
 package pfft
 
 import (
@@ -88,11 +96,12 @@ type stencil struct {
 }
 
 // applyScratch is the per-Apply mutable state: panel charges and the
-// padded FFT work grid. Pooling it keeps Apply re-entrant (concurrent
-// GMRES solves share one Operator) and allocation-free after warmup.
+// padded FFT work grid (real, half-spectrum layout). Pooling it keeps
+// Apply re-entrant (concurrent GMRES solves share one Operator) and
+// allocation-free after warmup.
 type applyScratch struct {
 	charges []float64
-	grid    *fft.Grid3
+	grid    *fft.RGrid3
 }
 
 // applyChunk is the grid-node / panel batch size of the parallel Apply
@@ -111,7 +120,10 @@ type Operator struct {
 	nx, ny, nz int // logical grid dims
 	px, py, pz int // padded FFT dims (>= 2*logical, powers of two)
 
-	kernelHat *fft.Grid3 // forward FFT of the 1/r kernel on the padded grid
+	// kernelHat is the forward r2c FFT of the 1/r kernel on the padded
+	// grid (half spectrum: px*py*(pz/2+1) bins). It is immutable after
+	// construction and shared across variants on a matching grid.
+	kernelHat *fft.RGrid3
 
 	sten    []stencil
 	areas   []float64
@@ -269,7 +281,7 @@ func NewOperatorReuse(panels []geom.Panel, opt Options, reuse *Reuse) *Operator 
 	}
 	op.nearTime = time.Since(tN)
 	op.scratch = sched.NewScratch(func() *applyScratch {
-		return newScratch(len(panels), op.px, op.py, op.pz)
+		return newScratch(len(panels), op.px, op.py, op.pz, op.exec)
 	})
 	return op
 }
@@ -299,10 +311,12 @@ func (op *Operator) PhaseTimes() (topology, nearField time.Duration) {
 	return op.topoTime, op.nearTime
 }
 
-func newScratch(n, px, py, pz int) *applyScratch {
+func newScratch(n, px, py, pz int, exec sched.Executor) *applyScratch {
+	g := fft.NewRGrid3(px, py, pz)
+	g.Exec = exec
 	return &applyScratch{
 		charges: make([]float64, n),
-		grid:    fft.NewGrid3(px, py, pz),
+		grid:    g,
 	}
 }
 
@@ -333,20 +347,21 @@ func (op *Operator) kernelValue(dx, dy, dz int) float64 {
 }
 
 // buildKernel fills the padded kernel grid with circular-symmetric wrap
-// layout and forward transforms it.
+// layout and forward transforms it into its half spectrum.
 func (op *Operator) buildKernel() {
-	g := fft.NewGrid3(op.px, op.py, op.pz)
+	g := fft.NewRGrid3(op.px, op.py, op.pz)
+	g.Exec = op.exec
 	for ix := 0; ix < op.px; ix++ {
 		wx := wrapDist(ix, op.px)
 		for iy := 0; iy < op.py; iy++ {
 			wy := wrapDist(iy, op.py)
+			base := g.RIdx(ix, iy, 0)
 			for iz := 0; iz < op.pz; iz++ {
-				wz := wrapDist(iz, op.pz)
-				g.Data[g.Idx(ix, iy, iz)] = complex(op.kernelValue(wx, wy, wz), 0)
+				g.Data[base+iz] = op.kernelValue(wx, wy, wrapDist(iz, op.pz))
 			}
 		}
 	}
-	g.Forward3()
+	g.ForwardReal()
 	op.kernelHat = g
 }
 
@@ -636,9 +651,10 @@ func (op *Operator) NearBlocks() (idx [][]int32, blocks []*linalg.Dense) {
 // Apply implements linalg.Matvec: project, convolve, interpolate,
 // correct. The projection runs parallel over grid nodes (via the
 // precomputed node-to-panel adjacency), the interpolation and
-// precorrection parallel over panel ranges; the global FFT stays serial
-// (the bottleneck that limits parallel efficiency in [1]). Safe for
-// concurrent use and allocation-free after warmup in serial mode.
+// precorrection parallel over panel ranges, and the fused r2c FFT
+// convolution parallel over grid lines (the serial global transform
+// was the bottleneck that limited parallel efficiency in [1]). Safe
+// for concurrent use and allocation-free after warmup in serial mode.
 func (op *Operator) Apply(dst, x []float64) {
 	s := op.scratch.Acquire()
 	defer op.scratch.Release(s)
@@ -669,11 +685,9 @@ func (op *Operator) Apply(dst, x []float64) {
 		})
 	}
 
-	// Convolve via FFT (the global transform is the serial bottleneck
-	// that limits parallel efficiency in [1]).
-	g.Forward3()
-	g.MulPointwise(op.kernelHat)
-	g.Inverse3()
+	// Fused forward -> pointwise multiply -> inverse convolution on
+	// the real half-spectrum grid.
+	g.ConvolveInto(op.kernelHat)
 
 	// Interpolate + precorrect over panel ranges.
 	if op.exec == nil {
@@ -697,16 +711,18 @@ func chunkBounds(t, n int) (int, int) {
 	return lo, hi
 }
 
-// zeroRange clears grid entries [lo, hi).
-func (op *Operator) zeroRange(data []complex128, lo, hi int) {
+// zeroRange clears grid samples [lo, hi) (float64 slots of the real
+// half-spectrum layout).
+func (op *Operator) zeroRange(data []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		data[i] = 0
 	}
 }
 
 // projectRange accumulates panel charges onto active grid nodes
-// [lo, hi) through the node-to-panel adjacency.
-func (op *Operator) projectRange(s *applyScratch, data []complex128, lo, hi int) {
+// [lo, hi) through the node-to-panel adjacency. Charges are plain
+// float64 writes into the real grid (no complex packing).
+func (op *Operator) projectRange(s *applyScratch, data []float64, lo, hi int) {
 	g := s.grid
 	for a := lo; a < hi; a++ {
 		var q float64
@@ -714,19 +730,20 @@ func (op *Operator) projectRange(s *applyScratch, data []complex128, lo, hi int)
 			q += op.nodeW[p] * s.charges[op.nodePanel[p]]
 		}
 		ix, iy, iz := op.nodeCoords(op.activeNodes[a])
-		data[g.Idx(ix, iy, iz)] = complex(q, 0)
+		data[g.RIdx(ix, iy, iz)] = q
 	}
 }
 
 // evalRange interpolates grid potentials and applies the precorrection
 // for panels [lo, hi).
-func (op *Operator) evalRange(data []complex128, dst, x []float64, lo, hi int) {
+func (op *Operator) evalRange(data []float64, dst, x []float64, lo, hi int) {
+	ls := op.pz + 2 // padded-line stride of the half-spectrum layout
 	for i := lo; i < hi; i++ {
 		st := &op.sten[i]
 		var phi float64
 		for k := 0; k < 8; k++ {
 			ix, iy, iz := op.nodeCoords(st.idx[k])
-			phi += st.w[k] * real(data[(ix*op.py+iy)*op.pz+iz])
+			phi += st.w[k] * data[(ix*op.py+iy)*ls+iz]
 		}
 		y := op.scale * op.areas[i] * phi
 		idx := op.nearIdx[i]

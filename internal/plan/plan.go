@@ -515,6 +515,9 @@ func (p *Plan) build(ctx context.Context, st *geom.Structure) (*Result, error) {
 		copied, computed := nv.pfftOp.NearReuse()
 		p.stats.NearReused += copied
 		p.stats.NearComputed += computed
+		// KernelShared adopts the previous variant's half-spectrum
+		// kernel FFT when the padded grid dims and spacing match; the
+		// r2c layout halves what a shared (or rebuilt) spectrum costs.
 		res.Reused.Topology = nv.pfftOp.KernelShared()
 		res.Reused.NearField = copied > 0
 		p.stats.TopoBuilds++
