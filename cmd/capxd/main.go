@@ -46,6 +46,35 @@
 // interrupted — the next lifetime owes them a run. The journal is
 // compacted and the process exits 0.
 //
+// # Running a replica set
+//
+// Several capxd replicas can share work without shared storage. Each
+// replica persists the expensive solver by-products — near-field
+// matrix values and preconditioner factors, keyed by a content hash of
+// geometry and solve options — in a disk artifact store under
+// <data-dir>/artifacts (size-bounded by -artifact-max-bytes, LRU).
+// With -peers set to the sibling replicas' base URLs, a replica that
+// misses locally fetches the artifact from the first peer that holds
+// it (GET /artifacts/{key}) before falling back to computing it, so a
+// cold replica joining a warm set skips most integration work:
+//
+//	capxd -addr :8437 -data-dir /var/lib/capxd-a -peers http://b:8437,http://c:8437
+//	capxd -addr :8437 -data-dir /var/lib/capxd-b -peers http://a:8437,http://c:8437
+//
+// A thin coordinator in front of the set maximizes those cache hits:
+// capxd -route runs no engine at all — it consistent-hashes each
+// request's geometry-family key over -peers and forwards to the owning
+// replica, so every variant of a family lands where its plans and
+// artifacts are already warm. The coordinator fails over to ring
+// successors (with backoff) when the owner is down or shedding, and
+// fans GET /jobs/{id} out to all replicas:
+//
+//	capxd -route -addr :8400 -peers http://a:8437,http://b:8437,http://c:8437
+//
+// Clients talk to the coordinator exactly as they would to a replica;
+// its /stats and /metrics expose forwarding and failover counters
+// instead of engine state.
+//
 // # Precision
 //
 // Requests may carry a "precision" selector (auto | fp64 | mixed); the
@@ -78,6 +107,8 @@ import (
 	_ "net/http/pprof" // profiling handlers for the -pprof side listener
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -110,6 +141,9 @@ func run(args []string) int {
 		maxPanels    = fs.Int("maxpanels", 0, "per-request estimated panel cap (0 = default 200000)")
 		history      = fs.Int("jobhistory", 0, "finished jobs kept for GET /jobs/{id} (0 = default 256)")
 		dataDir      = fs.String("data-dir", "", "durable job journal directory (empty = no persistence)")
+		peers        = fs.String("peers", "", "comma-separated sibling replica base URLs (artifact fetch; with -route, the replica set)")
+		route        = fs.Bool("route", false, "coordinator mode: run no engine, consistent-hash /extract and /sweep over -peers")
+		artifactMax  = fs.Int64("artifact-max-bytes", 0, "artifact store size budget under <data-dir>/artifacts (0 = 1 GiB)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGTERM/SIGINT before running jobs are interrupted")
 		precision    = fs.String("precision", "auto", "default matvec arithmetic for requests that leave theirs on auto: auto | fp64 | mixed")
 		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof on this side listener (empty = disabled; keep it off the public address)")
@@ -148,6 +182,18 @@ func run(args []string) int {
 		log.Printf("capxd: fault injection armed: %s", *faults)
 	}
 
+	if *route {
+		return runRouter(*addr, *addrFile, splitPeers(*peers), serve.Limits{
+			MaxBodyBytes: *maxBody,
+			MaxPanels:    *maxPanels,
+		})
+	}
+
+	artifactDir := ""
+	if *dataDir != "" {
+		artifactDir = filepath.Join(*dataDir, "artifacts")
+	}
+
 	s, err := serve.Open(serve.Options{
 		Workers:          *workers,
 		WorkerBudget:     *budget,
@@ -160,6 +206,9 @@ func run(args []string) int {
 		PairCacheEntries: *pairCache,
 		JobHistory:       *history,
 		DataDir:          *dataDir,
+		ArtifactDir:      artifactDir,
+		ArtifactMaxBytes: *artifactMax,
+		Peers:            splitPeers(*peers),
 		DefaultPrecision: defPrec,
 		Logf:             log.Printf,
 		Limits: serve.Limits{
@@ -228,6 +277,71 @@ func run(args []string) int {
 	s.Close()
 	log.Print("capxd: drained, exiting")
 	return 0
+}
+
+// runRouter is the -route body: serve the consistent-hash coordinator
+// over the replica set instead of a local engine.
+func runRouter(addr, addrFile string, replicas []string, limits serve.Limits) int {
+	rt, err := serve.NewRouter(serve.RouterOptions{
+		Replicas: replicas,
+		Limits:   limits,
+		Logf:     log.Printf,
+	})
+	if err != nil {
+		log.Printf("capxd: -route: %v", err)
+		return 2
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Printf("capxd: %v", err)
+		return 1
+	}
+	if addrFile != "" {
+		if err := writeAddrFile(addrFile, ln.Addr().String()); err != nil {
+			log.Printf("capxd: %v", err)
+			return 1
+		}
+	}
+	httpSrv := &http.Server{
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		// The router holds no job state, so shutdown only needs to let
+		// in-flight forwards finish.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("capxd: shutdown: %v", err)
+		}
+	}()
+	log.Printf("capxd: routing on %s over %d replicas", ln.Addr(), len(replicas))
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Print(err)
+		return 1
+	}
+	<-done
+	log.Print("capxd: router exiting")
+	return 0
+}
+
+// splitPeers parses the -peers comma list, dropping empty elements and
+// trailing slashes.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // writeAddrFile publishes the bound address atomically (temp + rename)

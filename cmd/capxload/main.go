@@ -20,6 +20,14 @@
 // listener instead of dialing a daemon, giving CI a deterministic
 // smoke run with no process orchestration.
 //
+// -replicas N (in-process only) embeds N servers instead of one, each
+// with its own journal and artifact directory and the others as
+// artifact peers, behind an embedded consistent-hash coordinator
+// (capxd -route) — the whole replica-set topology in one process. The
+// workers drive the coordinator, and the summary adds the aggregate
+// cross-replica artifact traffic, so CI can smoke the peer-fetch and
+// routing paths with zero orchestration.
+//
 // -chaos (in-process only) turns the run into a resilience smoke: a
 // chaos goroutine drains, closes and reopens the embedded server on the
 // same journal directory every -chaos-every while the workers keep
@@ -179,16 +187,28 @@ type summary struct {
 	Retried      int `json:"retried,omitempty"`
 	HonoredWaits int `json:"honored_waits,omitempty"`
 	Restarts     int `json:"restarts,omitempty"`
+	// Replica-set tallies (-replicas > 1): aggregate artifact traffic
+	// across the set and the coordinator's forwarding counters.
+	Replicas        int    `json:"replicas,omitempty"`
+	ArtifactLocal   uint64 `json:"artifact_local_hits,omitempty"`
+	ArtifactPeer    uint64 `json:"artifact_peer_hits,omitempty"`
+	ArtifactMisses  uint64 `json:"artifact_misses,omitempty"`
+	RouterForwarded uint64 `json:"router_forwarded,omitempty"`
+	RouterFailovers uint64 `json:"router_failovers,omitempty"`
 }
 
 // swapHandler lets the chaos loop replace the live server's handler
-// atomically while the listener (and client connections) stay up.
+// atomically while the listener (and client connections) stay up. The
+// handler is boxed so stores of different concrete handler types (a
+// placeholder, then a mux) satisfy atomic.Value's consistency rule.
 type swapHandler struct{ h atomic.Value }
 
-func (s *swapHandler) set(h http.Handler) { s.h.Store(h) }
+type handlerBox struct{ h http.Handler }
+
+func (s *swapHandler) set(h http.Handler) { s.h.Store(&handlerBox{h}) }
 
 func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.h.Load().(http.Handler).ServeHTTP(w, r)
+	s.h.Load().(*handlerBox).h.ServeHTTP(w, r)
 }
 
 func main() {
@@ -213,10 +233,17 @@ func main() {
 		chaos      = flag.Bool("chaos", false, "in-process: drain and restart the embedded server mid-load (resilience smoke)")
 		chaosEvery = flag.Duration("chaos-every", 2*time.Second, "in-process: interval between chaos restarts")
 		dataDir    = flag.String("data-dir", "", "in-process: journal directory (-chaos default: a temp dir)")
+		replicas   = flag.Int("replicas", 1, "in-process: embed N replicas behind a consistent-hash coordinator")
 	)
 	flag.Parse()
 	if *chaos && !*inproc {
 		log.Fatal("capxload: -chaos requires -inprocess")
+	}
+	if *replicas > 1 && !*inproc {
+		log.Fatal("capxload: -replicas requires -inprocess")
+	}
+	if *replicas > 1 && *chaos {
+		log.Fatal("capxload: -chaos and -replicas are mutually exclusive")
 	}
 
 	cases, err := loadCorpus(*corpus)
@@ -229,8 +256,57 @@ func main() {
 		inOpts serve.Options
 		inSrv  *serve.Server
 		sw     *swapHandler
+		// replica-set mode
+		replicaSrvs []*serve.Server
+		router      *serve.Router
 	)
-	if *inproc {
+	if *inproc && *replicas > 1 {
+		// Listeners first (their URLs seed each replica's peer list and
+		// the ring), handlers swapped in once the servers exist.
+		sws := make([]*swapHandler, *replicas)
+		urls := make([]string, *replicas)
+		for i := range sws {
+			sws[i] = &swapHandler{}
+			sws[i].set(http.NotFoundHandler())
+			ts := httptest.NewServer(sws[i])
+			defer ts.Close()
+			urls[i] = ts.URL
+		}
+		for i := 0; i < *replicas; i++ {
+			dir, err := os.MkdirTemp("", fmt.Sprintf("capxload-replica%d-", i))
+			if err != nil {
+				log.Fatalf("capxload: %v", err)
+			}
+			defer os.RemoveAll(dir)
+			var peers []string
+			for j, u := range urls {
+				if j != i {
+					peers = append(peers, u)
+				}
+			}
+			s, err := serve.Open(serve.Options{
+				Workers: *workers, WorkerBudget: *budget,
+				Runners: *runners, QueueDepth: *queue, TenantRate: *rate,
+				DataDir:     dir,
+				ArtifactDir: filepath.Join(dir, "artifacts"),
+				Peers:       peers,
+			})
+			if err != nil {
+				log.Fatalf("capxload: replica %d: %v", i, err)
+			}
+			defer s.Close()
+			replicaSrvs = append(replicaSrvs, s)
+			sws[i].set(s.Handler())
+		}
+		rt, err := serve.NewRouter(serve.RouterOptions{Replicas: urls})
+		if err != nil {
+			log.Fatalf("capxload: %v", err)
+		}
+		router = rt
+		front := httptest.NewServer(rt.Handler())
+		defer front.Close()
+		base = front.URL
+	} else if *inproc {
 		inOpts = serve.Options{
 			Workers: *workers, WorkerBudget: *budget,
 			Runners: *runners, QueueDepth: *queue, TenantRate: *rate,
@@ -370,6 +446,19 @@ func main() {
 	sum.Retried = int(retried.Load())
 	sum.HonoredWaits = int(honored.Load())
 	sum.Restarts = restarts
+	if router != nil {
+		sum.Replicas = len(replicaSrvs)
+		rst := router.Stats()
+		sum.RouterForwarded = rst.Forwarded
+		sum.RouterFailovers = rst.Failovers
+		for _, s := range replicaSrvs {
+			if a := s.Stats().Artifacts; a != nil {
+				sum.ArtifactLocal += a.LocalHits
+				sum.ArtifactPeer += a.PeerHits
+				sum.ArtifactMisses += a.Misses
+			}
+		}
+	}
 	if total > 0 {
 		sum.RejectRate = float64(all.rejected) / float64(total)
 	}
@@ -388,6 +477,11 @@ func main() {
 		if *chaos || sum.Retried > 0 {
 			fmt.Printf("  resilience: %d retried (%d honored Retry-After), %d restarts survived\n",
 				sum.Retried, sum.HonoredWaits, sum.Restarts)
+		}
+		if sum.Replicas > 0 {
+			fmt.Printf("  replica set: %d replicas, %d forwarded (%d failovers), artifacts: %d local / %d peer hits, %d misses\n",
+				sum.Replicas, sum.RouterForwarded, sum.RouterFailovers,
+				sum.ArtifactLocal, sum.ArtifactPeer, sum.ArtifactMisses)
 		}
 	}
 	// Saturation outcomes (rejections, deadline expiries) are data, not

@@ -1,0 +1,247 @@
+package artifact
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openT(t *testing.T, dir string, maxBytes int64) *Store {
+	t.Helper()
+	s, err := Open(dir, Options{MaxBytes: maxBytes, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 0)
+	payload := []byte("near-field values of family 7f")
+	if err := s.Put("abc123-near", payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := s.Get("abc123-near")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = (%q, %v), want original payload", got, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Get(missing) hit")
+	}
+	st := s.Stats()
+	if st.Puts != 1 || st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// A fresh Open over the same directory serves the entry (restart
+	// survival).
+	s2 := openT(t, dir, 0)
+	got, ok = s2.Get("abc123-near")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("after reopen: Get = (%q, %v)", got, ok)
+	}
+}
+
+func TestStoreRejectsInvalidKeys(t *testing.T) {
+	s := openT(t, t.TempDir(), 0)
+	for _, key := range []string{"", "UPPER", "has space", "../escape", "a/b", ".hidden", "-flag", "k\x00y"} {
+		if err := s.Put(key, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted", key)
+		}
+		if _, ok := s.Get(key); ok {
+			t.Errorf("Get(%q) hit", key)
+		}
+	}
+}
+
+// TestStoreTruncatedBlob pins the skip-and-recompute contract: a blob
+// cut short (torn write, bad disk) is never served and is removed.
+func TestStoreTruncatedBlob(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 0)
+	if err := s.Put("deadbeef-near", bytes.Repeat([]byte{7}, 4096)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	path := filepath.Join(dir, "deadbeef-near.art")
+	if err := os.Truncate(path, 100); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	if _, ok := s.Get("deadbeef-near"); ok {
+		t.Fatal("truncated entry served")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("truncated entry not removed: %v", err)
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("Corrupt = %d, want 1", st.Corrupt)
+	}
+}
+
+// TestStoreCRCMismatch flips payload bytes on disk and asserts the
+// entry is dropped, not served.
+func TestStoreCRCMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 0)
+	if err := s.Put("cafe42-fact", bytes.Repeat([]byte{1, 2, 3, 4}, 256)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	path := filepath.Join(dir, "cafe42-fact.art")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	data[len(data)-1] ^= 0xff // corrupt the payload tail
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, ok := s.Get("cafe42-fact"); ok {
+		t.Fatal("CRC-corrupt entry served")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry not removed: %v", err)
+	}
+}
+
+// TestStoreHashNameMismatch renames an entry to a different key and
+// asserts the embedded key check refuses to serve it: a blob must never
+// come back under a hash it was not stored under.
+func TestStoreHashNameMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 0)
+	if err := s.Put("11aa-near", []byte("payload of 11aa")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := os.Rename(filepath.Join(dir, "11aa-near.art"), filepath.Join(dir, "22bb-near.art")); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	// A fresh store indexes the misnamed file but must refuse it on Get.
+	s2 := openT(t, dir, 0)
+	if _, ok := s2.Get("22bb-near"); ok {
+		t.Fatal("entry served under a key it was not stored under")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "22bb-near.art")); !os.IsNotExist(err) {
+		t.Fatalf("misnamed entry not removed: %v", err)
+	}
+	_ = s
+}
+
+// TestStoreConcurrentGetPut hammers one key from concurrent readers and
+// writers: every Get must return a complete, self-consistent payload
+// (one of the written generations), never a torn or mixed one.
+func TestStoreConcurrentGetPut(t *testing.T) {
+	s := openT(t, t.TempDir(), 0)
+	const key = "f00d-near"
+	gen := func(g int) []byte {
+		return bytes.Repeat([]byte{byte(g)}, 1024)
+	}
+	if err := s.Put(key, gen(0)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			for g := 0; g < 32; g++ {
+				if err := s.Put(key, gen(g%8)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+		go func() {
+			defer wg.Done()
+			for g := 0; g < 64; g++ {
+				data, ok := s.Get(key)
+				if !ok {
+					errs <- fmt.Errorf("concurrent Get missed")
+					return
+				}
+				if len(data) != 1024 {
+					errs <- fmt.Errorf("torn payload: %d bytes", len(data))
+					return
+				}
+				for _, b := range data {
+					if b != data[0] {
+						errs <- fmt.Errorf("mixed payload: %d vs %d", b, data[0])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Corrupt != 0 {
+		t.Fatalf("Corrupt = %d under concurrent get/put", st.Corrupt)
+	}
+}
+
+// TestStoreLRUEviction fills past the budget and asserts the least-
+// recently-used entries leave first and the budget holds.
+func TestStoreLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 4096)
+	blob := bytes.Repeat([]byte{9}, 1024)
+	for i := 0; i < 4; i++ {
+		if err := s.Put(fmt.Sprintf("key%d", i), blob); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	// Touch key0 so key1 is the LRU victim.
+	if _, ok := s.Get("key0"); !ok {
+		t.Fatal("key0 missing before eviction")
+	}
+	if err := s.Put("key4", blob); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if s.Bytes() > 4096 {
+		t.Fatalf("budget violated: %d bytes resident", s.Bytes())
+	}
+	if _, ok := s.Get("key1"); ok {
+		t.Fatal("LRU victim key1 still resident")
+	}
+	if _, ok := s.Get("key0"); !ok {
+		t.Fatal("recently-used key0 evicted")
+	}
+	if st := s.Stats(); st.Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+}
+
+// TestStoreOversizedPut pins the budget guard: a payload larger than
+// the whole budget is refused instead of evicting everything.
+func TestStoreOversizedPut(t *testing.T) {
+	s := openT(t, t.TempDir(), 1024)
+	if err := s.Put("small", []byte("ok")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.Put("big", bytes.Repeat([]byte{1}, 2048)); err == nil {
+		t.Fatal("oversized Put accepted")
+	}
+	if _, ok := s.Get("small"); !ok {
+		t.Fatal("resident entry evicted by a refused oversized Put")
+	}
+}
+
+// TestStoreCleansTempFiles asserts a crashed write's temp file is swept
+// at the next Open.
+func TestStoreCleansTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, ".tmp-12345")
+	if err := os.WriteFile(tmp, []byte("torn"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	openT(t, dir, 0)
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("temp file survived Open: %v", err)
+	}
+}

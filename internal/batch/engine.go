@@ -93,6 +93,13 @@ type Options struct {
 	Kernel         *kernel.Config
 	Eps            float64
 	ThreadsPerRank int
+
+	// Artifacts optionally supplies a persistent stage-artifact store
+	// shared by every pipeline plan the engine caches (see
+	// plan.Options.Artifacts): near-field values and block factors
+	// survive process restarts and, behind internal/serve's resolver,
+	// travel between replicas. Nil disables persistence.
+	Artifacts plan.ArtifactStore
 }
 
 // Engine is a batch extraction service. It is safe for concurrent use;
@@ -363,7 +370,8 @@ func (e *Engine) ExtractPipelineCtx(ctx context.Context, st *geom.Structure, max
 		return nil, err
 	}
 	mk := func() (*plan.Plan, error) {
-		return plan.New(plan.Options{MaxEdge: maxEdge, Pipeline: opt, Exec: e.planExec()})
+		return plan.New(plan.Options{MaxEdge: maxEdge, Pipeline: opt,
+			Exec: e.planExec(), Artifacts: e.opt.Artifacts})
 	}
 	if e.state == nil {
 		p, err := mk()
@@ -379,6 +387,16 @@ func (e *Engine) ExtractPipelineCtx(ctx context.Context, st *geom.Structure, max
 		return nil, err
 	}
 	return v.(*plan.Plan).ExtractCtx(ctx, st)
+}
+
+// FamilyKey returns the geometry-family key ExtractPipeline caches
+// plans under: structural shape (conductor/box counts, not coordinates —
+// variants of one family must share the key) plus every scalar solve
+// option that changes results. The multi-replica coordinator
+// (internal/serve.NewRouter) consistent-hashes this key so all variants
+// of a family land on the replica whose warm caches own it.
+func FamilyKey(st *geom.Structure, maxEdge float64, opt op.Options) string {
+	return planSignature(st, maxEdge, opt)
 }
 
 // planSignature keys a plan by structural family: conductor/box counts

@@ -42,6 +42,15 @@ func checkedLen(x []complex64) int {
 // complex128 kernel loses too many bits at fp32). The caller supplies
 // the twiddle and bit-reversal tables so the per-row lookups are
 // hoisted out of the 3-D transform's row loops.
+//
+// The butterfly is spelled as explicit float32 real/imaginary
+// arithmetic rather than a complex64 multiply: gc lowers complex64
+// multiplication through float64 (widen, multiply, narrow — two
+// conversions per operand per butterfly), which dominates the fp32
+// transform and made it slower than the fp64 one it exists to beat.
+// The explicit form stays in float32 end to end. The fp32 result
+// differs from the widened lowering by at most one ulp per butterfly —
+// noise against the 1e-7 relative error fp32 rounding already costs.
 func transform32(x []complex64, w []complex64, rev []int32) {
 	n := len(x)
 	for i, j := range rev {
@@ -55,9 +64,15 @@ func transform32(x []complex64, w []complex64, rev []int32) {
 		for start := 0; start < n; start += size {
 			for k := 0; k < half; k++ {
 				a := x[start+k]
-				b := x[start+k+half] * w[k*stride]
-				x[start+k] = a + b
-				x[start+k+half] = a - b
+				b := x[start+k+half]
+				tw := w[k*stride]
+				br, bi := real(b), imag(b)
+				wr, wi := real(tw), imag(tw)
+				tr := br*wr - bi*wi
+				ti := br*wi + bi*wr
+				ar, ai := real(a), imag(a)
+				x[start+k] = complex(ar+tr, ai+ti)
+				x[start+k+half] = complex(ar-tr, ai-ti)
 			}
 		}
 	}
@@ -69,7 +84,7 @@ func transformScaled32(x []complex64, w []complex64, rev []int32, scale float32)
 	n := len(x)
 	if n == 1 {
 		if scale != 1 {
-			x[0] *= complex(scale, 0)
+			x[0] = complex(real(x[0])*scale, imag(x[0])*scale)
 		}
 		return
 	}
@@ -84,19 +99,30 @@ func transformScaled32(x []complex64, w []complex64, rev []int32, scale float32)
 		for start := 0; start < n; start += size {
 			for k := 0; k < half; k++ {
 				a := x[start+k]
-				b := x[start+k+half] * w[k*stride]
-				x[start+k] = a + b
-				x[start+k+half] = a - b
+				b := x[start+k+half]
+				tw := w[k*stride]
+				br, bi := real(b), imag(b)
+				wr, wi := real(tw), imag(tw)
+				tr := br*wr - bi*wi
+				ti := br*wi + bi*wr
+				ar, ai := real(a), imag(a)
+				x[start+k] = complex(ar+tr, ai+ti)
+				x[start+k+half] = complex(ar-tr, ai-ti)
 			}
 		}
 	}
 	half := n >> 1
-	s := complex(scale, 0)
 	for k := 0; k < half; k++ {
 		a := x[k]
-		b := x[k+half] * w[k]
-		x[k] = (a + b) * s
-		x[k+half] = (a - b) * s
+		b := x[k+half]
+		tw := w[k]
+		br, bi := real(b), imag(b)
+		wr, wi := real(tw), imag(tw)
+		tr := br*wr - bi*wi
+		ti := br*wi + bi*wr
+		ar, ai := real(a), imag(a)
+		x[k] = complex((ar+tr)*scale, (ai+ti)*scale)
+		x[k+half] = complex((ar-tr)*scale, (ai-ti)*scale)
 	}
 }
 
@@ -256,8 +282,13 @@ func (g *Grid3F32) MulPointwise(h *Grid3F32) {
 	})
 }
 
+// mulRange64 multiplies complex64 ranges with explicit float32
+// arithmetic (see transform32 for why the *= form is avoided).
 func mulRange64(dst, src []complex64, lo, hi int) {
 	for i := lo; i < hi; i++ {
-		dst[i] *= src[i]
+		a, b := dst[i], src[i]
+		ar, ai := real(a), imag(a)
+		br, bi := real(b), imag(b)
+		dst[i] = complex(ar*br-ai*bi, ar*bi+ai*br)
 	}
 }

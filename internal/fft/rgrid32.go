@@ -182,14 +182,16 @@ func forwardRealLine32(d []float32, buf []complex64, wM []complex64, rM []int32,
 	d[1] = 0
 	d[2*m] = real(z0) - imag(z0)
 	d[2*m+1] = 0
+	// Explicit float32 unscramble (see transform32 for why complex64
+	// multiplies are avoided in the hot lines).
 	for k := 1; k < m; k++ {
 		zk := buf[k]
 		zn := buf[m-k]
-		fe := complex(real(zk)+real(zn), imag(zk)-imag(zn)) // Z[k] + conj(Z[m-k])
-		fo := complex(imag(zk)+imag(zn), real(zn)-real(zk)) // -i*(Z[k] - conj(Z[m-k]))
-		x := (fe + wN[k]*fo) * 0.5
-		d[2*k] = real(x)
-		d[2*k+1] = imag(x)
+		fer, fei := real(zk)+real(zn), imag(zk)-imag(zn) // Z[k] + conj(Z[m-k])
+		odr, odi := imag(zk)+imag(zn), real(zn)-real(zk) // -i*(Z[k] - conj(Z[m-k]))
+		wr, wi := real(wN[k]), imag(wN[k])
+		d[2*k] = (fer + wr*odr - wi*odi) * 0.5
+		d[2*k+1] = (fei + wr*odi + wi*odr) * 0.5
 	}
 }
 
@@ -198,12 +200,15 @@ func inverseRealLine32(d []float32, buf []complex64, wM []complex64, rM []int32,
 	m := len(buf)
 	x0, xm := d[0], d[2*m]
 	buf[0] = complex((x0+xm)*0.5, (x0-xm)*0.5)
+	// Explicit float32 scramble (see transform32).
 	for k := 1; k < m; k++ {
-		xk := complex(d[2*k], d[2*k+1])
-		xn := complex(d[2*(m-k)], -d[2*(m-k)+1]) // conj(X[m-k])
-		fe := (xk + xn) * 0.5
-		fo := wN[k] * (xk - xn) * 0.5
-		buf[k] = complex(real(fe)-imag(fo), imag(fe)+real(fo)) // Fe + i*Fo
+		xkr, xki := d[2*k], d[2*k+1]
+		xnr, xni := d[2*(m-k)], -d[2*(m-k)+1] // conj(X[m-k])
+		fer, fei := (xkr+xnr)*0.5, (xki+xni)*0.5
+		dr, di := (xkr-xnr)*0.5, (xki-xni)*0.5
+		wr, wi := real(wN[k]), imag(wN[k])
+		odr, odi := wr*dr-wi*di, wr*di+wi*dr
+		buf[k] = complex(fer-odi, fei+odr) // Fe + i*Fo
 	}
 	transformScaled32(buf, wM, rM, scale)
 	for n := 0; n < m; n++ {

@@ -181,11 +181,6 @@ func NewOperatorWith(tp *Topology, panels []geom.Panel, opt Options, reuse *Reus
 		op.areas[i] = p.Area()
 	}
 
-	var look *nearLookup
-	if reuse.valid(len(panels), &op.opt) {
-		look = newNearLookup(reuse)
-	}
-
 	// CSR row offsets: every row of a leaf has the same stride.
 	op.nearOff = make([]int64, len(panels)+1)
 	for pi := range panels {
@@ -195,14 +190,33 @@ func NewOperatorWith(tp *Topology, panels []geom.Panel, opt Options, reuse *Reus
 	op.nearIdx = make([]int32, total)
 	op.nearVal = make([]float64, total)
 
+	// A value-array artifact (Reuse.Vals) short-circuits integration
+	// entirely: the CSR layout is deterministic for this topology, so
+	// the stored values are adopted wholesale and only the indices are
+	// rebuilt. The per-entry Prev/Class lookup is the fallback.
+	var adopt []float64
+	if reuse != nil && int64(len(reuse.Vals)) == total && op.opt.NearEval == nil {
+		adopt = reuse.Vals
+	}
+	var look *nearLookup
+	if adopt == nil && reuse.valid(len(panels), &op.opt) {
+		look = newNearLookup(reuse)
+	}
+
 	// Fill near blocks, one task per unordered leaf pair; each block is
 	// integrated once and scattered to both sides. Every (row, block)
 	// segment is owned by exactly one pair, so no locking is needed.
 	pairs := inter.pairs
 	sched.MapOrInline(op.exec, len(pairs), func(k int) {
+		if adopt != nil {
+			op.fillPairAdopt(&pairs[k], adopt)
+			return
+		}
 		op.fillPair(&pairs[k], look)
 	})
-	if look != nil {
+	if adopt != nil {
+		op.nearReused = total
+	} else if look != nil {
 		op.nearReused = look.copied.Load()
 		op.nearComputed = look.computed.Load()
 	}
@@ -389,6 +403,52 @@ func (op *Operator) fillPairBatched(pr *nearPair, look *nearLookup) {
 		look.computed.Add(computed)
 	}
 }
+
+// fillPairAdopt is fillPair when a complete value-array artifact is
+// adopted (Reuse.Vals): it rebuilds the CSR indices of one unordered
+// leaf pair and copies the values from the artifact at the same
+// offsets, skipping all integration. Point-monopole entries adopt too —
+// for bit-identical geometry they are bitwise what a fresh division
+// would produce.
+func (op *Operator) fillPairAdopt(pr *nearPair, vals []float64) {
+	na, nb := &op.t.nodes[pr.a], &op.t.nodes[pr.b]
+	pa := op.t.perm[na.lo:na.hi]
+	if pr.a == pr.b {
+		for ia, pi := range pa {
+			base := op.nearOff[pi] + int64(pr.offA)
+			for jb := ia; jb < len(pa); jb++ {
+				pj := pa[jb]
+				dst := base + int64(jb)
+				op.nearIdx[dst] = pj
+				op.nearVal[dst] = vals[dst]
+				if jb != ia {
+					b2 := op.nearOff[pj] + int64(pr.offA) + int64(ia)
+					op.nearIdx[b2] = pi
+					op.nearVal[b2] = vals[b2]
+				}
+			}
+		}
+		return
+	}
+	pb := op.t.perm[nb.lo:nb.hi]
+	for ia, pi := range pa {
+		base := op.nearOff[pi] + int64(pr.offA)
+		for jb, pj := range pb {
+			dst := base + int64(jb)
+			op.nearIdx[dst] = pj
+			op.nearVal[dst] = vals[dst]
+			b2 := op.nearOff[pj] + int64(pr.offB) + int64(ia)
+			op.nearIdx[b2] = pi
+			op.nearVal[b2] = vals[b2]
+		}
+	}
+}
+
+// NearVals exposes the near-field CSR value array (read-only) — the
+// NearField stage artifact the disk store persists. For bit-identical
+// panels and options, a later build's CSR layout matches exactly, so
+// Reuse.Vals can adopt this array wholesale.
+func (op *Operator) NearVals() []float64 { return op.nearVal }
 
 // Dim implements linalg.Matvec.
 func (op *Operator) Dim() int { return len(op.panels) }

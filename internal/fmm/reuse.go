@@ -51,6 +51,16 @@ type Reuse struct {
 	// bit-identical relative geometry, so their Galerkin integral is
 	// unchanged. Class[i] < 0 marks panels whose geometry changed.
 	Class []int32
+	// Vals, when non-nil, adopts a complete near-field CSR value array
+	// captured by NearVals from an operator built over bit-identical
+	// panels and options (the disk artifact store's path, keyed by a
+	// content hash of exact geometry + options in internal/plan). The
+	// CSR layout is a deterministic function of the topology, so the
+	// stored values land at the same offsets a fresh integration would
+	// fill. Ignored — degrading to the Prev/Class path or a fresh
+	// build — when its length disagrees with the CSR being built or a
+	// NearEval override is configured.
+	Vals []float64
 }
 
 // valid reports whether reuse is applicable for an operator being built

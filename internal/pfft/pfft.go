@@ -179,6 +179,44 @@ type Operator struct {
 type Reuse struct {
 	Prev  *Operator
 	Class []int32
+	// Artifact, when non-nil, adopts complete precorrection rows
+	// captured by NearArtifact from an operator built over bit-identical
+	// panels and options (the disk artifact store's path; internal/plan
+	// keys it by a content hash of exact geometry + options, so values
+	// baked with a different Eps/Cfg never reach here). The spatial-hash
+	// row structure is a deterministic function of the geometry, so the
+	// stored values land in the rows a fresh integration would fill; any
+	// row whose stored length disagrees with the rebuilt row is
+	// integrated fresh instead.
+	Artifact *NearArtifact
+}
+
+// NearArtifact is the flattened value-only form of the precorrection
+// stage: per-row lengths plus the concatenated correction (Val) and
+// exact-Galerkin (Exact) entries in row order. The row index structure
+// is deliberately omitted — it rebuilds deterministically from the
+// geometry — which keeps the on-disk artifact at two float64 per entry.
+type NearArtifact struct {
+	RowLen []int32
+	Val    []float64
+	Exact  []float64
+}
+
+// valid reports whether the artifact is structurally consistent for an
+// n-panel build: one length per row and flat arrays summing to the row
+// total.
+func (a *NearArtifact) valid(n int) bool {
+	if a == nil || len(a.RowLen) != n {
+		return false
+	}
+	var total int64
+	for _, l := range a.RowLen {
+		if l < 0 {
+			return false
+		}
+		total += int64(l)
+	}
+	return int64(len(a.Val)) == total && int64(len(a.Exact)) == total
 }
 
 // validNear reports whether per-entry exact reuse applies: aligned
@@ -274,10 +312,14 @@ func NewOperatorReuse(panels []geom.Panel, opt Options, reuse *Reuse) *Operator 
 	op.buildNodeAdjacency()
 	op.topoTime = time.Since(t0)
 	tN := time.Now()
+	var art *NearArtifact
+	if reuse != nil && reuse.Artifact.valid(len(panels)) {
+		art = reuse.Artifact
+	}
 	if reuse.validNear(len(panels), &op.opt) {
-		op.buildPrecorrection(reuse)
+		op.buildPrecorrection(reuse, art)
 	} else {
-		op.buildPrecorrection(nil)
+		op.buildPrecorrection(nil, art)
 	}
 	op.nearTime = time.Since(tN)
 	op.scratch = sched.NewScratch(func() *applyScratch {
@@ -303,6 +345,27 @@ func (op *Operator) NearReuse() (copied, computed int64) {
 // KernelShared reports whether the kernel transform was adopted from
 // the previous variant.
 func (op *Operator) KernelShared() bool { return op.kernelShared }
+
+// NearArtifact captures the precorrection stage as a flat value-only
+// artifact suitable for the disk store: per-row lengths plus the
+// concatenated correction and exact-Galerkin entries in row order. A
+// later build over bit-identical panels and options adopts it through
+// Reuse.Artifact.
+func (op *Operator) NearArtifact() *NearArtifact {
+	a := &NearArtifact{RowLen: make([]int32, len(op.nearIdx))}
+	total := 0
+	for i, r := range op.nearIdx {
+		a.RowLen[i] = int32(len(r))
+		total += len(r)
+	}
+	a.Val = make([]float64, 0, total)
+	a.Exact = make([]float64, 0, total)
+	for i := range op.nearIdx {
+		a.Val = append(a.Val, op.nearVal[i]...)
+		a.Exact = append(a.Exact, op.nearExact[i]...)
+	}
+	return a
+}
 
 // PhaseTimes reports the construction split: the topology phase (grid
 // sizing, kernel transform, stencils, adjacency) vs the near-field
@@ -496,7 +559,7 @@ func (op *Operator) gridPair(i, j int) float64 {
 // pairs are copied from the previous variant; when additionally the
 // grids coincide and both stencils are unchanged, the grid-mediated
 // part is unchanged too and the whole correction entry is copied.
-func (op *Operator) buildPrecorrection(reuse *Reuse) {
+func (op *Operator) buildPrecorrection(reuse *Reuse, art *NearArtifact) {
 	cell := op.opt.NearRadius * op.h
 	type key struct{ x, y, z int32 }
 	buckets := make(map[key][]int32)
@@ -533,6 +596,16 @@ func (op *Operator) buildPrecorrection(reuse *Reuse) {
 	gridsEq := prev != nil && op.kernelShared &&
 		prev.nx == op.nx && prev.ny == op.ny && prev.nz == op.nz
 
+	// Flat-artifact adoption: precompute row offsets into the artifact's
+	// concatenated arrays (validated by the caller via NearArtifact.valid).
+	var artOff []int64
+	if art != nil {
+		artOff = make([]int64, len(art.RowLen)+1)
+		for i, l := range art.RowLen {
+			artOff[i+1] = artOff[i] + int64(l)
+		}
+	}
+
 	sched.MapOrInline(op.exec, len(op.panels), func(i int) {
 		ci := op.centers[i]
 		k := keyOf(ci)
@@ -552,6 +625,18 @@ func (op *Operator) buildPrecorrection(reuse *Reuse) {
 		val := make([]float64, len(idx))
 		exa := make([]float64, len(idx))
 		var nr, nc int64
+		if art != nil && int(art.RowLen[i]) == len(idx) {
+			// The rebuilt row matches the stored one — adopt the whole
+			// row and skip integration.
+			lo := artOff[i]
+			copy(val, art.Val[lo:lo+int64(len(idx))])
+			copy(exa, art.Exact[lo:lo+int64(len(idx))])
+			op.nearIdx[i] = idx
+			op.nearVal[i] = val
+			op.nearExact[i] = exa
+			atomic.AddInt64(&op.nearReused, int64(len(idx)))
+			return
+		}
 		stenI := gridsEq && op.sten[i] == prev.sten[i]
 		for t, j := range idx {
 			var exact float64
@@ -584,7 +669,7 @@ func (op *Operator) buildPrecorrection(reuse *Reuse) {
 		op.nearIdx[i] = idx
 		op.nearVal[i] = val
 		op.nearExact[i] = exa
-		if prev != nil {
+		if prev != nil || art != nil {
 			atomic.AddInt64(&op.nearReused, nr)
 			atomic.AddInt64(&op.nearComputed, nc)
 		}

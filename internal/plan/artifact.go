@@ -1,0 +1,371 @@
+// Artifact persistence: the plan's expensive stage artifacts — the
+// near-field values (dense matrix, FMM CSR values, pFFT precorrection
+// rows) and the preconditioner's block Cholesky factors — survive
+// process restarts and travel between replicas through an ArtifactStore
+// (internal/artifact on disk, fronted by a peer-fetching resolver in
+// internal/serve).
+//
+// The store is content-addressed: the key is a sha256 over the exact
+// inputs that determine the artifact bit-for-bit — panelization edge,
+// dielectric, kernel configuration, resolved backend with its
+// topology-relevant tuning, and every conductor box's float64 bits. Two
+// requests with identical keys rebuild identical CSR/row layouts (the
+// layout is a deterministic function of the geometry), so only the
+// value arrays are stored; indices and interaction lists are rebuilt,
+// which keeps artifacts at one or two float64 per entry. The cheap
+// O(N log N) Discretization and Topology stages are deliberately not
+// persisted — they carry no kernel integrals and rebuild faster than
+// they deserialize.
+//
+// Artifacts can never change results, only construction time: a decoded
+// payload is adopted only when its shape matches the layout the build
+// just produced (length checks in fmm, per-row checks in pfft, dim
+// checks here), and any mismatch or corruption degrades to a fresh
+// integration.
+package plan
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sort"
+
+	"parbem/internal/fmm"
+	"parbem/internal/geom"
+	"parbem/internal/kernel"
+	"parbem/internal/linalg"
+	"parbem/internal/op"
+	"parbem/internal/pfft"
+)
+
+// ArtifactStore is the persistence hook a Plan reads stage artifacts
+// through before building and writes through after. Implementations
+// must be safe for concurrent use and are free to drop entries (LRU
+// budget, corruption, peer miss): Get returning ok=false simply costs a
+// fresh build, and Put is fire-and-forget (a failed write is the
+// implementation's to log). internal/artifact provides the disk-backed
+// implementation; internal/serve layers peer fetching on top.
+type ArtifactStore interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, data []byte)
+}
+
+// Artifact key suffixes: one family hash owns one entry per persisted
+// stage.
+const (
+	nearSuffix = "-near" // near-field values (backend-tagged payload)
+	factSuffix = "-fact" // block-Jacobi Cholesky factors
+)
+
+// Payload tags (first byte) keep a near-field blob from being decoded
+// by the wrong backend after a store mixup.
+const (
+	artTagDense = 'D'
+	artTagFMM   = 'F'
+	artTagPFFT  = 'P'
+	artTagFact  = 'K'
+)
+
+// artifactKey returns the family content hash for the current build,
+// or "" when persistence is off or the build is unkeyable. The kernel
+// configuration hashed is the effective one the backend integrates with
+// (a backend-level Cfg override wins over the plan's).
+func (p *Plan) artifactKey(st *geom.Structure, be op.Backend, fo *fmm.Options, po *pfft.Options) string {
+	if p.opt.Artifacts == nil {
+		return ""
+	}
+	cfg := p.cfg
+	switch {
+	case fo != nil && fo.Cfg != nil:
+		cfg = fo.Cfg
+	case po != nil && po.Cfg != nil:
+		cfg = po.Cfg
+	}
+	key, ok := artifactHash(p.opt.MaxEdge, p.eps, cfg, be, fo, po, st)
+	if !ok {
+		return ""
+	}
+	return key
+}
+
+// artifactHash computes the family content hash, or ok=false when the
+// build is unkeyable (function-valued options that cannot participate
+// in a content hash, e.g. a custom MathOps provider or an fmm NearEval
+// override).
+//
+// Backend tuning values are hashed raw (unresolved zero defaults are
+// distinct from their explicit equivalents): identical Options always
+// produce identical keys, which is the contract that matters; a
+// zero-vs-explicit-default mismatch only costs a missed dedup.
+func artifactHash(maxEdge, eps float64, cfg *kernel.Config, be op.Backend,
+	fo *fmm.Options, po *pfft.Options, st *geom.Structure) (string, bool) {
+	var opsTag byte
+	switch cfg.Ops {
+	case nil, kernel.StdOps:
+		opsTag = 0
+	case kernel.FastOps:
+		opsTag = 1
+	default:
+		return "", false
+	}
+	if fo != nil && fo.NearEval != nil {
+		return "", false
+	}
+	h := sha256.New()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wf := func(f float64) { w64(math.Float64bits(f)) }
+	h.Write([]byte{'p', 'b', 'a', '1', opsTag, byte(be)})
+	wf(maxEdge)
+	wf(eps)
+	wf(cfg.FarFactor)
+	wf(cfg.MidFactor)
+	w64(uint64(cfg.QuadOrder))
+	if cfg.DisableApprox {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	switch {
+	case fo != nil:
+		w64(uint64(fo.LeafSize))
+		wf(fo.Theta)
+		wf(fo.NearFactor)
+		wf(fo.Eps)
+	case po != nil:
+		wf(po.GridSpacing)
+		w64(uint64(po.MaxNodes))
+		wf(po.NearRadius)
+		wf(po.Eps)
+	}
+	w64(uint64(len(st.Conductors)))
+	for _, c := range st.Conductors {
+		w64(uint64(len(c.Boxes)))
+		for _, b := range c.Boxes {
+			wf(b.Min.X)
+			wf(b.Min.Y)
+			wf(b.Min.Z)
+			wf(b.Max.X)
+			wf(b.Max.Y)
+			wf(b.Max.Z)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), true
+}
+
+// appendFloats appends the little-endian bits of v.
+func appendFloats(b []byte, v []float64) []byte {
+	for _, f := range v {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+	}
+	return b
+}
+
+// readFloats decodes n float64 from data, nil-checked by the caller via
+// the ok return.
+func readFloats(data []byte, n int) ([]float64, []byte, bool) {
+	need := int64(n) * 8
+	if int64(len(data)) < need {
+		return nil, nil, false
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	return v, data[need:], true
+}
+
+func encodeDenseArtifact(d *linalg.Dense) []byte {
+	b := make([]byte, 0, 1+16+8*len(d.Data))
+	b = append(b, artTagDense)
+	b = binary.LittleEndian.AppendUint64(b, uint64(d.Rows))
+	b = binary.LittleEndian.AppendUint64(b, uint64(d.Cols))
+	return appendFloats(b, d.Data)
+}
+
+// decodeDenseArtifact rejects any payload whose dims disagree with the
+// n-panel build it is being adopted into.
+func decodeDenseArtifact(data []byte, n int) *linalg.Dense {
+	if len(data) < 17 || data[0] != artTagDense {
+		return nil
+	}
+	rows := binary.LittleEndian.Uint64(data[1:])
+	cols := binary.LittleEndian.Uint64(data[9:])
+	if rows != uint64(n) || cols != uint64(n) {
+		return nil
+	}
+	vals, rest, ok := readFloats(data[17:], n*n)
+	if !ok || len(rest) != 0 {
+		return nil
+	}
+	return &linalg.Dense{Rows: n, Cols: n, Data: vals}
+}
+
+func encodeFMMNearArtifact(vals []float64) []byte {
+	b := make([]byte, 0, 9+8*len(vals))
+	b = append(b, artTagFMM)
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(vals)))
+	return appendFloats(b, vals)
+}
+
+func decodeFMMNearArtifact(data []byte) []float64 {
+	if len(data) < 9 || data[0] != artTagFMM {
+		return nil
+	}
+	n := binary.LittleEndian.Uint64(data[1:])
+	if n > uint64(len(data))/8 {
+		return nil
+	}
+	vals, rest, ok := readFloats(data[9:], int(n))
+	if !ok || len(rest) != 0 {
+		return nil
+	}
+	return vals
+}
+
+func encodePFFTNearArtifact(a *pfft.NearArtifact) []byte {
+	b := make([]byte, 0, 17+4*len(a.RowLen)+8*(len(a.Val)+len(a.Exact)))
+	b = append(b, artTagPFFT)
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(a.RowLen)))
+	for _, l := range a.RowLen {
+		b = binary.LittleEndian.AppendUint32(b, uint32(l))
+	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(a.Val)))
+	b = appendFloats(b, a.Val)
+	return appendFloats(b, a.Exact)
+}
+
+// decodePFFTNearArtifact rejects any payload whose row count disagrees
+// with the n-panel build, whose row lengths are negative, or whose flat
+// arrays do not sum to the row total.
+func decodePFFTNearArtifact(data []byte, n int) *pfft.NearArtifact {
+	if len(data) < 9 || data[0] != artTagPFFT {
+		return nil
+	}
+	rows := binary.LittleEndian.Uint64(data[1:])
+	if rows != uint64(n) {
+		return nil
+	}
+	data = data[9:]
+	if int64(len(data)) < int64(n)*4+8 {
+		return nil
+	}
+	a := &pfft.NearArtifact{RowLen: make([]int32, n)}
+	var total int64
+	for i := range a.RowLen {
+		l := int32(binary.LittleEndian.Uint32(data[i*4:]))
+		if l < 0 {
+			return nil
+		}
+		a.RowLen[i] = l
+		total += int64(l)
+	}
+	data = data[n*4:]
+	if binary.LittleEndian.Uint64(data) != uint64(total) {
+		return nil
+	}
+	var ok bool
+	if a.Val, data, ok = readFloats(data[8:], int(total)); !ok {
+		return nil
+	}
+	var rest []byte
+	if a.Exact, rest, ok = readFloats(data, int(total)); !ok || len(rest) != 0 {
+		return nil
+	}
+	return a
+}
+
+// encodeFactorArtifact serializes the Factorization stage: each
+// factorized near block's Cholesky L keyed by its exact unknown
+// sequence (blockKey bytes). Keys are sorted so identical factor maps
+// serialize to identical bytes.
+func encodeFactorArtifact(m map[string]*linalg.Cholesky) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b := []byte{artTagFact}
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(keys)))
+	for _, k := range keys {
+		l := m[k].L
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(k)))
+		b = append(b, k...)
+		b = binary.LittleEndian.AppendUint32(b, uint32(l.Rows))
+		b = appendFloats(b, l.Data)
+	}
+	return b
+}
+
+func decodeFactorArtifact(data []byte) map[string]*linalg.Cholesky {
+	if len(data) < 9 || data[0] != artTagFact {
+		return nil
+	}
+	count := binary.LittleEndian.Uint64(data[1:])
+	data = data[9:]
+	if count > uint64(len(data)) { // each entry takes well over one byte
+		return nil
+	}
+	m := make(map[string]*linalg.Cholesky, count)
+	for e := uint64(0); e < count; e++ {
+		if len(data) < 4 {
+			return nil
+		}
+		kl := binary.LittleEndian.Uint32(data)
+		data = data[4:]
+		if uint64(len(data)) < uint64(kl)+4 {
+			return nil
+		}
+		key := string(data[:kl])
+		data = data[kl:]
+		nu := binary.LittleEndian.Uint32(data)
+		data = data[4:]
+		n := int(nu)
+		// A block's key holds one uint32 per unknown — dims must agree.
+		if n < 0 || uint32(n*4) != kl {
+			return nil
+		}
+		vals, rest, ok := readFloats(data, n*n)
+		if !ok {
+			return nil
+		}
+		data = rest
+		m[key] = &linalg.Cholesky{L: &linalg.Dense{Rows: n, Cols: n, Data: vals}}
+	}
+	if len(data) != 0 {
+		return nil
+	}
+	return m
+}
+
+// artifactFactors turns a decoded factor map into a NewPrebuilt lookup.
+// No rigid-motion class check is needed: the store key pins the exact
+// geometry, so a block covering the same unknown sequence has bitwise
+// the same matrix.
+func artifactFactors(m map[string]*linalg.Cholesky) func(idx []int32) *linalg.Cholesky {
+	var buf []byte
+	return func(ix []int32) *linalg.Cholesky {
+		return m[string(blockKey(&buf, ix))]
+	}
+}
+
+// chainFactors tries lookups in order (in-memory previous variant
+// first, then the decoded artifact).
+func chainFactors(a, b func(idx []int32) *linalg.Cholesky) func(idx []int32) *linalg.Cholesky {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return func(ix []int32) *linalg.Cholesky {
+		if c := a(ix); c != nil {
+			return c
+		}
+		return b(ix)
+	}
+}

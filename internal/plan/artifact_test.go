@@ -1,0 +1,221 @@
+package plan
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"parbem/internal/fmm"
+	"parbem/internal/geom"
+	"parbem/internal/op"
+	"parbem/internal/pfft"
+)
+
+// memStore is an in-memory ArtifactStore for tests (the disk-backed one
+// lives in internal/artifact and is wired up by internal/serve).
+type memStore struct {
+	mu   sync.Mutex
+	m    map[string][]byte
+	gets int
+	puts int
+}
+
+func newMemStore() *memStore { return &memStore{m: map[string][]byte{}} }
+
+func (s *memStore) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gets++
+	data, ok := s.m[key]
+	return data, ok
+}
+
+func (s *memStore) Put(key string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.puts++
+	s.m[key] = append([]byte(nil), data...)
+}
+
+func (s *memStore) keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var ks []string
+	for k := range s.m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// extractVia runs one cold extraction through a fresh plan wired to the
+// given store.
+func extractVia(t *testing.T, store ArtifactStore, pipe op.Options, h float64) *Result {
+	t.Helper()
+	p, err := New(Options{MaxEdge: 0.5e-6, Pipeline: pipe, Artifacts: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Extract(crossingAt(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestPlanArtifactRoundTrip pins the persistence contract per backend:
+// a fresh plan (no in-memory state, as after a process restart) wired
+// to a store warmed by another plan adopts the near-field payload, its
+// result matches the cold build to 1e-12, and the reuse flag reports
+// the adoption.
+func TestPlanArtifactRoundTrip(t *testing.T) {
+	backends := []struct {
+		name string
+		pipe op.Options
+	}{
+		{"dense", op.Options{Backend: op.BackendDense, Direct: true}},
+		{"fmm", op.Options{Backend: op.BackendFMM, Precond: op.PrecondBlockJacobi,
+			Tol: 1e-10, FMM: &fmm.Options{Workers: 1}}},
+		{"pfft", op.Options{Backend: op.BackendPFFT, Tol: 1e-10,
+			PFFT: &pfft.Options{Workers: 1}}},
+	}
+	for _, be := range backends {
+		t.Run(be.name, func(t *testing.T) {
+			store := newMemStore()
+			cold := extractVia(t, store, be.pipe, 0.5e-6)
+			if cold.Reused.NearField {
+				t.Error("cold build claims near-field reuse")
+			}
+			if len(store.keys()) == 0 {
+				t.Fatal("cold build wrote no artifacts")
+			}
+			warm := extractVia(t, store, be.pipe, 0.5e-6)
+			if !warm.Reused.NearField {
+				t.Error("restarted plan did not adopt the near-field artifact")
+			}
+			if e := capError(warm.C, cold.C); e > 1e-12 {
+				t.Errorf("artifact-adopted result deviates by %.3g", e)
+			}
+		})
+	}
+}
+
+// TestPlanArtifactStats checks the hit/miss/put counters: a cold build
+// misses then writes, a warm restart hits and writes nothing new.
+func TestPlanArtifactStats(t *testing.T) {
+	store := newMemStore()
+	pipe := op.Options{Backend: op.BackendFMM, Precond: op.PrecondBlockJacobi,
+		Tol: 1e-8, FMM: &fmm.Options{Workers: 1}}
+
+	p1, err := New(Options{MaxEdge: 0.5e-6, Pipeline: pipe, Artifacts: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p1.Extract(crossingAt(0.5e-6)); err != nil {
+		t.Fatal(err)
+	}
+	s1 := p1.Stats()
+	if s1.ArtifactHits != 0 || s1.ArtifactMisses == 0 || s1.ArtifactPuts == 0 {
+		t.Errorf("cold stats: %+v", s1)
+	}
+	putsAfterCold := store.puts
+
+	p2, err := New(Options{MaxEdge: 0.5e-6, Pipeline: pipe, Artifacts: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Extract(crossingAt(0.5e-6)); err != nil {
+		t.Fatal(err)
+	}
+	s2 := p2.Stats()
+	// Near payload and factor payload both hit.
+	if s2.ArtifactHits < 2 || s2.ArtifactPuts != 0 {
+		t.Errorf("warm stats: %+v", s2)
+	}
+	if store.puts != putsAfterCold {
+		t.Errorf("warm build re-wrote artifacts: %d puts, want %d", store.puts, putsAfterCold)
+	}
+}
+
+// TestPlanArtifactCorruptPayload pins skip-and-recompute at the decode
+// layer: payloads that fail structural validation are ignored and the
+// build integrates fresh, still producing correct results.
+func TestPlanArtifactCorruptPayload(t *testing.T) {
+	pipe := op.Options{Backend: op.BackendPFFT, Tol: 1e-10, PFFT: &pfft.Options{Workers: 1}}
+	store := newMemStore()
+	cold := extractVia(t, store, pipe, 0.5e-6)
+
+	// Truncate every payload to a prefix: decode must reject the shape.
+	store.mu.Lock()
+	for k, v := range store.m {
+		store.m[k] = v[:len(v)/3]
+	}
+	store.mu.Unlock()
+	warm := extractVia(t, store, pipe, 0.5e-6)
+	if warm.Reused.NearField {
+		t.Error("truncated payload adopted")
+	}
+	if e := capError(warm.C, cold.C); e > 1e-12 {
+		t.Errorf("recomputed result deviates by %.3g", e)
+	}
+}
+
+// TestPlanArtifactKeySeparation asserts distinct geometries and
+// distinct options never share a family hash, and identical inputs do.
+func TestPlanArtifactKeySeparation(t *testing.T) {
+	p, err := New(Options{MaxEdge: 0.5e-6, Artifacts: newMemStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stA, stB := crossingAt(0.5e-6), crossingAt(0.6e-6)
+	kA := p.artifactKey(stA, op.BackendDense, nil, nil)
+	kA2 := p.artifactKey(stA, op.BackendDense, nil, nil)
+	kB := p.artifactKey(stB, op.BackendDense, nil, nil)
+	if kA == "" || kA != kA2 {
+		t.Fatalf("identical inputs: %q vs %q", kA, kA2)
+	}
+	if kA == kB {
+		t.Error("distinct geometries share a family hash")
+	}
+	fo := fmm.Options{LeafSize: 16}
+	kF := p.artifactKey(stA, op.BackendFMM, &fo, nil)
+	if kF == kA {
+		t.Error("distinct backends share a family hash")
+	}
+	fo2 := fo
+	fo2.Theta = 0.7
+	if k := p.artifactKey(stA, op.BackendFMM, &fo2, nil); k == kF {
+		t.Error("distinct fmm tuning shares a family hash")
+	}
+	// Function-valued options cannot be keyed.
+	fo3 := fo
+	fo3.NearEval = func(_, _ geom.Rect) (float64, bool) { return 0, false }
+	if k := p.artifactKey(stA, op.BackendFMM, &fo3, nil); k != "" {
+		t.Error("NearEval override produced a key")
+	}
+	for _, k := range []string{kA, kF} {
+		if strings.ToLower(k) != k {
+			t.Errorf("key %q not lowercase hex", k)
+		}
+	}
+}
+
+// TestPlanArtifactLengthMismatchDegrades drops one trailing float from
+// every payload and asserts the shape validation refuses to adopt it.
+// (Value-level integrity — bit flips inside structurally valid floats —
+// is the CRC-framed disk store's job, covered in internal/artifact.)
+func TestPlanArtifactLengthMismatchDegrades(t *testing.T) {
+	store := newMemStore()
+	pipe := op.Options{Backend: op.BackendFMM, Tol: 1e-8, FMM: &fmm.Options{Workers: 1}}
+	extractVia(t, store, pipe, 0.5e-6)
+	store.mu.Lock()
+	for k, v := range store.m {
+		if len(v) > 8 {
+			store.m[k] = v[:len(v)-8]
+		}
+	}
+	store.mu.Unlock()
+	warm := extractVia(t, store, pipe, 0.5e-6)
+	if warm.Reused.NearField {
+		t.Error("length-mismatched payload adopted")
+	}
+}

@@ -89,6 +89,13 @@ type Options struct {
 	// NoWarmStart disables seeding iterative solves with the previous
 	// variant's charge solution.
 	NoWarmStart bool
+	// Artifacts optionally supplies a persistent stage-artifact store
+	// (see artifact.go): near-field values and block factors are read
+	// through it before building and written through after, so a
+	// restarted or freshly-started process skips the integration cost
+	// for families it (or a peer) has built before. Nil disables
+	// persistence.
+	Artifacts ArtifactStore
 }
 
 // Stats counts stage builds and reuse over a plan's lifetime. The JSON
@@ -110,6 +117,11 @@ type Stats struct {
 	DenseReused  int64 `json:"dense_reused"`  // dense upper-triangle entries copied
 	FactReused   int   `json:"fact_reused"`   // block factors adopted across variants
 	WarmStarts   int   `json:"warm_starts"`   // solves seeded from the previous variant
+
+	// Persistent-store traffic (zero unless Options.Artifacts is set).
+	ArtifactHits   int64 `json:"artifact_hits"`   // stage payloads decoded from the store
+	ArtifactMisses int64 `json:"artifact_misses"` // store lookups that found nothing usable
+	ArtifactPuts   int64 `json:"artifact_puts"`   // stage payloads written through
 }
 
 // StageReuse flags which stage artifacts of a Result came (at least
@@ -466,25 +478,51 @@ func (p *Plan) build(ctx context.Context, st *geom.Structure) (*Result, error) {
 		return nil, err
 	}
 
-	// Topology + NearField per backend.
+	// Topology + NearField per backend. akey is the persistent-store
+	// family hash ("" = persistence off or unkeyable build); the
+	// near-field payload is adopted on a store hit and written through
+	// on a miss.
 	var pb op.Prebuilt
+	var akey string
 	switch be {
 	case op.BackendDense:
+		akey = p.artifactKey(snap, be, nil, nil)
 		tN := time.Now()
-		if res.Reused.NearField && cur.dense != nil {
+		adopted := false
+		if akey != "" {
+			if data, ok := p.opt.Artifacts.Get(akey + nearSuffix); ok {
+				if d := decodeDenseArtifact(data, len(panels)); d != nil {
+					nv.dense = d
+					adopted = true
+					p.stats.ArtifactHits++
+				}
+			}
+			if !adopted {
+				p.stats.ArtifactMisses++
+			}
+		}
+		switch {
+		case adopted:
+			res.Reused.NearField = true
+		case res.Reused.NearField && cur.dense != nil:
 			var nr int64
 			nv.dense, nr = spec.AssembleDenseReuse(cur.dense, class)
 			p.stats.DenseReused += nr
 			res.Reused.NearField = nr > 0
-		} else {
+		default:
 			nv.dense = spec.AssembleDense()
 			res.Reused.NearField = false
+		}
+		if akey != "" && !adopted {
+			p.opt.Artifacts.Put(akey+nearSuffix, encodeDenseArtifact(nv.dense))
+			p.stats.ArtifactPuts++
 		}
 		p.stats.NearBuilds++
 		res.Stages.NearField = time.Since(tN)
 		pb.Dense = nv.dense
 	case op.BackendFMM:
 		fo := op.FMMOptions(spec, p.opt.Pipeline)
+		akey = p.artifactKey(snap, be, &fo, nil)
 		tT := time.Now()
 		topo := fmm.NewTopology(spec.Panels, fo)
 		p.stats.TopoBuilds++
@@ -496,6 +534,22 @@ func (p *Plan) build(ctx context.Context, st *geom.Structure) (*Result, error) {
 		if res.Reused.NearField && cur.fmmOp != nil {
 			r = &fmm.Reuse{Prev: cur.fmmOp, Class: class}
 		}
+		artHit := false
+		if akey != "" {
+			if data, ok := p.opt.Artifacts.Get(akey + nearSuffix); ok {
+				if vals := decodeFMMNearArtifact(data); vals != nil {
+					if r == nil {
+						r = &fmm.Reuse{}
+					}
+					r.Vals = vals
+					artHit = true
+					p.stats.ArtifactHits++
+				}
+			}
+			if !artHit {
+				p.stats.ArtifactMisses++
+			}
+		}
 		tN := time.Now()
 		nv.fmmOp = fmm.NewOperatorWith(topo, spec.Panels, fo, r)
 		copied, computed := nv.fmmOp.NearReuse()
@@ -504,12 +558,33 @@ func (p *Plan) build(ctx context.Context, st *geom.Structure) (*Result, error) {
 		res.Reused.NearField = copied > 0
 		p.stats.NearBuilds++
 		res.Stages.NearField = time.Since(tN)
+		if akey != "" && !artHit {
+			p.opt.Artifacts.Put(akey+nearSuffix, encodeFMMNearArtifact(nv.fmmOp.NearVals()))
+			p.stats.ArtifactPuts++
+		}
 		pb.Operator = nv.fmmOp
 	case op.BackendPFFT:
 		po := op.PFFTOptions(spec, p.opt.Pipeline)
+		akey = p.artifactKey(snap, be, nil, &po)
 		var r *pfft.Reuse
 		if res.Reused.NearField && cur.pfftOp != nil {
 			r = &pfft.Reuse{Prev: cur.pfftOp, Class: class}
+		}
+		artHit := false
+		if akey != "" {
+			if data, ok := p.opt.Artifacts.Get(akey + nearSuffix); ok {
+				if a := decodePFFTNearArtifact(data, len(panels)); a != nil {
+					if r == nil {
+						r = &pfft.Reuse{}
+					}
+					r.Artifact = a
+					artHit = true
+					p.stats.ArtifactHits++
+				}
+			}
+			if !artHit {
+				p.stats.ArtifactMisses++
+			}
 		}
 		nv.pfftOp = pfft.NewOperatorReuse(spec.Panels, po, r)
 		copied, computed := nv.pfftOp.NearReuse()
@@ -523,16 +598,36 @@ func (p *Plan) build(ctx context.Context, st *geom.Structure) (*Result, error) {
 		p.stats.TopoBuilds++
 		p.stats.NearBuilds++
 		res.Stages.Topology, res.Stages.NearField = nv.pfftOp.PhaseTimes()
+		if akey != "" && !artHit {
+			p.opt.Artifacts.Put(akey+nearSuffix, encodePFFTNearArtifact(nv.pfftOp.NearArtifact()))
+			p.stats.ArtifactPuts++
+		}
 		pb.Operator = nv.pfftOp
 	default:
 		return nil, errors.New("plan: unknown backend")
 	}
 
-	// Factorization: adopt unchanged blocks' Cholesky factors.
+	// Factorization: adopt unchanged blocks' Cholesky factors — from the
+	// previous in-memory variant when rigid-motion classes align, else
+	// from the persistent store (same family hash, so block matrices are
+	// bitwise identical).
 	if err := check("factorize"); err != nil {
 		return nil, err
 	}
 	pb.Factors = factorLookup(cur, class)
+	factHit := false
+	if akey != "" {
+		if data, ok := p.opt.Artifacts.Get(akey + factSuffix); ok {
+			if m := decodeFactorArtifact(data); m != nil {
+				pb.Factors = chainFactors(pb.Factors, artifactFactors(m))
+				factHit = true
+				p.stats.ArtifactHits++
+			}
+		}
+		if !factHit {
+			p.stats.ArtifactMisses++
+		}
+	}
 	tF := time.Now()
 	popt := p.opt.Pipeline
 	popt.Backend = be
@@ -547,6 +642,10 @@ func (p *Plan) build(ctx context.Context, st *geom.Structure) (*Result, error) {
 		p.stats.FactReused += bj.ReusedFactors()
 		res.Reused.Factorization = bj.ReusedFactors() > 0
 		nv.factors = factorMap(bj)
+		if akey != "" && !factHit && len(nv.factors) > 0 {
+			p.opt.Artifacts.Put(akey+factSuffix, encodeFactorArtifact(nv.factors))
+			p.stats.ArtifactPuts++
+		}
 	}
 
 	// Solve (warm-started from the previous variant when aligned).

@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parbem/internal/artifact"
+)
+
+// artifactResolver implements plan.ArtifactStore over the disk-backed
+// store plus the replica peer protocol: a Get tries the local store
+// first, then each configured peer's GET /artifacts/{key}, populating
+// the local store on a peer hit so the family is served locally from
+// then on. Keys that miss everywhere enter a bounded negative cache so
+// a hot family being built for the first time does not hammer the peer
+// set once per stage.
+//
+// The resolver is what a server's engine reads stage artifacts through;
+// the HTTP handler (handleArtifact) serves the local store only, so a
+// fetch can never recurse through the replica set.
+type artifactResolver struct {
+	store  *artifact.Store
+	peers  []string
+	client *http.Client
+	logf   func(format string, args ...any)
+
+	// neg maps recently-missed keys to their retry deadline (guarded by
+	// mu, bounded by negCap with random-ish eviction via map iteration).
+	mu  sync.Mutex
+	neg map[string]time.Time
+
+	localHits  atomic.Uint64
+	peerHits   atomic.Uint64
+	misses     atomic.Uint64
+	puts       atomic.Uint64
+	peerErrors atomic.Uint64
+}
+
+const (
+	// negTTL is how long an everywhere-miss suppresses peer fetches for
+	// a key: long enough to cover the stage builds of one cold request,
+	// short enough that a peer finishing its own build becomes visible
+	// quickly.
+	negTTL = 2 * time.Second
+	// negCap bounds the negative cache.
+	negCap = 4096
+	// peerTimeout bounds one peer artifact fetch end to end; artifacts
+	// are tens of megabytes at the high end and peers are same-rack, so
+	// a slow peer is a down peer.
+	peerTimeout = 10 * time.Second
+)
+
+func newArtifactResolver(store *artifact.Store, peers []string, logf func(string, ...any)) *artifactResolver {
+	return &artifactResolver{
+		store:  store,
+		peers:  peers,
+		client: &http.Client{Timeout: peerTimeout},
+		logf:   logf,
+		neg:    make(map[string]time.Time),
+	}
+}
+
+// Get implements plan.ArtifactStore.
+func (a *artifactResolver) Get(key string) ([]byte, bool) {
+	if data, ok := a.store.Get(key); ok {
+		a.localHits.Add(1)
+		return data, true
+	}
+	if len(a.peers) > 0 && !a.negativelyCached(key) {
+		if data, ok := a.fetchFromPeers(key); ok {
+			a.peerHits.Add(1)
+			// Populate the local store so the next request of this
+			// family (and our own peers) are served from here.
+			if err := a.store.Put(key, data); err != nil {
+				a.logf("serve: artifact %s: local populate failed: %v", key, err)
+			}
+			return data, true
+		}
+		a.recordNegative(key)
+	}
+	a.misses.Add(1)
+	return nil, false
+}
+
+// Put implements plan.ArtifactStore (fire-and-forget: a failed write
+// only costs a future rebuild).
+func (a *artifactResolver) Put(key string, data []byte) {
+	if err := a.store.Put(key, data); err != nil {
+		a.logf("serve: artifact %s: put failed: %v", key, err)
+		return
+	}
+	a.puts.Add(1)
+}
+
+func (a *artifactResolver) negativelyCached(key string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	dl, ok := a.neg[key]
+	if !ok {
+		return false
+	}
+	if time.Now().After(dl) {
+		delete(a.neg, key)
+		return false
+	}
+	return true
+}
+
+func (a *artifactResolver) recordNegative(key string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.neg) >= negCap {
+		// Evict any one entry; precision is irrelevant, boundedness is
+		// the point.
+		for k := range a.neg {
+			delete(a.neg, k)
+			break
+		}
+	}
+	a.neg[key] = time.Now().Add(negTTL)
+}
+
+// fetchFromPeers tries each peer in order and returns the first hit. A
+// peer 404 is a clean miss; transport errors and non-200s count as peer
+// errors but never fail the request — the caller just computes locally.
+func (a *artifactResolver) fetchFromPeers(key string) ([]byte, bool) {
+	for _, peer := range a.peers {
+		data, err := a.fetchOne(peer, key)
+		if err == errPeerMiss {
+			continue
+		}
+		if err != nil {
+			a.peerErrors.Add(1)
+			a.logf("serve: artifact %s: peer %s: %v", key, peer, err)
+			continue
+		}
+		return data, true
+	}
+	return nil, false
+}
+
+// errPeerMiss marks a clean 404 from a peer.
+var errPeerMiss = fmt.Errorf("peer does not hold the artifact")
+
+func (a *artifactResolver) fetchOne(peer, key string) ([]byte, error) {
+	resp, err := a.client.Get(peer + "/artifacts/" + key)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, errPeerMiss
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	// +1 over the entry cap turns an oversized (or maliciously
+	// unbounded) body into a detectable error instead of a truncation.
+	data, err := io.ReadAll(io.LimitReader(resp.Body, artifact.MaxEntryBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > artifact.MaxEntryBytes {
+		return nil, fmt.Errorf("body exceeds the %d-byte entry cap", int64(artifact.MaxEntryBytes))
+	}
+	return data, nil
+}
+
+// ArtifactStats is the /stats artifact section: disk-store occupancy
+// and integrity counters plus the resolver's local/peer traffic split.
+type ArtifactStats struct {
+	Entries    int    `json:"entries"`
+	Bytes      int64  `json:"bytes"`
+	LocalHits  uint64 `json:"local_hits"`
+	PeerHits   uint64 `json:"peer_hits"`
+	Misses     uint64 `json:"misses"`
+	Puts       uint64 `json:"puts"`
+	PeerErrors uint64 `json:"peer_errors"`
+	Evictions  uint64 `json:"evictions"`
+	Corrupt    uint64 `json:"corrupt"`
+}
+
+func (a *artifactResolver) stats() *ArtifactStats {
+	st := a.store.Stats()
+	return &ArtifactStats{
+		Entries:    st.Entries,
+		Bytes:      st.Bytes,
+		LocalHits:  a.localHits.Load(),
+		PeerHits:   a.peerHits.Load(),
+		Misses:     a.misses.Load(),
+		Puts:       a.puts.Load(),
+		PeerErrors: a.peerErrors.Load(),
+		Evictions:  st.Evictions,
+		Corrupt:    st.Corrupt,
+	}
+}
+
+// handleArtifact serves GET /artifacts/{key} from the LOCAL disk store
+// only — never through the resolver's peer fetch, so replicas fetching
+// from each other cannot recurse. The framed file was CRC-verified by
+// the store before the payload is handed out.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if s.artifacts == nil || !artifact.ValidKey(key) {
+		http.NotFound(w, r)
+		return
+	}
+	data, ok := s.artifacts.store.Get(key)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(len(data)))
+	w.Write(data)
+}

@@ -9,7 +9,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 	mrand "math/rand"
 	"net/http"
 	"strconv"
@@ -107,21 +106,7 @@ func (c *Client) do(ctx context.Context, mk func() (*http.Request, error)) (*htt
 		if attempt >= attempts || !retryable(err) || ctx.Err() != nil {
 			return nil, err
 		}
-		// Exponential backoff with ±50% jitter; explicit server advice
-		// overrides when longer. Everything stays under the cap.
-		wait := time.Duration(float64(base) * math.Pow(2, float64(attempt-1)))
-		if wait > maxWait {
-			wait = maxWait
-		}
-		wait = wait/2 + time.Duration(mrand.Int63n(int64(wait/2)+1))
-		honored := false
-		if ra := retryAfterOf(err); ra > wait {
-			honored = true
-			wait = ra
-			if wait > maxWait {
-				wait = maxWait
-			}
-		}
+		wait, honored := backoffWait(base, maxWait, attempt, retryAfterOf(err))
 		if c.OnRetry != nil {
 			c.OnRetry(attempt+1, wait, honored, err)
 		}
@@ -131,6 +116,46 @@ func (c *Client) do(ctx context.Context, mk func() (*http.Request, error)) (*htt
 			return nil, ctx.Err()
 		}
 	}
+}
+
+// backoffWait computes the wait before retry number attempt (1 = first
+// retry): exponential from base with saturating doubling (a huge
+// attempt count can never overflow into a negative Duration), capped at
+// maxWait, then jittered down by up to 50% so a fleet of rejected
+// clients does not re-arrive in lockstep. Server Retry-After advice
+// overrides the backoff when longer (honored=true), but every outcome —
+// including zero, negative or malformed advice, which parses as 0 — is
+// clamped into [floor, maxWait] where floor is half the base delay: a
+// misbehaving peer can slow this client down, never spin it into a hot
+// retry loop.
+func backoffWait(base, maxWait time.Duration, attempt int, advice time.Duration) (wait time.Duration, honored bool) {
+	wait = base
+	for i := 1; i < attempt; i++ {
+		if wait >= maxWait/2 {
+			wait = maxWait
+			break
+		}
+		wait *= 2
+	}
+	if wait > maxWait {
+		wait = maxWait
+	}
+	wait = wait/2 + time.Duration(mrand.Int63n(int64(wait/2)+1))
+	if advice > wait {
+		honored = true
+		wait = advice
+	}
+	floor := base / 2
+	if floor > maxWait {
+		floor = maxWait
+	}
+	if wait > maxWait {
+		wait = maxWait
+	}
+	if wait < floor {
+		wait = floor
+	}
+	return wait, honored
 }
 
 // retryable reports whether an attempt's failure is worth repeating:

@@ -55,6 +55,14 @@ func (l *tenantLimiter) allow(tenant string, now time.Time) (bool, time.Duration
 	if b == nil {
 		if len(l.buckets) >= maxTenantBuckets {
 			l.evictFull(now)
+			if len(l.buckets) >= maxTenantBuckets {
+				// Every bucket is still refilling (an adversary
+				// spraying fresh tenant names keeps them all active):
+				// evict the least-recently-seen one so the cap is hard.
+				// The evicted tenant restarts with a full burst, which
+				// only ever errs in its favor.
+				l.evictOldest()
+			}
 		}
 		b = &bucket{tokens: l.burst, last: now}
 		l.buckets[tenant] = b
@@ -78,5 +86,24 @@ func (l *tenantLimiter) evictFull(now time.Time) {
 		if now.Sub(b.last) >= idle {
 			delete(l.buckets, k)
 		}
+	}
+}
+
+// evictOldest drops the single bucket with the oldest last-seen time —
+// the fallback that makes maxTenantBuckets a hard cap when evictFull
+// finds nothing refilled. O(n) over the map, but it only runs on the
+// new-tenant-while-full path, which an honest workload hits rarely and
+// an adversary pays for on every request. Called with mu held.
+func (l *tenantLimiter) evictOldest() {
+	var oldest string
+	var found bool
+	var oldestAt time.Time
+	for k, b := range l.buckets {
+		if !found || b.last.Before(oldestAt) {
+			oldest, oldestAt, found = k, b.last, true
+		}
+	}
+	if found {
+		delete(l.buckets, oldest)
 	}
 }

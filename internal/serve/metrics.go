@@ -40,6 +40,14 @@ import (
 //	parbem_engine_state_hits_total / _misses_total counters
 //	parbem_engine_pair_hits_total / _misses_total  counters
 //	parbem_engine_pair_entries                gauge
+//	parbem_artifact_entries / parbem_artifact_bytes gauges
+//	parbem_artifact_local_hits_total /
+//	parbem_artifact_peer_hits_total /
+//	parbem_artifact_misses_total /
+//	parbem_artifact_puts_total /
+//	parbem_artifact_peer_errors_total /
+//	parbem_artifact_evictions_total /
+//	parbem_artifact_corrupt_total             counters (ArtifactDir set)
 //	parbem_queue_wait_seconds{class=}         histogram
 //	parbem_stage_seconds{stage=,backend=}     histogram
 //	    stage: discretize|topology|near_field|factorize|solve
@@ -218,6 +226,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeCounter(&b, "parbem_engine_pair_hits_total", "Template pair-integral cache hits.", st.Engine.PairHits)
 	writeCounter(&b, "parbem_engine_pair_misses_total", "Template pair-integral cache misses.", st.Engine.PairMisses)
 	writeGauge(&b, "parbem_engine_pair_entries", "Template pair-integral cache size.", float64(st.Engine.PairEntries))
+
+	if a := st.Artifacts; a != nil {
+		writeGauge(&b, "parbem_artifact_entries", "Resident artifacts in the persistent store.", float64(a.Entries))
+		writeGauge(&b, "parbem_artifact_bytes", "Resident artifact payload bytes.", float64(a.Bytes))
+		writeCounter(&b, "parbem_artifact_local_hits_total", "Stage artifacts served from the local disk store.", a.LocalHits)
+		writeCounter(&b, "parbem_artifact_peer_hits_total", "Stage artifacts fetched from a replica peer.", a.PeerHits)
+		writeCounter(&b, "parbem_artifact_misses_total", "Stage artifact lookups that missed everywhere.", a.Misses)
+		writeCounter(&b, "parbem_artifact_puts_total", "Stage artifacts written through to the store.", a.Puts)
+		writeCounter(&b, "parbem_artifact_peer_errors_total", "Peer artifact fetches that failed (transport or non-200).", a.PeerErrors)
+		writeCounter(&b, "parbem_artifact_evictions_total", "Artifacts evicted by the size budget.", a.Evictions)
+		writeCounter(&b, "parbem_artifact_corrupt_total", "Artifacts dropped for failing frame verification.", a.Corrupt)
+	}
 
 	qw := make([]histSeries, 0, numClasses)
 	for i, h := range s.m.queueWait {

@@ -1,0 +1,360 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"parbem/internal/batch"
+	"parbem/internal/geom"
+)
+
+// replicaT is one in-process replica: a Server with its own artifact
+// directory behind an httptest listener.
+type replicaT struct {
+	srv *Server
+	ts  *httptest.Server
+}
+
+// openReplica starts a replica whose artifact store lives under a fresh
+// temp dir; peers is the sibling base URLs.
+func openReplica(t *testing.T, peers []string) *replicaT {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Open(Options{
+		Workers:     2,
+		DataDir:     dir,
+		ArtifactDir: filepath.Join(dir, "artifacts"),
+		Peers:       peers,
+	})
+	if err != nil {
+		t.Fatalf("opening replica: %v", err)
+	}
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return &replicaT{srv: s, ts: ts}
+}
+
+// barsN builds a structurally distinct family: n parallel bar
+// conductors. Families differ by conductor count, so each routes (and
+// caches) independently.
+func barsN(n int) *geom.Structure {
+	st := &geom.Structure{Name: fmt.Sprintf("bars-%d", n)}
+	for i := 0; i < n; i++ {
+		y := float64(i) * 2e-6
+		st.Conductors = append(st.Conductors, &geom.Conductor{
+			Name: fmt.Sprintf("bar%d", i),
+			Boxes: []geom.Box{{
+				Min: geom.Vec3{X: 0, Y: y, Z: 0},
+				Max: geom.Vec3{X: 4e-6, Y: y + 1e-6, Z: 1e-6},
+			}},
+		})
+	}
+	return st
+}
+
+// metricValue extracts a counter value from Prometheus text exposition.
+func metricValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, name+" ") {
+			v, err := strconv.ParseFloat(strings.TrimPrefix(line, name+" "), 64)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("/metrics has no %s sample", name)
+	return 0
+}
+
+// TestReplicaColdJoinPeerArtifacts is the core replica-set promise: a
+// cold replica joining a warm peer serves the same family without
+// redoing the expensive work — its plan adopts the peer's artifact
+// (visible as a cross-replica artifact hit in /stats and /metrics) and
+// the answer is numerically identical.
+func TestReplicaColdJoinPeerArtifacts(t *testing.T) {
+	warm := openReplica(t, nil)
+	req := &ExtractRequest{Geometry: geoText(t, crossingAt(0.5e-6)), EdgeM: 0.5e-6, Backend: "dense"}
+
+	cw := NewClient(warm.ts.URL)
+	ref, err := cw.Extract(context.Background(), req)
+	if err != nil {
+		t.Fatalf("warming replica A: %v", err)
+	}
+	ws := warm.srv.Stats()
+	if ws.Artifacts == nil || ws.Artifacts.Puts == 0 {
+		t.Fatalf("warm replica persisted no artifacts: %+v", ws.Artifacts)
+	}
+
+	cold := openReplica(t, []string{warm.ts.URL})
+	cc := NewClient(cold.ts.URL)
+	got, err := cc.Extract(context.Background(), req)
+	if err != nil {
+		t.Fatalf("extract on cold replica: %v", err)
+	}
+	if e := capError(got.CFarads, ref.CFarads); e > 1e-10 {
+		t.Errorf("cold-replica result diverges from warm: capError %g", e)
+	}
+
+	st := cold.srv.Stats()
+	if st.Artifacts == nil {
+		t.Fatal("cold replica reports no artifact stats")
+	}
+	if st.Artifacts.PeerHits < 1 {
+		t.Errorf("peer_hits = %d, want >= 1 (cold replica should fetch from the warm peer)", st.Artifacts.PeerHits)
+	}
+
+	// The same hit must be visible through both observability surfaces.
+	var stats Stats
+	if err := cc.get(context.Background(), "/stats", &stats); err != nil {
+		t.Fatalf("GET /stats: %v", err)
+	}
+	if stats.Artifacts == nil || stats.Artifacts.PeerHits < 1 {
+		t.Errorf("/stats artifacts = %+v, want peer_hits >= 1", stats.Artifacts)
+	}
+	resp, err := http.Get(cold.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if v := metricValue(t, string(body), "parbem_artifact_peer_hits_total"); v < 1 {
+		t.Errorf("parbem_artifact_peer_hits_total = %g, want >= 1", v)
+	}
+}
+
+// TestReplicaSetCoordinatorSoak runs the full topology under load: 3
+// artifact-peered replicas behind the consistent-hash coordinator,
+// several structurally distinct families in flight concurrently, one
+// replica killed mid-run. It asserts the three acceptance properties:
+// every routed result matches a direct single-server solve to 1e-10,
+// the kill costs zero failed client requests (the router absorbs it as
+// failovers), and cross-replica artifact traffic actually happened.
+func TestReplicaSetCoordinatorSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-replica soak is not a -short test")
+	}
+
+	// Direct reference solves from an isolated server: no artifacts, no
+	// peers, no router.
+	direct, err := Open(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	directTS := httptest.NewServer(direct.Handler())
+	defer directTS.Close()
+	dc := NewClient(directTS.URL)
+
+	const edge = 0.5e-6
+	type family struct {
+		req *ExtractRequest
+		ref [][]float64
+		key string
+	}
+	opt, err := PipelineOptions("dense", "", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var families []*family
+	for n := 1; n <= 3; n++ {
+		st := barsN(n)
+		f := &family{
+			req: &ExtractRequest{Geometry: geoText(t, st), EdgeM: edge, Backend: "dense"},
+			key: batch.FamilyKey(st, edge, opt),
+		}
+		ref, err := dc.Extract(context.Background(), f.req)
+		if err != nil {
+			t.Fatalf("direct reference solve (bars-%d): %v", n, err)
+		}
+		f.ref = ref.CFarads
+		families = append(families, f)
+	}
+
+	// The replica set: listeners first (their URLs seed the peer lists
+	// and the ring), handlers swapped in once the servers exist.
+	const nReplicas = 3
+	urls := make([]string, nReplicas)
+	sws := make([]*swapServer, nReplicas)
+	for i := range sws {
+		sws[i] = &swapServer{}
+		ts := httptest.NewServer(sws[i])
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+		sws[i].ts = ts
+	}
+	servers := make([]*Server, nReplicas)
+	for i := range servers {
+		dir := t.TempDir()
+		var peers []string
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		s, err := Open(Options{
+			Workers:     2,
+			DataDir:     dir,
+			ArtifactDir: filepath.Join(dir, "artifacts"),
+			Peers:       peers,
+		})
+		if err != nil {
+			t.Fatalf("replica %d: %v", i, err)
+		}
+		t.Cleanup(s.Close)
+		servers[i] = s
+		sws[i].set(s.Handler())
+	}
+
+	rt, err := NewRouter(RouterOptions{
+		Replicas: urls,
+		Retry:    &RetryPolicy{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	client := NewClient(front.URL)
+
+	// Warm every family through the coordinator (each lands on its ring
+	// owner and persists its artifacts there), checking routed results
+	// against the direct references as we go.
+	for i, f := range families {
+		res, err := client.Extract(context.Background(), f.req)
+		if err != nil {
+			t.Fatalf("warm extract family %d via coordinator: %v", i, err)
+		}
+		if e := capError(res.CFarads, f.ref); e > 1e-10 {
+			t.Fatalf("family %d routed result off by %g vs direct", i, e)
+		}
+	}
+
+	// Cold-replica cross-traffic: hit a non-owner replica directly for
+	// family 0, forcing it to fetch the owner's artifacts over the peer
+	// protocol.
+	owner0 := rt.ring.owner(families[0].key)
+	for _, u := range urls {
+		if u != owner0 {
+			nc := NewClient(u)
+			if _, err := nc.Extract(context.Background(), families[0].req); err != nil {
+				t.Fatalf("cold non-owner extract: %v", err)
+			}
+			break
+		}
+	}
+	var peerHits uint64
+	for _, s := range servers {
+		if a := s.Stats().Artifacts; a != nil {
+			peerHits += a.PeerHits
+		}
+	}
+	if peerHits == 0 {
+		t.Error("no cross-replica artifact hits after cold non-owner extract")
+	}
+
+	// Soak: concurrent routed extracts across all families while the
+	// owner of family 1 is killed mid-run. The router must absorb the
+	// kill as failovers; the clients must see zero failures.
+	victim := -1
+	owner1 := rt.ring.owner(families[1].key)
+	for i, u := range urls {
+		if u == owner1 {
+			victim = i
+			break
+		}
+	}
+	const iters = 6
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	var maxErr sync.Mutex
+	worstErr := 0.0
+	killed := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for n := 0; n < iters; n++ {
+				f := families[(w+n)%len(families)]
+				res, err := client.Extract(context.Background(), f.req)
+				if err != nil {
+					t.Errorf("worker %d iter %d: %v", w, n, err)
+					failed.Add(1)
+					continue
+				}
+				if e := capError(res.CFarads, f.ref); e > 1e-10 {
+					maxErr.Lock()
+					if e > worstErr {
+						worstErr = e
+					}
+					maxErr.Unlock()
+				}
+				if w == 0 && n == 1 {
+					// Kill the owner of family 1 mid-soak: in-flight
+					// connections reset, the listener goes away.
+					sws[victim].ts.CloseClientConnections()
+					sws[victim].ts.Close()
+					servers[victim].Close()
+					close(killed)
+				}
+				if n == 1 && w != 0 {
+					<-killed // everyone past iter 1 runs against the degraded set
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := failed.Load(); got != 0 {
+		t.Errorf("%d client requests failed during the kill; want 0", got)
+	}
+	if worstErr > 0 {
+		t.Errorf("routed results diverged up to %g from direct solves", worstErr)
+	}
+	if rt.Stats().Failovers == 0 {
+		t.Error("router recorded no failovers despite a killed owner")
+	}
+	if rt.Stats().Unavailable != 0 {
+		t.Errorf("router recorded %d unavailable requests; want 0", rt.Stats().Unavailable)
+	}
+}
+
+// swapServer pairs a swappable handler with its listener so the soak
+// can kill a replica by closing both.
+type swapServer struct {
+	ts *httptest.Server
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *swapServer) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+func (s *swapServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	if h == nil {
+		http.NotFound(w, r)
+		return
+	}
+	h.ServeHTTP(w, r)
+}

@@ -98,6 +98,29 @@
 // reuse each other's near-field integrals, block factorizations and
 // warm starts exactly as an explicit parbem.Plan sweep would
 // (TestServeWarmCacheSpeedup pins the amortization at >= 2x).
+//
+// # Running a replica set
+//
+// Cache sharing extends across processes. With Options.ArtifactDir
+// set, an owned engine's plans read the expensive solver by-products —
+// near-field matrix values and preconditioner factors, keyed by a
+// content hash of geometry and solve options — through a disk artifact
+// store (internal/artifact) before building, and write through after,
+// so identical-family work survives restarts. With Options.Peers set,
+// a local miss first tries each sibling replica's GET /artifacts/{key}
+// endpoint and populates the local store on a hit: a cold replica
+// joining a warm set skips most integration work. /stats and /metrics
+// report the artifact traffic (local hits, peer hits, misses, puts,
+// peer errors).
+//
+// NewRouter is the matching thin coordinator (capxd -route): it owns
+// no engine, consistent-hashes each request's geometry family key
+// (batch.FamilyKey) over the replica set, and forwards to the owning
+// replica, so every variant of a family lands where its plans and
+// artifacts are already warm. When the owner is down or shedding, the
+// router walks the ring's successors with backoff — a killed replica
+// costs affinity, not availability (TestReplicaSetCoordinatorSoak pins
+// zero failed client requests through a mid-soak kill).
 package serve
 
 import (
@@ -109,11 +132,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"parbem/internal/artifact"
 	"parbem/internal/batch"
 	"parbem/internal/extract"
 	"parbem/internal/faultpoint"
 	"parbem/internal/geom"
 	"parbem/internal/op"
+	"parbem/internal/plan"
 	"parbem/internal/serve/journal"
 )
 
@@ -168,7 +193,23 @@ type Options struct {
 	// Synchronous requests never touch the journal either way: their
 	// results die with the connection, so the fsyncs would buy nothing.
 	DataDir string
-	// Logf receives replay, drain and journal diagnostics
+	// ArtifactDir, when set, enables the persistent stage-artifact
+	// store (capxd defaults it to DataDir/artifacts): an owned engine's
+	// plans read near-field values and block factors through it before
+	// building and write through after, so identical-family requests
+	// skip integration across restarts. It applies to an owned engine
+	// only (a supplied Engine keeps its own artifact wiring). Empty
+	// disables persistence.
+	ArtifactDir string
+	// ArtifactMaxBytes bounds the resident artifact bytes under
+	// ArtifactDir (LRU eviction; 0 = the store's 1 GiB default).
+	ArtifactMaxBytes int64
+	// Peers lists sibling replicas' base URLs (e.g.
+	// "http://10.0.0.2:8080"): a locally-missing artifact is fetched
+	// from the first peer that holds it (GET /artifacts/{key}) before
+	// being computed. Peers are only consulted when ArtifactDir is set.
+	Peers []string
+	// Logf receives replay, drain, journal and artifact diagnostics
 	// (nil = discard).
 	Logf func(format string, args ...any)
 }
@@ -199,6 +240,11 @@ type Server struct {
 	// maps live idempotency keys to job ids (guarded by mu).
 	jrnl *journal.Journal
 	idem map[string]string
+
+	// artifacts is the persistent stage-artifact resolver (nil without
+	// Options.ArtifactDir): the owned engine's plans read/write through
+	// it, and GET /artifacts/{key} serves its local store to peers.
+	artifacts *artifactResolver
 
 	// draining gates admission once Drain starts; baseCtx is the
 	// ancestor of every job context and is cancelled when a drain
@@ -372,12 +418,27 @@ func Open(opt Options) (*Server, error) {
 		s.logf = func(string, ...any) {}
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	if opt.ArtifactDir != "" {
+		store, err := artifact.Open(opt.ArtifactDir, artifact.Options{
+			MaxBytes: opt.ArtifactMaxBytes,
+			Logf:     s.logf,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: artifact store: %w", err)
+		}
+		s.artifacts = newArtifactResolver(store, opt.Peers, s.logf)
+	}
 	if s.eng == nil {
+		var arts plan.ArtifactStore
+		if s.artifacts != nil {
+			arts = s.artifacts
+		}
 		s.eng = batch.New(batch.Options{
 			Workers:          opt.Workers,
 			PlanWorkers:      opt.WorkerBudget,
 			CacheEntries:     opt.CacheEntries,
 			PairCacheEntries: opt.PairCacheEntries,
+			Artifacts:        arts,
 		})
 		s.ownEng = true
 	}
@@ -835,11 +896,21 @@ type Stats struct {
 	IdempotentHits   uint64 `json:"idempotent_hits"`
 
 	Engine batch.Stats `json:"engine"`
+
+	// Artifacts is the persistent stage-artifact store section (nil
+	// without Options.ArtifactDir). PeerHits > 0 is the cross-replica
+	// signal: a stage was adopted from a sibling instead of integrated.
+	Artifacts *ArtifactStats `json:"artifacts,omitempty"`
 }
 
 // Stats snapshots the server and engine counters.
 func (s *Server) Stats() Stats {
+	var arts *ArtifactStats
+	if s.artifacts != nil {
+		arts = s.artifacts.stats()
+	}
 	return Stats{
+		Artifacts:    arts,
 		UptimeSec:    time.Since(s.start).Seconds(),
 		QueueDepth:   len(s.queues[classInteractive]) + len(s.queues[classBulk]),
 		QueueCap:     cap(s.queues[classInteractive]) + cap(s.queues[classBulk]),
